@@ -1,0 +1,72 @@
+// Tile-size ablation (Section 3.2): "the reason of setting the tile size
+// to 16-by-16 is fully utilizing the 8-bit unsigned char for indices and
+// pointers and 16-bit unsigned short for bit masks. Other tile sizes (such
+// as 4-by-4 and 8-by-8) cannot saturate the 8-bit data type."
+//
+// Measures storage and simplified-SpGEMM runtime of the dimension-generic
+// block pipeline at 8, 16 and 32 across structure classes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/block_experimental.h"
+#include "gen/representative.h"
+
+namespace {
+
+using namespace tsg;
+using experimental::block_spgemm;
+using experimental::csr_to_block;
+
+template <int Dim>
+void measure_dim(const Csr<double>& a, int reps, std::size_t& bytes, double& ms,
+                 double& nnz_per_block) {
+  const auto m = csr_to_block<Dim>(a);
+  bytes = m.bytes();
+  nnz_per_block =
+      m.num_blocks() > 0
+          ? static_cast<double>(m.nnz()) / static_cast<double>(m.num_blocks())
+          : 0.0;
+  ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    (void)block_spgemm(m, m);
+    ms = std::min(ms, t.milliseconds());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  bench::print_header("Ablation: tile size 8 vs 16 vs 32",
+                      "Section 3.2's 16x16 rationale, measured");
+  Table table({"matrix", "KB (8/16/32)", "nnz/blk (8/16/32)", "spgemm ms (8/16/32)"});
+
+  for (const auto& m : gen::representative_suite()) {
+    // The simplified dense-accumulator kernel is O(pairs * Dim^2); keep the
+    // sweep to matrices where all three sizes finish quickly.
+    if (m.a.nnz() > 250000) continue;
+    std::size_t b8, b16, b32;
+    double ms8, ms16, ms32, o8, o16, o32;
+    measure_dim<8>(m.a, args.effective_reps(), b8, ms8, o8);
+    measure_dim<16>(m.a, args.effective_reps(), b16, ms16, o16);
+    measure_dim<32>(m.a, args.effective_reps(), b32, ms32, o32);
+    table.add_row({m.name,
+                   fmt(b8 / 1024.0, 0) + " / " + fmt(b16 / 1024.0, 0) + " / " +
+                       fmt(b32 / 1024.0, 0),
+                   fmt(o8, 1) + " / " + fmt(o16, 1) + " / " + fmt(o32, 1),
+                   fmt(ms8, 1) + " / " + fmt(ms16, 1) + " / " + fmt(ms32, 1)});
+  }
+  bench::emit(table, args);
+  std::cout << "reading: on FEM-class matrices the *storage* minimum sits at 16 —\n"
+               "exactly the paper's uint8/uint16-saturation argument (8 fragments\n"
+               "into more blocks, 32 pays wider masks and pointers). Runtime on a\n"
+               "serial CPU keeps improving toward 32 because fewer blocks mean less\n"
+               "per-block bookkeeping; on a GPU that option is closed — a 32x32\n"
+               "block (up to 1024 nonzeros, 4 KB masks+accumulator) no longer fits\n"
+               "the per-warp scratchpad budget that the 16x16 design is built\n"
+               "around.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared plumbing for the figure/table bench binaries.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace tsg::bench {
+
+/// Minimal flag handling: every bench accepts --csv (machine-readable
+/// output) and --reps N (override TSG_BENCH_REPS).
+struct BenchArgs {
+  bool csv = false;
+  int reps = 0;  // 0 = use bench_reps() default
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        args.csv = true;
+      } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        args.reps = std::atoi(argv[++i]);
+      } else {
+        std::cerr << "usage: bench [--csv] [--reps N]\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  int effective_reps() const { return reps > 0 ? reps : bench_reps(); }
+};
+
+inline void emit(const Table& t, const BenchArgs& args) {
+  if (args.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+inline std::string gflops_or_fail(const Measurement& m) {
+  // The paper prints "0.00" on bars whose method failed (out of memory);
+  // "fail" disambiguates that from a genuinely tiny throughput.
+  return m.ok ? fmt(m.gflops) : "fail";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace tsg::bench

@@ -1,0 +1,53 @@
+// Figure 11: storage cost of the tiled sparse structure vs standard CSR and
+// the two CSB variants (Buluç et al.) on the matrices tested.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/tile_convert.h"
+#include "core/tile_stats.h"
+#include "csb/csb.h"
+#include "gen/representative.h"
+
+int main(int argc, char** argv) {
+  using namespace tsg;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  bench::print_header("Fig. 11", "space cost: CSR vs CSB-M vs CSB-I vs tiled structure");
+  Table table({"matrix", "CSR MB", "CSB-M MB", "CSB-I MB", "Tiled MB", "Tiled vs CSR"});
+
+  auto mb = [](std::size_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
+  double csr_total = 0, csbm_total = 0, csbi_total = 0, tiled_total = 0;
+  double csr_dense = 0, tiled_dense = 0;  // matrices with well-filled tiles
+  int n = 0, n_dense = 0;
+  for (const auto& m : gen::representative_suite()) {
+    const double csr = mb(m.a.bytes());
+    const double csbm = mb(csr_to_csb(m.a, CsbKind::kMorton).bytes());
+    const double csbi = mb(csr_to_csb(m.a, CsbKind::kIndexed).bytes());
+    const TileMatrix<double> t = csr_to_tile(m.a);
+    const double tiled = mb(t.bytes());
+    table.add_row({m.name, fmt(csr), fmt(csbm), fmt(csbi), fmt(tiled),
+                   fmt(100.0 * (tiled - csr) / csr, 1) + "%"});
+    csr_total += csr;
+    csbm_total += csbm;
+    csbi_total += csbi;
+    tiled_total += tiled;
+    ++n;
+    if (static_cast<double>(t.nnz()) / static_cast<double>(t.num_tiles()) >= 8.0) {
+      csr_dense += csr;
+      tiled_dense += tiled;
+      ++n_dense;
+    }
+  }
+  bench::emit(table, args);
+  std::cout << "mean deltas: tiled vs CSR " << fmt((tiled_total - csr_total) / n) << " MB, "
+            << "tiled vs CSB-M " << fmt((tiled_total - csbm_total) / n) << " MB, "
+            << "tiled vs CSB-I " << fmt((tiled_total - csbi_total) / n) << " MB per matrix\n";
+  std::cout << "over the " << n_dense << " matrices with >= 8 nnz/tile (the paper's\n"
+               "typical regime at full scale): tiled vs CSR "
+            << fmt((tiled_dense - csr_dense) / n_dense)
+            << " MB per matrix (negative = tiled smaller)\n";
+  std::cout << "paper shape: the tiled structure averages less space than CSR but\n"
+               "more than CSB-M/CSB-I (it additionally stores 16 uint8 row pointers\n"
+               "and 16 uint16 masks per tile).\n";
+  return 0;
+}

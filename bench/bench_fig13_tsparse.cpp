@@ -1,0 +1,63 @@
+// Figure 13: TileSpGEMM vs tSparse, both with half-precision inputs and
+// single-precision accumulation, C = A^2 on the 16-matrix tSparse dataset.
+#include <iostream>
+
+#include "bench_common.h"
+#include "baselines/tsparse.h"
+#include "common/half.h"
+#include "common/timer.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "gen/representative.h"
+#include "harness/regression.h"
+#include "matrix/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace tsg;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  bench::print_header("Fig. 13",
+                      "TileSpGEMM vs tSparse (half in / single out), 16-matrix dataset");
+  Table table({"matrix", "tSparse GF", "TileSpGEMM GF", "speedup"});
+
+  std::vector<double> speedups;
+  for (const auto& m : gen::tsparse_suite()) {
+    Csr<float> a = gen::cast_values<float>(m.a);
+    // Both contenders see fp16-rounded inputs.
+    for (auto& v : a.val) v = static_cast<float>(half(v));
+    const double flops = static_cast<double>(spgemm_flops(a, a));
+
+    double ts_ms = 1e300, tile_ms = 1e300;
+    bool ts_ok = true;
+    try {
+      for (int rep = 0; rep < args.effective_reps(); ++rep) {
+        Timer t;
+        (void)spgemm_tsparse(a, a);
+        ts_ms = std::min(ts_ms, t.milliseconds());
+      }
+    } catch (const std::exception&) {
+      ts_ok = false;
+    }
+    const TileMatrix<float> ta = csr_to_tile(a);
+    for (int rep = 0; rep < args.effective_reps(); ++rep) {
+      Timer t;
+      (void)tile_spgemm(ta, ta);
+      tile_ms = std::min(tile_ms, t.milliseconds());
+    }
+
+    const double ts_gf = ts_ok ? flops / (ts_ms * 1e6) : 0.0;
+    const double tile_gf = flops / (tile_ms * 1e6);
+    table.add_row({m.name, ts_ok ? fmt(ts_gf) : "0.00", fmt(tile_gf),
+                   ts_ok ? fmt(tile_gf / ts_gf) + "x" : "-"});
+    if (ts_ok) speedups.push_back(tile_gf / ts_gf);
+  }
+  bench::emit(table, args);
+  double max_speedup = 0;
+  for (double s : speedups) max_speedup = std::max(max_speedup, s);
+  std::cout << "geomean speedup " << fmt(geometric_mean(speedups)) << "x, max "
+            << fmt(max_speedup) << "x\n";
+  std::cout << "paper shape: TileSpGEMM beats tSparse on all 16 matrices;\n"
+               "geomean 1.98x, max 4.04x — dense tile math wastes intra-tile\n"
+               "sparsity even with hardware acceleration.\n";
+  return 0;
+}

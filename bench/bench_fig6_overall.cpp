@@ -1,0 +1,129 @@
+// Figure 6: double-precision performance of C = A^2 and C = A*A^T over the
+// benchmark suite for all five methods, with per-method linear regression
+// of GFlops against log10(compression rate), win counts, maximum speedups,
+// and the scalability section (thread scaling stands in for the paper's
+// RTX 3060 -> 3090 device scaling; see DESIGN.md).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "gen/suite.h"
+#include "harness/regression.h"
+
+namespace {
+
+using namespace tsg;
+using bench::BenchArgs;
+
+void run_op(const std::vector<gen::NamedMatrix>& suite, SpgemmOp op, const char* op_name,
+            const BenchArgs& args) {
+  const auto& algos = paper_algorithms();
+  Table table([&] {
+    std::vector<std::string> headers = {"matrix", "rate"};
+    for (const auto& a : algos) headers.push_back(a.name + " GF");
+    return headers;
+  }());
+
+  std::map<std::string, std::vector<double>> gf_by_algo;
+  std::map<std::string, std::vector<double>> lograte_by_algo;
+  std::map<std::string, int> wins;        // matrices where TileSpGEMM beats it
+  std::map<std::string, double> max_speedup;
+  std::map<std::string, int> completed;
+
+  for (const auto& m : suite) {
+    std::vector<Measurement> row;
+    for (const auto& algo : algos) row.push_back(measure(m, algo, op, args.effective_reps()));
+    const Measurement& tile = row.back();
+
+    std::vector<std::string> cells = {m.name, fmt(tile.compression_rate, 2)};
+    for (const auto& r : row) cells.push_back(bench::gflops_or_fail(r));
+    table.add_row(cells);
+
+    for (const auto& r : row) {
+      if (!r.ok) continue;
+      completed[r.algorithm]++;
+      gf_by_algo[r.algorithm].push_back(r.gflops);
+      lograte_by_algo[r.algorithm].push_back(std::log10(std::max(r.compression_rate, 1e-3)));
+      if (!tile.ok || r.algorithm == tile.algorithm) continue;
+      if (tile.gflops > r.gflops) wins[r.algorithm]++;
+      max_speedup[r.algorithm] =
+          std::max(max_speedup[r.algorithm], tile.gflops / std::max(r.gflops, 1e-9));
+    }
+    // A matrix a baseline failed on counts as a win for TileSpGEMM, as in
+    // the paper ("no matrix can be computed with cuSPARSE on RTX 3060").
+    for (const auto& r : row) {
+      if (!r.ok && tile.ok && r.algorithm != tile.algorithm) wins[r.algorithm]++;
+    }
+  }
+
+  bench::print_header(std::string("Fig. 6 (") + op_name + ")",
+                      "Fig. 6 top row: GFlops vs compression rate, 5 methods");
+  bench::emit(table, args);
+
+  Table summary({"method", "completed", "mean GF", "Tile wins vs", "max Tile speedup",
+                 "regression GF ~ log10(rate)"});
+  for (const auto& algo : algos) {
+    const auto& gf = gf_by_algo[algo.name];
+    const LinearFit fit = linear_fit(lograte_by_algo[algo.name], gf);
+    const double mean = gf.empty() ? 0.0 : geometric_mean(gf);
+    summary.add_row(
+        {algo.name, std::to_string(completed[algo.name]) + "/" + std::to_string(suite.size()),
+         fmt(mean),
+         algo.is_tile ? "-" : std::to_string(wins[algo.name]) + "/" +
+                                  std::to_string(suite.size()),
+         algo.is_tile ? "-" : fmt(max_speedup[algo.name]) + "x",
+         "slope " + fmt(fit.slope) + ", r2 " + fmt(fit.r2)});
+  }
+  bench::emit(summary, args);
+}
+
+void run_scalability(const std::vector<gen::NamedMatrix>& suite, const BenchArgs& args) {
+  bench::print_header("Fig. 6 (bottom): scalability",
+                      "RTX 3090 / RTX 3060 device scaling -> thread scaling (see DESIGN.md)");
+  const int max_threads = num_threads();
+  if (max_threads <= 1) {
+    std::cout << "single hardware thread available: scaling ratio is 1.00x by\n"
+                 "construction; re-run on a multicore host for a meaningful ratio.\n";
+  }
+  const auto& algos = paper_algorithms();
+  Table table({"method", "threads=1 mean GF", "threads=max mean GF", "scaling"});
+  // A subset keeps the doubled measurement affordable.
+  std::vector<gen::NamedMatrix> subset;
+  for (std::size_t i = 0; i < suite.size(); i += 4) {
+    subset.push_back({suite[i].name, suite[i].structure, suite[i].symmetric_pattern,
+                      suite[i].a});
+  }
+  for (const auto& algo : algos) {
+    std::vector<double> gf1, gfn;
+    for (const auto& m : subset) {
+      {
+        ThreadCountGuard guard(1);
+        const Measurement r = measure(m, algo, SpgemmOp::kASquared, args.effective_reps());
+        if (r.ok) gf1.push_back(r.gflops);
+      }
+      {
+        ThreadCountGuard guard(max_threads);
+        const Measurement r = measure(m, algo, SpgemmOp::kASquared, args.effective_reps());
+        if (r.ok) gfn.push_back(r.gflops);
+      }
+    }
+    const double m1 = geometric_mean(gf1), mn = geometric_mean(gfn);
+    table.add_row({algo.name, fmt(m1), fmt(mn), fmt(m1 > 0 ? mn / m1 : 0.0) + "x"});
+  }
+  bench::emit(table, args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const auto suite = tsg::gen::fig6_suite();
+  std::cout << "suite: " << suite.size() << " matrices (see gen/suite.cpp)\n";
+  run_op(suite, tsg::SpgemmOp::kASquared, "C=A^2", args);
+  run_op(suite, tsg::SpgemmOp::kAAT, "C=AA^T", args);
+  run_scalability(suite, args);
+  return 0;
+}

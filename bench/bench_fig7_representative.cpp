@@ -1,0 +1,98 @@
+// Figure 7: double-precision C = A^2 on the 18 representative matrices
+// (Table 2), all five methods, plus the Section 2.3 webbase-1M motivation
+// (row-flops histogram + TileSpGEMM speedups over the row-row methods).
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/representative.h"
+#include "harness/regression.h"
+#include "matrix/stats.h"
+
+namespace {
+
+using namespace tsg;
+using bench::BenchArgs;
+
+void run_fig7(const std::vector<gen::NamedMatrix>& suite, const BenchArgs& args) {
+  bench::print_header("Fig. 7", "C = A^2 GFlops bars on the 18 representative matrices");
+  const auto& algos = paper_algorithms();
+  Table table([&] {
+    std::vector<std::string> headers = {"matrix"};
+    for (const auto& a : algos) headers.push_back(a.name + " GF");
+    headers.push_back("best");
+    return headers;
+  }());
+
+  std::vector<double> speedup_vs_best_rowrow;
+  for (const auto& m : suite) {
+    std::vector<std::string> cells = {m.name};
+    double best = 0.0, tile_gf = 0.0, best_rowrow = 0.0;
+    std::string best_name = "-";
+    for (const auto& algo : algos) {
+      const Measurement r = measure(m, algo, SpgemmOp::kASquared, args.effective_reps());
+      cells.push_back(bench::gflops_or_fail(r));
+      if (r.ok && r.gflops > best) {
+        best = r.gflops;
+        best_name = algo.name;
+      }
+      if (algo.is_tile) {
+        tile_gf = r.ok ? r.gflops : 0.0;
+      } else if (r.ok) {
+        best_rowrow = std::max(best_rowrow, r.gflops);
+      }
+    }
+    cells.push_back(best_name);
+    table.add_row(cells);
+    if (tile_gf > 0 && best_rowrow > 0) {
+      speedup_vs_best_rowrow.push_back(tile_gf / best_rowrow);
+    }
+  }
+  bench::emit(table, args);
+  std::cout << "geomean TileSpGEMM speedup vs best row-row method per matrix: "
+            << fmt(geometric_mean(speedup_vs_best_rowrow)) << "x\n";
+}
+
+void run_motivation(const std::vector<gen::NamedMatrix>& suite, const BenchArgs& args) {
+  bench::print_header("Section 2.3 motivation (webbase-1M proxy)",
+                      "row-flops imbalance histogram + speedups of the tiled method");
+  for (const auto& m : suite) {
+    if (m.name != "webbase-1M") continue;
+    const RowFlopsHistogram h = row_flops_histogram(m.a, m.a);
+    Table hist({"row flops decade", "rows"});
+    for (int d = 0; d < RowFlopsHistogram::kDecades; ++d) {
+      if (h.decade_count[static_cast<std::size_t>(d)] == 0) continue;
+      hist.add_row({"10^" + std::to_string(d) + "..10^" + std::to_string(d + 1),
+                    std::to_string(h.decade_count[static_cast<std::size_t>(d)])});
+    }
+    bench::emit(hist, args);
+    std::cout << "max row flops: " << fmt_count(h.max_row_flops)
+              << " (paper: 3 rows above 100K flops, majority under 100)\n";
+
+    Table speedups({"baseline", "TileSpGEMM speedup"});
+    Measurement tile;
+    std::vector<Measurement> rows;
+    for (const auto& algo : paper_algorithms()) {
+      const Measurement r = measure(m, algo, SpgemmOp::kASquared, args.effective_reps());
+      if (algo.is_tile) {
+        tile = r;
+      } else {
+        rows.push_back(r);
+      }
+    }
+    for (const auto& r : rows) {
+      speedups.add_row({r.algorithm, r.ok && tile.ok ? fmt(tile.gflops / r.gflops) + "x"
+                                                     : "baseline failed"});
+    }
+    bench::emit(speedups, args);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const auto suite = tsg::gen::representative_suite();
+  run_fig7(suite, args);
+  run_motivation(suite, args);
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Kernel-level ablation microbenchmarks (google-benchmark) for the design
+// choices Section 3.3 argues for:
+//   * binary-search vs merge set intersection (the paper picked binary
+//     search after finding merge slower)
+//   * sparse vs dense accumulator across output-tile densities (the basis
+//     of the tnnz = 192 threshold)
+//   * end-to-end sensitivity of TileSpGEMM to the tnnz threshold
+//   * CSR->tile conversion throughput (Fig. 12's numerator)
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/intersect.h"
+#include "core/tile_add.h"
+#include "core/tile_convert.h"
+#include "core/tile_spgemm.h"
+#include "core/tile_spmm.h"
+#include "core/tile_spmv.h"
+#include "core/tile_transpose.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace tsg;
+
+// ----------------------------------------------------------- intersection --
+
+struct IntersectFixture {
+  std::vector<index_t> a_cols, b_rows;
+  std::vector<offset_t> b_ids;
+
+  IntersectFixture(index_t len_a, index_t len_b, double overlap) {
+    Xoshiro256 rng(1234);
+    index_t va = 0, vb = 0;
+    for (index_t i = 0; i < len_a; ++i) {
+      a_cols.push_back(va += 1 + static_cast<index_t>(rng.next_below(3)));
+    }
+    for (index_t i = 0; i < len_b; ++i) {
+      if (rng.next_double() < overlap && i < len_a) {
+        vb = a_cols[i];
+      } else {
+        vb += 1 + static_cast<index_t>(rng.next_below(3));
+      }
+      b_rows.push_back(vb);
+    }
+    std::sort(b_rows.begin(), b_rows.end());
+    b_rows.erase(std::unique(b_rows.begin(), b_rows.end()), b_rows.end());
+    b_ids.resize(b_rows.size());
+    for (std::size_t i = 0; i < b_ids.size(); ++i) b_ids[i] = static_cast<offset_t>(i);
+  }
+};
+
+void BM_Intersect(benchmark::State& state, IntersectMethod method) {
+  const IntersectFixture fx(static_cast<index_t>(state.range(0)),
+                            static_cast<index_t>(state.range(1)), 0.3);
+  std::vector<MatchedPair> out;
+  for (auto _ : state) {
+    out.clear();
+    intersect_tiles(fx.a_cols.data(), 0, static_cast<index_t>(fx.a_cols.size()),
+                    fx.b_rows.data(), fx.b_ids.data(),
+                    static_cast<index_t>(fx.b_rows.size()), method, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.a_cols.size() + fx.b_rows.size()));
+}
+
+void BM_IntersectBinary(benchmark::State& s) { BM_Intersect(s, IntersectMethod::kBinarySearch); }
+void BM_IntersectMerge(benchmark::State& s) { BM_Intersect(s, IntersectMethod::kMerge); }
+
+BENCHMARK(BM_IntersectBinary)->Args({8, 256})->Args({32, 32})->Args({4, 1024});
+BENCHMARK(BM_IntersectMerge)->Args({8, 256})->Args({32, 32})->Args({4, 1024});
+
+// ------------------------------------------------------------ accumulator --
+
+/// One synthetic accumulation task at a given output-tile density: measures
+/// the step-3 inner kernels in isolation through the public API by forcing
+/// the accumulator policy on a matrix whose C tiles have ~density*256 nnz.
+void BM_Accumulator(benchmark::State& state, AccumulatorPolicy policy) {
+  const index_t block = static_cast<index_t>(state.range(0));  // C tiles ~ block wide
+  const Csr<double> a = gen::dense_blocks(64, block, 77);
+  const TileMatrix<double> t = csr_to_tile(a);
+  TileSpgemmOptions opt;
+  opt.accumulator = policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t, opt).c.nnz());
+  }
+}
+
+void BM_AccumulatorSparse(benchmark::State& s) {
+  BM_Accumulator(s, AccumulatorPolicy::kAlwaysSparse);
+}
+void BM_AccumulatorDense(benchmark::State& s) {
+  BM_Accumulator(s, AccumulatorPolicy::kAlwaysDense);
+}
+
+// block=4 -> 16/256 nnz per C tile (sparse wins); block=16 -> 256/256
+// (dense wins); block=12 -> 144/256 (near the threshold).
+BENCHMARK(BM_AccumulatorSparse)->Arg(4)->Arg(12)->Arg(16);
+BENCHMARK(BM_AccumulatorDense)->Arg(4)->Arg(12)->Arg(16);
+
+// -------------------------------------------------------- tnnz sensitivity --
+
+void BM_TnnzThreshold(benchmark::State& state) {
+  const Csr<double> a = gen::dense_blocks(48, 14, 78);  // C tiles ~196 nnz
+  const TileMatrix<double> t = csr_to_tile(a);
+  TileSpgemmOptions opt;
+  opt.tnnz = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t, opt).c.nnz());
+  }
+}
+BENCHMARK(BM_TnnzThreshold)->Arg(0)->Arg(128)->Arg(192)->Arg(255);
+
+// -------------------------------------------------------------- conversion --
+
+void BM_CsrToTile(benchmark::State& state) {
+  const Csr<double> a = gen::banded(static_cast<index_t>(state.range(0)), 12, 79);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csr_to_tile(a).num_tiles());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CsrToTile)->Arg(2000)->Arg(8000);
+
+void BM_TileToCsr(benchmark::State& state) {
+  const TileMatrix<double> t =
+      csr_to_tile(gen::banded(static_cast<index_t>(state.range(0)), 12, 80));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_to_csr(t).nnz());
+  }
+}
+BENCHMARK(BM_TileToCsr)->Arg(2000)->Arg(8000);
+
+// ------------------------------------------------------------- end to end --
+
+void BM_TileSpgemmEndToEnd(benchmark::State& state) {
+  const Csr<double> a = gen::rmat(static_cast<int>(state.range(0)), 4.0, 81);
+  const TileMatrix<double> t = csr_to_tile(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t).c.nnz());
+  }
+}
+BENCHMARK(BM_TileSpgemmEndToEnd)->Arg(10)->Arg(12);
+
+// -------------------------------------------------- tile kernel family --
+
+void BM_TileSpmv(benchmark::State& state) {
+  const Csr<double> a = gen::banded(static_cast<index_t>(state.range(0)), 10, 82);
+  const TileMatrix<double> t = csr_to_tile(a);
+  tracked_vector<double> x(static_cast<std::size_t>(a.cols), 1.0), y;
+  for (auto _ : state) {
+    tile_spmv(t, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_TileSpmv)->Arg(4000)->Arg(16000);
+
+void BM_TileSpmm(benchmark::State& state) {
+  const Csr<double> a = gen::banded(4000, 10, 83);
+  const TileMatrix<double> t = csr_to_tile(a);
+  DenseMatrix<double> x(a.cols, static_cast<index_t>(state.range(0)));
+  for (auto& v : x.data) v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spmm(t, x).data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * state.range(0));
+}
+BENCHMARK(BM_TileSpmm)->Arg(4)->Arg(16);
+
+void BM_TileAdd(benchmark::State& state) {
+  const Csr<double> a = gen::banded(static_cast<index_t>(state.range(0)), 8, 84);
+  const Csr<double> b = gen::banded(static_cast<index_t>(state.range(0)), 12, 85);
+  const TileMatrix<double> ta = csr_to_tile(a);
+  const TileMatrix<double> tb = csr_to_tile(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_add(ta, tb).nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.nnz() + b.nnz()));
+}
+BENCHMARK(BM_TileAdd)->Arg(2000)->Arg(8000);
+
+void BM_TileTranspose(benchmark::State& state) {
+  const Csr<double> a = gen::rmat(static_cast<int>(state.range(0)), 6.0, 86);
+  const TileMatrix<double> t = csr_to_tile(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_transpose(t).nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_TileTranspose)->Arg(10)->Arg(13);
+
+void BM_PairCacheVsRecompute(benchmark::State& state) {
+  const Csr<double> a = gen::clustered_rows(1200, 4, 10, 87);
+  const TileMatrix<double> t = csr_to_tile(a);
+  TileSpgemmOptions opt;
+  opt.cache_pairs = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t, opt).c.nnz());
+  }
+}
+BENCHMARK(BM_PairCacheVsRecompute)->Arg(0)->Arg(1);
+
+}  // namespace

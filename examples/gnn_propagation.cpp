@@ -1,0 +1,93 @@
+// Graph-neural-network feature propagation — the SpMM workload the paper's
+// introduction situates next to SpGEMM (GE-SpMM et al.): every GCN layer
+// computes H' = normalize(A_hat) * H * W. The sparse half of that product
+// runs on the tiled SpMM; this example propagates features through a
+// two-layer graph convolution and checks a conservation property.
+#include <cmath>
+#include <iostream>
+
+#include "core/tile_convert.h"
+#include "core/tile_spmm.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+
+namespace {
+
+using namespace tsg;
+
+/// Row-normalised A_hat = D^-1 (A + I): each row averages its neighbourhood.
+Csr<double> normalized_adjacency(const Csr<double>& adj) {
+  Csr<double> a_hat = add(adj, identity<double>(adj.rows));
+  for (index_t i = 0; i < a_hat.rows; ++i) {
+    double row_sum = 0.0;
+    for (offset_t k = a_hat.row_ptr[i]; k < a_hat.row_ptr[i + 1]; ++k) {
+      row_sum += a_hat.val[k];
+    }
+    if (row_sum != 0.0) {
+      for (offset_t k = a_hat.row_ptr[i]; k < a_hat.row_ptr[i + 1]; ++k) {
+        a_hat.val[k] /= row_sum;
+      }
+    }
+  }
+  return a_hat;
+}
+
+/// Dense H * W (features x weights), row-major.
+DenseMatrix<double> dense_mm(const DenseMatrix<double>& h, const DenseMatrix<double>& w) {
+  DenseMatrix<double> out(h.rows, w.cols);
+  for (index_t i = 0; i < h.rows; ++i) {
+    for (index_t k = 0; k < h.cols; ++k) {
+      const double v = h.at(i, k);
+      if (v == 0.0) continue;
+      for (index_t j = 0; j < w.cols; ++j) out.at(i, j) += v * w.at(k, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Undirected power-law graph with positive edge weights.
+  Csr<double> g = gen::symmetrized(gen::rmat(11, 8.0, 33));
+  for (auto& v : g.val) v = 1.0;
+  std::cout << "graph: " << g.rows << " vertices, " << g.nnz() << " edges\n";
+
+  const Csr<double> a_hat = normalized_adjacency(g);
+  const TileMatrix<double> t = csr_to_tile(a_hat);
+
+  // Initial features: 16-dimensional one-hot-ish embedding.
+  const index_t features = 16;
+  DenseMatrix<double> h(g.rows, features);
+  for (index_t v = 0; v < g.rows; ++v) h.at(v, v % features) = 1.0;
+
+  // Two propagation layers with fixed mixing weights (identity + shift),
+  // the linear part of a GCN forward pass.
+  DenseMatrix<double> w(features, features);
+  for (index_t i = 0; i < features; ++i) {
+    w.at(i, i) = 0.7;
+    w.at(i, (i + 1) % features) = 0.3;
+  }
+
+  for (int layer = 1; layer <= 2; ++layer) {
+    h = tile_spmm(t, h);  // sparse propagation on the tile format
+    h = dense_mm(h, w);   // feature mixing
+    double mass = 0.0;
+    for (double v : h.data) mass += v;
+    std::cout << "layer " << layer << ": feature mass " << mass << "\n";
+  }
+
+  // Conservation check: A_hat is row-stochastic and each W row sums to 1,
+  // so total feature mass must stay at the initial value (= #vertices).
+  double mass = 0.0;
+  for (double v : h.data) mass += v;
+  const double expected = static_cast<double>(g.rows);
+  std::cout << "final mass " << mass << " vs expected " << expected << "\n";
+  if (std::fabs(mass - expected) > 1e-6 * expected) {
+    std::cerr << "mass conservation violated\n";
+    return 1;
+  }
+  std::cout << "propagation conserves feature mass — SpMM path verified\n";
+  return 0;
+}

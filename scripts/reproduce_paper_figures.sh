@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (the analogue of the
+# artifact's reproduce_paper_figure.sh): builds, tests, then runs one bench
+# binary per figure/table, teeing each output under results/.
+#
+# Environment knobs (see README): TSG_BENCH_REPS, TSG_DEVICE_MEM_MB,
+# OMP_NUM_THREADS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  "$bench" | tee "results/${name}.txt"
+done
+echo "All figure/table outputs written to results/."

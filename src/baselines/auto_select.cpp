@@ -1,0 +1,86 @@
+#include "baselines/auto_select.h"
+
+#include <unordered_set>
+
+#include "baselines/hash.h"
+#include "common/bitops.h"
+#include "common/memory.h"
+#include "core/tile_spgemm.h"
+#include "matrix/stats.h"
+
+namespace tsg {
+
+namespace {
+
+/// Count non-empty 16x16 tiles without building the tile structure: walk
+/// rows in tile-row bands and count distinct tile columns via a stamp set.
+template <class T>
+offset_t count_nonempty_tiles(const Csr<T>& m) {
+  const index_t tile_rows = ceil_div(m.rows, kTileDim);
+  const index_t tile_cols = ceil_div(m.cols, kTileDim);
+  std::vector<std::uint32_t> seen(static_cast<std::size_t>(tile_cols), 0);
+  std::uint32_t stamp = 0;
+  offset_t tiles = 0;
+  for (index_t tr = 0; tr < tile_rows; ++tr) {
+    ++stamp;
+    const index_t row_end = std::min<index_t>((tr + 1) * kTileDim, m.rows);
+    for (index_t i = tr * kTileDim; i < row_end; ++i) {
+      for (offset_t k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+        const std::size_t tc = static_cast<std::size_t>(m.col_idx[k] / kTileDim);
+        if (seen[tc] != stamp) {
+          seen[tc] = stamp;
+          ++tiles;
+        }
+      }
+    }
+  }
+  return tiles;
+}
+
+}  // namespace
+
+template <class T>
+WorkloadFeatures analyze_workload(const Csr<T>& a, const Csr<T>& b) {
+  WorkloadFeatures f;
+  f.nnz_a = a.nnz();
+  f.nnz_b = b.nnz();
+  const offset_t tiles_a = count_nonempty_tiles(a);
+  const offset_t tiles_b = count_nonempty_tiles(b);
+  f.avg_nnz_per_tile_a =
+      tiles_a > 0 ? static_cast<double>(f.nnz_a) / static_cast<double>(tiles_a) : 0.0;
+  f.avg_nnz_per_tile_b =
+      tiles_b > 0 ? static_cast<double>(f.nnz_b) / static_cast<double>(tiles_b) : 0.0;
+  f.intermediate_products = intermediate_products(a, b);
+  f.products_fit_device =
+      static_cast<std::size_t>(f.intermediate_products) * (sizeof(index_t) + sizeof(T)) <=
+      device_memory_budget_bytes();
+  return f;
+}
+
+SpgemmChoice select_algorithm(const WorkloadFeatures& f, double hyper_sparse_threshold) {
+  const bool hyper_sparse = f.avg_nnz_per_tile_a < hyper_sparse_threshold &&
+                            f.avg_nnz_per_tile_b < hyper_sparse_threshold;
+  if (hyper_sparse && f.products_fit_device) return SpgemmChoice::kHash;
+  return SpgemmChoice::kTile;
+}
+
+template <class T>
+Csr<T> spgemm_auto(const Csr<T>& a, const Csr<T>& b, SpgemmChoice* chosen) {
+  const WorkloadFeatures f = analyze_workload(a, b);
+  const SpgemmChoice choice = select_algorithm(f);
+  if (chosen != nullptr) *chosen = choice;
+  switch (choice) {
+    case SpgemmChoice::kHash:
+      return spgemm_hash(a, b);
+    case SpgemmChoice::kTile:
+      break;
+  }
+  return spgemm_tile(a, b);
+}
+
+template WorkloadFeatures analyze_workload(const Csr<double>&, const Csr<double>&);
+template WorkloadFeatures analyze_workload(const Csr<float>&, const Csr<float>&);
+template Csr<double> spgemm_auto(const Csr<double>&, const Csr<double>&, SpgemmChoice*);
+template Csr<float> spgemm_auto(const Csr<float>&, const Csr<float>&, SpgemmChoice*);
+
+}  // namespace tsg

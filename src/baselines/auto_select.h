@@ -1,0 +1,51 @@
+// Input-aware algorithm selection — the "which SpGEMM should I call"
+// question the paper's related work raises (Xie et al., IA-SpGEMM) and its
+// own Section 4.2 answers anecdotally: the tiled method wins except on
+// hyper-sparse matrices whose tiles hold ~1 nonzero (cop20k_A, scircuit),
+// where per-tile metadata dominates and a row-row hash method is better.
+//
+// spgemm_auto() measures exactly those cheap structural features and
+// dispatches, giving library users a single entry point with the best of
+// both regimes.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+struct WorkloadFeatures {
+  offset_t nnz_a = 0;
+  offset_t nnz_b = 0;
+  double avg_nnz_per_tile_a = 0.0;  ///< nnz / non-empty 16x16 tiles
+  double avg_nnz_per_tile_b = 0.0;
+  offset_t intermediate_products = 0;
+  bool products_fit_device = false;  ///< can an O(products) buffer be afforded
+};
+
+enum class SpgemmChoice {
+  kTile,  ///< TileSpGEMM
+  kHash,  ///< row-row hash (NSPARSE-style)
+};
+
+/// Cheap O(nnz) feature pass (no tile structures are materialised).
+template <class T>
+WorkloadFeatures analyze_workload(const Csr<T>& a, const Csr<T>& b);
+
+/// The dispatch rule. Deterministic and documented: hyper-sparse tiles
+/// (avg fill below `hyper_sparse_threshold` on both operands) go row-row
+/// when the hash method's workspace fits the device budget; everything
+/// else — including everything too big for row-row workspaces — is tiled.
+SpgemmChoice select_algorithm(const WorkloadFeatures& f,
+                              double hyper_sparse_threshold = 2.0);
+
+/// Analyze, dispatch, multiply.
+template <class T>
+Csr<T> spgemm_auto(const Csr<T>& a, const Csr<T>& b, SpgemmChoice* chosen = nullptr);
+
+extern template WorkloadFeatures analyze_workload(const Csr<double>&, const Csr<double>&);
+extern template WorkloadFeatures analyze_workload(const Csr<float>&, const Csr<float>&);
+extern template Csr<double> spgemm_auto(const Csr<double>&, const Csr<double>&,
+                                        SpgemmChoice*);
+extern template Csr<float> spgemm_auto(const Csr<float>&, const Csr<float>&, SpgemmChoice*);
+
+}  // namespace tsg

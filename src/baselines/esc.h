@@ -1,0 +1,23 @@
+// Expand-Sort-Compress (ESC) SpGEMM — the proxy for the bhSPARSE baseline
+// (Liu & Vinter, IPDPS'14 / JPDC'15; ESC itself from Bell, Dalton & Olson).
+//
+// The method materialises *every* intermediate product into one global
+// buffer (size = #flops/2 entries), sorts each row's segment by column and
+// compresses duplicate columns by summing. Its defining property — and
+// exactly what the paper's Figs. 7/9 show for bhSPARSE — is the huge global
+// intermediate allocation, which grows with the compression rate and makes
+// high-rate matrices (gupta3, TSOPF) slow or infeasible; TileSpGEMM
+// allocates no global intermediate space at all.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_esc(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_esc(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_esc(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,30 @@
+// Two-round hash SpGEMM — the proxy for the NSPARSE baseline (Nagasaka,
+// Matsuoka, Azad & Buluç).
+//
+// NSPARSE's structure: compute per-row upper bounds of intermediate
+// products, bin rows by that bound, run a *symbolic* round with per-row
+// hash tables (small rows in on-chip tables, long rows in global-memory
+// tables), allocate C exactly, then a *numeric* round with the same
+// binning. We reproduce that: rows with bound <= 512 use a fixed
+// stack-resident table; longer rows use a tracked heap table sized to the
+// bound — the global-memory hashing whose cost the paper highlights.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_hash(const Csr<T>& a, const Csr<T>& b);
+
+/// Structure-only product (values ignored, pattern of C as if no
+/// cancellation): used by consumers that only need symbolic results.
+template <class T>
+Csr<T> spgemm_hash_symbolic(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_hash(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_hash(const Csr<float>&, const Csr<float>&);
+extern template Csr<double> spgemm_hash_symbolic(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_hash_symbolic(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

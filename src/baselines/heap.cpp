@@ -1,0 +1,88 @@
+#include "baselines/heap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+namespace {
+
+/// One input stream of the k-way merge: a B row scaled by one A nonzero.
+template <class T>
+struct Stream {
+  index_t col;     ///< current column (heap key)
+  offset_t pos;    ///< current position in B's arrays
+  offset_t end;    ///< one past the last position
+  T scale;         ///< the A value multiplying this B row
+};
+
+template <class T>
+struct HeapLess {
+  bool operator()(const Stream<T>& x, const Stream<T>& y) const {
+    return x.col > y.col;  // min-heap on column
+  }
+};
+
+}  // namespace
+
+template <class T>
+Csr<T> spgemm_heap(const Csr<T>& a, const Csr<T>& b) {
+  if (a.cols != b.rows) throw std::invalid_argument("spgemm: inner dimensions differ");
+  Csr<T> c(a.rows, b.cols);
+
+  std::vector<std::vector<std::pair<index_t, T>>> rows(static_cast<std::size_t>(a.rows));
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    std::vector<Stream<T>> heap;
+    heap.reserve(static_cast<std::size_t>(a.row_nnz(i)));
+    for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+      const index_t j = a.col_idx[ka];
+      if (b.row_ptr[j] == b.row_ptr[j + 1]) continue;
+      heap.push_back(
+          {b.col_idx[b.row_ptr[j]], b.row_ptr[j], b.row_ptr[j + 1], a.val[ka]});
+    }
+    std::make_heap(heap.begin(), heap.end(), HeapLess<T>{});
+
+    auto& out = rows[static_cast<std::size_t>(i)];
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), HeapLess<T>{});
+      Stream<T>& s = heap.back();
+      const index_t col = s.col;
+      const T product = s.scale * b.val[s.pos];
+      if (!out.empty() && out.back().first == col) {
+        out.back().second += product;
+      } else {
+        out.emplace_back(col, product);
+      }
+      if (++s.pos < s.end) {
+        s.col = b.col_idx[s.pos];
+        std::push_heap(heap.begin(), heap.end(), HeapLess<T>{});
+      } else {
+        heap.pop_back();
+      }
+    }
+  });
+
+  for (index_t i = 0; i < a.rows; ++i) {
+    c.row_ptr[i + 1] =
+        c.row_ptr[i] + static_cast<offset_t>(rows[static_cast<std::size_t>(i)].size());
+  }
+  c.col_idx.resize(static_cast<std::size_t>(c.nnz()));
+  c.val.resize(static_cast<std::size_t>(c.nnz()));
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    offset_t dst = c.row_ptr[i];
+    for (const auto& [col, v] : rows[static_cast<std::size_t>(i)]) {
+      c.col_idx[dst] = col;
+      c.val[dst] = v;
+      ++dst;
+    }
+  });
+  return c;
+}
+
+template Csr<double> spgemm_heap(const Csr<double>&, const Csr<double>&);
+template Csr<float> spgemm_heap(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

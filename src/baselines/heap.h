@@ -1,0 +1,20 @@
+// Heap (priority-queue) SpGEMM accumulator — the k-way-merge family used by
+// bhSPARSE's middle bins (Liu & Vinter) and by Azad et al. on CPUs.
+//
+// For each C row, the scaled B rows selected by the A row are merged with a
+// binary heap keyed on column index; equal columns are accumulated as they
+// are popped, so the output row is produced directly in sorted order with
+// no post-sort and no dense scratch. O(products * log(row_nnz(A))) work.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_heap(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_heap(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_heap(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

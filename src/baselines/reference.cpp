@@ -1,0 +1,47 @@
+#include "baselines/reference.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_reference(const Csr<T>& a, const Csr<T>& b) {
+  if (a.cols != b.rows) throw std::invalid_argument("spgemm: inner dimensions differ");
+
+  Csr<T> c(a.rows, b.cols);
+  std::vector<T> acc(static_cast<std::size_t>(b.cols), T{});
+  std::vector<index_t> stamp(static_cast<std::size_t>(b.cols), -1);
+  std::vector<index_t> cols_of_row;
+
+  for (index_t i = 0; i < a.rows; ++i) {
+    cols_of_row.clear();
+    for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+      const index_t j = a.col_idx[ka];
+      const T va = a.val[ka];
+      for (offset_t kb = b.row_ptr[j]; kb < b.row_ptr[j + 1]; ++kb) {
+        const index_t k = b.col_idx[kb];
+        if (stamp[static_cast<std::size_t>(k)] != i) {
+          stamp[static_cast<std::size_t>(k)] = i;
+          acc[static_cast<std::size_t>(k)] = va * b.val[kb];
+          cols_of_row.push_back(k);
+        } else {
+          acc[static_cast<std::size_t>(k)] += va * b.val[kb];
+        }
+      }
+    }
+    std::sort(cols_of_row.begin(), cols_of_row.end());
+    for (index_t k : cols_of_row) {
+      c.col_idx.push_back(k);
+      c.val.push_back(acc[static_cast<std::size_t>(k)]);
+    }
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template Csr<double> spgemm_reference(const Csr<double>&, const Csr<double>&);
+template Csr<float> spgemm_reference(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,21 @@
+// Serial reference SpGEMM — the gold standard every parallel method is
+// validated against in the tests. Gustavson row-row with a dense stamped
+// accumulator; deliberately simple and obviously correct.
+//
+// Output semantics (shared by every method in this library and by the
+// paper/cuSPARSE): the structure of C is the full symbolic product — an
+// entry exists wherever at least one intermediate product lands, even if
+// the values cancel to zero. Rows come out with sorted column indices.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_reference(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_reference(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_reference(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

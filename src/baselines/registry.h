@@ -1,0 +1,39 @@
+// Named registry of the double-precision SpGEMM methods compared in the
+// paper's Figs. 6-9: the four row-row baselines plus TileSpGEMM. Benches
+// and integration tests iterate this list so every experiment runs every
+// method uniformly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+struct SpgemmAlgorithm {
+  std::string name;        ///< name used in output tables
+  std::string proxies;     ///< the paper baseline this method stands in for
+  bool is_tile = false;    ///< true for the paper's contribution
+  std::function<Csr<double>(const Csr<double>&, const Csr<double>&)> run;
+  /// Profiled variant: returns the product and reports the milliseconds and
+  /// peak tracked workspace megabytes that count as "the SpGEMM" for this
+  /// method. For TileSpGEMM both exclude the CSR<->tile conversions,
+  /// matching Section 4.6 ("we always assume the matrix is already stored
+  /// in the tiled format"); for the row-row methods they cover the whole
+  /// call (their operands and outputs are natively CSR).
+  std::function<Csr<double>(const Csr<double>&, const Csr<double>&, double& core_ms,
+                            double& peak_mb)>
+      run_timed;
+};
+
+/// The five methods in the paper's comparison order:
+/// SPA (cuSPARSE), ESC (bhSPARSE), Hash (NSPARSE), Adaptive (spECK),
+/// TileSpGEMM.
+const std::vector<SpgemmAlgorithm>& paper_algorithms();
+
+/// All methods including the extra heap accumulator and the reference.
+const std::vector<SpgemmAlgorithm>& all_algorithms();
+
+}  // namespace tsg

@@ -1,0 +1,24 @@
+// Dense sparse-accumulator (SPA) row-row SpGEMM — the proxy for the closed
+// source cuSPARSE baseline.
+//
+// Classic two-phase Gustavson (Gilbert, Moler & Schreiber 1992):
+//   symbolic: per-row dense stamp array counts nnz(C row) -> allocate C once
+//   numeric:  per-row dense value array accumulates, then entries are
+//             gathered in sorted column order
+// Rows are processed in parallel with per-thread O(cols) scratch, which is
+// exactly the "dense row" accumulator family the paper's related work
+// discusses (it exploits no 2D locality and needs O(threads*cols) scratch —
+// performance issues #2/#3 of Section 2.2).
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_spa(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_spa(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_spa(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,256 @@
+#include "baselines/speck.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/parallel.h"
+
+namespace tsg {
+
+namespace {
+
+enum class RowBin : std::uint8_t { kEmpty, kTiny, kStackHash, kDenseSpa, kGlobalHash };
+
+constexpr offset_t kTinyBound = 16;
+constexpr offset_t kStackBound = 512;
+/// If the product bound exceeds this fraction of the row width, a dense SPA
+/// is cheaper than hashing.
+constexpr double kDenseFraction = 0.40;
+
+inline std::uint32_t hash_col(index_t c, std::uint32_t mask) {
+  return (static_cast<std::uint32_t>(c) * 2654435761u) & mask;
+}
+
+/// Per-thread scratch shared by the dense-SPA and global-hash bins.
+template <class T>
+struct SpeckScratch {
+  // dense SPA
+  std::vector<T> acc;
+  std::vector<std::int64_t> stamp;
+  std::int64_t epoch = 0;
+  std::vector<index_t> cols;
+  // global hash
+  std::vector<index_t> keys;
+  std::vector<T> vals;
+  std::size_t tracked_bytes = 0;
+
+  void ensure_dense(index_t width) {
+    if (stamp.size() < static_cast<std::size_t>(width)) {
+      acc.assign(static_cast<std::size_t>(width), T{});
+      stamp.assign(static_cast<std::size_t>(width), -1);
+    }
+  }
+  void ensure_hash(std::uint32_t size) {
+    if (keys.size() < size) {
+      MemoryTracker::instance().sub(tracked_bytes);
+      keys.assign(size, -1);
+      vals.assign(size, T{});
+      tracked_bytes = size * (sizeof(index_t) + sizeof(T));
+      MemoryTracker::instance().add(tracked_bytes);
+    }
+  }
+};
+
+template <class T>
+SpeckScratch<T>& speck_scratch() {
+  thread_local SpeckScratch<T> s;
+  return s;
+}
+
+template <class T>
+RowBin classify(offset_t bound, index_t cols) {
+  if (bound == 0) return RowBin::kEmpty;
+  if (bound <= kTinyBound) return RowBin::kTiny;
+  if (static_cast<double>(bound) >= kDenseFraction * static_cast<double>(cols)) {
+    return RowBin::kDenseSpa;
+  }
+  if (bound <= kStackBound) return RowBin::kStackHash;
+  return RowBin::kGlobalHash;
+}
+
+/// Process one row with the chosen accumulator. When kNumeric, writes the
+/// sorted row into c at c.row_ptr[i]; otherwise stores the count.
+template <class T, bool kNumeric>
+void process_row(const Csr<T>& a, const Csr<T>& b, Csr<T>& c, index_t i, RowBin bin) {
+  switch (bin) {
+    case RowBin::kEmpty: {
+      if constexpr (!kNumeric) c.row_ptr[i + 1] = 0;
+      return;
+    }
+    case RowBin::kTiny: {
+      // Direct insertion into a small sorted array.
+      index_t cols_buf[kTinyBound];
+      T vals_buf[kTinyBound];
+      int n = 0;
+      for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+        const index_t j = a.col_idx[ka];
+        const T va = a.val[ka];
+        for (offset_t kb = b.row_ptr[j]; kb < b.row_ptr[j + 1]; ++kb) {
+          const index_t col = b.col_idx[kb];
+          const T product = va * b.val[kb];
+          int pos = 0;
+          while (pos < n && cols_buf[pos] < col) ++pos;
+          if (pos < n && cols_buf[pos] == col) {
+            vals_buf[pos] += product;
+          } else {
+            for (int m = n; m > pos; --m) {
+              cols_buf[m] = cols_buf[m - 1];
+              vals_buf[m] = vals_buf[m - 1];
+            }
+            cols_buf[pos] = col;
+            vals_buf[pos] = product;
+            ++n;
+          }
+        }
+      }
+      if constexpr (!kNumeric) {
+        c.row_ptr[i + 1] = n;
+      } else {
+        offset_t dst = c.row_ptr[i];
+        for (int k = 0; k < n; ++k, ++dst) {
+          c.col_idx[dst] = cols_buf[k];
+          c.val[dst] = vals_buf[k];
+        }
+      }
+      return;
+    }
+    case RowBin::kDenseSpa: {
+      SpeckScratch<T>& s = speck_scratch<T>();
+      s.ensure_dense(b.cols);
+      ++s.epoch;
+      s.cols.clear();
+      for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+        const index_t j = a.col_idx[ka];
+        const T va = a.val[ka];
+        for (offset_t kb = b.row_ptr[j]; kb < b.row_ptr[j + 1]; ++kb) {
+          const index_t col = b.col_idx[kb];
+          if (s.stamp[static_cast<std::size_t>(col)] != s.epoch) {
+            s.stamp[static_cast<std::size_t>(col)] = s.epoch;
+            s.acc[static_cast<std::size_t>(col)] = va * b.val[kb];
+            s.cols.push_back(col);
+          } else {
+            s.acc[static_cast<std::size_t>(col)] += va * b.val[kb];
+          }
+        }
+      }
+      if constexpr (!kNumeric) {
+        c.row_ptr[i + 1] = static_cast<offset_t>(s.cols.size());
+      } else {
+        std::sort(s.cols.begin(), s.cols.end());
+        offset_t dst = c.row_ptr[i];
+        for (index_t col : s.cols) {
+          c.col_idx[dst] = col;
+          c.val[dst] = s.acc[static_cast<std::size_t>(col)];
+          ++dst;
+        }
+      }
+      return;
+    }
+    case RowBin::kStackHash:
+    case RowBin::kGlobalHash: {
+      offset_t bound = 0;
+      for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+        bound += b.row_nnz(a.col_idx[ka]);
+      }
+      const std::uint32_t size = static_cast<std::uint32_t>(
+          std::bit_ceil(std::max<std::uint64_t>(static_cast<std::uint64_t>(bound) * 2, 16)));
+      const std::uint32_t mask = size - 1;
+
+      index_t stack_keys[2 * kStackBound];
+      T stack_vals[2 * kStackBound];
+      index_t* keys;
+      T* vals;
+      if (bin == RowBin::kStackHash) {
+        std::fill(stack_keys, stack_keys + size, index_t{-1});
+        keys = stack_keys;
+        vals = stack_vals;
+      } else {
+        SpeckScratch<T>& s = speck_scratch<T>();
+        s.ensure_hash(size);
+        std::fill(s.keys.begin(), s.keys.begin() + size, index_t{-1});
+        keys = s.keys.data();
+        vals = s.vals.data();
+      }
+
+      offset_t n = 0;
+      for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+        const index_t j = a.col_idx[ka];
+        const T va = a.val[ka];
+        for (offset_t kb = b.row_ptr[j]; kb < b.row_ptr[j + 1]; ++kb) {
+          const index_t col = b.col_idx[kb];
+          std::uint32_t h = hash_col(col, mask);
+          while (true) {
+            if (keys[h] == col) {
+              vals[h] += va * b.val[kb];
+              break;
+            }
+            if (keys[h] < 0) {
+              keys[h] = col;
+              vals[h] = va * b.val[kb];
+              ++n;
+              break;
+            }
+            h = (h + 1) & mask;
+          }
+        }
+      }
+      if constexpr (!kNumeric) {
+        c.row_ptr[i + 1] = n;
+      } else {
+        std::vector<std::pair<index_t, T>> row;
+        row.reserve(static_cast<std::size_t>(n));
+        for (std::uint32_t h = 0; h < size; ++h) {
+          if (keys[h] >= 0) row.emplace_back(keys[h], vals[h]);
+        }
+        std::sort(row.begin(), row.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        offset_t dst = c.row_ptr[i];
+        for (const auto& [col, v] : row) {
+          c.col_idx[dst] = col;
+          c.val[dst] = v;
+          ++dst;
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+Csr<T> spgemm_speck(const Csr<T>& a, const Csr<T>& b) {
+  if (a.cols != b.rows) throw std::invalid_argument("spgemm: inner dimensions differ");
+  Csr<T> c(a.rows, b.cols);
+
+  // Lightweight analysis: bound + bin per row.
+  tracked_vector<std::uint8_t> bins(static_cast<std::size_t>(a.rows));
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    offset_t bound = 0;
+    for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
+      bound += b.row_nnz(a.col_idx[ka]);
+    }
+    bins[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(classify<T>(bound, b.cols));
+  });
+
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    process_row<T, false>(a, b, c, i, static_cast<RowBin>(bins[static_cast<std::size_t>(i)]));
+  });
+  for (index_t i = 0; i < a.rows; ++i) c.row_ptr[i + 1] += c.row_ptr[i];
+  c.col_idx.resize(static_cast<std::size_t>(c.nnz()));
+  c.val.resize(static_cast<std::size_t>(c.nnz()));
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    process_row<T, true>(a, b, c, i, static_cast<RowBin>(bins[static_cast<std::size_t>(i)]));
+  });
+  return c;
+}
+
+template Csr<double> spgemm_speck(const Csr<double>&, const Csr<double>&);
+template Csr<float> spgemm_speck(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

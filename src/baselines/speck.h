@@ -1,0 +1,24 @@
+// Adaptive row-row SpGEMM — the proxy for the spECK baseline (Parger,
+// Winter, Mlakar & Steinberger, PPoPP'20).
+//
+// spECK's design: a lightweight preprocessing pass estimates the work and
+// density of every row, then each row picks the cheapest accumulator:
+//   * tiny rows    -> direct sorted insertion (no table at all)
+//   * short rows   -> stack-resident hash table
+//   * dense-ish rows (upper bound close to the row width) -> dense SPA
+//   * everything else -> global hash table
+// That per-row adaptivity is why spECK is the strongest row-row method in
+// the paper's comparison.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> spgemm_speck(const Csr<T>& a, const Csr<T>& b);
+
+extern template Csr<double> spgemm_speck(const Csr<double>&, const Csr<double>&);
+extern template Csr<float> spgemm_speck(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,40 @@
+// Dense-tile SpGEMM — the proxy for the tSparse baseline (Zachariadis,
+// Satpute, Gómez-Luna & Olivares, 2020).
+//
+// tSparse stores matrices as tiles like TileSpGEMM, but multiplies matched
+// tile pairs as *dense* 16x16 blocks on tensor cores with half-precision
+// inputs and single-precision accumulation, materialises the dense result
+// tiles in global memory, and converts them back to sparse afterwards. Its
+// two defining costs, both visible in the paper's Figs. 13/14, are
+// reproduced here:
+//   * dense tile math wastes intra-tile sparsity (16^3 MACs per pair
+//     regardless of the pair's nonzero count), and
+//   * the dense intermediate tiles of C live in a large global buffer whose
+//     (re)allocation dominates on many matrices.
+// Values are stored through tsg::half and accumulated in float, matching
+// tSparse's half-in / single-out contract.
+//
+// Note on semantics: converting a dense tile back to sparse drops entries
+// that are numerically zero, so unlike the other methods tSparse prunes
+// cancellation zeros. The validation tests therefore use strictly positive
+// values when comparing against it.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Per-phase breakdown matching Fig. 14's categories.
+struct TsparseTimings {
+  double step1_ms = 0.0;  ///< tile-structure symbolic
+  double step2_ms = 0.0;  ///< dense tile multiplication
+  double step3_ms = 0.0;  ///< dense -> sparse conversion of C
+  double alloc_ms = 0.0;  ///< global dense intermediate allocation
+
+  double total_ms() const { return step1_ms + step2_ms + step3_ms + alloc_ms; }
+};
+
+Csr<float> spgemm_tsparse(const Csr<float>& a, const Csr<float>& b,
+                          TsparseTimings* timings = nullptr);
+
+}  // namespace tsg

@@ -1,0 +1,61 @@
+// Bit-level helpers for the 16-bit per-row tile masks and the 4-bit local
+// indices of the sparse tile format (Section 3.2 of the paper).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/config.h"
+
+namespace tsg {
+
+/// Per-row occupancy mask of a 16-wide tile row: bit c set <=> column c of
+/// this tile row holds a nonzero.
+using rowmask_t = std::uint16_t;
+
+/// Number of set bits in a row mask.
+inline int popcount16(rowmask_t m) { return std::popcount(static_cast<unsigned>(m)); }
+
+/// Mask with only bit `col` set. `col` must be in [0, kTileDim).
+inline rowmask_t bit_of(index_t col) { return static_cast<rowmask_t>(1u << col); }
+
+/// Mask of all bits strictly below `col` (used for popcount rank indexing:
+/// the position of column c among the nonzeros of a row is
+/// popcount(mask & bits_below(c)) ).
+inline rowmask_t bits_below(index_t col) {
+  return static_cast<rowmask_t>((1u << col) - 1u);
+}
+
+/// Rank of column `col` within `mask` — i.e. how many nonzeros of this tile
+/// row precede column `col`. Precondition: bit `col` is set in `mask`.
+inline int mask_rank(rowmask_t mask, index_t col) {
+  return popcount16(static_cast<rowmask_t>(mask & bits_below(col)));
+}
+
+/// Index of the k-th (0-based) set bit of `mask`. Precondition: k < popcount.
+inline index_t mask_select(rowmask_t mask, int k) {
+  unsigned m = mask;
+  for (int i = 0; i < k; ++i) m &= m - 1;  // clear k lowest set bits
+  return static_cast<index_t>(std::countr_zero(m));
+}
+
+/// Pack a (row, col) pair of 4-bit local tile indices into one byte, as the
+/// paper notes "the row or column index in one tile only needs four bits and
+/// can be together stored within an 8-bit unsigned char".
+inline std::uint8_t pack_nibbles(index_t row, index_t col) {
+  return static_cast<std::uint8_t>((row << 4) | col);
+}
+
+/// Extract the row nibble of a packed local index.
+inline index_t unpack_row(std::uint8_t packed) { return static_cast<index_t>(packed >> 4); }
+
+/// Extract the column nibble of a packed local index.
+inline index_t unpack_col(std::uint8_t packed) { return static_cast<index_t>(packed & 0x0F); }
+
+/// Integer ceiling division for non-negative values.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace tsg

@@ -1,0 +1,70 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tsg {
+
+std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFFu) - 127 + 15;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (((x >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN: keep a quiet-NaN payload bit so NaN stays NaN.
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x0200u : 0u));
+  }
+  if (exp >= 0x1F) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {
+    // Subnormal or underflow to zero.
+    if (exp < -10) return static_cast<std::uint16_t>(sign);
+    // Add the implicit leading 1, then shift into subnormal position.
+    mant |= 0x800000u;
+    const int shift = 14 - exp;  // in [14, 24]
+    const std::uint32_t rounded = mant + (1u << (shift - 1)) - 1u + ((mant >> shift) & 1u);
+    return static_cast<std::uint16_t>(sign | (rounded >> shift));
+  }
+  // Normal: round mantissa from 23 to 10 bits, round-to-nearest-even.
+  const std::uint32_t rounded = mant + 0xFFFu + ((mant >> 13) & 1u);
+  if (rounded & 0x800000u) {
+    // Mantissa rounding overflowed into the exponent.
+    ++exp;
+    if (exp >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10));
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) |
+                                    (rounded >> 13));
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +-0
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3FFu;
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace tsg

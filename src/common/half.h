@@ -1,0 +1,45 @@
+// Minimal IEEE 754 binary16 storage type.
+//
+// Used for the tSparse comparison (Fig. 13/14): tSparse multiplies tiles on
+// tensor cores with half-precision inputs and single-precision output. We
+// mirror that numerics contract — values are *stored* as fp16 and *computed*
+// in fp32 — without hardware fp16 support.
+#pragma once
+
+#include <cstdint>
+
+namespace tsg {
+
+/// Round-to-nearest-even conversion from binary32 to the binary16 bit pattern.
+std::uint16_t float_to_half_bits(float f);
+
+/// Exact conversion from a binary16 bit pattern to binary32.
+float half_bits_to_float(std::uint16_t h);
+
+/// IEEE binary16 value. Storage-only: arithmetic promotes to float.
+class half {
+ public:
+  half() = default;
+  explicit half(float f) : bits_(float_to_half_bits(f)) {}
+  explicit half(double d) : half(static_cast<float>(d)) {}
+
+  /// Implicit promotion to float, so `half` values can participate directly
+  /// in fp32 accumulation loops.
+  operator float() const { return half_bits_to_float(bits_); }
+
+  std::uint16_t bits() const { return bits_; }
+  static half from_bits(std::uint16_t b) {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  friend bool operator==(half a, half b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace tsg

@@ -1,0 +1,75 @@
+#include "common/memory.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace tsg {
+
+std::size_t device_memory_budget_bytes() {
+  static const std::size_t budget = [] {
+    if (const char* env = std::getenv("TSG_DEVICE_MEM_MB")) {
+      const long mb = std::atol(env);
+      if (mb > 0) return static_cast<std::size_t>(mb) * 1024 * 1024;
+    }
+    return std::size_t{420} * 1024 * 1024;
+  }();
+  return budget;
+}
+
+void check_workspace_budget(std::size_t bytes) {
+  if (bytes > device_memory_budget_bytes()) throw std::bad_alloc();
+}
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::add(std::size_t bytes) {
+  const std::int64_t now =
+      current_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  // Lock-free peak update.
+  std::int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev && !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+  if (tracing()) record(now);
+}
+
+void MemoryTracker::sub(std::size_t bytes) {
+  const std::int64_t now =
+      current_.fetch_sub(static_cast<std::int64_t>(bytes), std::memory_order_relaxed) -
+      static_cast<std::int64_t>(bytes);
+  if (tracing()) record(now);
+}
+
+void MemoryTracker::reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_.clear();
+}
+
+void MemoryTracker::start_trace() {
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_.clear();
+    trace_timer_.reset();
+  }
+  tracing_.store(true, std::memory_order_release);
+}
+
+std::vector<MemorySample> MemoryTracker::stop_trace() {
+  tracing_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  std::vector<MemorySample> out;
+  out.swap(trace_);
+  return out;
+}
+
+void MemoryTracker::record(std::int64_t bytes_now) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_.push_back(MemorySample{trace_timer_.milliseconds(), bytes_now});
+}
+
+}  // namespace tsg

@@ -1,0 +1,24 @@
+#include "common/parallel.h"
+
+namespace tsg {
+
+namespace {
+// 0 means "use the OpenMP runtime default".
+int g_requested_threads = 0;
+}  // namespace
+
+int num_threads() {
+  if (g_requested_threads > 0) return g_requested_threads;
+  return omp_get_max_threads();
+}
+
+void set_num_threads(int n) {
+  g_requested_threads = n > 0 ? n : 0;
+  if (n > 0) {
+    omp_set_num_threads(n);
+  } else {
+    omp_set_num_threads(omp_get_num_procs());
+  }
+}
+
+}  // namespace tsg

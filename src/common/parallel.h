@@ -1,0 +1,120 @@
+// Shared-memory parallel primitives.
+//
+// The paper assigns one CUDA warp per sparse tile; on the CPU the analogous
+// unit is one loop iteration of a dynamically scheduled parallel-for. All
+// parallelism in the library is expressed through these helpers so the
+// thread count can be controlled centrally (the Fig. 6 scalability harness
+// sweeps it).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include <omp.h>
+
+namespace tsg {
+
+/// Number of threads a parallel region will use.
+int num_threads();
+
+/// Set the number of threads used by subsequent parallel regions.
+/// `n <= 0` restores the OpenMP default (hardware concurrency).
+void set_num_threads(int n);
+
+/// RAII guard that sets the thread count and restores the previous value.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(num_threads()) { set_num_threads(n); }
+  ~ThreadCountGuard() { set_num_threads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+namespace detail {
+
+/// Captures the first exception thrown inside a parallel region and
+/// rethrows it on the calling thread — exceptions must not escape an
+/// OpenMP construct.
+class ExceptionTrap {
+ public:
+  template <class F>
+  void run(F&& f) noexcept {
+    try {
+      f();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!eptr_) eptr_ = std::current_exception();
+    }
+  }
+  void rethrow_if_any() {
+    if (eptr_) std::rethrow_exception(eptr_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr eptr_;
+};
+
+}  // namespace detail
+
+/// Dynamically scheduled parallel loop over [begin, end).
+/// `body(i)` is invoked exactly once for every i; iterations are handed to
+/// threads in chunks of `grain` to amortise scheduling cost while keeping
+/// load balance for skewed work (the whole point of tiling).
+template <class Index, class Body>
+void parallel_for(Index begin, Index end, Body&& body, std::ptrdiff_t grain = 1) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  detail::ExceptionTrap trap;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(end - begin);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::ptrdiff_t chunk = 0; chunk < (n + grain - 1) / grain; ++chunk) {
+    trap.run([&] {
+      const std::ptrdiff_t lo = chunk * grain;
+      const std::ptrdiff_t hi = lo + grain < n ? lo + grain : n;
+      for (std::ptrdiff_t i = lo; i < hi; ++i) body(static_cast<Index>(begin + i));
+    });
+  }
+  trap.rethrow_if_any();
+}
+
+/// Statically scheduled variant for uniform per-iteration cost.
+template <class Index, class Body>
+void parallel_for_static(Index begin, Index end, Body&& body) {
+  if (begin >= end) return;
+  detail::ExceptionTrap trap;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(end - begin);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    trap.run([&] { body(static_cast<Index>(begin + i)); });
+  }
+  trap.rethrow_if_any();
+}
+
+/// Parallel reduction over [begin, end): sums `body(i)` with `+`.
+template <class T, class Index, class Body>
+T parallel_reduce(Index begin, Index end, T init, Body&& body) {
+  detail::ExceptionTrap trap;
+  T total = init;
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(end - begin);
+#pragma omp parallel
+  {
+    T local{};
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      trap.run([&] { local = local + body(static_cast<Index>(begin + i)); });
+    }
+#pragma omp critical(tsg_parallel_reduce)
+    total = total + local;
+  }
+  trap.rethrow_if_any();
+  return total;
+}
+
+}  // namespace tsg

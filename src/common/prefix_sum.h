@@ -1,0 +1,76 @@
+// Exclusive prefix sums — the workhorse for turning per-row / per-tile
+// counts into CSR-style offset arrays in every phase of the library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <omp.h>
+
+namespace tsg {
+
+/// In-place exclusive scan: data[i] <- sum of the original data[0..i).
+/// Returns the total (the value that would occupy data[n]).
+template <class T>
+T exclusive_scan_inplace(T* data, std::size_t n) {
+  T running{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const T v = data[i];
+    data[i] = running;
+    running += v;
+  }
+  return running;
+}
+
+template <class T, class Alloc>
+T exclusive_scan_inplace(std::vector<T, Alloc>& v) {
+  return exclusive_scan_inplace(v.data(), v.size());
+}
+
+/// Two-pass blocked parallel exclusive scan. Falls back to the serial scan
+/// for small inputs where the fork/join cost dominates.
+template <class T>
+T parallel_exclusive_scan_inplace(T* data, std::size_t n) {
+  constexpr std::size_t kSerialCutoff = 1u << 15;
+  const int threads = omp_get_max_threads();
+  if (n < kSerialCutoff || threads <= 1) return exclusive_scan_inplace(data, n);
+
+  const std::size_t nblocks = static_cast<std::size_t>(threads);
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<T> block_sum(nblocks, T{});
+
+#pragma omp parallel num_threads(threads)
+  {
+    const std::size_t b = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    if (lo < hi) {
+      T running{};
+      for (std::size_t i = lo; i < hi; ++i) {
+        const T v = data[i];
+        data[i] = running;
+        running += v;
+      }
+      block_sum[b] = running;
+    }
+  }
+
+  T total = exclusive_scan_inplace(block_sum.data(), block_sum.size());
+
+#pragma omp parallel num_threads(threads)
+  {
+    const std::size_t b = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    const T offset = block_sum[b];
+    for (std::size_t i = lo; i < hi; ++i) data[i] += offset;
+  }
+  return total;
+}
+
+template <class T, class Alloc>
+T parallel_exclusive_scan_inplace(std::vector<T, Alloc>& v) {
+  return parallel_exclusive_scan_inplace(v.data(), v.size());
+}
+
+}  // namespace tsg

@@ -1,0 +1,4 @@
+#include "common/random.h"
+
+// Header-only; anchor TU for the tsg_common target.
+namespace tsg {}

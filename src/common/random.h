@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for the workload generators.
+//
+// All experiments must be reproducible run-to-run, so we avoid std::mt19937's
+// implementation-defined seeding paths and use SplitMix64 (seeding) plus
+// xoshiro256** (bulk generation), both with published reference outputs that
+// the unit tests pin down.
+#pragma once
+
+#include <cstdint>
+
+namespace tsg {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer; canonical seed expander.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // For our workloads bound << 2^64, so the tiny modulo bias of the plain
+    // reduction is irrelevant; keep it branch-free and fast.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace tsg

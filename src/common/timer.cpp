@@ -1,0 +1,5 @@
+#include "common/timer.h"
+
+// Header-only; this TU exists so the target always has at least one object
+// file and as the anchor for any future out-of-line timing helpers.
+namespace tsg {}

@@ -1,0 +1,43 @@
+// Wall-clock timing utilities used by the bench harness and the per-step
+// breakdown accounting of TileSpGEMM (Fig. 10).
+#pragma once
+
+#include <chrono>
+
+namespace tsg {
+
+/// Monotonic wall-clock stopwatch with millisecond-resolution reporting.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the lifetime of the scope (in milliseconds) to an accumulator.
+/// Used to attribute time to the three algorithm steps plus allocation.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink_ms) : sink_ms_(sink_ms) {}
+  ~ScopedAccumulator() { sink_ms_ += timer_.milliseconds(); }
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_ms_;
+  Timer timer_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,355 @@
+#include "core/block_experimental.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tsg::experimental {
+
+namespace {
+
+template <class Mask>
+int popcount_mask(Mask m) {
+  return std::popcount(static_cast<std::make_unsigned_t<Mask>>(m));
+}
+
+template <class Mask>
+Mask bit_at(index_t c) {
+  return static_cast<Mask>(Mask{1} << c);
+}
+
+/// Column-major view of a block layout (block col -> sorted block rows).
+struct LayoutCsc {
+  tracked_vector<offset_t> col_ptr;
+  tracked_vector<index_t> row_idx;
+  tracked_vector<offset_t> block_id;
+};
+
+template <int Dim, class T>
+LayoutCsc layout_csc(const BlockMatrix<Dim, T>& m) {
+  LayoutCsc v;
+  const offset_t nblocks = m.num_blocks();
+  v.col_ptr.assign(static_cast<std::size_t>(m.block_cols) + 1, 0);
+  v.row_idx.resize(static_cast<std::size_t>(nblocks));
+  v.block_id.resize(static_cast<std::size_t>(nblocks));
+  for (offset_t k = 0; k < nblocks; ++k) {
+    v.col_ptr[static_cast<std::size_t>(m.block_col_idx[k]) + 1]++;
+  }
+  for (index_t j = 0; j < m.block_cols; ++j) v.col_ptr[j + 1] += v.col_ptr[j];
+  tracked_vector<offset_t> cursor(v.col_ptr.begin(), v.col_ptr.end() - 1);
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    for (offset_t k = m.block_ptr[br]; k < m.block_ptr[br + 1]; ++k) {
+      const offset_t dst = cursor[m.block_col_idx[k]]++;
+      v.row_idx[dst] = br;
+      v.block_id[dst] = k;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+template <int Dim, class T>
+BlockMatrix<Dim, T> csr_to_block(const Csr<T>& a) {
+  using Traits = BlockTraits<Dim>;
+  BlockMatrix<Dim, T> m;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.block_rows = ceil_div(a.rows, Dim);
+  m.block_cols = ceil_div(a.cols, Dim);
+  m.block_ptr.assign(static_cast<std::size_t>(m.block_rows) + 1, 0);
+
+  // Pass 1: blocks per block row + nnz per block.
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(m.block_rows));
+  std::vector<std::vector<offset_t>> counts(static_cast<std::size_t>(m.block_rows));
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    std::vector<offset_t> count(static_cast<std::size_t>(m.block_cols), 0);
+    const index_t row_end = std::min<index_t>((br + 1) * Dim, a.rows);
+    for (index_t i = br * Dim; i < row_end; ++i) {
+      for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        count[static_cast<std::size_t>(a.col_idx[k] / Dim)]++;
+      }
+    }
+    for (index_t bc = 0; bc < m.block_cols; ++bc) {
+      if (count[static_cast<std::size_t>(bc)] > 0) {
+        cols[static_cast<std::size_t>(br)].push_back(bc);
+        counts[static_cast<std::size_t>(br)].push_back(count[static_cast<std::size_t>(bc)]);
+      }
+    }
+  }
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    m.block_ptr[br + 1] =
+        m.block_ptr[br] + static_cast<offset_t>(cols[static_cast<std::size_t>(br)].size());
+  }
+  const offset_t nblocks = m.block_ptr[m.block_rows];
+  m.block_col_idx.resize(static_cast<std::size_t>(nblocks));
+  m.block_nnz.assign(static_cast<std::size_t>(nblocks) + 1, 0);
+  {
+    offset_t pos = 0;
+    offset_t running = 0;
+    for (index_t br = 0; br < m.block_rows; ++br) {
+      for (std::size_t s = 0; s < cols[static_cast<std::size_t>(br)].size(); ++s, ++pos) {
+        m.block_col_idx[static_cast<std::size_t>(pos)] = cols[static_cast<std::size_t>(br)][s];
+        running += counts[static_cast<std::size_t>(br)][s];
+        m.block_nnz[static_cast<std::size_t>(pos) + 1] = running;
+      }
+    }
+  }
+
+  const std::size_t n = static_cast<std::size_t>(m.nnz());
+  m.row_ptr.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  m.mask.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  m.row_idx.resize(n);
+  m.col_idx.resize(n);
+  m.val.resize(n);
+
+  // Pass 2: scatter.
+  parallel_for(index_t{0}, m.block_rows, [&](index_t br) {
+    const offset_t first = m.block_ptr[br];
+    const index_t here = static_cast<index_t>(m.block_ptr[br + 1] - first);
+    if (here == 0) return;
+    std::vector<index_t> cursor(static_cast<std::size_t>(here), 0);
+    const index_t row_end = std::min<index_t>((br + 1) * Dim, a.rows);
+    for (index_t i = br * Dim; i < row_end; ++i) {
+      const index_t lr = i - br * Dim;
+      for (index_t s = 0; s < here; ++s) {
+        m.row_ptr[static_cast<std::size_t>(first + s) * Dim + static_cast<std::size_t>(lr)] =
+            static_cast<typename Traits::local_ptr>(cursor[static_cast<std::size_t>(s)]);
+      }
+      offset_t slot = first;
+      for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        const index_t bc = a.col_idx[k] / Dim;
+        while (m.block_col_idx[static_cast<std::size_t>(slot)] != bc) ++slot;
+        const index_t s = static_cast<index_t>(slot - first);
+        const index_t lc = a.col_idx[k] - bc * Dim;
+        const std::size_t dst = static_cast<std::size_t>(
+            m.block_nnz[static_cast<std::size_t>(slot)] + cursor[static_cast<std::size_t>(s)]);
+        m.row_idx[dst] = static_cast<typename Traits::local_index>(lr);
+        m.col_idx[dst] = static_cast<typename Traits::local_index>(lc);
+        m.val[dst] = a.val[k];
+        m.mask[static_cast<std::size_t>(slot) * Dim + static_cast<std::size_t>(lr)] =
+            static_cast<typename Traits::mask_type>(
+                m.mask[static_cast<std::size_t>(slot) * Dim + static_cast<std::size_t>(lr)] |
+                bit_at<typename Traits::mask_type>(lc));
+        cursor[static_cast<std::size_t>(s)]++;
+      }
+    }
+    for (index_t lr = row_end - br * Dim; lr < Dim; ++lr) {
+      for (index_t s = 0; s < here; ++s) {
+        m.row_ptr[static_cast<std::size_t>(first + s) * Dim + static_cast<std::size_t>(lr)] =
+            static_cast<typename Traits::local_ptr>(cursor[static_cast<std::size_t>(s)]);
+      }
+    }
+  });
+  return m;
+}
+
+template <int Dim, class T>
+Csr<T> block_to_csr(const BlockMatrix<Dim, T>& m) {
+  Csr<T> a(m.rows, m.cols);
+  const std::size_t n = static_cast<std::size_t>(m.nnz());
+  a.col_idx.resize(n);
+  a.val.resize(n);
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    for (offset_t blk = m.block_ptr[br]; blk < m.block_ptr[br + 1]; ++blk) {
+      const auto* mask = m.mask.data() + static_cast<std::size_t>(blk) * Dim;
+      for (index_t r = 0; r < Dim; ++r) {
+        const index_t row = br * Dim + r;
+        if (row < m.rows) a.row_ptr[row + 1] += popcount_mask(mask[r]);
+      }
+    }
+  }
+  for (index_t i = 0; i < m.rows; ++i) a.row_ptr[i + 1] += a.row_ptr[i];
+  tracked_vector<offset_t> cursor(a.row_ptr.begin(), a.row_ptr.end() - 1);
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    for (offset_t blk = m.block_ptr[br]; blk < m.block_ptr[br + 1]; ++blk) {
+      const index_t col_base = m.block_col_idx[blk] * Dim;
+      const offset_t nz = m.block_nnz[static_cast<std::size_t>(blk)];
+      const offset_t count = m.block_nnz[static_cast<std::size_t>(blk) + 1] - nz;
+      for (offset_t k = 0; k < count; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz + k);
+        const index_t row = br * Dim + m.row_idx[g];
+        const offset_t dst = cursor[row]++;
+        a.col_idx[dst] = col_base + m.col_idx[g];
+        a.val[dst] = m.val[g];
+      }
+    }
+  }
+  return a;
+}
+
+template <int Dim, class T>
+BlockMatrix<Dim, T> block_spgemm(const BlockMatrix<Dim, T>& a, const BlockMatrix<Dim, T>& b) {
+  using Traits = BlockTraits<Dim>;
+  using Mask = typename Traits::mask_type;
+  if (a.cols != b.rows) throw std::invalid_argument("block_spgemm: inner dims differ");
+
+  const LayoutCsc b_csc = layout_csc(b);
+
+  // Step 1: block structure of C via a stamped union per block row.
+  BlockMatrix<Dim, T> c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.block_rows = a.block_rows;
+  c.block_cols = b.block_cols;
+  c.block_ptr.assign(static_cast<std::size_t>(c.block_rows) + 1, 0);
+  std::vector<std::vector<index_t>> rows(static_cast<std::size_t>(c.block_rows));
+  parallel_for(index_t{0}, c.block_rows, [&](index_t bi) {
+    std::vector<bool> seen(static_cast<std::size_t>(c.block_cols), false);
+    auto& out = rows[static_cast<std::size_t>(bi)];
+    for (offset_t ka = a.block_ptr[bi]; ka < a.block_ptr[bi + 1]; ++ka) {
+      const index_t bk = a.block_col_idx[ka];
+      for (offset_t kb = b.block_ptr[bk]; kb < b.block_ptr[bk + 1]; ++kb) {
+        const index_t bj = b.block_col_idx[kb];
+        if (!seen[static_cast<std::size_t>(bj)]) {
+          seen[static_cast<std::size_t>(bj)] = true;
+          out.push_back(bj);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+  });
+  for (index_t bi = 0; bi < c.block_rows; ++bi) {
+    c.block_ptr[bi + 1] =
+        c.block_ptr[bi] + static_cast<offset_t>(rows[static_cast<std::size_t>(bi)].size());
+  }
+  const offset_t nblocks = c.block_ptr[c.block_rows];
+  c.block_col_idx.resize(static_cast<std::size_t>(nblocks));
+  c.block_nnz.assign(static_cast<std::size_t>(nblocks) + 1, 0);
+  c.row_ptr.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  c.mask.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  tracked_vector<index_t> block_row_of(static_cast<std::size_t>(nblocks));
+  {
+    offset_t pos = 0;
+    for (index_t bi = 0; bi < c.block_rows; ++bi) {
+      for (index_t bj : rows[static_cast<std::size_t>(bi)]) {
+        c.block_col_idx[static_cast<std::size_t>(pos)] = bj;
+        block_row_of[static_cast<std::size_t>(pos)] = bi;
+        ++pos;
+      }
+    }
+  }
+
+  // Step 2: masks per C block (merge intersection + OR of B row masks).
+  parallel_for(offset_t{0}, nblocks, [&](offset_t t) {
+    const index_t bi = block_row_of[static_cast<std::size_t>(t)];
+    const index_t bj = c.block_col_idx[static_cast<std::size_t>(t)];
+    Mask mask_c[Dim] = {};
+
+    offset_t ka = a.block_ptr[bi];
+    offset_t kb = b_csc.col_ptr[bj];
+    const offset_t ea = a.block_ptr[bi + 1], eb = b_csc.col_ptr[bj + 1];
+    while (ka < ea && kb < eb) {
+      const index_t ca = a.block_col_idx[static_cast<std::size_t>(ka)];
+      const index_t rb = b_csc.row_idx[static_cast<std::size_t>(kb)];
+      if (ca == rb) {
+        const offset_t blk_b = b_csc.block_id[static_cast<std::size_t>(kb)];
+        const Mask* mask_b = b.mask.data() + static_cast<std::size_t>(blk_b) * Dim;
+        const offset_t nz = a.block_nnz[static_cast<std::size_t>(ka)];
+        const offset_t count = a.block_nnz[static_cast<std::size_t>(ka) + 1] - nz;
+        for (offset_t k = 0; k < count; ++k) {
+          const std::size_t g = static_cast<std::size_t>(nz + k);
+          mask_c[a.row_idx[g]] = static_cast<Mask>(mask_c[a.row_idx[g]] | mask_b[a.col_idx[g]]);
+        }
+        ++ka;
+        ++kb;
+      } else if (ca < rb) {
+        ++ka;
+      } else {
+        ++kb;
+      }
+    }
+    index_t count = 0;
+    const std::size_t base = static_cast<std::size_t>(t) * Dim;
+    for (index_t r = 0; r < Dim; ++r) {
+      c.row_ptr[base + static_cast<std::size_t>(r)] =
+          static_cast<typename Traits::local_ptr>(count);
+      c.mask[base + static_cast<std::size_t>(r)] = mask_c[r];
+      count += popcount_mask(mask_c[r]);
+    }
+    c.block_nnz[static_cast<std::size_t>(t) + 1] = count;
+  });
+  for (offset_t t = 0; t < nblocks; ++t) {
+    c.block_nnz[static_cast<std::size_t>(t) + 1] += c.block_nnz[static_cast<std::size_t>(t)];
+  }
+  const std::size_t total = static_cast<std::size_t>(c.nnz());
+  c.row_idx.resize(total);
+  c.col_idx.resize(total);
+  c.val.resize(total);
+
+  // Step 3: dense Dim x Dim accumulation + mask compression.
+  parallel_for(offset_t{0}, nblocks, [&](offset_t t) {
+    const index_t bi = block_row_of[static_cast<std::size_t>(t)];
+    const index_t bj = c.block_col_idx[static_cast<std::size_t>(t)];
+    const std::size_t base = static_cast<std::size_t>(t) * Dim;
+    const offset_t nz_base = c.block_nnz[static_cast<std::size_t>(t)];
+    const Mask* mask_c = c.mask.data() + base;
+
+    T acc[Dim * Dim] = {};
+    offset_t ka = a.block_ptr[bi];
+    offset_t kb = b_csc.col_ptr[bj];
+    const offset_t ea = a.block_ptr[bi + 1], eb = b_csc.col_ptr[bj + 1];
+    while (ka < ea && kb < eb) {
+      const index_t ca = a.block_col_idx[static_cast<std::size_t>(ka)];
+      const index_t rb = b_csc.row_idx[static_cast<std::size_t>(kb)];
+      if (ca == rb) {
+        const offset_t blk_b = b_csc.block_id[static_cast<std::size_t>(kb)];
+        const offset_t a_nz = a.block_nnz[static_cast<std::size_t>(ka)];
+        const offset_t a_count = a.block_nnz[static_cast<std::size_t>(ka) + 1] - a_nz;
+        for (offset_t k = 0; k < a_count; ++k) {
+          const std::size_t ga = static_cast<std::size_t>(a_nz + k);
+          const index_t r = a.row_idx[ga];
+          const index_t mid = a.col_idx[ga];
+          const T va = a.val[ga];
+          // Row `mid` of B's block.
+          const std::size_t bbase = static_cast<std::size_t>(blk_b) * Dim;
+          const offset_t b_nz = b.block_nnz[static_cast<std::size_t>(blk_b)];
+          const offset_t lo = b.row_ptr[bbase + static_cast<std::size_t>(mid)];
+          const offset_t hi =
+              mid + 1 < Dim
+                  ? static_cast<offset_t>(b.row_ptr[bbase + static_cast<std::size_t>(mid) + 1])
+                  : b.block_nnz[static_cast<std::size_t>(blk_b) + 1] - b_nz;
+          for (offset_t k2 = lo; k2 < hi; ++k2) {
+            const std::size_t gb = static_cast<std::size_t>(b_nz + k2);
+            acc[static_cast<std::size_t>(r) * Dim + b.col_idx[gb]] += va * b.val[gb];
+          }
+        }
+        ++ka;
+        ++kb;
+      } else if (ca < rb) {
+        ++ka;
+      } else {
+        ++kb;
+      }
+    }
+    index_t out = 0;
+    for (index_t r = 0; r < Dim; ++r) {
+      auto mrow = static_cast<std::make_unsigned_t<Mask>>(mask_c[r]);
+      while (mrow != 0) {
+        const index_t col = static_cast<index_t>(std::countr_zero(mrow));
+        const std::size_t dst = static_cast<std::size_t>(nz_base + out);
+        c.row_idx[dst] = static_cast<typename Traits::local_index>(r);
+        c.col_idx[dst] = static_cast<typename Traits::local_index>(col);
+        c.val[dst] = acc[static_cast<std::size_t>(r) * Dim + col];
+        ++out;
+        mrow &= mrow - 1;
+      }
+    }
+  });
+  return c;
+}
+
+#define TSG_BLOCK_INSTANTIATE(Dim, T)                                        \
+  template BlockMatrix<Dim, T> csr_to_block<Dim, T>(const Csr<T>&);          \
+  template Csr<T> block_to_csr(const BlockMatrix<Dim, T>&);                  \
+  template BlockMatrix<Dim, T> block_spgemm(const BlockMatrix<Dim, T>&,      \
+                                            const BlockMatrix<Dim, T>&);
+TSG_BLOCK_INSTANTIATE(8, double)
+TSG_BLOCK_INSTANTIATE(16, double)
+TSG_BLOCK_INSTANTIATE(32, double)
+#undef TSG_BLOCK_INSTANTIATE
+
+}  // namespace tsg::experimental

@@ -1,0 +1,104 @@
+// Dimension-generic sparse block format + SpGEMM — the tile-size ablation.
+//
+// Section 3.2 fixes the tile size at 16x16 and argues: local indices fill
+// exactly one uint8 (two 4-bit nibbles), a row mask fills exactly one
+// uint16, and every per-tile row pointer fits uint8 because a tile holds at
+// most 256 nonzeros; 4x4/8x8 "cannot saturate the 8-bit data type", larger
+// tiles would overflow it. This experimental module makes that claim
+// measurable: a simplified tiled SpGEMM generic over the block edge (8, 16
+// or 32) with the narrowest integer types each size permits, so the
+// storage and runtime trends across sizes can be benched
+// (bench_ablation_tilesize) instead of taken on faith.
+//
+// It is deliberately simpler than the production pipeline (dense per-block
+// accumulator only, no adaptive policy) — differences *between sizes* are
+// what the ablation measures.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/bitops.h"
+#include "matrix/csr.h"
+
+namespace tsg::experimental {
+
+template <int Dim>
+struct BlockTraits;
+
+template <>
+struct BlockTraits<8> {
+  using mask_type = std::uint8_t;    // 8 columns -> 8-bit row mask
+  using local_index = std::uint8_t;  // 3 significant bits
+  using local_ptr = std::uint8_t;    // <= 64 nonzeros per block
+};
+template <>
+struct BlockTraits<16> {
+  using mask_type = std::uint16_t;   // the paper's configuration
+  using local_index = std::uint8_t;  // 4 significant bits
+  using local_ptr = std::uint8_t;    // <= 256; row starts <= 240
+};
+template <>
+struct BlockTraits<32> {
+  using mask_type = std::uint32_t;    // 32-bit row masks
+  using local_index = std::uint8_t;   // 5 significant bits (wastes 3)
+  using local_ptr = std::uint16_t;    // <= 1024 nonzeros per block
+};
+
+/// Sparse block matrix of Dim x Dim blocks, same two-level layout as the
+/// production TileMatrix.
+template <int Dim, class T>
+struct BlockMatrix {
+  using Traits = BlockTraits<Dim>;
+
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t block_rows = 0;
+  index_t block_cols = 0;
+
+  tracked_vector<offset_t> block_ptr;      ///< size block_rows+1
+  tracked_vector<index_t> block_col_idx;   ///< per block
+  tracked_vector<offset_t> block_nnz;      ///< size blocks+1
+
+  tracked_vector<typename Traits::local_ptr> row_ptr;  ///< blocks*Dim
+  tracked_vector<typename Traits::local_index> row_idx;
+  tracked_vector<typename Traits::local_index> col_idx;
+  tracked_vector<T> val;
+  tracked_vector<typename Traits::mask_type> mask;     ///< blocks*Dim
+
+  offset_t num_blocks() const { return static_cast<offset_t>(block_col_idx.size()); }
+  offset_t nnz() const { return block_nnz.empty() ? 0 : block_nnz.back(); }
+
+  std::size_t bytes() const {
+    return block_ptr.size() * sizeof(offset_t) + block_col_idx.size() * sizeof(index_t) +
+           block_nnz.size() * sizeof(offset_t) +
+           row_ptr.size() * sizeof(typename Traits::local_ptr) +
+           (row_idx.size() + col_idx.size()) * sizeof(typename Traits::local_index) +
+           val.size() * sizeof(T) + mask.size() * sizeof(typename Traits::mask_type);
+  }
+};
+
+/// CSR (sorted rows) -> block format.
+template <int Dim, class T>
+BlockMatrix<Dim, T> csr_to_block(const Csr<T>& a);
+
+/// Block format -> CSR with sorted rows.
+template <int Dim, class T>
+Csr<T> block_to_csr(const BlockMatrix<Dim, T>& b);
+
+/// Simplified blocked SpGEMM (dense per-block accumulator); output keeps
+/// the full structural product like the production pipeline.
+template <int Dim, class T>
+BlockMatrix<Dim, T> block_spgemm(const BlockMatrix<Dim, T>& a, const BlockMatrix<Dim, T>& b);
+
+#define TSG_BLOCK_EXTERN(Dim, T)                                             \
+  extern template BlockMatrix<Dim, T> csr_to_block<Dim, T>(const Csr<T>&);   \
+  extern template Csr<T> block_to_csr(const BlockMatrix<Dim, T>&);           \
+  extern template BlockMatrix<Dim, T> block_spgemm(const BlockMatrix<Dim, T>&, \
+                                                   const BlockMatrix<Dim, T>&);
+TSG_BLOCK_EXTERN(8, double)
+TSG_BLOCK_EXTERN(16, double)
+TSG_BLOCK_EXTERN(32, double)
+#undef TSG_BLOCK_EXTERN
+
+}  // namespace tsg::experimental

@@ -1,0 +1,95 @@
+// Set intersection of tile index lists (Algorithm 2, lines 6-18).
+//
+// Matching the non-empty tiles of a tile row of A against a tile column of
+// B is a sorted-set intersection. The paper searches each element of the
+// shorter list in the longer one with a binary search whose left bound is
+// narrowed after every hit (both lists are sorted); a two-pointer merge is
+// provided for the ablation comparison.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "core/options.h"
+
+namespace tsg {
+
+/// One matched (A_ik, B_kj) tile pair, by storage id.
+struct MatchedPair {
+  offset_t tile_a;
+  offset_t tile_b;
+};
+
+namespace detail {
+
+/// Lower-bound binary search in arr[lo, hi) for `key`; returns hi if absent.
+inline index_t lower_bound_idx(const index_t* arr, index_t lo, index_t hi, index_t key) {
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (arr[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace detail
+
+/// Intersect the sorted tile-column list of A's tile row i
+/// (a_cols[0..len_a), whose s-th entry is tile id a_base+s) with the sorted
+/// tile-row list of B's tile column j (b_rows[0..len_b), whose s-th entry is
+/// tile id b_ids[s]). Appends matched pairs to `out` in increasing k order.
+inline void intersect_tiles(const index_t* a_cols, offset_t a_base, index_t len_a,
+                            const index_t* b_rows, const offset_t* b_ids, index_t len_b,
+                            IntersectMethod method, std::vector<MatchedPair>& out) {
+  if (len_a == 0 || len_b == 0) return;
+
+  if (method == IntersectMethod::kMerge) {
+    index_t ia = 0, ib = 0;
+    while (ia < len_a && ib < len_b) {
+      if (a_cols[ia] == b_rows[ib]) {
+        out.push_back({a_base + ia, b_ids[ib]});
+        ++ia;
+        ++ib;
+      } else if (a_cols[ia] < b_rows[ib]) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+    return;
+  }
+
+  // Binary search: probe each element of the shorter list into the longer
+  // one. After a hit the left search bound moves past the match (both lists
+  // are sorted), shrinking every subsequent search range.
+  if (len_a <= len_b) {
+    index_t left = 0;
+    for (index_t s = 0; s < len_a; ++s) {
+      const index_t pos = detail::lower_bound_idx(b_rows, left, len_b, a_cols[s]);
+      if (pos < len_b && b_rows[pos] == a_cols[s]) {
+        out.push_back({a_base + s, b_ids[pos]});
+        left = pos + 1;
+      } else {
+        left = pos;
+      }
+      if (left >= len_b) break;
+    }
+  } else {
+    index_t left = 0;
+    for (index_t s = 0; s < len_b; ++s) {
+      const index_t pos = detail::lower_bound_idx(a_cols, left, len_a, b_rows[s]);
+      if (pos < len_a && a_cols[pos] == b_rows[s]) {
+        out.push_back({a_base + pos, b_ids[s]});
+        left = pos + 1;
+      } else {
+        left = pos;
+      }
+      if (left >= len_a) break;
+    }
+  }
+}
+
+}  // namespace tsg

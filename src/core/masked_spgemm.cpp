@@ -1,0 +1,186 @@
+#include "core/masked_spgemm.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/intersect.h"
+#include "core/tile_convert.h"
+
+namespace tsg {
+
+namespace {
+
+thread_local std::vector<MatchedPair> t_pairs;
+
+/// Masked numeric accumulation: like step 3's sparse path but products
+/// whose target position is outside the (already mask-ANDed) tile mask are
+/// skipped instead of scattered.
+template <class T>
+void accumulate_sparse_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                              const std::vector<MatchedPair>& pairs, const rowmask_t* mask_c,
+                              const std::uint8_t* row_ptr_c, T* slots) {
+  for (const MatchedPair& p : pairs) {
+    const offset_t a_nz = a.tile_nnz[static_cast<std::size_t>(p.tile_a)];
+    const index_t a_cnt = a.tile_nnz_of(p.tile_a);
+    const offset_t b_nz = b.tile_nnz[static_cast<std::size_t>(p.tile_b)];
+    for (index_t k = 0; k < a_cnt; ++k) {
+      const std::size_t ga = static_cast<std::size_t>(a_nz + k);
+      const index_t r = a.row_idx[ga];
+      const rowmask_t m = mask_c[r];
+      if (m == 0) continue;  // whole output row masked away
+      index_t lo, hi;
+      b.tile_row_range(p.tile_b, a.col_idx[ga], lo, hi);
+      const T va = a.val[ga];
+      const std::uint8_t base = row_ptr_c[r];
+      for (index_t kb = lo; kb < hi; ++kb) {
+        const std::size_t gb = static_cast<std::size_t>(b_nz + kb);
+        const index_t cb = b.col_idx[gb];
+        if ((m & bit_of(cb)) == 0) continue;  // outside the mask: skip
+        slots[base + mask_rank(m, cb)] += va * b.val[gb];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                 const TileMatrix<T>& mask,
+                                 const TileSpgemmOptions& options) {
+  if (a.cols != b.rows) throw std::invalid_argument("masked spgemm: inner dims differ");
+  if (mask.rows != a.rows || mask.cols != b.cols) {
+    throw std::invalid_argument("masked spgemm: mask shape mismatch");
+  }
+
+  const TileLayoutCsc b_csc = tile_layout_csc(b);
+
+  // Step 1 (masked): candidate output tiles are exactly M's tiles — the
+  // symbolic product can only shrink them, never add outside the mask.
+  TileMatrix<T> c(a.rows, b.cols);
+  const offset_t ntiles = mask.num_tiles();
+  c.tile_ptr = mask.tile_ptr;
+  c.tile_col_idx = mask.tile_col_idx;
+  c.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
+  c.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  c.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+
+  // Expanded tile row index (mask layout is CSR over tiles).
+  tracked_vector<index_t> tile_row_idx(static_cast<std::size_t>(ntiles));
+  for (index_t tr = 0; tr < mask.tile_rows; ++tr) {
+    for (offset_t t = mask.tile_ptr[tr]; t < mask.tile_ptr[tr + 1]; ++t) {
+      tile_row_idx[static_cast<std::size_t>(t)] = tr;
+    }
+  }
+
+  // Step 2 (masked): symbolic per tile, masks ANDed with M's.
+  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
+
+    std::vector<MatchedPair>& pairs = t_pairs;
+    pairs.clear();
+    const offset_t a_base = a.tile_ptr[tile_i];
+    const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
+    const offset_t b_base = b_csc.col_ptr[tile_j];
+    const index_t len_b = static_cast<index_t>(b_csc.col_ptr[tile_j + 1] - b_base);
+    intersect_tiles(a.tile_col_idx.data() + a_base, a_base, len_a,
+                    b_csc.row_idx.data() + b_base, b_csc.tile_id.data() + b_base, len_b,
+                    options.intersect, pairs);
+
+    rowmask_t mask_c[kTileDim] = {};
+    for (const MatchedPair& p : pairs) {
+      const rowmask_t* mask_b = b.tile_mask(p.tile_b);
+      const offset_t nz_base = a.tile_nnz[static_cast<std::size_t>(p.tile_a)];
+      const index_t nnz_a = a.tile_nnz_of(p.tile_a);
+      for (index_t k = 0; k < nnz_a; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz_base + k);
+        mask_c[a.row_idx[g]] |= mask_b[a.col_idx[g]];
+      }
+    }
+    const rowmask_t* allow = mask.tile_mask(t);
+    index_t count = 0;
+    const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+    for (index_t r = 0; r < kTileDim; ++r) {
+      const rowmask_t masked = static_cast<rowmask_t>(mask_c[r] & allow[r]);
+      c.row_ptr[base + static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(count);
+      c.mask[base + static_cast<std::size_t>(r)] = masked;
+      count += popcount16(masked);
+    }
+    c.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
+  });
+  for (offset_t t = 0; t < ntiles; ++t) {
+    c.tile_nnz[static_cast<std::size_t>(t) + 1] += c.tile_nnz[static_cast<std::size_t>(t)];
+  }
+
+  const std::size_t nnz = static_cast<std::size_t>(c.nnz());
+  c.row_idx.resize(nnz);
+  c.col_idx.resize(nnz);
+  c.val.resize(nnz);
+
+  // Step 3 (masked numeric).
+  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
+    const index_t nnz_c = c.tile_nnz_of(t);
+    const offset_t nz_base = c.tile_nnz[static_cast<std::size_t>(t)];
+    const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+    const rowmask_t* mask_c = c.mask.data() + base;
+    const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
+
+    index_t out = 0;
+    for (index_t r = 0; r < kTileDim; ++r) {
+      rowmask_t m = mask_c[r];
+      while (m != 0) {
+        const index_t col = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
+        const std::size_t dst = static_cast<std::size_t>(nz_base + out);
+        c.row_idx[dst] = static_cast<std::uint8_t>(r);
+        c.col_idx[dst] = static_cast<std::uint8_t>(col);
+        ++out;
+        m = static_cast<rowmask_t>(m & (m - 1));
+      }
+    }
+    if (nnz_c == 0) return;
+
+    std::vector<MatchedPair>& pairs = t_pairs;
+    pairs.clear();
+    const offset_t a_base = a.tile_ptr[tile_i];
+    const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
+    const offset_t b_base = b_csc.col_ptr[tile_j];
+    const index_t len_b = static_cast<index_t>(b_csc.col_ptr[tile_j + 1] - b_base);
+    intersect_tiles(a.tile_col_idx.data() + a_base, a_base, len_a,
+                    b_csc.row_idx.data() + b_base, b_csc.tile_id.data() + b_base, len_b,
+                    options.intersect, pairs);
+
+    T slots[kTileNnzMax];
+    for (index_t k = 0; k < nnz_c; ++k) slots[k] = T{};
+    accumulate_sparse_masked(a, b, pairs, mask_c, row_ptr_c, slots);
+    for (index_t k = 0; k < nnz_c; ++k) {
+      c.val[static_cast<std::size_t>(nz_base + k)] = slots[k];
+    }
+  });
+  return c;
+}
+
+template <class T>
+Csr<T> spgemm_tile_masked(const Csr<T>& a, const Csr<T>& b, const Csr<T>& mask,
+                          const TileSpgemmOptions& options) {
+  return tile_to_csr(
+      tile_spgemm_masked(csr_to_tile(a), csr_to_tile(b), csr_to_tile(mask), options));
+}
+
+template TileMatrix<double> tile_spgemm_masked(const TileMatrix<double>&,
+                                               const TileMatrix<double>&,
+                                               const TileMatrix<double>&,
+                                               const TileSpgemmOptions&);
+template TileMatrix<float> tile_spgemm_masked(const TileMatrix<float>&,
+                                              const TileMatrix<float>&,
+                                              const TileMatrix<float>&,
+                                              const TileSpgemmOptions&);
+template Csr<double> spgemm_tile_masked(const Csr<double>&, const Csr<double>&,
+                                        const Csr<double>&, const TileSpgemmOptions&);
+template Csr<float> spgemm_tile_masked(const Csr<float>&, const Csr<float>&,
+                                       const Csr<float>&, const TileSpgemmOptions&);
+
+}  // namespace tsg

@@ -1,0 +1,42 @@
+// Masked SpGEMM on the tile format: C = (A*B) .* structure(M).
+//
+// The GraphBLAS-style masked product is the natural extension of
+// TileSpGEMM for the graph workloads the paper motivates (triangle
+// counting computes (L*L).*L). The mask composes beautifully with the tile
+// design: M's tile layout prunes whole output tiles before any arithmetic,
+// and M's 16-bit row masks AND into the step-2 symbolic masks, so products
+// outside the mask are never accumulated and the dense intermediate
+// (L*L) is never materialised.
+#pragma once
+
+#include "core/step1.h"
+#include "core/tile_spgemm.h"
+
+namespace tsg {
+
+/// C = (A*B) .* structure(mask). Values come from the product; entries of
+/// the product outside the mask's pattern are dropped (and never computed).
+template <class T>
+TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                 const TileMatrix<T>& mask,
+                                 const TileSpgemmOptions& options = {});
+
+/// CSR convenience wrapper.
+template <class T>
+Csr<T> spgemm_tile_masked(const Csr<T>& a, const Csr<T>& b, const Csr<T>& mask,
+                          const TileSpgemmOptions& options = {});
+
+extern template TileMatrix<double> tile_spgemm_masked(const TileMatrix<double>&,
+                                                      const TileMatrix<double>&,
+                                                      const TileMatrix<double>&,
+                                                      const TileSpgemmOptions&);
+extern template TileMatrix<float> tile_spgemm_masked(const TileMatrix<float>&,
+                                                     const TileMatrix<float>&,
+                                                     const TileMatrix<float>&,
+                                                     const TileSpgemmOptions&);
+extern template Csr<double> spgemm_tile_masked(const Csr<double>&, const Csr<double>&,
+                                               const Csr<double>&, const TileSpgemmOptions&);
+extern template Csr<float> spgemm_tile_masked(const Csr<float>&, const Csr<float>&,
+                                              const Csr<float>&, const TileSpgemmOptions&);
+
+}  // namespace tsg

@@ -1,0 +1,39 @@
+// Tunables of the TileSpGEMM algorithm. Defaults follow the paper; the
+// alternatives exist for the ablation benches (bench_micro_kernels) that
+// justify the paper's design choices.
+#pragma once
+
+#include "common/config.h"
+
+namespace tsg {
+
+/// How step 2/3 compute the set intersection of a tile row of A with a tile
+/// column of B. The paper found binary search of the shorter list into the
+/// longer one faster than the classic two-pointer merge (Section 3.3).
+enum class IntersectMethod {
+  kBinarySearch,
+  kMerge,
+};
+
+/// Accumulator selection for step 3.
+enum class AccumulatorPolicy {
+  kAdaptive,      ///< sparse below tnnz, dense above (the paper's method)
+  kAlwaysSparse,  ///< ablation: force the popcount-indexed sparse path
+  kAlwaysDense,   ///< ablation: force the 256-slot dense path
+};
+
+struct TileSpgemmOptions {
+  IntersectMethod intersect = IntersectMethod::kBinarySearch;
+  AccumulatorPolicy accumulator = AccumulatorPolicy::kAdaptive;
+  /// Dense-accumulator threshold; the paper uses 192 (75% of 256).
+  index_t tnnz = kAccumulatorThreshold;
+  /// Cache the matched tile pairs found by step 2 so step 3 skips its
+  /// re-intersection. The paper deliberately recomputes instead (its GPU
+  /// kernels keep *zero* global intermediate state); caching trades
+  /// O(total pairs) of global memory for roughly halving the intersection
+  /// work — an engineering option this CPU port exposes for the ablation
+  /// bench. Default off to match the paper.
+  bool cache_pairs = false;
+};
+
+}  // namespace tsg

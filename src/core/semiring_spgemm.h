@@ -1,0 +1,154 @@
+// Semiring-generic TileSpGEMM: identical tile structure pipeline (steps 1
+// and 2 are purely structural), with a step-3 numeric phase parameterised
+// on the semiring's combine/reduce.
+//
+// Semantics note: the output structure is the *structural* product — an
+// entry exists wherever at least one (A_ik, B_kj) product lands, with value
+// reduce over those products. For semirings whose identity annihilates
+// (min-plus: +inf) this is exactly the algebraic product restricted to
+// reachable entries.
+#pragma once
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/intersect.h"
+#include "core/semiring.h"
+#include "core/step2.h"
+#include "core/tile_convert.h"
+#include "core/tile_spgemm.h"
+
+namespace tsg {
+
+namespace detail {
+// Matched-pair scratch shared by the semiring numeric pass.
+inline thread_local std::vector<MatchedPair> t_semiring_pairs;
+}  // namespace detail
+
+/// C = A (x) B over the given semiring, tile format in and out.
+template <class Semiring, class T>
+TileMatrix<T> tile_spgemm_semiring(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                   const TileSpgemmOptions& options = {}) {
+  if (a.cols != b.rows) {
+    throw std::invalid_argument("tile_spgemm_semiring: inner dimensions differ");
+  }
+  const TileLayoutCsc b_csc = tile_layout_csc(b);
+  const TileStructure structure = step1_tile_structure(a, b);
+  const Step2Result symbolic = step2_symbolic(a, b, b_csc, structure, options);
+
+  TileMatrix<T> c(a.rows, b.cols);
+  c.tile_rows = structure.tile_rows;
+  c.tile_cols = structure.tile_cols;
+  c.tile_ptr = structure.tile_ptr;
+  c.tile_col_idx = structure.tile_col_idx;
+  c.tile_nnz = symbolic.tile_nnz;
+  c.row_ptr = symbolic.row_ptr;
+  c.mask = symbolic.mask;
+  const std::size_t nnz = static_cast<std::size_t>(c.nnz());
+  c.row_idx.resize(nnz);
+  c.col_idx.resize(nnz);
+  c.val.resize(nnz);
+
+  const offset_t ntiles = structure.num_tiles();
+  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
+    const index_t nnz_c = c.tile_nnz_of(t);
+    const offset_t nz_base = c.tile_nnz[static_cast<std::size_t>(t)];
+    const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+    const rowmask_t* mask_c = c.mask.data() + base;
+    const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
+
+    // Indices from the masks (mask bit order == storage order).
+    index_t out = 0;
+    for (index_t r = 0; r < kTileDim; ++r) {
+      rowmask_t m = mask_c[r];
+      while (m != 0) {
+        const index_t col = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
+        const std::size_t dst = static_cast<std::size_t>(nz_base + out);
+        c.row_idx[dst] = static_cast<std::uint8_t>(r);
+        c.col_idx[dst] = static_cast<std::uint8_t>(col);
+        ++out;
+        m = static_cast<rowmask_t>(m & (m - 1));
+      }
+    }
+    if (nnz_c == 0) return;
+
+    std::vector<MatchedPair>& pairs = detail::t_semiring_pairs;
+    pairs.clear();
+    const offset_t a_base = a.tile_ptr[tile_i];
+    const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
+    const offset_t b_base = b_csc.col_ptr[tile_j];
+    const index_t len_b = static_cast<index_t>(b_csc.col_ptr[tile_j + 1] - b_base);
+    intersect_tiles(a.tile_col_idx.data() + a_base, a_base, len_a,
+                    b_csc.row_idx.data() + b_base, b_csc.tile_id.data() + b_base, len_b,
+                    options.intersect, pairs);
+
+    T slots[kTileNnzMax];
+    for (index_t k = 0; k < nnz_c; ++k) slots[k] = Semiring::identity();
+    for (const MatchedPair& p : pairs) {
+      const offset_t a_nz = a.tile_nnz[static_cast<std::size_t>(p.tile_a)];
+      const index_t a_cnt = a.tile_nnz_of(p.tile_a);
+      const offset_t b_nz = b.tile_nnz[static_cast<std::size_t>(p.tile_b)];
+      for (index_t k = 0; k < a_cnt; ++k) {
+        const std::size_t ga = static_cast<std::size_t>(a_nz + k);
+        const index_t r = a.row_idx[ga];
+        const T va = a.val[ga];
+        index_t lo, hi;
+        b.tile_row_range(p.tile_b, a.col_idx[ga], lo, hi);
+        const std::uint8_t row_base = row_ptr_c[r];
+        const rowmask_t m = mask_c[r];
+        for (index_t kb = lo; kb < hi; ++kb) {
+          const std::size_t gb = static_cast<std::size_t>(b_nz + kb);
+          T& slot = slots[row_base + mask_rank(m, b.col_idx[gb])];
+          slot = Semiring::reduce(slot, Semiring::combine(va, b.val[gb]));
+        }
+      }
+    }
+    for (index_t k = 0; k < nnz_c; ++k) {
+      c.val[static_cast<std::size_t>(nz_base + k)] = slots[k];
+    }
+  });
+  return c;
+}
+
+/// CSR convenience wrapper.
+template <class Semiring, class T>
+Csr<T> spgemm_semiring(const Csr<T>& a, const Csr<T>& b,
+                       const TileSpgemmOptions& options = {}) {
+  return tile_to_csr(tile_spgemm_semiring<Semiring>(csr_to_tile(a), csr_to_tile(b), options));
+}
+
+/// Semiring SpMV on the tile format: y = A (x) x with a dense vector whose
+/// "missing" entries are the semiring identity.
+template <class Semiring, class T>
+void tile_spmv_semiring(const TileMatrix<T>& a, const tracked_vector<T>& x,
+                        tracked_vector<T>& y) {
+  if (static_cast<index_t>(x.size()) != a.cols) {
+    throw std::invalid_argument("tile_spmv_semiring: x size mismatch");
+  }
+  y.assign(static_cast<std::size_t>(a.rows), Semiring::identity());
+  parallel_for(index_t{0}, a.tile_rows, [&](index_t tr) {
+    T lanes[kTileDim];
+    for (index_t r = 0; r < kTileDim; ++r) lanes[r] = Semiring::identity();
+    for (offset_t t = a.tile_ptr[tr]; t < a.tile_ptr[tr + 1]; ++t) {
+      const index_t col_base = a.tile_col_idx[t] * kTileDim;
+      const offset_t nz_base = a.tile_nnz[static_cast<std::size_t>(t)];
+      const index_t count = a.tile_nnz_of(t);
+      for (index_t k = 0; k < count; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz_base + k);
+        T& lane = lanes[a.row_idx[g]];
+        lane = Semiring::reduce(
+            lane, Semiring::combine(a.val[g],
+                                    x[static_cast<std::size_t>(col_base + a.col_idx[g])]));
+      }
+    }
+    const index_t row_base = tr * kTileDim;
+    const index_t row_end = std::min<index_t>(row_base + kTileDim, a.rows);
+    for (index_t r = row_base; r < row_end; ++r) {
+      y[static_cast<std::size_t>(r)] = lanes[r - row_base];
+    }
+  });
+}
+
+}  // namespace tsg

@@ -1,0 +1,35 @@
+// Step 1 of TileSpGEMM (Section 3.3, Figure 3): determine the tile
+// structure of C by running a *symbolic* SpGEMM on the high-level tile
+// layouts A' and B' — every sparse tile acts as one nonzero. Tile-wise
+// cancellation is not considered: C may keep tiles that turn out empty.
+//
+// The paper delegates this small symbolic product to the NSPARSE library;
+// we use our own hash-based symbolic kernel (same role, same structure).
+#pragma once
+
+#include "core/tile_format.h"
+
+namespace tsg {
+
+/// Tile structure of the output matrix C (the paper's tilePtr_C,
+/// tileColidx_C, plus the expanded per-tile row index used by steps 2/3).
+struct TileStructure {
+  index_t tile_rows = 0;
+  index_t tile_cols = 0;
+  tracked_vector<offset_t> tile_ptr;      ///< size tile_rows+1
+  tracked_vector<index_t> tile_col_idx;   ///< per tile
+  tracked_vector<index_t> tile_row_idx;   ///< per tile (tileRowidx_C)
+
+  offset_t num_tiles() const { return static_cast<offset_t>(tile_col_idx.size()); }
+};
+
+/// Symbolic product of the two tile layouts.
+template <class T>
+TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b);
+
+extern template TileStructure step1_tile_structure(const TileMatrix<double>&,
+                                                   const TileMatrix<double>&);
+extern template TileStructure step1_tile_structure(const TileMatrix<float>&,
+                                                   const TileMatrix<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,95 @@
+#include "core/step2.h"
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/intersect.h"
+
+namespace tsg {
+
+namespace {
+thread_local std::vector<MatchedPair> t_pairs;
+}  // namespace
+
+template <class T>
+Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                           const TileLayoutCsc& b_csc, const TileStructure& structure,
+                           const TileSpgemmOptions& options) {
+  const offset_t ntiles = structure.num_tiles();
+  Step2Result out;
+  out.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
+  out.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  out.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  if (options.cache_pairs) {
+    out.pair_cache.per_thread.resize(static_cast<std::size_t>(omp_get_max_threads()));
+    out.pair_cache.tile_slot.resize(static_cast<std::size_t>(ntiles));
+  }
+
+  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
+
+    // Set intersection of A's tile row `tile_i` with B's tile column
+    // `tile_j` (Algorithm 2 lines 4-18).
+    std::vector<MatchedPair>& pairs = t_pairs;
+    pairs.clear();
+    const offset_t a_base = a.tile_ptr[tile_i];
+    const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
+    const offset_t b_base = b_csc.col_ptr[tile_j];
+    const index_t len_b = static_cast<index_t>(b_csc.col_ptr[tile_j + 1] - b_base);
+    intersect_tiles(a.tile_col_idx.data() + a_base, a_base, len_a,
+                    b_csc.row_idx.data() + b_base, b_csc.tile_id.data() + b_base, len_b,
+                    options.intersect, pairs);
+
+    if (options.cache_pairs) {
+      // Record this tile's pairs in the owning thread's buffer so step 3
+      // skips its re-intersection (see TileSpgemmOptions::cache_pairs).
+      const auto thread = static_cast<std::uint32_t>(omp_get_thread_num());
+      auto& buffer = out.pair_cache.per_thread[thread];
+      out.pair_cache.tile_slot[static_cast<std::size_t>(t)] = {
+          thread, static_cast<offset_t>(buffer.size()),
+          static_cast<std::uint32_t>(pairs.size())};
+      buffer.insert(buffer.end(), pairs.begin(), pairs.end());
+    }
+
+    // OR the selected row masks of B into the C masks (Algorithm 2 lines
+    // 19-25, Figure 5): each nonzero of A_ik at local (r, c) contributes
+    // row c of B_kj's mask to row r of C_ij's mask.
+    rowmask_t mask_c[kTileDim] = {};
+    for (const MatchedPair& p : pairs) {
+      const rowmask_t* mask_b = b.tile_mask(p.tile_b);
+      const offset_t nz_base = a.tile_nnz[p.tile_a];
+      const index_t nnz_a = a.tile_nnz_of(p.tile_a);
+      for (index_t k = 0; k < nnz_a; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz_base + k);
+        mask_c[a.row_idx[g]] |= mask_b[a.col_idx[g]];
+      }
+    }
+
+    // Popcount + local prefix scan give the 16-entry row pointer and the
+    // tile nonzero count.
+    index_t count = 0;
+    const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+    for (index_t r = 0; r < kTileDim; ++r) {
+      out.row_ptr[base + static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(count);
+      out.mask[base + static_cast<std::size_t>(r)] = mask_c[r];
+      count += popcount16(mask_c[r]);
+    }
+    out.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
+  });
+
+  // Offsets for allocating C (serial scan: numtiles is small relative to nnz).
+  for (offset_t t = 0; t < ntiles; ++t) {
+    out.tile_nnz[static_cast<std::size_t>(t) + 1] += out.tile_nnz[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+template Step2Result step2_symbolic(const TileMatrix<double>&, const TileMatrix<double>&,
+                                    const TileLayoutCsc&, const TileStructure&,
+                                    const TileSpgemmOptions&);
+template Step2Result step2_symbolic(const TileMatrix<float>&, const TileMatrix<float>&,
+                                    const TileLayoutCsc&, const TileStructure&,
+                                    const TileSpgemmOptions&);
+
+}  // namespace tsg

@@ -1,0 +1,64 @@
+// Step 2 of TileSpGEMM (Algorithm 2, Figures 4-5): for every tile of C,
+// gather the matched (A_ik, B_kj) tile pairs by set intersection, OR the
+// row masks of B selected by A's nonzeros into the C tile masks, and derive
+// the per-tile nonzero count and local row pointer. All per-tile state is
+// bounded by 16 masks / 256 nonzeros and lives on the stack — no global
+// intermediate space, which is the paper's answer to performance issue #2.
+#pragma once
+
+#include <vector>
+
+#include "core/intersect.h"
+#include "core/options.h"
+#include "core/step1.h"
+
+namespace tsg {
+
+namespace detail {
+/// Matched pairs recorded by step 2 when options.cache_pairs is set. Each
+/// output tile is processed by exactly one thread, so pairs live in that
+/// thread's buffer; the per-tile record points into it.
+struct PairCache {
+  struct Slot {
+    std::uint32_t thread = 0;
+    offset_t offset = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<tracked_vector<MatchedPair>> per_thread;  // tracked: it IS
+                                                        // global workspace
+  tracked_vector<Slot> tile_slot;  ///< one per output tile
+
+  bool enabled() const { return !tile_slot.empty(); }
+  const MatchedPair* pairs_of(offset_t tile, std::uint32_t& count) const {
+    const Slot& s = tile_slot[static_cast<std::size_t>(tile)];
+    count = s.count;
+    return per_thread[s.thread].data() + s.offset;
+  }
+};
+}  // namespace detail
+
+/// Per-tile symbolic results for C.
+struct Step2Result {
+  tracked_vector<offset_t> tile_nnz;    ///< size numtiles+1, offsets
+  tracked_vector<std::uint8_t> row_ptr; ///< numtiles*16 local row pointers
+  tracked_vector<rowmask_t> mask;       ///< numtiles*16 row masks
+  detail::PairCache pair_cache;         ///< filled iff options.cache_pairs
+
+  offset_t nnz() const { return tile_nnz.empty() ? 0 : tile_nnz.back(); }
+};
+
+/// Symbolic per-tile pass. `b_csc` is the column-major view of B's tile
+/// layout (tileColPtr_B / tileRowidx_B in Algorithm 2).
+template <class T>
+Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                           const TileLayoutCsc& b_csc, const TileStructure& structure,
+                           const TileSpgemmOptions& options);
+
+extern template Step2Result step2_symbolic(const TileMatrix<double>&, const TileMatrix<double>&,
+                                           const TileLayoutCsc&, const TileStructure&,
+                                           const TileSpgemmOptions&);
+extern template Step2Result step2_symbolic(const TileMatrix<float>&, const TileMatrix<float>&,
+                                           const TileLayoutCsc&, const TileStructure&,
+                                           const TileSpgemmOptions&);
+
+}  // namespace tsg

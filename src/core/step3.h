@@ -1,0 +1,37 @@
+// Step 3 of TileSpGEMM (Algorithm 3): the numeric phase. For every tile of
+// C the matched tile pairs are re-gathered (the intersection is cheap and
+// re-running it avoids storing pair lists in global memory, as on the GPU)
+// and the products are accumulated with an adaptively chosen accumulator:
+//
+//   * sparse (nnz <= tnnz): the column layout of the C tile is already known
+//     from the step-2 masks, so each product is scattered directly to its
+//     final slot via popcount-rank indexing — no temporary space at all.
+//   * dense  (nnz >  tnnz): a 256-slot accumulator on the stack, compressed
+//     through the mask afterwards.
+#pragma once
+
+#include "core/step2.h"
+
+namespace tsg {
+
+/// Numeric pass: fills the low-level arrays of C (row_idx/col_idx/val).
+/// `c` must already carry its high-level structure and the step-2 results;
+/// see tile_spgemm.cpp for the assembly. `pair_cache` may carry the pairs
+/// recorded by step 2 (options.cache_pairs); pass nullptr (or a disabled
+/// cache) to re-run the intersection per tile as the paper does.
+template <class T>
+void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                   const TileLayoutCsc& b_csc, const TileStructure& structure,
+                   const TileSpgemmOptions& options, TileMatrix<T>& c,
+                   const detail::PairCache* pair_cache = nullptr);
+
+extern template void step3_numeric(const TileMatrix<double>&, const TileMatrix<double>&,
+                                   const TileLayoutCsc&, const TileStructure&,
+                                   const TileSpgemmOptions&, TileMatrix<double>&,
+                                   const detail::PairCache*);
+extern template void step3_numeric(const TileMatrix<float>&, const TileMatrix<float>&,
+                                   const TileLayoutCsc&, const TileStructure&,
+                                   const TileSpgemmOptions&, TileMatrix<float>&,
+                                   const detail::PairCache*);
+
+}  // namespace tsg

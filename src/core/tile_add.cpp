@@ -1,0 +1,141 @@
+#include "core/tile_add.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+namespace {
+
+/// Scatter one input tile's contribution into the output tile whose layout
+/// is described by (mask_c, row_ptr_c): slot = rowPtr[r] + rank of the
+/// column within the output mask.
+template <class T>
+void scatter_tile(const TileMatrix<T>& m, offset_t tile, T coeff, const rowmask_t* mask_c,
+                  const std::uint8_t* row_ptr_c, T* slots) {
+  const offset_t nz_base = m.tile_nnz[static_cast<std::size_t>(tile)];
+  const index_t count = m.tile_nnz_of(tile);
+  for (index_t k = 0; k < count; ++k) {
+    const std::size_t g = static_cast<std::size_t>(nz_base + k);
+    const index_t r = m.row_idx[g];
+    slots[row_ptr_c[r] + mask_rank(mask_c[r], m.col_idx[g])] += coeff * m.val[g];
+  }
+}
+
+}  // namespace
+
+template <class T>
+TileMatrix<T> tile_add(const TileMatrix<T>& a, const TileMatrix<T>& b, T alpha, T beta) {
+  if (a.rows != b.rows || a.cols != b.cols) {
+    throw std::invalid_argument("tile_add: dimension mismatch");
+  }
+
+  TileMatrix<T> c(a.rows, a.cols);
+
+  // Pass 1: merge the tile layouts per tile row. Entries are
+  // (tile_col, tile_id_a or -1, tile_id_b or -1).
+  struct Merged {
+    index_t col;
+    offset_t ta;
+    offset_t tb;
+  };
+  std::vector<std::vector<Merged>> merged(static_cast<std::size_t>(c.tile_rows));
+  parallel_for(index_t{0}, c.tile_rows, [&](index_t tr) {
+    auto& out = merged[static_cast<std::size_t>(tr)];
+    offset_t ka = a.tile_ptr[tr], kb = b.tile_ptr[tr];
+    const offset_t ea = a.tile_ptr[tr + 1], eb = b.tile_ptr[tr + 1];
+    while (ka < ea || kb < eb) {
+      const index_t ca = ka < ea ? a.tile_col_idx[ka] : a.tile_cols;
+      const index_t cb = kb < eb ? b.tile_col_idx[kb] : b.tile_cols;
+      if (ca == cb) {
+        out.push_back({ca, ka++, kb++});
+      } else if (ca < cb) {
+        out.push_back({ca, ka++, -1});
+      } else {
+        out.push_back({cb, -1, kb++});
+      }
+    }
+  });
+
+  // Assemble the high-level structure.
+  for (index_t tr = 0; tr < c.tile_rows; ++tr) {
+    c.tile_ptr[tr + 1] =
+        c.tile_ptr[tr] + static_cast<offset_t>(merged[static_cast<std::size_t>(tr)].size());
+  }
+  const offset_t ntiles = c.tile_ptr[c.tile_rows];
+  c.tile_col_idx.resize(static_cast<std::size_t>(ntiles));
+  c.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
+  c.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  c.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+
+  // Pass 2: per output tile, OR the input masks and derive rowPtr/nnz.
+  parallel_for(index_t{0}, c.tile_rows, [&](index_t tr) {
+    offset_t t = c.tile_ptr[tr];
+    for (const auto& m : merged[static_cast<std::size_t>(tr)]) {
+      c.tile_col_idx[static_cast<std::size_t>(t)] = m.col;
+      const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+      index_t count = 0;
+      for (index_t r = 0; r < kTileDim; ++r) {
+        rowmask_t mask = 0;
+        if (m.ta >= 0) mask |= a.tile_mask(m.ta)[r];
+        if (m.tb >= 0) mask |= b.tile_mask(m.tb)[r];
+        c.row_ptr[base + static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(count);
+        c.mask[base + static_cast<std::size_t>(r)] = mask;
+        count += popcount16(mask);
+      }
+      c.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
+      ++t;
+    }
+  });
+  for (offset_t t = 0; t < ntiles; ++t) {
+    c.tile_nnz[static_cast<std::size_t>(t) + 1] += c.tile_nnz[static_cast<std::size_t>(t)];
+  }
+
+  const std::size_t nnz = static_cast<std::size_t>(c.nnz());
+  c.row_idx.resize(nnz);
+  c.col_idx.resize(nnz);
+  c.val.resize(nnz);
+
+  // Pass 3: fill indices from the masks and scatter both inputs' values.
+  parallel_for(index_t{0}, c.tile_rows, [&](index_t tr) {
+    offset_t t = c.tile_ptr[tr];
+    for (const auto& m : merged[static_cast<std::size_t>(tr)]) {
+      const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+      const offset_t nz_base = c.tile_nnz[static_cast<std::size_t>(t)];
+      const rowmask_t* mask_c = c.mask.data() + base;
+      const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
+
+      index_t out = 0;
+      T slots[kTileNnzMax];
+      for (index_t r = 0; r < kTileDim; ++r) {
+        rowmask_t mask = mask_c[r];
+        while (mask != 0) {
+          const index_t col =
+              static_cast<index_t>(std::countr_zero(static_cast<unsigned>(mask)));
+          const std::size_t dst = static_cast<std::size_t>(nz_base + out);
+          c.row_idx[dst] = static_cast<std::uint8_t>(r);
+          c.col_idx[dst] = static_cast<std::uint8_t>(col);
+          slots[out] = T{};
+          ++out;
+          mask = static_cast<rowmask_t>(mask & (mask - 1));
+        }
+      }
+      if (m.ta >= 0) scatter_tile(a, m.ta, alpha, mask_c, row_ptr_c, slots);
+      if (m.tb >= 0) scatter_tile(b, m.tb, beta, mask_c, row_ptr_c, slots);
+      for (index_t k = 0; k < out; ++k) {
+        c.val[static_cast<std::size_t>(nz_base + k)] = slots[k];
+      }
+      ++t;
+    }
+  });
+  return c;
+}
+
+template TileMatrix<double> tile_add(const TileMatrix<double>&, const TileMatrix<double>&,
+                                     double, double);
+template TileMatrix<float> tile_add(const TileMatrix<float>&, const TileMatrix<float>&, float,
+                                    float);
+
+}  // namespace tsg

@@ -1,0 +1,26 @@
+// Sparse matrix addition directly on the tile format: C = alpha*A + beta*B.
+//
+// AMG-style pipelines interleave products with additions (e.g. forming
+// I - w*D^-1*A before a Galerkin product); computing the addition natively
+// on tiles keeps such chains inside the tiled format, which is the paper's
+// amortisation argument for the conversion cost (Section 4.6).
+//
+// The structure mirrors one step of the SpGEMM: merge the two tile layouts,
+// OR the per-row masks of matching tiles, then scatter values by
+// popcount-rank — all per-tile state bounded by 16 masks.
+#pragma once
+
+#include "core/tile_format.h"
+
+namespace tsg {
+
+template <class T>
+TileMatrix<T> tile_add(const TileMatrix<T>& a, const TileMatrix<T>& b, T alpha = T{1},
+                       T beta = T{1});
+
+extern template TileMatrix<double> tile_add(const TileMatrix<double>&,
+                                            const TileMatrix<double>&, double, double);
+extern template TileMatrix<float> tile_add(const TileMatrix<float>&, const TileMatrix<float>&,
+                                           float, float);
+
+}  // namespace tsg

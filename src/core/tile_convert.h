@@ -1,0 +1,25 @@
+// CSR <-> sparse tile format conversion (the Fig. 12 "format conversion"
+// cost). The forward conversion is two passes over the nonzeros: one to
+// discover the non-empty tiles and count their nonzeros, one to scatter
+// indices/values and build the masks and local row pointers.
+#pragma once
+
+#include "core/tile_format.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Convert a CSR matrix (rows must be sorted) to the sparse tile format.
+template <class T>
+TileMatrix<T> csr_to_tile(const Csr<T>& a);
+
+/// Convert back to CSR with sorted rows.
+template <class T>
+Csr<T> tile_to_csr(const TileMatrix<T>& t);
+
+extern template TileMatrix<double> csr_to_tile(const Csr<double>&);
+extern template TileMatrix<float> csr_to_tile(const Csr<float>&);
+extern template Csr<double> tile_to_csr(const TileMatrix<double>&);
+extern template Csr<float> tile_to_csr(const TileMatrix<float>&);
+
+}  // namespace tsg

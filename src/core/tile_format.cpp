@@ -1,0 +1,137 @@
+#include "core/tile_format.h"
+
+#include <sstream>
+
+namespace tsg {
+
+template <class T>
+std::string TileMatrix<T>::validate() const {
+  std::ostringstream err;
+  if (tile_rows != ceil_div(rows, kTileDim) || tile_cols != ceil_div(cols, kTileDim)) {
+    err << "tile grid " << tile_rows << "x" << tile_cols << " inconsistent with " << rows
+        << "x" << cols;
+    return err.str();
+  }
+  if (tile_ptr.size() != static_cast<std::size_t>(tile_rows) + 1) {
+    err << "tile_ptr size " << tile_ptr.size();
+    return err.str();
+  }
+  const offset_t ntiles = num_tiles();
+  if (!tile_ptr.empty() && tile_ptr.back() != ntiles) {
+    err << "tile_ptr.back() " << tile_ptr.back() << " != numtiles " << ntiles;
+    return err.str();
+  }
+  if (tile_nnz.size() != static_cast<std::size_t>(ntiles) + 1) {
+    err << "tile_nnz size " << tile_nnz.size() << " != numtiles+1";
+    return err.str();
+  }
+  if (row_ptr.size() != static_cast<std::size_t>(ntiles) * kTileDim ||
+      mask.size() != static_cast<std::size_t>(ntiles) * kTileDim) {
+    err << "row_ptr/mask size mismatch";
+    return err.str();
+  }
+  const std::size_t n = static_cast<std::size_t>(nnz());
+  if (row_idx.size() != n || col_idx.size() != n || val.size() != n) {
+    err << "nonzero array sizes inconsistent with nnz " << n;
+    return err.str();
+  }
+
+  for (index_t tr = 0; tr < tile_rows; ++tr) {
+    if (tile_ptr[tr + 1] < tile_ptr[tr]) {
+      err << "tile_ptr not monotone at tile row " << tr;
+      return err.str();
+    }
+    for (offset_t t = tile_ptr[tr]; t < tile_ptr[tr + 1]; ++t) {
+      if (tile_col_idx[t] < 0 || tile_col_idx[t] >= tile_cols) {
+        err << "tile_col_idx out of range at tile " << t;
+        return err.str();
+      }
+      if (t > tile_ptr[tr] && tile_col_idx[t] <= tile_col_idx[t - 1]) {
+        err << "tile columns not strictly increasing in tile row " << tr;
+        return err.str();
+      }
+    }
+  }
+
+  for (offset_t t = 0; t < ntiles; ++t) {
+    if (tile_nnz[t + 1] < tile_nnz[t]) {
+      err << "tile_nnz not monotone at tile " << t;
+      return err.str();
+    }
+    const index_t tnnz = tile_nnz_of(t);
+    if (tnnz > kTileNnzMax) {
+      err << "tile " << t << " holds " << tnnz << " > " << kTileNnzMax << " nonzeros";
+      return err.str();
+    }
+    // Rebuild masks from the index arrays and compare; also check the local
+    // row pointer brackets every nonzero.
+    rowmask_t rebuilt[kTileDim] = {};
+    for (index_t r = 0; r < kTileDim; ++r) {
+      index_t lo, hi;
+      tile_row_range(t, r, lo, hi);
+      if (lo > hi || hi > tnnz) {
+        err << "tile " << t << " row " << r << ": bad row range [" << lo << "," << hi << ")";
+        return err.str();
+      }
+      index_t prev_col = -1;
+      for (index_t k = lo; k < hi; ++k) {
+        const std::size_t g = static_cast<std::size_t>(tile_nnz[t] + k);
+        if (row_idx[g] != r) {
+          err << "tile " << t << ": row_idx mismatch at local offset " << k;
+          return err.str();
+        }
+        const index_t c = col_idx[g];
+        if (c < 0 || c >= kTileDim) {
+          err << "tile " << t << ": col_idx out of range";
+          return err.str();
+        }
+        if (c <= prev_col) {
+          err << "tile " << t << " row " << r << ": columns not strictly increasing";
+          return err.str();
+        }
+        prev_col = c;
+        rebuilt[r] |= bit_of(c);
+      }
+    }
+    for (index_t r = 0; r < kTileDim; ++r) {
+      if (rebuilt[r] != tile_mask(t)[r]) {
+        err << "tile " << t << " row " << r << ": mask 0x" << std::hex << tile_mask(t)[r]
+            << " != rebuilt 0x" << rebuilt[r];
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+template <class T>
+TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m) {
+  TileLayoutCsc v;
+  const offset_t ntiles = m.num_tiles();
+  v.col_ptr.assign(static_cast<std::size_t>(m.tile_cols) + 1, 0);
+  v.row_idx.resize(static_cast<std::size_t>(ntiles));
+  v.tile_id.resize(static_cast<std::size_t>(ntiles));
+
+  for (offset_t t = 0; t < ntiles; ++t) {
+    v.col_ptr[static_cast<std::size_t>(m.tile_col_idx[t]) + 1]++;
+  }
+  for (index_t j = 0; j < m.tile_cols; ++j) v.col_ptr[j + 1] += v.col_ptr[j];
+
+  tracked_vector<offset_t> cursor(v.col_ptr.begin(), v.col_ptr.end() - 1);
+  // Walking tile rows in order keeps row indices sorted within each column.
+  for (index_t tr = 0; tr < m.tile_rows; ++tr) {
+    for (offset_t t = m.tile_ptr[tr]; t < m.tile_ptr[tr + 1]; ++t) {
+      const offset_t dst = cursor[m.tile_col_idx[t]]++;
+      v.row_idx[dst] = tr;
+      v.tile_id[dst] = t;
+    }
+  }
+  return v;
+}
+
+template struct TileMatrix<double>;
+template struct TileMatrix<float>;
+template TileLayoutCsc tile_layout_csc(const TileMatrix<double>&);
+template TileLayoutCsc tile_layout_csc(const TileMatrix<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,119 @@
+// The sparse tile data structure of Section 3.2.
+//
+// A matrix is partitioned into 16x16 tiles; only non-empty tiles are stored.
+// Two levels of information:
+//
+//   High level (CSR over the tile grid):
+//     tile_ptr      tile_rows+1   memory offsets of the tiles in tile rows
+//     tile_col_idx  numtiles      tile column indices
+//     tile_nnz      numtiles+1    offsets of each tile's nonzeros
+//
+//   Low level (per tile, CSR style plus row indices and bit masks):
+//     row_ptr   numtiles*16   uint8 offsets of each local row's first nonzero.
+//                             Only 16 entries per tile (not 17): the implied
+//                             17th equals tile_nnz[t+1]-tile_nnz[t], which
+//                             keeps every entry in 0..255 so it fits a uint8.
+//     row_idx   nnz           uint8 local row index (4 significant bits)
+//     col_idx   nnz           uint8 local column index (4 significant bits)
+//     val       nnz           numeric values, tile order
+//     mask      numtiles*16   uint16 per-row occupancy bit masks: bit c of
+//                             mask[t*16+r] set <=> tile t has a nonzero at
+//                             local (r, c)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.h"
+#include "common/config.h"
+#include "common/memory.h"
+
+namespace tsg {
+
+template <class T>
+struct TileMatrix {
+  using value_type = T;
+
+  index_t rows = 0;       ///< original row count
+  index_t cols = 0;       ///< original column count
+  index_t tile_rows = 0;  ///< ceil(rows / kTileDim)
+  index_t tile_cols = 0;  ///< ceil(cols / kTileDim)
+
+  tracked_vector<offset_t> tile_ptr;
+  tracked_vector<index_t> tile_col_idx;
+  tracked_vector<offset_t> tile_nnz;
+
+  tracked_vector<std::uint8_t> row_ptr;
+  tracked_vector<std::uint8_t> row_idx;
+  tracked_vector<std::uint8_t> col_idx;
+  tracked_vector<T> val;
+  tracked_vector<rowmask_t> mask;
+
+  TileMatrix() = default;
+  TileMatrix(index_t r, index_t c)
+      : rows(r),
+        cols(c),
+        tile_rows(ceil_div(r, kTileDim)),
+        tile_cols(ceil_div(c, kTileDim)),
+        tile_ptr(static_cast<std::size_t>(ceil_div(r, kTileDim)) + 1, 0) {}
+
+  offset_t num_tiles() const {
+    return static_cast<offset_t>(tile_col_idx.size());
+  }
+
+  offset_t nnz() const { return tile_nnz.empty() ? 0 : tile_nnz.back(); }
+
+  /// Nonzeros of tile t (tiles are numbered in tile-row-major storage order).
+  index_t tile_nnz_of(offset_t t) const {
+    return static_cast<index_t>(tile_nnz[t + 1] - tile_nnz[t]);
+  }
+
+  /// Local offsets [lo, hi) of local row r inside tile t. The upper bound of
+  /// the last row comes from tile_nnz, reconstructing the implied 17th
+  /// row-pointer entry.
+  void tile_row_range(offset_t t, index_t r, index_t& lo, index_t& hi) const {
+    const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
+    lo = row_ptr[base + static_cast<std::size_t>(r)];
+    hi = r + 1 < kTileDim ? row_ptr[base + static_cast<std::size_t>(r) + 1]
+                          : tile_nnz_of(t);
+  }
+
+  /// Pointer to the 16 row masks of tile t.
+  const rowmask_t* tile_mask(offset_t t) const {
+    return mask.data() + static_cast<std::size_t>(t) * kTileDim;
+  }
+
+  /// Total bytes of all arrays — the Fig. 11 "tiled data structure" metric.
+  std::size_t bytes() const {
+    return tile_ptr.size() * sizeof(offset_t) + tile_col_idx.size() * sizeof(index_t) +
+           tile_nnz.size() * sizeof(offset_t) + row_ptr.size() * sizeof(std::uint8_t) +
+           row_idx.size() * sizeof(std::uint8_t) + col_idx.size() * sizeof(std::uint8_t) +
+           val.size() * sizeof(T) + mask.size() * sizeof(rowmask_t);
+  }
+
+  /// Structural invariants (monotone pointers, indices in range, masks
+  /// consistent with the index arrays). Empty string when valid.
+  std::string validate() const;
+};
+
+/// Column-major view of a tile layout: for each tile column, the tile row
+/// indices (sorted) and the storage ids of those tiles. Step 2 of the
+/// algorithm intersects a tile row of A with a tile column of B, so B's
+/// layout must be reachable by column (tileColPtr_B / tileRowidx_B in
+/// Algorithm 2).
+struct TileLayoutCsc {
+  tracked_vector<offset_t> col_ptr;   ///< size tile_cols+1
+  tracked_vector<index_t> row_idx;    ///< tile row index per tile
+  tracked_vector<offset_t> tile_id;   ///< storage id (position in tile order)
+};
+
+/// Build the column-major layout view of a tile matrix.
+template <class T>
+TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m);
+
+extern template struct TileMatrix<double>;
+extern template struct TileMatrix<float>;
+extern template TileLayoutCsc tile_layout_csc(const TileMatrix<double>&);
+extern template TileLayoutCsc tile_layout_csc(const TileMatrix<float>&);
+
+}  // namespace tsg

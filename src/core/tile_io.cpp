@@ -1,0 +1,127 @@
+#include "core/tile_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tsg {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54475354;  // "TSGT"
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+constexpr std::uint32_t value_tag();
+template <>
+constexpr std::uint32_t value_tag<double>() {
+  return 8;
+}
+template <>
+constexpr std::uint32_t value_tag<float>() {
+  return 4;
+}
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t value_bytes;
+  std::uint32_t tile_dim;
+  std::int64_t rows;
+  std::int64_t cols;
+  std::int64_t num_tiles;
+  std::int64_t nnz;
+};
+
+template <class V>
+void write_array(std::ostream& out, const V& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(typename V::value_type)));
+}
+
+template <class V>
+void read_array(std::istream& in, V& v, std::size_t count) {
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(typename V::value_type)));
+  if (!in) throw std::runtime_error("tile binary: truncated payload");
+}
+
+}  // namespace
+
+template <class T>
+void write_tile_binary(std::ostream& out, const TileMatrix<T>& m) {
+  const Header h{kMagic,  kVersion,      value_tag<T>(), static_cast<std::uint32_t>(kTileDim),
+                 m.rows,  m.cols,        m.num_tiles(),  m.nnz()};
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  write_array(out, m.tile_ptr);
+  write_array(out, m.tile_col_idx);
+  write_array(out, m.tile_nnz);
+  write_array(out, m.row_ptr);
+  write_array(out, m.row_idx);
+  write_array(out, m.col_idx);
+  write_array(out, m.val);
+  write_array(out, m.mask);
+  if (!out) throw std::runtime_error("tile binary: write failed");
+}
+
+template <class T>
+TileMatrix<T> read_tile_binary(std::istream& in) {
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != kMagic) throw std::runtime_error("tile binary: bad magic");
+  if (h.version != kVersion) throw std::runtime_error("tile binary: unsupported version");
+  if (h.value_bytes != value_tag<T>()) {
+    throw std::runtime_error("tile binary: value type mismatch");
+  }
+  if (h.tile_dim != static_cast<std::uint32_t>(kTileDim)) {
+    throw std::runtime_error("tile binary: tile dimension mismatch");
+  }
+  if (h.rows < 0 || h.cols < 0 || h.num_tiles < 0 || h.nnz < 0) {
+    throw std::runtime_error("tile binary: negative sizes");
+  }
+
+  TileMatrix<T> m(static_cast<index_t>(h.rows), static_cast<index_t>(h.cols));
+  const std::size_t tiles = static_cast<std::size_t>(h.num_tiles);
+  const std::size_t nnz = static_cast<std::size_t>(h.nnz);
+  read_array(in, m.tile_ptr, static_cast<std::size_t>(m.tile_rows) + 1);
+  read_array(in, m.tile_col_idx, tiles);
+  read_array(in, m.tile_nnz, tiles + 1);
+  read_array(in, m.row_ptr, tiles * kTileDim);
+  read_array(in, m.row_idx, nnz);
+  read_array(in, m.col_idx, nnz);
+  read_array(in, m.val, nnz);
+  read_array(in, m.mask, tiles * kTileDim);
+
+  const std::string err = m.validate();
+  if (!err.empty()) throw std::runtime_error("tile binary: invalid payload: " + err);
+  return m;
+}
+
+template <class T>
+void write_tile_file(const std::string& path, const TileMatrix<T>& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_tile_binary(out, m);
+}
+
+template <class T>
+TileMatrix<T> read_tile_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_tile_binary<T>(in);
+}
+
+template void write_tile_binary(std::ostream&, const TileMatrix<double>&);
+template void write_tile_binary(std::ostream&, const TileMatrix<float>&);
+template TileMatrix<double> read_tile_binary(std::istream&);
+template TileMatrix<float> read_tile_binary(std::istream&);
+template void write_tile_file(const std::string&, const TileMatrix<double>&);
+template void write_tile_file(const std::string&, const TileMatrix<float>&);
+template TileMatrix<double> read_tile_file(const std::string&);
+template TileMatrix<float> read_tile_file(const std::string&);
+
+}  // namespace tsg

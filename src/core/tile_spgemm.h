@@ -1,0 +1,70 @@
+// TileSpGEMM — the paper's contribution: C = A*B where A, B, C are stored
+// as sparse 16x16 tiles. Three steps (Section 3.3):
+//   1. symbolic SpGEMM on the tile layouts -> tile structure of C
+//   2. per-tile set intersection + bit-mask symbolic -> nnz / row pointers /
+//      masks of every C tile; allocate C once
+//   3. numeric phase with an adaptive sparse/dense accumulator
+//
+// Public entry points:
+//   * tile_spgemm()  — tile-format in/out, with per-step timings (Fig. 10)
+//   * spgemm_tile()  — CSR convenience wrapper (converts, multiplies,
+//                      converts back), the drop-in comparator used by the
+//                      benches and tests
+#pragma once
+
+#include "core/step3.h"
+#include "core/tile_convert.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Per-step wall-clock attribution, matching the paper's Fig. 10 categories.
+struct TileSpgemmTimings {
+  double step1_ms = 0.0;  ///< tile-structure symbolic SpGEMM
+  double step2_ms = 0.0;  ///< per-tile symbolic (intersection + masks)
+  double step3_ms = 0.0;  ///< numeric accumulation
+  double alloc_ms = 0.0;  ///< memory allocation for C (and views)
+
+  double total_ms() const { return step1_ms + step2_ms + step3_ms + alloc_ms; }
+};
+
+template <class T>
+struct TileSpgemmResult {
+  TileMatrix<T> c;
+  TileSpgemmTimings timings;
+};
+
+/// The tiled SpGEMM on tile-format operands.
+template <class T>
+TileSpgemmResult<T> tile_spgemm(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                const TileSpgemmOptions& options = {});
+
+/// CSR-to-CSR convenience wrapper. Conversion time is *not* part of the
+/// algorithm (the paper assumes operands already live in tile format,
+/// Section 4.6); pass `timings` to retrieve the per-step breakdown.
+template <class T>
+Csr<T> spgemm_tile(const Csr<T>& a, const Csr<T>& b, const TileSpgemmOptions& options = {},
+                   TileSpgemmTimings* timings = nullptr);
+
+/// C = A * A^T entirely in tile format (the artifact's `-aat 1` mode): the
+/// transpose is formed tile-natively, so the chain never touches CSR.
+template <class T>
+TileSpgemmResult<T> tile_spgemm_aat(const TileMatrix<T>& a,
+                                    const TileSpgemmOptions& options = {});
+
+extern template TileSpgemmResult<double> tile_spgemm(const TileMatrix<double>&,
+                                                     const TileMatrix<double>&,
+                                                     const TileSpgemmOptions&);
+extern template TileSpgemmResult<float> tile_spgemm(const TileMatrix<float>&,
+                                                    const TileMatrix<float>&,
+                                                    const TileSpgemmOptions&);
+extern template Csr<double> spgemm_tile(const Csr<double>&, const Csr<double>&,
+                                        const TileSpgemmOptions&, TileSpgemmTimings*);
+extern template Csr<float> spgemm_tile(const Csr<float>&, const Csr<float>&,
+                                       const TileSpgemmOptions&, TileSpgemmTimings*);
+extern template TileSpgemmResult<double> tile_spgemm_aat(const TileMatrix<double>&,
+                                                         const TileSpgemmOptions&);
+extern template TileSpgemmResult<float> tile_spgemm_aat(const TileMatrix<float>&,
+                                                        const TileSpgemmOptions&);
+
+}  // namespace tsg

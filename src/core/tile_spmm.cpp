@@ -1,0 +1,41 @@
+#include "core/tile_spmm.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+DenseMatrix<T> tile_spmm(const TileMatrix<T>& a, const DenseMatrix<T>& x) {
+  if (x.rows != a.cols) throw std::invalid_argument("tile_spmm: inner dimensions differ");
+  DenseMatrix<T> y(a.rows, x.cols);
+
+  parallel_for(index_t{0}, a.tile_rows, [&](index_t tr) {
+    const index_t row_base = tr * kTileDim;
+    for (offset_t t = a.tile_ptr[tr]; t < a.tile_ptr[tr + 1]; ++t) {
+      const index_t col_base = a.tile_col_idx[t] * kTileDim;
+      const offset_t nz_base = a.tile_nnz[static_cast<std::size_t>(t)];
+      const index_t count = a.tile_nnz_of(t);
+      for (index_t k = 0; k < count; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz_base + k);
+        const index_t out_row = row_base + a.row_idx[g];
+        const index_t in_row = col_base + a.col_idx[g];
+        const T v = a.val[g];
+        const T* x_row = x.data.data() +
+                         static_cast<std::size_t>(in_row) * static_cast<std::size_t>(x.cols);
+        T* y_row = y.data.data() +
+                   static_cast<std::size_t>(out_row) * static_cast<std::size_t>(x.cols);
+        for (index_t c = 0; c < x.cols; ++c) y_row[c] += v * x_row[c];
+      }
+    }
+  });
+  return y;
+}
+
+template struct DenseMatrix<double>;
+template struct DenseMatrix<float>;
+template DenseMatrix<double> tile_spmm(const TileMatrix<double>&, const DenseMatrix<double>&);
+template DenseMatrix<float> tile_spmm(const TileMatrix<float>&, const DenseMatrix<float>&);
+
+}  // namespace tsg

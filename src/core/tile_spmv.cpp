@@ -1,0 +1,43 @@
+#include "core/tile_spmv.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+void tile_spmv(const TileMatrix<T>& a, const tracked_vector<T>& x, tracked_vector<T>& y) {
+  if (static_cast<index_t>(x.size()) != a.cols) {
+    throw std::invalid_argument("tile_spmv: x size mismatch");
+  }
+  y.assign(static_cast<std::size_t>(a.rows), T{});
+
+  parallel_for(index_t{0}, a.tile_rows, [&](index_t tr) {
+    // Accumulate the 16 output lanes of this tile row locally, then write
+    // once — the scratchpad pattern of the GPU kernel.
+    T lanes[kTileDim] = {};
+    for (offset_t t = a.tile_ptr[tr]; t < a.tile_ptr[tr + 1]; ++t) {
+      const index_t col_base = a.tile_col_idx[t] * kTileDim;
+      const offset_t nz_base = a.tile_nnz[static_cast<std::size_t>(t)];
+      const index_t count = a.tile_nnz_of(t);
+      for (index_t k = 0; k < count; ++k) {
+        const std::size_t g = static_cast<std::size_t>(nz_base + k);
+        lanes[a.row_idx[g]] +=
+            a.val[g] * x[static_cast<std::size_t>(col_base + a.col_idx[g])];
+      }
+    }
+    const index_t row_base = tr * kTileDim;
+    const index_t row_end = std::min<index_t>(row_base + kTileDim, a.rows);
+    for (index_t r = row_base; r < row_end; ++r) {
+      y[static_cast<std::size_t>(r)] = lanes[r - row_base];
+    }
+  });
+}
+
+template void tile_spmv(const TileMatrix<double>&, const tracked_vector<double>&,
+                        tracked_vector<double>&);
+template void tile_spmv(const TileMatrix<float>&, const tracked_vector<float>&,
+                        tracked_vector<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,22 @@
+// Sparse matrix-vector multiplication on the tile format — the companion
+// kernel of the paper's TileSpMV (Niu et al., IPDPS'21, cited as [94]).
+// Having SpMV on the same storage means applications that chain SpGEMMs
+// with SpMVs (AMG cycles: coarse-grid products *and* smoothing) never leave
+// the tiled format.
+#pragma once
+
+#include "core/tile_format.h"
+
+namespace tsg {
+
+/// y = A*x on a tile-format matrix. One task processes one tile row, so no
+/// atomics are needed on y.
+template <class T>
+void tile_spmv(const TileMatrix<T>& a, const tracked_vector<T>& x, tracked_vector<T>& y);
+
+extern template void tile_spmv(const TileMatrix<double>&, const tracked_vector<double>&,
+                               tracked_vector<double>&);
+extern template void tile_spmv(const TileMatrix<float>&, const tracked_vector<float>&,
+                               tracked_vector<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,36 @@
+#include "core/tile_stats.h"
+
+namespace tsg {
+
+template <class T>
+TileFormatStats tile_format_stats(const TileMatrix<T>& t) {
+  TileFormatStats s;
+  s.num_tiles = t.num_tiles();
+  s.nnz = t.nnz();
+  s.avg_nnz_per_tile =
+      s.num_tiles > 0 ? static_cast<double>(s.nnz) / static_cast<double>(s.num_tiles) : 0.0;
+  for (offset_t i = 0; i < s.num_tiles; ++i) {
+    const index_t n = t.tile_nnz_of(i);
+    if (n > s.max_nnz_per_tile) s.max_nnz_per_tile = n;
+    if (n == 0) ++s.empty_tiles;
+  }
+  s.bytes = t.bytes();
+  s.high_level_bytes = t.tile_ptr.size() * sizeof(offset_t) +
+                       t.tile_col_idx.size() * sizeof(index_t) +
+                       t.tile_nnz.size() * sizeof(offset_t);
+  s.mask_bytes = t.mask.size() * sizeof(rowmask_t);
+  s.row_ptr_bytes = t.row_ptr.size() * sizeof(std::uint8_t);
+  return s;
+}
+
+template <class T>
+std::size_t csr_bytes(const Csr<T>& a) {
+  return a.bytes();
+}
+
+template TileFormatStats tile_format_stats(const TileMatrix<double>&);
+template TileFormatStats tile_format_stats(const TileMatrix<float>&);
+template std::size_t csr_bytes(const Csr<double>&);
+template std::size_t csr_bytes(const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,36 @@
+// Space and occupancy statistics of the sparse tile format (Figs. 9/11 and
+// the cop20k_A discussion in Section 4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "core/tile_format.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+struct TileFormatStats {
+  offset_t num_tiles = 0;
+  offset_t nnz = 0;
+  double avg_nnz_per_tile = 0.0;   ///< hyper-sparsity indicator (cop20k_A ~1.2)
+  index_t max_nnz_per_tile = 0;
+  offset_t empty_tiles = 0;        ///< tiles kept by step 1 that hold no nonzero
+  std::size_t bytes = 0;           ///< total storage of the tile structure
+  std::size_t high_level_bytes = 0;///< tilePtr + tileColIdx + tileNnz
+  std::size_t mask_bytes = 0;
+  std::size_t row_ptr_bytes = 0;
+};
+
+template <class T>
+TileFormatStats tile_format_stats(const TileMatrix<T>& t);
+
+/// Bytes of the equivalent CSR storage (Fig. 11's "CSR" series).
+template <class T>
+std::size_t csr_bytes(const Csr<T>& a);
+
+extern template TileFormatStats tile_format_stats(const TileMatrix<double>&);
+extern template TileFormatStats tile_format_stats(const TileMatrix<float>&);
+extern template std::size_t csr_bytes(const Csr<double>&);
+extern template std::size_t csr_bytes(const Csr<float>&);
+
+}  // namespace tsg

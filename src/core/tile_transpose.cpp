@@ -1,0 +1,82 @@
+#include "core/tile_transpose.h"
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+TileMatrix<T> tile_transpose(const TileMatrix<T>& a) {
+  TileMatrix<T> t(a.cols, a.rows);
+  const offset_t ntiles = a.num_tiles();
+
+  // The transposed tile grid is exactly A's column-major layout view.
+  const TileLayoutCsc view = tile_layout_csc(a);
+  t.tile_ptr.assign(view.col_ptr.begin(), view.col_ptr.end());
+  t.tile_col_idx.resize(static_cast<std::size_t>(ntiles));
+  t.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
+  for (offset_t k = 0; k < ntiles; ++k) {
+    t.tile_col_idx[static_cast<std::size_t>(k)] = view.row_idx[static_cast<std::size_t>(k)];
+    t.tile_nnz[static_cast<std::size_t>(k) + 1] =
+        a.tile_nnz_of(view.tile_id[static_cast<std::size_t>(k)]);
+  }
+  for (offset_t k = 0; k < ntiles; ++k) {
+    t.tile_nnz[static_cast<std::size_t>(k) + 1] += t.tile_nnz[static_cast<std::size_t>(k)];
+  }
+
+  const std::size_t nnz = static_cast<std::size_t>(t.nnz());
+  t.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  t.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  t.row_idx.resize(nnz);
+  t.col_idx.resize(nnz);
+  t.val.resize(nnz);
+
+  // Transpose each tile locally: new masks are the column occupancy of the
+  // source tile; entries are emitted in (new row = old col) order by
+  // walking source columns via the mask.
+  parallel_for(offset_t{0}, ntiles, [&](offset_t dst) {
+    const offset_t src = view.tile_id[static_cast<std::size_t>(dst)];
+    const rowmask_t* src_mask = a.tile_mask(src);
+    const std::size_t dst_base = static_cast<std::size_t>(dst) * kTileDim;
+
+    // New row r of the transposed tile = old column r: its mask has bit c
+    // set iff old row c had bit r set.
+    rowmask_t new_mask[kTileDim] = {};
+    for (index_t r = 0; r < kTileDim; ++r) {
+      rowmask_t m = src_mask[r];
+      while (m != 0) {
+        const index_t c = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
+        new_mask[c] = static_cast<rowmask_t>(new_mask[c] | bit_of(r));
+        m = static_cast<rowmask_t>(m & (m - 1));
+      }
+    }
+    index_t count = 0;
+    for (index_t r = 0; r < kTileDim; ++r) {
+      t.row_ptr[dst_base + static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(count);
+      t.mask[dst_base + static_cast<std::size_t>(r)] = new_mask[r];
+      count += popcount16(new_mask[r]);
+    }
+
+    // Scatter values: position of old (r, c) in the transposed tile is
+    // new_row_ptr[c] + rank of r within new_mask[c].
+    const offset_t src_nz = a.tile_nnz[static_cast<std::size_t>(src)];
+    const offset_t dst_nz = t.tile_nnz[static_cast<std::size_t>(dst)];
+    const index_t tile_count = a.tile_nnz_of(src);
+    for (index_t k = 0; k < tile_count; ++k) {
+      const std::size_t g = static_cast<std::size_t>(src_nz + k);
+      const index_t r = a.row_idx[g];
+      const index_t c = a.col_idx[g];
+      const index_t pos = t.row_ptr[dst_base + static_cast<std::size_t>(c)] +
+                          mask_rank(new_mask[c], r);
+      const std::size_t out = static_cast<std::size_t>(dst_nz + pos);
+      t.row_idx[out] = static_cast<std::uint8_t>(c);
+      t.col_idx[out] = static_cast<std::uint8_t>(r);
+      t.val[out] = a.val[g];
+    }
+  });
+  return t;
+}
+
+template TileMatrix<double> tile_transpose(const TileMatrix<double>&);
+template TileMatrix<float> tile_transpose(const TileMatrix<float>&);
+
+}  // namespace tsg

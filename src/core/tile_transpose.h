@@ -1,0 +1,19 @@
+// Transpose directly in the tile format.
+//
+// The artifact's C = A*A^T mode materialises A^T; doing that without
+// leaving the tile format keeps AA^T chains conversion-free: the tile grid
+// transposes through the column-major layout view, and each 16x16 tile
+// transposes locally (masks are recomputed from the flipped coordinates).
+#pragma once
+
+#include "core/tile_format.h"
+
+namespace tsg {
+
+template <class T>
+TileMatrix<T> tile_transpose(const TileMatrix<T>& a);
+
+extern template TileMatrix<double> tile_transpose(const TileMatrix<double>&);
+extern template TileMatrix<float> tile_transpose(const TileMatrix<float>&);
+
+}  // namespace tsg

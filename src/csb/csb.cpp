@@ -1,0 +1,121 @@
+#include "csb/csb.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "matrix/convert.h"
+
+namespace tsg {
+
+std::uint16_t morton_encode(index_t row, index_t col) {
+  std::uint16_t code = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    code = static_cast<std::uint16_t>(code | ((col >> bit) & 1) << (2 * bit));
+    code = static_cast<std::uint16_t>(code | ((row >> bit) & 1) << (2 * bit + 1));
+  }
+  return code;
+}
+
+void morton_decode(std::uint16_t code, index_t& row, index_t& col) {
+  row = 0;
+  col = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    col |= static_cast<index_t>((code >> (2 * bit)) & 1) << bit;
+    row |= static_cast<index_t>((code >> (2 * bit + 1)) & 1) << bit;
+  }
+}
+
+template <class T>
+std::size_t Csb<T>::bytes() const {
+  return blk_ptr.size() * sizeof(offset_t) + morton.size() * sizeof(std::uint16_t) +
+         local_row.size() * sizeof(std::uint8_t) + local_col.size() * sizeof(std::uint8_t) +
+         val.size() * sizeof(T);
+}
+
+template <class T>
+Csb<T> csr_to_csb(const Csr<T>& a, CsbKind kind) {
+  Csb<T> m;
+  m.kind = kind;
+  m.rows = a.rows;
+  m.cols = a.cols;
+  m.block_rows = ceil_div(a.rows, kCsbBeta);
+  m.block_cols = ceil_div(a.cols, kCsbBeta);
+  const std::size_t grid =
+      static_cast<std::size_t>(m.block_rows) * static_cast<std::size_t>(m.block_cols);
+  m.blk_ptr.assign(grid + 1, 0);
+
+  // Count nonzeros per block.
+  for (index_t i = 0; i < a.rows; ++i) {
+    const std::size_t brow = static_cast<std::size_t>(i / kCsbBeta);
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const std::size_t block = brow * static_cast<std::size_t>(m.block_cols) +
+                                static_cast<std::size_t>(a.col_idx[k] / kCsbBeta);
+      m.blk_ptr[block + 1]++;
+    }
+  }
+  for (std::size_t g = 0; g < grid; ++g) m.blk_ptr[g + 1] += m.blk_ptr[g];
+
+  const std::size_t n = static_cast<std::size_t>(a.nnz());
+  m.val.resize(n);
+  if (kind == CsbKind::kMorton) {
+    m.morton.resize(n);
+  } else {
+    m.local_row.resize(n);
+    m.local_col.resize(n);
+  }
+
+  tracked_vector<offset_t> cursor(m.blk_ptr.begin(), m.blk_ptr.end() - 1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    const std::size_t brow = static_cast<std::size_t>(i / kCsbBeta);
+    const index_t lr = i % kCsbBeta;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t col = a.col_idx[k];
+      const std::size_t block = brow * static_cast<std::size_t>(m.block_cols) +
+                                static_cast<std::size_t>(col / kCsbBeta);
+      const offset_t dst = cursor[block]++;
+      if (kind == CsbKind::kMorton) {
+        m.morton[dst] = morton_encode(lr, col % kCsbBeta);
+      } else {
+        m.local_row[dst] = static_cast<std::uint8_t>(lr);
+        m.local_col[dst] = static_cast<std::uint8_t>(col % kCsbBeta);
+      }
+      m.val[dst] = a.val[k];
+    }
+  }
+  return m;
+}
+
+template <class T>
+Csr<T> csb_to_csr(const Csb<T>& m) {
+  Coo<T> coo;
+  coo.rows = m.rows;
+  coo.cols = m.cols;
+  coo.reserve(static_cast<std::size_t>(m.nnz()));
+  for (index_t br = 0; br < m.block_rows; ++br) {
+    for (index_t bc = 0; bc < m.block_cols; ++bc) {
+      const std::size_t block =
+          static_cast<std::size_t>(br) * static_cast<std::size_t>(m.block_cols) +
+          static_cast<std::size_t>(bc);
+      for (offset_t k = m.blk_ptr[block]; k < m.blk_ptr[block + 1]; ++k) {
+        index_t lr, lc;
+        if (m.kind == CsbKind::kMorton) {
+          morton_decode(m.morton[k], lr, lc);
+        } else {
+          lr = m.local_row[k];
+          lc = m.local_col[k];
+        }
+        coo.push_back(br * kCsbBeta + lr, bc * kCsbBeta + lc, m.val[k]);
+      }
+    }
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+template struct Csb<double>;
+template struct Csb<float>;
+template Csb<double> csr_to_csb(const Csr<double>&, CsbKind);
+template Csb<float> csr_to_csb(const Csr<float>&, CsbKind);
+template Csr<double> csb_to_csr(const Csb<double>&);
+template Csr<float> csb_to_csr(const Csb<float>&);
+
+}  // namespace tsg

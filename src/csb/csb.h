@@ -1,0 +1,68 @@
+// Compressed Sparse Blocks (Buluç, Fineman, Frigo, Gilbert & Leiserson,
+// SPAA'09) — the comparison formats of the paper's Fig. 11.
+//
+// The matrix is partitioned into beta-by-beta blocks (beta = 256 here so
+// local indices fit 8 bits); *all* grid positions get an entry in a dense
+// block-pointer array, and each nonzero stores only its local coordinates.
+// Two index encodings:
+//   * CSB-M: one 16-bit word per nonzero, row and column bits Morton
+//            (Z-order) interleaved — the cache-oblivious original.
+//   * CSB-I: two separate 8-bit local index arrays (row, column).
+// Both are more compact than the TileSpGEMM structure because they keep no
+// per-tile row pointers or bit masks; Fig. 11 quantifies that trade-off.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Block edge length; local indices must fit 8 bits.
+inline constexpr index_t kCsbBeta = 256;
+
+enum class CsbKind {
+  kMorton,   ///< CSB-M: packed 16-bit Morton local index per nonzero
+  kIndexed,  ///< CSB-I: separate 8-bit row / column local indices
+};
+
+template <class T>
+struct Csb {
+  CsbKind kind = CsbKind::kMorton;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t block_rows = 0;  ///< ceil(rows/beta)
+  index_t block_cols = 0;  ///< ceil(cols/beta)
+
+  /// Dense row-major grid of block offsets, size block_rows*block_cols+1.
+  tracked_vector<offset_t> blk_ptr;
+  /// CSB-M payload: Morton-interleaved (row, col) local indices.
+  tracked_vector<std::uint16_t> morton;
+  /// CSB-I payload.
+  tracked_vector<std::uint8_t> local_row;
+  tracked_vector<std::uint8_t> local_col;
+  tracked_vector<T> val;
+
+  offset_t nnz() const { return blk_ptr.empty() ? 0 : blk_ptr.back(); }
+  std::size_t bytes() const;
+};
+
+/// Interleave two 8-bit coordinates into a 16-bit Morton code (row bits at
+/// odd positions, column bits at even positions).
+std::uint16_t morton_encode(index_t row, index_t col);
+void morton_decode(std::uint16_t code, index_t& row, index_t& col);
+
+template <class T>
+Csb<T> csr_to_csb(const Csr<T>& a, CsbKind kind);
+
+template <class T>
+Csr<T> csb_to_csr(const Csb<T>& m);
+
+extern template struct Csb<double>;
+extern template struct Csb<float>;
+extern template Csb<double> csr_to_csb(const Csr<double>&, CsbKind);
+extern template Csb<float> csr_to_csb(const Csr<float>&, CsbKind);
+extern template Csr<double> csb_to_csr(const Csb<double>&);
+extern template Csr<float> csb_to_csr(const Csb<float>&);
+
+}  // namespace tsg

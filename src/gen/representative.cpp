@@ -1,0 +1,102 @@
+#include "gen/representative.h"
+
+#include "gen/generators.h"
+
+namespace tsg::gen {
+
+namespace {
+
+NamedMatrix make(std::string name, std::string structure, bool sym, Csr<double> a) {
+  return NamedMatrix{std::move(name), std::move(structure), sym, std::move(a)};
+}
+
+}  // namespace
+
+std::vector<NamedMatrix> representative_suite() {
+  std::vector<NamedMatrix> suite;
+  suite.reserve(18);
+
+  // FEM protein/structural matrices: clustered medium-length rows.
+  suite.push_back(make("pdb1HYS", "FEM protein, clustered ~60 nnz rows", true,
+                       symmetrized(clustered_rows(2200, 6, 10, 0x1001))));
+  suite.push_back(make("consph", "FEM spheres, clustered ~50 nnz rows", true,
+                       symmetrized(clustered_rows(2600, 5, 10, 0x1002))));
+  suite.push_back(make("cant", "FEM cantilever, clustered rows", true,
+                       symmetrized(clustered_rows(2400, 4, 12, 0x1003))));
+  suite.push_back(make("pwtk", "FEM wind tunnel, clustered rows", true,
+                       symmetrized(clustered_rows(4200, 4, 10, 0x1004))));
+  suite.push_back(make("rma10", "3D CFD, clustered rows (asymmetric)", false,
+                       clustered_rows(1800, 5, 10, 0x1005)));
+  suite.push_back(make("conf5_4-8x8-05", "QCD lattice, regular 27-pt-like stencil", false,
+                       stencil_27pt(16, 16, 12)));
+  suite.push_back(make("shipsec1", "FEM ship section, clustered rows", true,
+                       symmetrized(clustered_rows(3600, 4, 11, 0x1007))));
+  suite.push_back(make("mac_econ_fwd500", "economic model, hyper-sparse (asymmetric)", false,
+                       erdos_renyi(12000, 12000, 75000, 0x1008)));
+  suite.push_back(make("mc2depi", "epidemiology grid, 4 nnz/row (asymmetric)", false,
+                       stencil_5pt(200, 200)));
+  suite.push_back(make("cop20k_A", "accelerator cavity, scattered nonzeros", true,
+                       symmetrized(erdos_renyi(9000, 9000, 76000, 0x100A))));
+  suite.push_back(make("scircuit", "circuit simulation, hyper-sparse (asymmetric)", false,
+                       erdos_renyi(11000, 11000, 66000, 0x100B)));
+  suite.push_back(make("webbase-1M", "web graph, power-law (asymmetric)", false,
+                       rmat(14, 3.0, 0x100C)));
+  suite.push_back(make("af_shell10", "FEM sheet metal forming, wide band", true,
+                       banded(5200, 17, 0x100D)));
+  suite.push_back(make("pkustk12", "FEM structural, dense clusters", true,
+                       symmetrized(clustered_rows(1600, 11, 10, 0x100E))));
+  suite.push_back(make("SiO2", "quantum chemistry, very high compression rate", true,
+                       dense_blocks(24, 130, 0x100F)));
+  suite.push_back(make("case39", "power network expanded, moderate blocks", true,
+                       dense_blocks(240, 22, 0x1010)));
+  suite.push_back(make("TSOPF_FS_b300_c2", "optimal power flow, dense column blocks", true,
+                       dense_blocks(90, 75, 0x1011)));
+  suite.push_back(make("gupta3", "optimisation, dense arrow blocks", true,
+                       dense_blocks(36, 110, 0x1012)));
+  return suite;
+}
+
+std::vector<NamedMatrix> asymmetric_suite() {
+  std::vector<NamedMatrix> all = representative_suite();
+  std::vector<NamedMatrix> out;
+  for (auto& m : all) {
+    if (!m.symmetric_pattern) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<NamedMatrix> tsparse_suite() {
+  std::vector<NamedMatrix> suite;
+  suite.reserve(16);
+  suite.push_back(make("mc2depi", "epidemiology grid", false, stencil_5pt(170, 170)));
+  suite.push_back(make("webbase-1M", "web graph, power-law", false, rmat(13, 3.0, 0x2002)));
+  suite.push_back(make("cage12", "DNA electrophoresis, ~8 nnz/row", false,
+                       erdos_renyi(13000, 13000, 104000, 0x2003)));
+  suite.push_back(make("dawson5", "structural FEM", true,
+                       symmetrized(clustered_rows(3000, 3, 9, 0x2004))));
+  suite.push_back(make("lock1074", "structural, small dense-ish", true,
+                       symmetrized(clustered_rows(1074, 5, 10, 0x2005))));
+  suite.push_back(make("patents_main", "citation graph, hyper-sparse", false,
+                       erdos_renyi(24000, 24000, 98000, 0x2006)));
+  suite.push_back(make("struct3", "structural mesh, banded", true,
+                       banded(8000, 6, 0x2007)));
+  suite.push_back(make("wiki-Vote", "small social graph, power-law", false,
+                       rmat(13, 12.0, 0x2008)));
+  suite.push_back(make("bcsstk30", "stiffness matrix, dense clusters", true,
+                       symmetrized(clustered_rows(1800, 6, 11, 0x2009))));
+  suite.push_back(make("nemeth21", "quantum chemistry band", true, banded(2200, 30, 0x200A)));
+  suite.push_back(make("pcrystk03", "crystal FEM", true,
+                       symmetrized(clustered_rows(2400, 5, 10, 0x200B))));
+  suite.push_back(make("pct20stif", "stiffness FEM", true,
+                       symmetrized(clustered_rows(2600, 4, 11, 0x200C))));
+  suite.push_back(make("pkustk06", "structural FEM, dense clusters", true,
+                       symmetrized(clustered_rows(1700, 7, 10, 0x200D))));
+  suite.push_back(make("pli", "structural FEM", true,
+                       symmetrized(clustered_rows(2000, 5, 10, 0x200E))));
+  suite.push_back(make("net50", "network graph", false, rmat(13, 9.0, 0x200F)));
+  suite.push_back(make("web-NotreDame", "web graph, power-law", false,
+                       rmat(13, 4.0, 0x2010)));
+  return suite;
+}
+
+}  // namespace tsg::gen

@@ -1,0 +1,37 @@
+// Named synthetic proxies for the paper's benchmark datasets:
+//   * the 18 representative matrices of Table 2 (Figs. 7-11, Table 2)
+//   * the 16-matrix tSparse dataset (Figs. 13-14)
+//
+// Each proxy reproduces the *structure class* that made the original matrix
+// interesting (FEM clustering, power-law skew, hyper-sparsity, dense blocks
+// with extreme compression rate), scaled so a C = A^2 costs 10^6..10^8 flops
+// and is feasible on a single CPU core. EXPERIMENTS.md documents the
+// scaling; the paper's findings are relative across methods and structures,
+// not absolute GFlops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace tsg::gen {
+
+struct NamedMatrix {
+  std::string name;         ///< SuiteSparse name this matrix proxies
+  std::string structure;    ///< one-line description of the structure class
+  bool symmetric_pattern;   ///< true if pattern is (near) symmetric
+  Csr<double> a;
+};
+
+/// Proxies of the 18 representative matrices of Table 2, in table order.
+std::vector<NamedMatrix> representative_suite();
+
+/// Subset of representative_suite(): the 6 asymmetric matrices used in the
+/// paper's Fig. 8 (AA^T experiment).
+std::vector<NamedMatrix> asymmetric_suite();
+
+/// Proxies of the 16 matrices of the tSparse paper dataset (Fig. 13).
+std::vector<NamedMatrix> tsparse_suite();
+
+}  // namespace tsg::gen

@@ -1,0 +1,89 @@
+#include "gen/suite.h"
+
+#include <string>
+
+#include "gen/generators.h"
+
+namespace tsg::gen {
+
+namespace {
+
+NamedMatrix named(std::string name, std::string structure, bool sym, Csr<double> a) {
+  return NamedMatrix{std::move(name), std::move(structure), sym, std::move(a)};
+}
+
+}  // namespace
+
+std::vector<NamedMatrix> fig6_suite() {
+  std::vector<NamedMatrix> suite;
+  suite.reserve(48);
+
+  // Hyper-sparse random matrices: compression rate close to 1.
+  for (int i = 0; i < 6; ++i) {
+    const index_t n = 6000 + 2500 * i;
+    const offset_t nnz = static_cast<offset_t>(n) * (4 + i);
+    suite.push_back(named("er_d" + std::to_string(4 + i) + "_n" + std::to_string(n),
+                          "uniform random, avg degree " + std::to_string(4 + i), false,
+                          erdos_renyi(n, n, nnz, 0x3000 + static_cast<std::uint64_t>(i))));
+  }
+
+  // Stencils: low, very regular compression rates.
+  suite.push_back(named("stencil5_300", "5-pt stencil 300x300", false, stencil_5pt(300, 300)));
+  suite.push_back(named("stencil5_420", "5-pt stencil 420x420", false, stencil_5pt(420, 420)));
+  suite.push_back(named("stencil9_240", "9-pt stencil 240x240", false, stencil_9pt(240, 240)));
+  suite.push_back(named("stencil9_340", "9-pt stencil 340x340", false, stencil_9pt(340, 340)));
+  suite.push_back(named("stencil27_14", "27-pt stencil 14^3", false, stencil_27pt(14, 14, 14)));
+  suite.push_back(named("stencil27_18", "27-pt stencil 18^3", false, stencil_27pt(18, 18, 18)));
+
+  // Band matrices: compression rate ~ half bandwidth.
+  for (int i = 0; i < 8; ++i) {
+    const index_t bw = 4 + 9 * i;  // 4 .. 67
+    const index_t n = 26000 / (2 + i);
+    suite.push_back(named("band_bw" + std::to_string(bw), "band, half bandwidth " +
+                          std::to_string(bw), true,
+                          banded(n, bw, 0x3100 + static_cast<std::uint64_t>(i))));
+  }
+
+  // Dense block-diagonal: compression rate ~ block size (up to ~140).
+  for (int i = 0; i < 8; ++i) {
+    const index_t k = 20 + 17 * i;  // 20 .. 139
+    const index_t blocks = 3000 / k + 2;
+    suite.push_back(named("blocks_k" + std::to_string(k),
+                          "dense blocks " + std::to_string(k) + "^2", true,
+                          dense_blocks(blocks, k, 0x3200 + static_cast<std::uint64_t>(i))));
+  }
+
+  // Power-law graphs: skewed rows, low-to-moderate rates.
+  for (int i = 0; i < 6; ++i) {
+    const int scale = 12 + i % 3;
+    const double ef = 3.0 + 2.5 * (i / 3);
+    suite.push_back(named("rmat_s" + std::to_string(scale) + "_e" +
+                          std::to_string(static_cast<int>(ef)),
+                          "R-MAT power-law", false,
+                          rmat(scale, ef, 0x3300 + static_cast<std::uint64_t>(i))));
+  }
+
+  // FEM-like clustered rows: the bulk of SuiteSparse's middle range.
+  for (int i = 0; i < 8; ++i) {
+    const index_t n = 1400 + 450 * i;
+    const int clusters = 3 + i % 4;
+    const int run = 8 + 2 * (i % 3);
+    suite.push_back(named("fem_c" + std::to_string(clusters) + "_r" + std::to_string(run) +
+                          "_n" + std::to_string(n),
+                          "clustered FEM-like rows", true,
+                          symmetrized(clustered_rows(n, clusters, run,
+                                                     0x3400 + static_cast<std::uint64_t>(i)))));
+  }
+
+  // Mixed: block + band composites for mid-high rates.
+  for (int i = 0; i < 4; ++i) {
+    const index_t k = 40 + 22 * i;
+    suite.push_back(named("blockband_k" + std::to_string(k), "blocks over band", true,
+                          dense_blocks(1400 / k + 2, k,
+                                       0x3500 + static_cast<std::uint64_t>(i))));
+  }
+
+  return suite;
+}
+
+}  // namespace tsg::gen

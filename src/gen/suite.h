@@ -1,0 +1,16 @@
+// The Fig. 6 benchmark suite: a deterministic family of matrices spanning
+// the compression-rate axis (~1 to ~140) and the structure classes of the
+// paper's 142-matrix SuiteSparse selection, scaled to single-core budgets.
+#pragma once
+
+#include <vector>
+
+#include "gen/representative.h"
+
+namespace tsg::gen {
+
+/// ~48 matrices covering hyper-sparse (rate ~1) through dense-block
+/// (rate >100) structures. Sorted by construction, not by rate.
+std::vector<NamedMatrix> fig6_suite();
+
+}  // namespace tsg::gen

@@ -1,0 +1,28 @@
+// Algebraic graph algorithms on the tiled kernels — the GraphBLAS-style
+// applications the paper's introduction motivates (BFS, triangle counting,
+// shortest paths). Each algorithm is a thin loop over semiring SpMV/SpGEMM
+// calls, demonstrating that the tile format supports the whole family.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg::graph {
+
+/// Breadth-first search over a directed adjacency pattern (entry (i,j)
+/// means edge i -> j; values are ignored). Returns per-vertex levels:
+/// 0 for the source, -1 for unreachable vertices.
+/// Implemented as repeated (or, and) SpMV of A^T against the frontier.
+tracked_vector<index_t> bfs_levels(const Csr<double>& adj, index_t source);
+
+/// All-pairs shortest paths on a non-negatively weighted directed graph by
+/// (min, +) repeated squaring: ceil(log2(n)) tiled semiring SpGEMMs.
+/// Returns a dense n*n row-major distance array; unreachable pairs hold
+/// +infinity, the diagonal holds 0.
+tracked_vector<double> apsp_min_plus(const Csr<double>& weights);
+
+/// Weakly-connected component labels of an undirected graph (pattern must
+/// be symmetric): label[v] = smallest vertex id in v's component.
+/// Implemented as BFS sweeps over the (or, and) semiring.
+tracked_vector<index_t> connected_components(const Csr<double>& adj);
+
+}  // namespace tsg::graph

@@ -1,0 +1,22 @@
+// Small statistics helpers for the figure harnesses: the linear regressions
+// of Fig. 6 and the geometric-mean speedups quoted in Section 4.
+#pragma once
+
+#include <vector>
+
+namespace tsg {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Geometric mean; non-positive entries are skipped (they carry no ratio
+/// information). Returns 0 when nothing remains.
+double geometric_mean(const std::vector<double>& v);
+
+}  // namespace tsg

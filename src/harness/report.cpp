@@ -1,0 +1,79 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tsg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    out << "+";
+    for (std::size_t w : width) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << std::setw(static_cast<int>(width[c])) << std::left << cells[c] << " |";
+    }
+    out << "\n";
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto csv_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  csv_line(headers_);
+  for (const auto& row : rows_) csv_line(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024.0 * 1024.0) return fmt(b / (1024.0 * 1024.0 * 1024.0)) + " GB";
+  if (b >= 1024.0 * 1024.0) return fmt(b / (1024.0 * 1024.0)) + " MB";
+  if (b >= 1024.0) return fmt(b / 1024.0) + " KB";
+  return fmt(b, 0) + " B";
+}
+
+std::string fmt_count(long long v) {
+  const double d = static_cast<double>(v);
+  if (d >= 1e9) return fmt(d / 1e9, 1) + "B";
+  if (d >= 1e6) return fmt(d / 1e6, 1) + "M";
+  if (d >= 1e3) return fmt(d / 1e3, 1) + "K";
+  return std::to_string(v);
+}
+
+}  // namespace tsg

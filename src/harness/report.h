@@ -1,0 +1,42 @@
+// Plain-text table / CSV emitters for the bench binaries. Every bench
+// prints the same rows/series as the corresponding paper table or figure,
+// so EXPERIMENTS.md can be checked against the paper side by side.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsg {
+
+/// Column-aligned text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed plain-text rendering.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated rendering (header first).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string fmt(double v, int precision = 2);
+
+/// Human-friendly byte count ("12.3 MB").
+std::string fmt_bytes(std::size_t bytes);
+
+/// Large-count formatting with K/M/B suffixes ("1.1B", "4.3M").
+std::string fmt_count(long long v);
+
+}  // namespace tsg

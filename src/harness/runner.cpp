@@ -1,0 +1,72 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/memory.h"
+#include "common/timer.h"
+#include "matrix/stats.h"
+#include "matrix/transpose.h"
+
+namespace tsg {
+
+int bench_reps() {
+  static const int reps = [] {
+    if (const char* env = std::getenv("TSG_BENCH_REPS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return 1;  // single-core default; raise via TSG_BENCH_REPS for stability
+  }();
+  return reps;
+}
+
+Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp op,
+                    int reps) {
+  Measurement out;
+  out.matrix = m.name;
+  out.algorithm = algo.name;
+
+  const Csr<double>& a = m.a;
+  Csr<double> bt;
+  const Csr<double>* b = &a;
+  if (op == SpgemmOp::kAAT) {
+    bt = transpose(a);
+    b = &bt;
+  }
+  out.flops = spgemm_flops(a, *b);
+
+  try {
+    double best_ms = -1.0;
+    for (int r = 0; r < reps; ++r) {
+      double ms = 0.0;
+      double peak_mb = 0.0;
+      Csr<double> c = algo.run_timed(a, *b, ms, peak_mb);
+      if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+      out.peak_mb = peak_mb > out.peak_mb ? peak_mb : out.peak_mb;
+      out.nnz_c = c.nnz();
+    }
+    out.ms = best_ms;
+    out.gflops = gflops(out.flops, out.ms);
+    out.compression_rate = compression_rate(out.flops / 2, out.nnz_c);
+    out.ok = true;
+  } catch (const std::exception&) {
+    out.ok = false;  // mirrors the paper's "0.00" bars for failing methods
+  }
+  return out;
+}
+
+std::vector<Measurement> measure_suite(const std::vector<NamedMatrix>& suite,
+                                       const std::vector<SpgemmAlgorithm>& algorithms,
+                                       SpgemmOp op) {
+  std::vector<Measurement> results;
+  results.reserve(suite.size() * algorithms.size());
+  for (const NamedMatrix& m : suite) {
+    for (const SpgemmAlgorithm& algo : algorithms) {
+      results.push_back(measure(m, algo, op));
+    }
+  }
+  return results;
+}
+
+}  // namespace tsg

@@ -1,0 +1,48 @@
+// Experiment runner: times every registered SpGEMM method on a workload,
+// with the throughput / memory metrics the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "gen/representative.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+using gen::NamedMatrix;
+
+/// Which product the experiment computes (the artifact's -aat flag).
+enum class SpgemmOp {
+  kASquared,  ///< C = A^2
+  kAAT,       ///< C = A * A^T
+};
+
+struct Measurement {
+  std::string matrix;
+  std::string algorithm;
+  bool ok = false;         ///< false if the method threw (e.g. bad_alloc)
+  double ms = 0.0;         ///< best-of-reps wall time
+  double gflops = 0.0;
+  offset_t flops = 0;      ///< 2 * intermediate products
+  offset_t nnz_c = 0;
+  double compression_rate = 0.0;
+  double peak_mb = 0.0;    ///< tracked peak workspace during the run
+};
+
+/// Number of timed repetitions (minimum is reported). Reads TSG_BENCH_REPS,
+/// default 1 (single-core budget).
+int bench_reps();
+
+/// Time one algorithm on C = op(A). Tracks peak workspace per run.
+Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp op,
+                    int reps = bench_reps());
+
+/// Run the full method list over a suite; returns measurements grouped by
+/// matrix (suite order), method order as in `algorithms`.
+std::vector<Measurement> measure_suite(const std::vector<NamedMatrix>& suite,
+                                       const std::vector<SpgemmAlgorithm>& algorithms,
+                                       SpgemmOp op);
+
+}  // namespace tsg

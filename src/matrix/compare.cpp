@@ -1,0 +1,71 @@
+#include "matrix/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace tsg {
+
+namespace {
+
+template <class T>
+bool value_close(T a, T b, const CompareOptions& opt) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  const double scale = std::max({std::fabs(da), std::fabs(db), opt.abs_floor});
+  return std::fabs(da - db) <= opt.rel_tol * scale;
+}
+
+/// One row as (col, val) pairs with optional zero pruning.
+template <class T>
+void extract_row(const Csr<T>& m, index_t i, const CompareOptions& opt,
+                 std::vector<std::pair<index_t, T>>& out) {
+  out.clear();
+  for (offset_t k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+    if (opt.prune_zeros && std::fabs(static_cast<double>(m.val[k])) <= opt.prune_tol) continue;
+    out.emplace_back(m.col_idx[k], m.val[k]);
+  }
+}
+
+}  // namespace
+
+template <class T>
+CompareResult compare(const Csr<T>& a, const Csr<T>& b, const CompareOptions& opt) {
+  std::ostringstream err;
+  if (a.rows != b.rows || a.cols != b.cols) {
+    err << "dimension mismatch: " << a.rows << "x" << a.cols << " vs " << b.rows << "x"
+        << b.cols;
+    return {false, err.str()};
+  }
+  std::vector<std::pair<index_t, T>> ra, rb;
+  for (index_t i = 0; i < a.rows; ++i) {
+    extract_row(a, i, opt, ra);
+    extract_row(b, i, opt, rb);
+    if (ra.size() != rb.size()) {
+      err << "row " << i << ": nnz " << ra.size() << " vs " << rb.size();
+      return {false, err.str()};
+    }
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      if (ra[k].first != rb[k].first) {
+        err << "row " << i << " entry " << k << ": column " << ra[k].first << " vs "
+            << rb[k].first;
+        return {false, err.str()};
+      }
+      if (!value_close(ra[k].second, rb[k].second, opt)) {
+        err << "row " << i << " col " << ra[k].first << ": value "
+            << static_cast<double>(ra[k].second) << " vs "
+            << static_cast<double>(rb[k].second);
+        return {false, err.str()};
+      }
+    }
+  }
+  return {true, {}};
+}
+
+template CompareResult compare(const Csr<double>&, const Csr<double>&, const CompareOptions&);
+template CompareResult compare(const Csr<float>&, const Csr<float>&, const CompareOptions&);
+
+}  // namespace tsg

@@ -1,0 +1,42 @@
+// Result validation: comparing SpGEMM outputs across implementations.
+//
+// Every SpGEMM method in this library has the same semantics as the paper's
+// (and cuSPARSE's): the output structure is the full symbolic product, i.e.
+// explicit zeros created by additive cancellation are kept. That makes exact
+// structural comparison meaningful; values are compared with a relative
+// tolerance because different accumulation orders round differently.
+#pragma once
+
+#include <string>
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+struct CompareOptions {
+  /// Relative tolerance for value comparison:
+  /// |a-b| <= rel_tol * max(|a|, |b|, abs_floor).
+  double rel_tol = 1e-10;
+  double abs_floor = 1e-300;
+  /// When true, entries whose magnitude is below prune_tol on BOTH sides are
+  /// treated as absent, so methods may disagree on explicit zeros.
+  bool prune_zeros = false;
+  double prune_tol = 0.0;
+};
+
+struct CompareResult {
+  bool equal = true;
+  std::string message;  ///< first difference, human readable; empty if equal
+  explicit operator bool() const { return equal; }
+};
+
+/// Structural + numerical comparison of two CSR matrices with sorted rows.
+template <class T>
+CompareResult compare(const Csr<T>& a, const Csr<T>& b, const CompareOptions& opt = {});
+
+extern template CompareResult compare(const Csr<double>&, const Csr<double>&,
+                                      const CompareOptions&);
+extern template CompareResult compare(const Csr<float>&, const Csr<float>&,
+                                      const CompareOptions&);
+
+}  // namespace tsg

@@ -1,0 +1,88 @@
+#include "matrix/convert.h"
+
+#include <utility>
+
+#include "common/prefix_sum.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> coo_to_csr(Coo<T> coo) {
+  coo.sort_and_combine();
+  Csr<T> a(coo.rows, coo.cols);
+  const std::size_t n = coo.val.size();
+  a.col_idx.resize(n);
+  a.val.resize(n);
+  for (std::size_t k = 0; k < n; ++k) a.row_ptr[static_cast<std::size_t>(coo.row[k]) + 1]++;
+  for (index_t i = 0; i < coo.rows; ++i) a.row_ptr[i + 1] += a.row_ptr[i];
+  // Entries are already row-major sorted, so a straight copy preserves
+  // per-row column order.
+  for (std::size_t k = 0; k < n; ++k) {
+    a.col_idx[k] = coo.col[k];
+    a.val[k] = coo.val[k];
+  }
+  return a;
+}
+
+template <class T>
+Coo<T> csr_to_coo(const Csr<T>& a) {
+  Coo<T> coo;
+  coo.rows = a.rows;
+  coo.cols = a.cols;
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      coo.push_back(i, a.col_idx[k], a.val[k]);
+    }
+  }
+  return coo;
+}
+
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a) {
+  Csc<T> b;
+  b.rows = a.rows;
+  b.cols = a.cols;
+  b.col_ptr.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  b.row_idx.resize(static_cast<std::size_t>(a.nnz()));
+  b.val.resize(static_cast<std::size_t>(a.nnz()));
+
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    b.col_ptr[static_cast<std::size_t>(a.col_idx[k]) + 1]++;
+  }
+  for (index_t j = 0; j < a.cols; ++j) b.col_ptr[j + 1] += b.col_ptr[j];
+
+  tracked_vector<offset_t> cursor(b.col_ptr.begin(), b.col_ptr.end() - 1);
+  // Walking rows in increasing order makes row indices within each column
+  // come out sorted.
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const offset_t dst = cursor[a.col_idx[k]]++;
+      b.row_idx[dst] = i;
+      b.val[dst] = a.val[k];
+    }
+  }
+  return b;
+}
+
+template <class T>
+Csr<T> csc_to_csr_of_transpose(Csc<T> a) {
+  Csr<T> t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.row_ptr = std::move(a.col_ptr);
+  t.col_idx = std::move(a.row_idx);
+  t.val = std::move(a.val);
+  return t;
+}
+
+template Csr<double> coo_to_csr(Coo<double>);
+template Csr<float> coo_to_csr(Coo<float>);
+template Coo<double> csr_to_coo(const Csr<double>&);
+template Coo<float> csr_to_coo(const Csr<float>&);
+template Csc<double> csr_to_csc(const Csr<double>&);
+template Csc<float> csr_to_csc(const Csr<float>&);
+template Csr<double> csc_to_csr_of_transpose(Csc<double>);
+template Csr<float> csc_to_csr_of_transpose(Csc<float>);
+
+}  // namespace tsg

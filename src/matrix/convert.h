@@ -1,0 +1,49 @@
+// Conversions between the container formats (COO, CSR, CSC).
+#pragma once
+
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Compressed sparse column matrix. Used as the column-major view needed by
+/// A*B^T-style access patterns and by the CSB space comparison.
+template <class T>
+struct Csc {
+  index_t rows = 0;
+  index_t cols = 0;
+  tracked_vector<offset_t> col_ptr;  ///< size cols+1
+  tracked_vector<index_t> row_idx;
+  tracked_vector<T> val;
+
+  offset_t nnz() const { return col_ptr.empty() ? 0 : col_ptr.back(); }
+};
+
+/// Build a CSR matrix from COO input. The input is sorted and duplicates are
+/// combined; the resulting rows have strictly increasing column indices.
+template <class T>
+Csr<T> coo_to_csr(Coo<T> coo);
+
+/// Expand a CSR matrix back to row-major sorted COO.
+template <class T>
+Coo<T> csr_to_coo(const Csr<T>& a);
+
+/// Column-compress a CSR matrix. Row indices within each column come out in
+/// increasing order.
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a);
+
+/// Reinterpret a CSC matrix as the CSR storage of its transpose (free).
+template <class T>
+Csr<T> csc_to_csr_of_transpose(Csc<T> a);
+
+extern template Csr<double> coo_to_csr(Coo<double>);
+extern template Csr<float> coo_to_csr(Coo<float>);
+extern template Coo<double> csr_to_coo(const Csr<double>&);
+extern template Coo<float> csr_to_coo(const Csr<float>&);
+extern template Csc<double> csr_to_csc(const Csr<double>&);
+extern template Csc<float> csr_to_csc(const Csr<float>&);
+extern template Csr<double> csc_to_csr_of_transpose(Csc<double>);
+extern template Csr<float> csc_to_csr_of_transpose(Csc<float>);
+
+}  // namespace tsg

@@ -1,0 +1,60 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsg {
+
+template <class T>
+bool Coo<T>::well_formed() const {
+  if (row.size() != col.size() || row.size() != val.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] < 0 || row[i] >= rows) return false;
+    if (col[i] < 0 || col[i] >= cols) return false;
+  }
+  return true;
+}
+
+template <class T>
+void Coo<T>::sort_and_combine() {
+  const std::size_t n = val.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return col[a] < col[b];
+  });
+
+  std::vector<index_t> nr, nc;
+  std::vector<T> nv;
+  nr.reserve(n);
+  nc.reserve(n);
+  nv.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = perm[k];
+    if (!nr.empty() && nr.back() == row[i] && nc.back() == col[i]) {
+      nv.back() += val[i];
+    } else {
+      nr.push_back(row[i]);
+      nc.push_back(col[i]);
+      nv.push_back(val[i]);
+    }
+  }
+  row = std::move(nr);
+  col = std::move(nc);
+  val = std::move(nv);
+}
+
+template <class T>
+bool Coo<T>::is_sorted_unique() const {
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] < row[i - 1]) return false;
+    if (row[i] == row[i - 1] && col[i] <= col[i - 1]) return false;
+  }
+  return true;
+}
+
+template struct Coo<double>;
+template struct Coo<float>;
+
+}  // namespace tsg

@@ -1,0 +1,52 @@
+// Coordinate-format sparse matrix: the assembly/interchange format.
+// Generators and the Matrix Market reader produce COO; everything else in
+// the library works on CSR (matrix/csr.h) or the sparse tile format
+// (core/tile_format.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/config.h"
+
+namespace tsg {
+
+template <class T>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<T> val;
+
+  offset_t nnz() const { return static_cast<offset_t>(val.size()); }
+
+  void reserve(std::size_t n) {
+    row.reserve(n);
+    col.reserve(n);
+    val.reserve(n);
+  }
+
+  void push_back(index_t r, index_t c, T v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  /// True if every entry is inside [0, rows) x [0, cols) and the three
+  /// arrays have equal length.
+  bool well_formed() const;
+
+  /// Sort entries into row-major order and merge duplicate coordinates by
+  /// summing their values (standard finite-element assembly semantics).
+  void sort_and_combine();
+
+  /// True if entries are in strictly increasing row-major order
+  /// (which also implies there are no duplicates).
+  bool is_sorted_unique() const;
+};
+
+extern template struct Coo<double>;
+extern template struct Coo<float>;
+
+}  // namespace tsg

@@ -1,0 +1,84 @@
+#include "matrix/csr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+std::string Csr<T>::validate() const {
+  std::ostringstream err;
+  if (rows < 0 || cols < 0) {
+    err << "negative dimensions " << rows << "x" << cols;
+    return err.str();
+  }
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    err << "row_ptr size " << row_ptr.size() << " != rows+1 " << rows + 1;
+    return err.str();
+  }
+  if (!row_ptr.empty() && row_ptr.front() != 0) {
+    err << "row_ptr[0] = " << row_ptr.front() << " != 0";
+    return err.str();
+  }
+  for (index_t i = 0; i < rows; ++i) {
+    if (row_ptr[i + 1] < row_ptr[i]) {
+      err << "row_ptr not monotone at row " << i;
+      return err.str();
+    }
+  }
+  if (col_idx.size() != val.size() ||
+      col_idx.size() != static_cast<std::size_t>(nnz())) {
+    err << "array sizes inconsistent: col_idx " << col_idx.size() << ", val " << val.size()
+        << ", nnz " << nnz();
+    return err.str();
+  }
+  for (std::size_t k = 0; k < col_idx.size(); ++k) {
+    if (col_idx[k] < 0 || col_idx[k] >= cols) {
+      err << "col_idx[" << k << "] = " << col_idx[k] << " out of range [0," << cols << ")";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+template <class T>
+bool Csr<T>::rows_sorted() const {
+  for (index_t i = 0; i < rows; ++i) {
+    for (offset_t k = row_ptr[i] + 1; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] <= col_idx[k - 1]) return false;
+    }
+  }
+  return true;
+}
+
+template <class T>
+void Csr<T>::sort_rows() {
+  parallel_for(index_t{0}, rows, [&](index_t i) {
+    const offset_t lo = row_ptr[i];
+    const offset_t hi = row_ptr[i + 1];
+    const std::size_t len = static_cast<std::size_t>(hi - lo);
+    if (len < 2) return;
+    std::vector<std::size_t> perm(len);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return col_idx[lo + static_cast<offset_t>(a)] < col_idx[lo + static_cast<offset_t>(b)];
+    });
+    std::vector<index_t> c(len);
+    std::vector<T> v(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      c[j] = col_idx[lo + static_cast<offset_t>(perm[j])];
+      v[j] = val[lo + static_cast<offset_t>(perm[j])];
+    }
+    std::copy(c.begin(), c.end(), col_idx.begin() + lo);
+    std::copy(v.begin(), v.end(), val.begin() + lo);
+  });
+}
+
+template struct Csr<double>;
+template struct Csr<float>;
+
+}  // namespace tsg

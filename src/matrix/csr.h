@@ -1,0 +1,51 @@
+// Compressed sparse row matrix — the library's primary interchange format
+// and the input/output of every SpGEMM implementation.
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "common/memory.h"
+
+namespace tsg {
+
+template <class T>
+struct Csr {
+  using value_type = T;
+
+  index_t rows = 0;
+  index_t cols = 0;
+  /// Size rows+1; row i occupies [row_ptr[i], row_ptr[i+1]).
+  tracked_vector<offset_t> row_ptr;
+  tracked_vector<index_t> col_idx;
+  tracked_vector<T> val;
+
+  Csr() = default;
+  Csr(index_t r, index_t c) : rows(r), cols(c), row_ptr(static_cast<std::size_t>(r) + 1, 0) {}
+
+  offset_t nnz() const { return row_ptr.empty() ? 0 : row_ptr.back(); }
+
+  offset_t row_nnz(index_t i) const { return row_ptr[i + 1] - row_ptr[i]; }
+
+  /// Bytes of the three arrays (the Fig. 11 CSR space metric).
+  std::size_t bytes() const {
+    return row_ptr.size() * sizeof(offset_t) + col_idx.size() * sizeof(index_t) +
+           val.size() * sizeof(T);
+  }
+
+  /// Structural invariants: monotone row_ptr bracketing the arrays, and all
+  /// column indices in range. Returns an empty string when valid, else a
+  /// human-readable description of the first violation.
+  std::string validate() const;
+
+  /// True if column indices are strictly increasing within every row.
+  bool rows_sorted() const;
+
+  /// Sort the column indices (and values) within every row.
+  void sort_rows();
+};
+
+extern template struct Csr<double>;
+extern template struct Csr<float>;
+
+}  // namespace tsg

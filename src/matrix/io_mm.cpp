@@ -1,0 +1,151 @@
+#include "matrix/io_mm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsg {
+
+namespace {
+
+enum class ValueKind { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("matrix market parse error (line " + std::to_string(line_no) +
+                           "): " + what);
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+template <class T>
+Coo<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++line_no;
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket") fail(line_no, "missing %%MatrixMarket banner");
+  if (to_lower(object) != "matrix") fail(line_no, "object must be 'matrix'");
+  if (to_lower(format) != "coordinate") fail(line_no, "only coordinate format is supported");
+
+  ValueKind kind;
+  const std::string f = to_lower(field);
+  if (f == "real" || f == "double") {
+    kind = ValueKind::kReal;
+  } else if (f == "integer") {
+    kind = ValueKind::kInteger;
+  } else if (f == "pattern") {
+    kind = ValueKind::kPattern;
+  } else {
+    fail(line_no, "unsupported field '" + field + "' (real/integer/pattern)");
+  }
+
+  Symmetry sym;
+  const std::string s = to_lower(symmetry);
+  if (s == "general") {
+    sym = Symmetry::kGeneral;
+  } else if (s == "symmetric") {
+    sym = Symmetry::kSymmetric;
+  } else if (s == "skew-symmetric") {
+    sym = Symmetry::kSkewSymmetric;
+  } else {
+    fail(line_no, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments and blank lines up to the size line.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] != '%') {
+      // Blank-only lines are also skipped.
+      if (line.find_first_not_of(" \t\r\n") != std::string::npos) break;
+    }
+  }
+
+  long long rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> entries)) fail(line_no, "bad size line");
+    if (rows < 0 || cols < 0 || entries < 0) fail(line_no, "negative sizes");
+  }
+
+  Coo<T> coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.reserve(static_cast<std::size_t>(entries) * (sym == Symmetry::kGeneral ? 1 : 2));
+
+  long long seen = 0;
+  while (seen < entries) {
+    if (!std::getline(in, line)) fail(line_no + 1, "unexpected end of stream");
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) fail(line_no, "bad entry");
+    if (kind != ValueKind::kPattern && !(entry >> v)) fail(line_no, "missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail(line_no, "index out of bounds");
+    ++seen;
+
+    const index_t ri = static_cast<index_t>(r - 1);
+    const index_t ci = static_cast<index_t>(c - 1);
+    coo.push_back(ri, ci, static_cast<T>(v));
+    if (sym != Symmetry::kGeneral && ri != ci) {
+      const double mirrored = sym == Symmetry::kSkewSymmetric ? -v : v;
+      coo.push_back(ci, ri, static_cast<T>(mirrored));
+    }
+  }
+  return coo;
+}
+
+template <class T>
+Coo<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  return read_matrix_market<T>(in);
+}
+
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows << " " << a.cols << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      out << (i + 1) << " " << (a.col_idx[k] + 1) << " " << static_cast<double>(a.val[k])
+          << "\n";
+    }
+  }
+}
+
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  write_matrix_market(out, a);
+}
+
+template Coo<double> read_matrix_market(std::istream&);
+template Coo<float> read_matrix_market(std::istream&);
+template Coo<double> read_matrix_market_file(const std::string&);
+template Coo<float> read_matrix_market_file(const std::string&);
+template void write_matrix_market(std::ostream&, const Csr<double>&);
+template void write_matrix_market(std::ostream&, const Csr<float>&);
+template void write_matrix_market_file(const std::string&, const Csr<double>&);
+template void write_matrix_market_file(const std::string&, const Csr<float>&);
+
+}  // namespace tsg

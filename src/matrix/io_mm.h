@@ -1,0 +1,43 @@
+// Matrix Market (.mtx) I/O — the interchange format of the SuiteSparse
+// collection the paper evaluates on (artifact appendix A.5).
+//
+// Supports the coordinate variants we need: real / integer / pattern values,
+// general / symmetric / skew-symmetric storage. Pattern entries read as 1.0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Parse a Matrix Market coordinate stream into COO (symmetry expanded,
+/// duplicates retained). Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+template <class T>
+Coo<T> read_matrix_market(std::istream& in);
+
+/// Parse a .mtx file from disk.
+template <class T>
+Coo<T> read_matrix_market_file(const std::string& path);
+
+/// Write a CSR matrix as a general real coordinate Matrix Market stream.
+template <class T>
+void write_matrix_market(std::ostream& out, const Csr<T>& a);
+
+/// Write a .mtx file to disk.
+template <class T>
+void write_matrix_market_file(const std::string& path, const Csr<T>& a);
+
+extern template Coo<double> read_matrix_market(std::istream&);
+extern template Coo<float> read_matrix_market(std::istream&);
+extern template Coo<double> read_matrix_market_file(const std::string&);
+extern template Coo<float> read_matrix_market_file(const std::string&);
+extern template void write_matrix_market(std::ostream&, const Csr<double>&);
+extern template void write_matrix_market(std::ostream&, const Csr<float>&);
+extern template void write_matrix_market_file(const std::string&, const Csr<double>&);
+extern template void write_matrix_market_file(const std::string&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,61 @@
+#include "matrix/norms.h"
+
+#include <cmath>
+
+namespace tsg {
+
+template <class T>
+double frobenius_norm(const Csr<T>& a) {
+  double s = 0.0;
+  for (const auto& v : a.val) {
+    const double d = static_cast<double>(v);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+template <class T>
+double one_norm(const Csr<T>& a) {
+  tracked_vector<double> col_sum(static_cast<std::size_t>(a.cols), 0.0);
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    col_sum[static_cast<std::size_t>(a.col_idx[k])] +=
+        std::fabs(static_cast<double>(a.val[k]));
+  }
+  double best = 0.0;
+  for (double s : col_sum) best = s > best ? s : best;
+  return best;
+}
+
+template <class T>
+double inf_norm(const Csr<T>& a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    double s = 0.0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      s += std::fabs(static_cast<double>(a.val[k]));
+    }
+    best = s > best ? s : best;
+  }
+  return best;
+}
+
+template <class T>
+double max_abs(const Csr<T>& a) {
+  double best = 0.0;
+  for (const auto& v : a.val) {
+    const double d = std::fabs(static_cast<double>(v));
+    best = d > best ? d : best;
+  }
+  return best;
+}
+
+#define TSG_NORMS_INSTANTIATE(T)                   \
+  template double frobenius_norm(const Csr<T>&);   \
+  template double one_norm(const Csr<T>&);         \
+  template double inf_norm(const Csr<T>&);         \
+  template double max_abs(const Csr<T>&);
+TSG_NORMS_INSTANTIATE(double)
+TSG_NORMS_INSTANTIATE(float)
+#undef TSG_NORMS_INSTANTIATE
+
+}  // namespace tsg

@@ -1,0 +1,34 @@
+// Matrix norms — validation metrics for the solver stack and the
+// precision study.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Frobenius norm: sqrt(sum of squared values).
+template <class T>
+double frobenius_norm(const Csr<T>& a);
+
+/// Induced 1-norm: max column absolute sum.
+template <class T>
+double one_norm(const Csr<T>& a);
+
+/// Induced infinity norm: max row absolute sum.
+template <class T>
+double inf_norm(const Csr<T>& a);
+
+/// Largest absolute value.
+template <class T>
+double max_abs(const Csr<T>& a);
+
+#define TSG_NORMS_EXTERN(T)                        \
+  extern template double frobenius_norm(const Csr<T>&); \
+  extern template double one_norm(const Csr<T>&);  \
+  extern template double inf_norm(const Csr<T>&);  \
+  extern template double max_abs(const Csr<T>&);
+TSG_NORMS_EXTERN(double)
+TSG_NORMS_EXTERN(float)
+#undef TSG_NORMS_EXTERN
+
+}  // namespace tsg

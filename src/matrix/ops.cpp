@@ -1,0 +1,210 @@
+#include "matrix/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsg {
+
+template <class T>
+Csr<T> identity(index_t n) {
+  Csr<T> a(n, n);
+  a.col_idx.resize(static_cast<std::size_t>(n));
+  a.val.assign(static_cast<std::size_t>(n), T{1});
+  for (index_t i = 0; i < n; ++i) {
+    a.row_ptr[i + 1] = i + 1;
+    a.col_idx[i] = i;
+  }
+  return a;
+}
+
+template <class T>
+Csr<T> diagonal(const tracked_vector<T>& d) {
+  const index_t n = static_cast<index_t>(d.size());
+  Csr<T> a = identity<T>(n);
+  for (index_t i = 0; i < n; ++i) a.val[i] = d[i];
+  return a;
+}
+
+template <class T>
+Csr<T> permutation(const tracked_vector<index_t>& perm) {
+  const index_t n = static_cast<index_t>(perm.size());
+  Csr<T> p(n, n);
+  p.col_idx.resize(static_cast<std::size_t>(n));
+  p.val.assign(static_cast<std::size_t>(n), T{1});
+  for (index_t i = 0; i < n; ++i) {
+    if (perm[i] < 0 || perm[i] >= n) throw std::invalid_argument("permutation out of range");
+    p.row_ptr[i + 1] = i + 1;
+    p.col_idx[i] = perm[i];
+  }
+  return p;
+}
+
+namespace {
+
+/// Merge two sorted rows into `out`, combining entries whose columns match
+/// with `combine(a_val_or_0, b_val_or_0)`. `keep` decides whether unmatched
+/// entries from each side survive.
+template <class T, class Combine>
+void merge_rows(const Csr<T>& a, const Csr<T>& b, index_t i, bool keep_a_only,
+                bool keep_b_only, Combine&& combine, Csr<T>& out) {
+  offset_t ka = a.row_ptr[i], kb = b.row_ptr[i];
+  const offset_t ea = a.row_ptr[i + 1], eb = b.row_ptr[i + 1];
+  while (ka < ea || kb < eb) {
+    index_t ca = ka < ea ? a.col_idx[ka] : a.cols;
+    index_t cb = kb < eb ? b.col_idx[kb] : b.cols;
+    if (ca == cb) {
+      out.col_idx.push_back(ca);
+      out.val.push_back(combine(a.val[ka], b.val[kb]));
+      ++ka;
+      ++kb;
+    } else if (ca < cb) {
+      if (keep_a_only) {
+        out.col_idx.push_back(ca);
+        out.val.push_back(combine(a.val[ka], T{}));
+      }
+      ++ka;
+    } else {
+      if (keep_b_only) {
+        out.col_idx.push_back(cb);
+        out.val.push_back(combine(T{}, b.val[kb]));
+      }
+      ++kb;
+    }
+  }
+}
+
+template <class T>
+void check_same_shape(const Csr<T>& a, const Csr<T>& b, const char* op) {
+  if (a.rows != b.rows || a.cols != b.cols) {
+    throw std::invalid_argument(std::string(op) + ": dimension mismatch");
+  }
+}
+
+}  // namespace
+
+template <class T>
+Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha, T beta) {
+  check_same_shape(a, b, "add");
+  Csr<T> c(a.rows, a.cols);
+  c.col_idx.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  c.val.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+  for (index_t i = 0; i < a.rows; ++i) {
+    merge_rows(
+        a, b, i, /*keep_a_only=*/true, /*keep_b_only=*/true,
+        [&](T va, T vb) { return static_cast<T>(alpha * va + beta * vb); }, c);
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+Csr<T> hadamard(const Csr<T>& a, const Csr<T>& b) {
+  check_same_shape(a, b, "hadamard");
+  Csr<T> c(a.rows, a.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    merge_rows(
+        a, b, i, /*keep_a_only=*/false, /*keep_b_only=*/false,
+        [&](T va, T vb) { return static_cast<T>(va * vb); }, c);
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+Csr<T> structural_mask(const Csr<T>& a, const Csr<T>& mask) {
+  check_same_shape(a, mask, "structural_mask");
+  Csr<T> c(a.rows, a.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    offset_t ka = a.row_ptr[i];
+    const offset_t ea = a.row_ptr[i + 1];
+    for (offset_t km = mask.row_ptr[i]; km < mask.row_ptr[i + 1]; ++km) {
+      const index_t cm = mask.col_idx[km];
+      while (ka < ea && a.col_idx[ka] < cm) ++ka;
+      if (ka < ea && a.col_idx[ka] == cm) {
+        c.col_idx.push_back(cm);
+        c.val.push_back(a.val[ka]);
+      }
+    }
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+void scale_inplace(Csr<T>& a, T alpha) {
+  for (auto& v : a.val) v = static_cast<T>(v * alpha);
+}
+
+template <class T>
+void pow_inplace(Csr<T>& a, double power) {
+  for (auto& v : a.val) v = static_cast<T>(std::pow(static_cast<double>(v), power));
+}
+
+template <class T>
+void normalize_columns_inplace(Csr<T>& a) {
+  tracked_vector<double> col_sum(static_cast<std::size_t>(a.cols), 0.0);
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    col_sum[static_cast<std::size_t>(a.col_idx[k])] += static_cast<double>(a.val[k]);
+  }
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    const double s = col_sum[static_cast<std::size_t>(a.col_idx[k])];
+    if (s != 0.0) a.val[k] = static_cast<T>(static_cast<double>(a.val[k]) / s);
+  }
+}
+
+template <class T>
+Csr<T> prune(const Csr<T>& a, double tol) {
+  Csr<T> c(a.rows, a.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (std::fabs(static_cast<double>(a.val[k])) > tol) {
+        c.col_idx.push_back(a.col_idx[k]);
+        c.val.push_back(a.val[k]);
+      }
+    }
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+Csr<T> tril_strict(const Csr<T>& a) {
+  Csr<T> c(a.rows, a.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] < i) {
+        c.col_idx.push_back(a.col_idx[k]);
+        c.val.push_back(a.val[k]);
+      }
+    }
+    c.row_ptr[i + 1] = static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+template <class T>
+double value_sum(const Csr<T>& a) {
+  double s = 0.0;
+  for (const auto& v : a.val) s += static_cast<double>(v);
+  return s;
+}
+
+#define TSG_OPS_INSTANTIATE(T)                                     \
+  template Csr<T> identity<T>(index_t);                            \
+  template Csr<T> diagonal(const tracked_vector<T>&);              \
+  template Csr<T> permutation<T>(const tracked_vector<index_t>&);  \
+  template Csr<T> add(const Csr<T>&, const Csr<T>&, T, T);         \
+  template Csr<T> hadamard(const Csr<T>&, const Csr<T>&);          \
+  template Csr<T> structural_mask(const Csr<T>&, const Csr<T>&);   \
+  template void scale_inplace(Csr<T>&, T);                         \
+  template void pow_inplace(Csr<T>&, double);                      \
+  template void normalize_columns_inplace(Csr<T>&);                \
+  template Csr<T> prune(const Csr<T>&, double);                    \
+  template Csr<T> tril_strict(const Csr<T>&);                      \
+  template double value_sum(const Csr<T>&);
+
+TSG_OPS_INSTANTIATE(double)
+TSG_OPS_INSTANTIATE(float)
+#undef TSG_OPS_INSTANTIATE
+
+}  // namespace tsg

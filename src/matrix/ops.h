@@ -1,0 +1,80 @@
+// Element-level sparse matrix operations used by the example applications
+// (AMG Galerkin products, triangle counting, Markov clustering) and by the
+// property-based tests (distributivity, transpose identities).
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// n-by-n identity matrix.
+template <class T>
+Csr<T> identity(index_t n);
+
+/// Diagonal matrix from a vector of length n (zeros on the diagonal are
+/// stored explicitly, keeping the structure predictable).
+template <class T>
+Csr<T> diagonal(const tracked_vector<T>& d);
+
+/// Row permutation matrix P such that (P*A) row i equals A row perm[i].
+/// `perm` must be a permutation of [0, n).
+template <class T>
+Csr<T> permutation(const tracked_vector<index_t>& perm);
+
+/// C = alpha*A + beta*B. Dimensions must match; rows must be sorted.
+template <class T>
+Csr<T> add(const Csr<T>& a, const Csr<T>& b, T alpha = T{1}, T beta = T{1});
+
+/// Hadamard (element-wise) product C = A .* B.
+template <class T>
+Csr<T> hadamard(const Csr<T>& a, const Csr<T>& b);
+
+/// Keep only the entries of A at positions present in the pattern of M
+/// (GraphBLAS-style structural mask). Values come from A.
+template <class T>
+Csr<T> structural_mask(const Csr<T>& a, const Csr<T>& mask);
+
+/// Scale every value: A <- alpha * A.
+template <class T>
+void scale_inplace(Csr<T>& a, T alpha);
+
+/// Raise every value to `power` (element-wise), used by MCL inflation.
+template <class T>
+void pow_inplace(Csr<T>& a, double power);
+
+/// Normalise every column so it sums to 1 (columns that sum to zero are left
+/// untouched), the MCL column-stochastic step.
+template <class T>
+void normalize_columns_inplace(Csr<T>& a);
+
+/// Drop entries with |value| <= tol, and rows keep their sorted order.
+template <class T>
+Csr<T> prune(const Csr<T>& a, double tol);
+
+/// Strictly lower-triangular part of A (entries with col < row).
+template <class T>
+Csr<T> tril_strict(const Csr<T>& a);
+
+/// Sum of all values.
+template <class T>
+double value_sum(const Csr<T>& a);
+
+#define TSG_OPS_EXTERN(T)                                             \
+  extern template Csr<T> identity<T>(index_t);                        \
+  extern template Csr<T> diagonal(const tracked_vector<T>&);          \
+  extern template Csr<T> permutation<T>(const tracked_vector<index_t>&); \
+  extern template Csr<T> add(const Csr<T>&, const Csr<T>&, T, T);     \
+  extern template Csr<T> hadamard(const Csr<T>&, const Csr<T>&);      \
+  extern template Csr<T> structural_mask(const Csr<T>&, const Csr<T>&); \
+  extern template void scale_inplace(Csr<T>&, T);                     \
+  extern template void pow_inplace(Csr<T>&, double);                  \
+  extern template void normalize_columns_inplace(Csr<T>&);            \
+  extern template Csr<T> prune(const Csr<T>&, double);                \
+  extern template Csr<T> tril_strict(const Csr<T>&);                  \
+  extern template double value_sum(const Csr<T>&);
+
+TSG_OPS_EXTERN(double)
+TSG_OPS_EXTERN(float)
+#undef TSG_OPS_EXTERN
+
+}  // namespace tsg

@@ -1,0 +1,108 @@
+#include "matrix/reorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+
+#include "matrix/convert.h"
+#include "matrix/transpose.h"
+
+namespace tsg {
+
+template <class T>
+tracked_vector<index_t> rcm_ordering(const Csr<T>& a) {
+  if (a.rows != a.cols) throw std::invalid_argument("rcm: matrix must be square");
+  const index_t n = a.rows;
+
+  // Work on the symmetrised pattern A | A^T so directed inputs are fine.
+  const Csr<T> at = transpose(a);
+  auto degree = [&](index_t v) { return a.row_nnz(v) + at.row_nnz(v); };
+
+  tracked_vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> neighbours;
+
+  // Vertices sorted by degree: BFS seeds are low-degree peripheral nodes.
+  tracked_vector<index_t> by_degree(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) by_degree[static_cast<std::size_t>(v)] = v;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](index_t x, index_t y) { return degree(x) < degree(y); });
+
+  std::deque<index_t> queue;
+  for (index_t seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    visited[static_cast<std::size_t>(seed)] = true;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      neighbours.clear();
+      for (offset_t k = a.row_ptr[v]; k < a.row_ptr[v + 1]; ++k) {
+        neighbours.push_back(a.col_idx[k]);
+      }
+      for (offset_t k = at.row_ptr[v]; k < at.row_ptr[v + 1]; ++k) {
+        neighbours.push_back(at.col_idx[k]);
+      }
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&](index_t x, index_t y) { return degree(x) < degree(y); });
+      for (index_t u : neighbours) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  // The "reverse" in RCM.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+template <class T>
+Csr<T> permute_symmetric(const Csr<T>& a, const tracked_vector<index_t>& perm) {
+  if (a.rows != a.cols) throw std::invalid_argument("permute: matrix must be square");
+  if (static_cast<index_t>(perm.size()) != a.rows) {
+    throw std::invalid_argument("permute: permutation size mismatch");
+  }
+  // inverse[old] = new.
+  tracked_vector<index_t> inverse(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const index_t old = perm[i];
+    if (old < 0 || old >= a.rows || inverse[static_cast<std::size_t>(old)] >= 0) {
+      throw std::invalid_argument("permute: not a permutation");
+    }
+    inverse[static_cast<std::size_t>(old)] = static_cast<index_t>(i);
+  }
+
+  Coo<T> coo;
+  coo.rows = a.rows;
+  coo.cols = a.cols;
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t ni = inverse[static_cast<std::size_t>(i)];
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      coo.push_back(ni, inverse[static_cast<std::size_t>(a.col_idx[k])], a.val[k]);
+    }
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+template <class T>
+index_t bandwidth(const Csr<T>& a) {
+  index_t bw = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      bw = std::max(bw, static_cast<index_t>(std::abs(a.col_idx[k] - i)));
+    }
+  }
+  return bw;
+}
+
+template tracked_vector<index_t> rcm_ordering(const Csr<double>&);
+template Csr<double> permute_symmetric(const Csr<double>&, const tracked_vector<index_t>&);
+template index_t bandwidth(const Csr<double>&);
+
+}  // namespace tsg

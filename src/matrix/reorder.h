@@ -1,0 +1,36 @@
+// Bandwidth-reducing reordering.
+//
+// Tile occupancy — the quantity that decides whether TileSpGEMM wins
+// (Fig. 7/9) or drowns in per-tile metadata (cop20k_A) — is not intrinsic
+// to a matrix, only to its ordering: scattered nonzeros land in millions of
+// near-empty 16x16 tiles, while the same matrix reordered to a narrow band
+// packs them densely. Reverse Cuthill-McKee is the classic bandwidth
+// reducer; bench_ablation_reorder quantifies its effect on the tiled
+// pipeline.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Reverse Cuthill-McKee ordering of the symmetrised pattern of A.
+/// Returns `perm` with perm[new_index] = old_index, covering every vertex
+/// (multiple components are handled by restarting from the lowest-degree
+/// unvisited vertex).
+template <class T>
+tracked_vector<index_t> rcm_ordering(const Csr<T>& a);
+
+/// Symmetric permutation B = A(perm, perm): B[i][j] = A[perm[i]][perm[j]].
+template <class T>
+Csr<T> permute_symmetric(const Csr<T>& a, const tracked_vector<index_t>& perm);
+
+/// Half bandwidth max_i |i - j| over nonzeros — what RCM minimises.
+template <class T>
+index_t bandwidth(const Csr<T>& a);
+
+extern template tracked_vector<index_t> rcm_ordering(const Csr<double>&);
+extern template Csr<double> permute_symmetric(const Csr<double>&,
+                                              const tracked_vector<index_t>&);
+extern template index_t bandwidth(const Csr<double>&);
+
+}  // namespace tsg

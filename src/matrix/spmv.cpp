@@ -1,0 +1,28 @@
+#include "matrix/spmv.h"
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+void spmv(const Csr<T>& a, const tracked_vector<T>& x, tracked_vector<T>& y) {
+  if (static_cast<index_t>(x.size()) != a.cols) {
+    throw std::invalid_argument("spmv: x size mismatch");
+  }
+  y.assign(static_cast<std::size_t>(a.rows), T{});
+  parallel_for(index_t{0}, a.rows, [&](index_t i) {
+    T sum{};
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      sum += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  });
+}
+
+template void spmv(const Csr<double>&, const tracked_vector<double>&,
+                   tracked_vector<double>&);
+template void spmv(const Csr<float>&, const tracked_vector<float>&, tracked_vector<float>&);
+
+}  // namespace tsg

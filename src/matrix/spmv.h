@@ -1,0 +1,18 @@
+// CSR sparse matrix-vector multiplication — reference kernel used to
+// validate the tile-format SpMV and by the solver-style examples.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// y = A*x. `x` must have size A.cols; `y` is resized to A.rows.
+template <class T>
+void spmv(const Csr<T>& a, const tracked_vector<T>& x, tracked_vector<T>& y);
+
+extern template void spmv(const Csr<double>&, const tracked_vector<double>&,
+                          tracked_vector<double>&);
+extern template void spmv(const Csr<float>&, const tracked_vector<float>&,
+                          tracked_vector<float>&);
+
+}  // namespace tsg

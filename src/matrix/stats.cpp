@@ -1,0 +1,48 @@
+#include "matrix/stats.h"
+
+#include "common/parallel.h"
+
+namespace tsg {
+
+template <class T>
+offset_t intermediate_products(const Csr<T>& a, const Csr<T>& b) {
+  return parallel_reduce(index_t{0}, a.rows, offset_t{0}, [&](index_t i) {
+    offset_t products = 0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      products += b.row_nnz(a.col_idx[k]);
+    }
+    return products;
+  });
+}
+
+template <class T>
+offset_t spgemm_flops(const Csr<T>& a, const Csr<T>& b) {
+  return 2 * intermediate_products(a, b);
+}
+
+template <class T>
+RowFlopsHistogram row_flops_histogram(const Csr<T>& a, const Csr<T>& b) {
+  RowFlopsHistogram h;
+  for (index_t i = 0; i < a.rows; ++i) {
+    offset_t products = 0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      products += b.row_nnz(a.col_idx[k]);
+    }
+    const offset_t flops = 2 * products;
+    h.max_row_flops = flops > h.max_row_flops ? flops : h.max_row_flops;
+    int decade = 0;
+    for (offset_t v = flops; v >= 10; v /= 10) ++decade;
+    if (decade >= RowFlopsHistogram::kDecades) decade = RowFlopsHistogram::kDecades - 1;
+    h.decade_count[static_cast<std::size_t>(decade)]++;
+  }
+  return h;
+}
+
+template offset_t intermediate_products(const Csr<double>&, const Csr<double>&);
+template offset_t intermediate_products(const Csr<float>&, const Csr<float>&);
+template offset_t spgemm_flops(const Csr<double>&, const Csr<double>&);
+template offset_t spgemm_flops(const Csr<float>&, const Csr<float>&);
+template RowFlopsHistogram row_flops_histogram(const Csr<double>&, const Csr<double>&);
+template RowFlopsHistogram row_flops_histogram(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,60 @@
+// SpGEMM workload statistics: intermediate-product counts, flops,
+// compression rate, and the per-row work histogram used by the paper's
+// Section 2.3 load-imbalance motivation (webbase-1M).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Number of intermediate products of C = A*B:
+///   sum over nonzeros a_ij of nnz(B row j).
+/// The paper's "#flops" is twice this (one multiply + one add per product).
+template <class T>
+offset_t intermediate_products(const Csr<T>& a, const Csr<T>& b);
+
+/// Floating point operations of C = A*B (2 * intermediate products).
+template <class T>
+offset_t spgemm_flops(const Csr<T>& a, const Csr<T>& b);
+
+/// Compression rate as defined under Table 2: intermediate products of
+/// C = A*B divided by nnz(C).
+inline double compression_rate(offset_t products, offset_t nnz_c) {
+  return nnz_c > 0 ? static_cast<double>(products) / static_cast<double>(nnz_c) : 0.0;
+}
+
+/// Histogram of per-row flops in decades, reproducing the paper's
+/// webbase-1M discussion: bucket d counts rows whose flops lie in
+/// [10^d, 10^(d+1)); bucket 0 also absorbs rows with zero work.
+struct RowFlopsHistogram {
+  static constexpr int kDecades = 12;
+  std::array<std::int64_t, kDecades> decade_count{};
+  offset_t max_row_flops = 0;
+
+  /// Rows with flops >= 10^d.
+  std::int64_t rows_at_least(int d) const {
+    std::int64_t total = 0;
+    for (int i = d; i < kDecades; ++i) total += decade_count[i];
+    return total;
+  }
+};
+
+template <class T>
+RowFlopsHistogram row_flops_histogram(const Csr<T>& a, const Csr<T>& b);
+
+/// GFlops throughput given flops and milliseconds.
+inline double gflops(offset_t flops, double ms) {
+  return ms > 0 ? static_cast<double>(flops) / (ms * 1e6) : 0.0;
+}
+
+extern template offset_t intermediate_products(const Csr<double>&, const Csr<double>&);
+extern template offset_t intermediate_products(const Csr<float>&, const Csr<float>&);
+extern template offset_t spgemm_flops(const Csr<double>&, const Csr<double>&);
+extern template offset_t spgemm_flops(const Csr<float>&, const Csr<float>&);
+extern template RowFlopsHistogram row_flops_histogram(const Csr<double>&, const Csr<double>&);
+extern template RowFlopsHistogram row_flops_histogram(const Csr<float>&, const Csr<float>&);
+
+}  // namespace tsg

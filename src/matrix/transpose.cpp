@@ -1,0 +1,17 @@
+#include "matrix/transpose.h"
+
+#include "matrix/convert.h"
+
+namespace tsg {
+
+template <class T>
+Csr<T> transpose(const Csr<T>& a) {
+  // CSR -> CSC is a counting sort by column; reinterpreting the CSC arrays
+  // as CSR of the transpose is free and leaves rows sorted.
+  return csc_to_csr_of_transpose(csr_to_csc(a));
+}
+
+template Csr<double> transpose(const Csr<double>&);
+template Csr<float> transpose(const Csr<float>&);
+
+}  // namespace tsg

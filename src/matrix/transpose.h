@@ -1,0 +1,16 @@
+// Explicit CSR transpose — the substrate for the paper's `-aat 1` mode,
+// which computes C = A * A^T by materialising A^T first.
+#pragma once
+
+#include "matrix/csr.h"
+
+namespace tsg {
+
+/// Returns A^T in CSR with sorted rows. O(nnz) counting-sort construction.
+template <class T>
+Csr<T> transpose(const Csr<T>& a);
+
+extern template Csr<double> transpose(const Csr<double>&);
+extern template Csr<float> transpose(const Csr<float>&);
+
+}  // namespace tsg

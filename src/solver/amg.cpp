@@ -1,0 +1,280 @@
+#include "solver/amg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/tile_convert.h"
+#include "core/tile_spmv.h"
+#include "core/tile_spgemm.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "matrix/spmv.h"
+#include "matrix/transpose.h"
+
+namespace tsg::solver {
+
+namespace {
+
+tracked_vector<double> diagonal_of(const Csr<double>& a) {
+  tracked_vector<double> d(static_cast<std::size_t>(a.rows), 0.0);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == i) d[static_cast<std::size_t>(i)] = a.val[k];
+    }
+  }
+  return d;
+}
+
+/// Tentative (piecewise-constant) prolongator from aggregate labels.
+Csr<double> tentative_prolongator(const tracked_vector<index_t>& agg, index_t coarse_n) {
+  Coo<double> coo;
+  coo.rows = static_cast<index_t>(agg.size());
+  coo.cols = coarse_n;
+  for (index_t i = 0; i < coo.rows; ++i) {
+    coo.push_back(i, agg[static_cast<std::size_t>(i)], 1.0);
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+double dot(const tracked_vector<double>& x, const tracked_vector<double>& y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace
+
+tracked_vector<index_t> aggregate(const Csr<double>& a, double strength_threshold) {
+  const index_t n = a.rows;
+  const tracked_vector<double> diag = diagonal_of(a);
+  tracked_vector<index_t> agg(static_cast<std::size_t>(n), -1);
+
+  auto strong = [&](index_t i, index_t j, double v) {
+    if (i == j) return false;
+    const double scale = std::sqrt(std::fabs(diag[static_cast<std::size_t>(i)] *
+                                             diag[static_cast<std::size_t>(j)]));
+    return std::fabs(v) >= strength_threshold * (scale > 0 ? scale : 1.0);
+  };
+
+  // Pass 1: root points seed aggregates with their whole strong
+  // neighbourhood (classic greedy aggregation).
+  index_t next = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] >= 0) continue;
+    bool taken = false;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1] && !taken; ++k) {
+      const index_t j = a.col_idx[k];
+      if (strong(i, j, a.val[k]) && agg[static_cast<std::size_t>(j)] >= 0) taken = true;
+    }
+    if (taken) continue;  // pass 2 attaches it to a neighbour aggregate
+    agg[static_cast<std::size_t>(i)] = next;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t j = a.col_idx[k];
+      if (strong(i, j, a.val[k]) && agg[static_cast<std::size_t>(j)] < 0) {
+        agg[static_cast<std::size_t>(j)] = next;
+      }
+    }
+    ++next;
+  }
+  // Pass 2: attach stragglers to any strong neighbour's aggregate, or give
+  // isolated vertices their own.
+  for (index_t i = 0; i < n; ++i) {
+    if (agg[static_cast<std::size_t>(i)] >= 0) continue;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const index_t j = a.col_idx[k];
+      if (strong(i, j, a.val[k]) && agg[static_cast<std::size_t>(j)] >= 0) {
+        agg[static_cast<std::size_t>(i)] = agg[static_cast<std::size_t>(j)];
+        break;
+      }
+    }
+    if (agg[static_cast<std::size_t>(i)] < 0) agg[static_cast<std::size_t>(i)] = next++;
+  }
+  return agg;
+}
+
+AmgHierarchy::AmgHierarchy(const Csr<double>& a, const AmgOptions& options)
+    : options_(options) {
+  if (a.rows != a.cols) throw std::invalid_argument("amg: matrix must be square");
+
+  Csr<double> current = a;
+  for (int l = 0; l < options.max_levels; ++l) {
+    AmgLevel lvl;
+    lvl.a = current;
+    lvl.a_tile = csr_to_tile(current);
+    lvl.inv_diag.assign(static_cast<std::size_t>(current.rows), 0.0);
+    const tracked_vector<double> diag = diagonal_of(current);
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      lvl.inv_diag[i] = diag[i] != 0.0 ? 1.0 / diag[i] : 0.0;
+    }
+    const bool coarsest =
+        current.rows <= options.coarse_size || l == options.max_levels - 1;
+    if (!coarsest) {
+      const tracked_vector<index_t> agg = aggregate(current, options.strength_threshold);
+      index_t coarse_n = 0;
+      for (index_t id : agg) coarse_n = std::max(coarse_n, id + 1);
+      if (coarse_n >= current.rows) {
+        // Aggregation stalled (e.g. diagonal matrix): stop coarsening.
+        levels_.push_back(std::move(lvl));
+        break;
+      }
+      Csr<double> p = tentative_prolongator(agg, coarse_n);
+      if (options.smooth_prolongator) {
+        // P = (I - omega D^-1 A) T : one SpGEMM plus a scaled add.
+        Csr<double> da = current;  // D^-1 A
+        for (index_t i = 0; i < da.rows; ++i) {
+          for (offset_t k = da.row_ptr[i]; k < da.row_ptr[i + 1]; ++k) {
+            da.val[k] *= lvl.inv_diag[static_cast<std::size_t>(i)];
+          }
+        }
+        const Csr<double> dap = spgemm_tile(da, p);
+        p = add(p, dap, 1.0, -options.jacobi_omega);
+      }
+      lvl.p = p;
+      lvl.r = transpose(p);
+
+      // Galerkin product via two tiled SpGEMMs.
+      const Csr<double> ap = spgemm_tile(current, p);
+      current = spgemm_tile(lvl.r, ap);
+      levels_.push_back(std::move(lvl));
+    } else {
+      levels_.push_back(std::move(lvl));
+      break;
+    }
+  }
+
+  // Dense LU with partial pivoting of the coarsest operator.
+  const Csr<double>& coarse = levels_.back().a;
+  coarse_n_ = coarse.rows;
+  coarse_lu_.assign(static_cast<std::size_t>(coarse_n_) * coarse_n_, 0.0);
+  coarse_piv_.resize(static_cast<std::size_t>(coarse_n_));
+  for (index_t i = 0; i < coarse_n_; ++i) {
+    for (offset_t k = coarse.row_ptr[i]; k < coarse.row_ptr[i + 1]; ++k) {
+      coarse_lu_[static_cast<std::size_t>(i) * coarse_n_ + coarse.col_idx[k]] = coarse.val[k];
+    }
+  }
+  for (index_t c = 0; c < coarse_n_; ++c) {
+    index_t pivot = c;
+    for (index_t r = c + 1; r < coarse_n_; ++r) {
+      if (std::fabs(coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + c]) >
+          std::fabs(coarse_lu_[static_cast<std::size_t>(pivot) * coarse_n_ + c])) {
+        pivot = r;
+      }
+    }
+    coarse_piv_[static_cast<std::size_t>(c)] = pivot;
+    if (pivot != c) {
+      for (index_t j = 0; j < coarse_n_; ++j) {
+        std::swap(coarse_lu_[static_cast<std::size_t>(c) * coarse_n_ + j],
+                  coarse_lu_[static_cast<std::size_t>(pivot) * coarse_n_ + j]);
+      }
+    }
+    const double d = coarse_lu_[static_cast<std::size_t>(c) * coarse_n_ + c];
+    if (d == 0.0) continue;  // singular block; solve leaves it unchanged
+    for (index_t r = c + 1; r < coarse_n_; ++r) {
+      const double f = coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + c] / d;
+      coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + c] = f;
+      for (index_t j = c + 1; j < coarse_n_; ++j) {
+        coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + j] -=
+            f * coarse_lu_[static_cast<std::size_t>(c) * coarse_n_ + j];
+      }
+    }
+  }
+}
+
+void AmgHierarchy::smooth(const AmgLevel& lvl, tracked_vector<double>& x,
+                          const tracked_vector<double>& b, int sweeps) const {
+  tracked_vector<double> ax;
+  for (int s = 0; s < sweeps; ++s) {
+    tile_spmv(lvl.a_tile, x, ax);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += options_.jacobi_omega * lvl.inv_diag[i] * (b[i] - ax[i]);
+    }
+  }
+}
+
+void AmgHierarchy::coarse_solve(tracked_vector<double>& x,
+                                const tracked_vector<double>& b) const {
+  x = b;
+  for (index_t c = 0; c < coarse_n_; ++c) {
+    std::swap(x[static_cast<std::size_t>(c)],
+              x[static_cast<std::size_t>(coarse_piv_[static_cast<std::size_t>(c)])]);
+  }
+  for (index_t r = 0; r < coarse_n_; ++r) {  // forward
+    for (index_t j = 0; j < r; ++j) {
+      x[static_cast<std::size_t>(r)] -=
+          coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + j] *
+          x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (index_t r = coarse_n_; r-- > 0;) {  // backward
+    for (index_t j = r + 1; j < coarse_n_; ++j) {
+      x[static_cast<std::size_t>(r)] -=
+          coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + j] *
+          x[static_cast<std::size_t>(j)];
+    }
+    const double d = coarse_lu_[static_cast<std::size_t>(r) * coarse_n_ + r];
+    if (d != 0.0) x[static_cast<std::size_t>(r)] /= d;
+  }
+}
+
+void AmgHierarchy::cycle(std::size_t l, tracked_vector<double>& x,
+                         const tracked_vector<double>& b) const {
+  const AmgLevel& lvl = levels_[l];
+  if (l + 1 == levels_.size()) {
+    coarse_solve(x, b);
+    return;
+  }
+  smooth(lvl, x, b, options_.pre_smooth);
+
+  // Residual restriction: r_c = R (b - A x).
+  tracked_vector<double> ax;
+  tile_spmv(lvl.a_tile, x, ax);
+  tracked_vector<double> res(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) res[i] = b[i] - ax[i];
+  tracked_vector<double> rc;
+  spmv(lvl.r, res, rc);
+
+  tracked_vector<double> xc(rc.size(), 0.0);
+  cycle(l + 1, xc, rc);
+
+  // Prolongate and correct.
+  tracked_vector<double> correction;
+  spmv(lvl.p, xc, correction);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += correction[i];
+
+  smooth(lvl, x, b, options_.post_smooth);
+}
+
+void AmgHierarchy::v_cycle(tracked_vector<double>& x,
+                           const tracked_vector<double>& b) const {
+  cycle(0, x, b);
+}
+
+int AmgHierarchy::solve(tracked_vector<double>& x, const tracked_vector<double>& b,
+                        double rel_tol, int max_iterations) const {
+  const AmgLevel& fine = levels_.front();
+  const double b_norm = std::sqrt(dot(b, b));
+  if (b_norm == 0.0) {
+    x.assign(b.size(), 0.0);
+    return 0;
+  }
+  tracked_vector<double> ax;
+  for (int it = 1; it <= max_iterations; ++it) {
+    v_cycle(x, b);
+    tile_spmv(fine.a_tile, x, ax);
+    double res = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const double r = b[i] - ax[i];
+      res += r * r;
+    }
+    if (std::sqrt(res) <= rel_tol * b_norm) return it;
+  }
+  return -1;
+}
+
+double AmgHierarchy::operator_complexity() const {
+  double total = 0.0;
+  for (const AmgLevel& l : levels_) total += static_cast<double>(l.a.nnz());
+  return total / static_cast<double>(levels_.front().a.nnz());
+}
+
+}  // namespace tsg::solver

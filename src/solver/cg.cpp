@@ -1,0 +1,77 @@
+#include "solver/cg.h"
+
+#include <cmath>
+
+#include "core/tile_spmv.h"
+
+namespace tsg::solver {
+
+namespace {
+
+double dot(const tracked_vector<double>& x, const tracked_vector<double>& y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace
+
+Preconditioner identity_preconditioner() {
+  return [](tracked_vector<double>& z, const tracked_vector<double>& r) { z = r; };
+}
+
+Preconditioner amg_preconditioner(const AmgHierarchy& hierarchy) {
+  return [&hierarchy](tracked_vector<double>& z, const tracked_vector<double>& r) {
+    z.assign(r.size(), 0.0);
+    hierarchy.v_cycle(z, r);
+  };
+}
+
+CgResult conjugate_gradient(const TileMatrix<double>& a, const tracked_vector<double>& b,
+                            tracked_vector<double>& x, const Preconditioner& precond,
+                            double rel_tol, int max_iterations) {
+  CgResult result;
+  const std::size_t n = b.size();
+  if (x.size() != n) x.assign(n, 0.0);
+
+  tracked_vector<double> r(n), z(n), p(n), ap(n);
+  tile_spmv(a, x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  const double b_norm = std::sqrt(dot(b, b));
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  precond(z, r);
+  p = z;
+  double rz = dot(r, z);
+
+  for (int it = 1; it <= max_iterations; ++it) {
+    tile_spmv(a, p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double res_norm = std::sqrt(dot(r, r));
+    result.iterations = it;
+    result.relative_residual = res_norm / b_norm;
+    if (result.relative_residual <= rel_tol) {
+      result.converged = true;
+      return result;
+    }
+    precond(z, r);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace tsg::solver

@@ -1,0 +1,34 @@
+// Conjugate gradients with optional AMG preconditioning — completes the
+// "sparse linear solver" story the paper opens with: the SpGEMMs build the
+// AMG hierarchy, the tiled SpMV drives the Krylov iteration.
+#pragma once
+
+#include <functional>
+
+#include "core/tile_format.h"
+#include "solver/amg.h"
+
+namespace tsg::solver {
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Preconditioner interface: z = M^-1 r.
+using Preconditioner =
+    std::function<void(tracked_vector<double>& z, const tracked_vector<double>& r)>;
+
+/// Identity preconditioner (plain CG).
+Preconditioner identity_preconditioner();
+
+/// One AMG V-cycle as the preconditioner.
+Preconditioner amg_preconditioner(const AmgHierarchy& hierarchy);
+
+/// Solve A x = b for SPD A in tile form.
+CgResult conjugate_gradient(const TileMatrix<double>& a, const tracked_vector<double>& b,
+                            tracked_vector<double>& x, const Preconditioner& precond,
+                            double rel_tol = 1e-8, int max_iterations = 1000);
+
+}  // namespace tsg::solver

@@ -1,0 +1,175 @@
+// Every row-row baseline validated against the serial reference across all
+// structure classes, shapes and operations — the baselines must be correct
+// comparators for the performance figures to mean anything.
+#include <gtest/gtest.h>
+
+#include "baselines/esc.h"
+#include "baselines/hash.h"
+#include "baselines/heap.h"
+#include "baselines/spa.h"
+#include "baselines/speck.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "matrix/transpose.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+using test::check_against_reference;
+using test::expect_equal;
+
+using SpgemmFn = Csr<double> (*)(const Csr<double>&, const Csr<double>&);
+
+struct BaselineCase {
+  const char* algo_name;
+  SpgemmFn fn;
+  const char* matrix_name;
+  Csr<double> (*make)();
+};
+
+class BaselineSweep : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineSweep, MatchesReferenceOnASquared) {
+  const auto& p = GetParam();
+  const Csr<double> a = p.make();
+  check_against_reference(a, a, p.fn, std::string(p.algo_name) + "/" + p.matrix_name);
+}
+
+TEST_P(BaselineSweep, MatchesReferenceOnAAT) {
+  const auto& p = GetParam();
+  const Csr<double> a = p.make();
+  const Csr<double> at = transpose(a);
+  check_against_reference(a, at, p.fn,
+                          std::string(p.algo_name) + "/" + p.matrix_name + "/aat");
+}
+
+std::vector<BaselineCase> all_cases() {
+  struct Algo {
+    const char* name;
+    SpgemmFn fn;
+  };
+  const Algo algos[] = {
+      {"spa", &spgemm_spa<double>},   {"esc", &spgemm_esc<double>},
+      {"hash", &spgemm_hash<double>}, {"heap", &spgemm_heap<double>},
+      {"speck", &spgemm_speck<double>},
+  };
+  struct Mat {
+    const char* name;
+    Csr<double> (*make)();
+  };
+  const Mat mats[] = {
+      {"er_small", test::make_er_small},   {"er_dense", test::make_er_dense},
+      {"rmat", test::make_rmat_small},     {"stencil5", test::make_stencil},
+      {"band", test::make_band},           {"band_wide", test::make_band_wide},
+      {"blocks", test::make_blocks},       {"clustered", test::make_clustered},
+      {"hyper_sparse", test::make_hyper_sparse},
+  };
+  std::vector<BaselineCase> cases;
+  for (const Algo& a : algos) {
+    for (const Mat& m : mats) cases.push_back({a.name, a.fn, m.name, m.make});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithmsAllStructures, BaselineSweep,
+                         ::testing::ValuesIn(all_cases()), [](const auto& info) {
+                           return std::string(info.param.algo_name) + "_" +
+                                  info.param.matrix_name;
+                         });
+
+// ------------------------------------------------------- per-method edges --
+
+template <class Fn>
+void common_edge_checks(Fn fn, const char* name) {
+  SCOPED_TRACE(name);
+  // Empty matrices.
+  const Csr<double> e(25, 25);
+  EXPECT_EQ(fn(e, e).nnz(), 0);
+  // Identity neutrality.
+  const Csr<double> a = gen::erdos_renyi(90, 90, 600, 7);
+  const Csr<double> i = identity<double>(90);
+  expect_equal(a, fn(a, i), std::string(name) + "/A*I");
+  expect_equal(a, fn(i, a), std::string(name) + "/I*A");
+  // Rectangular.
+  const Csr<double> r1 = gen::erdos_renyi(40, 90, 300, 8);
+  const Csr<double> r2 = gen::erdos_renyi(90, 60, 400, 9);
+  check_against_reference(r1, r2, fn, std::string(name) + "/rect");
+  // Dimension mismatch.
+  EXPECT_THROW(fn(r1, r1), std::invalid_argument);
+}
+
+TEST(BaselineEdge, Spa) { common_edge_checks(&spgemm_spa<double>, "spa"); }
+TEST(BaselineEdge, Esc) { common_edge_checks(&spgemm_esc<double>, "esc"); }
+TEST(BaselineEdge, Hash) { common_edge_checks(&spgemm_hash<double>, "hash"); }
+TEST(BaselineEdge, Heap) { common_edge_checks(&spgemm_heap<double>, "heap"); }
+TEST(BaselineEdge, Speck) { common_edge_checks(&spgemm_speck<double>, "speck"); }
+
+TEST(BaselineEdge, AllKeepCancellationZeros) {
+  // Same construction as the core test: product structurally nonzero but
+  // numerically zero must survive in every method.
+  Coo<double> ca;
+  ca.rows = ca.cols = 2;
+  ca.push_back(0, 0, 1.0);
+  ca.push_back(0, 1, 1.0);
+  Coo<double> cb;
+  cb.rows = cb.cols = 2;
+  cb.push_back(0, 0, 1.0);
+  cb.push_back(1, 0, -1.0);
+  const Csr<double> a = coo_to_csr(std::move(ca));
+  const Csr<double> b = coo_to_csr(std::move(cb));
+  for (auto [name, fn] : {std::pair<const char*, SpgemmFn>{"spa", &spgemm_spa<double>},
+                          {"esc", &spgemm_esc<double>},
+                          {"hash", &spgemm_hash<double>},
+                          {"heap", &spgemm_heap<double>},
+                          {"speck", &spgemm_speck<double>}}) {
+    SCOPED_TRACE(name);
+    const Csr<double> c = fn(a, b);
+    ASSERT_EQ(c.nnz(), 1);
+    EXPECT_DOUBLE_EQ(c.val[0], 0.0);
+  }
+}
+
+TEST(BaselineEdge, HashSymbolicPattern) {
+  const Csr<double> a = test::make_er_small();
+  const Csr<double> ref = spgemm_reference(a, a);
+  const Csr<double> sym = spgemm_hash_symbolic(a, a);
+  ASSERT_EQ(sym.nnz(), ref.nnz());
+  for (std::size_t k = 0; k < sym.col_idx.size(); ++k) {
+    ASSERT_EQ(sym.col_idx[k], ref.col_idx[k]);
+    ASSERT_DOUBLE_EQ(sym.val[k], 1.0);
+  }
+}
+
+TEST(BaselineEdge, EscHandlesLongSkewedRows) {
+  // One row that alone produces most intermediate products (webbase-style
+  // skew) — stresses the per-row sort path.
+  Coo<double> coo;
+  coo.rows = coo.cols = 400;
+  for (index_t j = 0; j < 400; ++j) coo.push_back(0, j, 1.0);
+  for (index_t i = 1; i < 400; ++i) coo.push_back(i, (i * 7) % 400, 0.5);
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  check_against_reference(a, a, &spgemm_esc<double>, "esc/skewed");
+  check_against_reference(a, a, &spgemm_speck<double>, "speck/skewed");
+  check_against_reference(a, a, &spgemm_hash<double>, "hash/skewed");
+}
+
+TEST(BaselineEdge, SpeckBinsCoverAllPaths) {
+  // Matrix engineered so different rows land in different spECK bins:
+  // row 0 dense-ish (dense-SPA bin), rows 1-10 tiny, a mid block for the
+  // stack-hash bin, and one long random row for the global-hash bin.
+  Coo<double> coo;
+  coo.rows = coo.cols = 3000;
+  for (index_t j = 0; j < 2000; ++j) coo.push_back(0, j, 1.0);      // dense bin
+  for (index_t i = 1; i <= 10; ++i) coo.push_back(i, i, 2.0);       // tiny bin
+  for (index_t i = 11; i < 100; ++i) {
+    for (index_t k = 0; k < 5; ++k) coo.push_back(i, (i * 31 + k * 101) % 3000, 1.5);
+  }
+  for (index_t k = 0; k < 700; ++k) coo.push_back(200, (k * 17) % 3000, 0.25);
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  check_against_reference(a, a, &spgemm_speck<double>, "speck/bins");
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,111 @@
+// Chained-product scenarios: repeated squaring, Galerkin-style triple
+// products, and AMG on an anisotropic operator — the multi-SpGEMM usage
+// patterns the paper's conversion-amortisation argument (§4.6) is about.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "matrix/compare.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "matrix/transpose.h"
+#include "solver/amg.h"
+#include "solver/cg.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+void expect_equal_pruned(const Csr<double>& expected, const Csr<double>& actual,
+                         const char* what) {
+  CompareOptions opt;
+  opt.rel_tol = 1e-8;
+  opt.prune_zeros = true;
+  opt.prune_tol = 1e-10;
+  const CompareResult r = compare(expected, actual, opt);
+  EXPECT_TRUE(r.equal) << what << ": " << r.message;
+}
+
+TEST(Chains, RepeatedSquaringStaysInTileFormat) {
+  // A^8 computed by three tile-native squarings vs three reference
+  // squarings: errors compound but structures driven by the same symbolic
+  // rule must track each other.
+  const Csr<double> a = gen::erdos_renyi(150, 150, 600, 21, {0.01, 0.11});
+  TileMatrix<double> t = csr_to_tile(a);
+  Csr<double> ref = a;
+  for (int i = 0; i < 3; ++i) {
+    t = tile_spgemm(t, t).c;
+    ref = spgemm_reference(ref, ref);
+  }
+  expect_equal_pruned(ref, tile_to_csr(t), "A^8");
+}
+
+TEST(Chains, GalerkinTripleProductAssociations) {
+  // R*(A*P) == (R*A)*P — the two ways AMG codes order the triple product.
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(96, 96, 700, 22));
+  Coo<double> coo;
+  coo.rows = 96;
+  coo.cols = 24;
+  for (index_t i = 0; i < 96; ++i) coo.push_back(i, i / 4, 1.0);
+  const Csr<double> p = coo_to_csr(std::move(coo));
+  const Csr<double> r = transpose(p);
+
+  const Csr<double> left = spgemm_tile(spgemm_tile(r, a), p);
+  const Csr<double> right = spgemm_tile(r, spgemm_tile(a, p));
+  expect_equal_pruned(left, right, "(RA)P vs R(AP)");
+}
+
+TEST(Chains, AmgHandlesAnisotropy) {
+  // Anisotropic 5-point operator (strong x-coupling, weak y): the
+  // strength-of-connection filter must still produce a convergent
+  // hierarchy as a CG preconditioner.
+  const index_t nx = 32, ny = 32;
+  const double eps = 0.05;  // weak direction
+  Coo<double> coo;
+  coo.rows = coo.cols = nx * ny;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t row = y * nx + x;
+      coo.push_back(row, row, 2.0 + 2.0 * eps);
+      if (x > 0) coo.push_back(row, row - 1, -1.0);
+      if (x + 1 < nx) coo.push_back(row, row + 1, -1.0);
+      if (y > 0) coo.push_back(row, row - nx, -eps);
+      if (y + 1 < ny) coo.push_back(row, row + nx, -eps);
+    }
+  }
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  const solver::AmgHierarchy h(a);
+  EXPECT_GE(h.levels(), 2u);
+
+  const TileMatrix<double> t = csr_to_tile(a);
+  tracked_vector<double> b(static_cast<std::size_t>(a.rows), 1.0), x;
+  const auto res =
+      solver::conjugate_gradient(t, b, x, solver::amg_preconditioner(h), 1e-8, 500);
+  EXPECT_TRUE(res.converged) << "iterations " << res.iterations;
+}
+
+TEST(Chains, MarkovStyleNormalizedPowers) {
+  // Column-stochastic powers stay column-stochastic through tile products
+  // (the MCL expansion invariant).
+  Csr<double> m = gen::erdos_renyi(80, 80, 640, 23, {0.1, 1.0});
+  normalize_columns_inplace(m);
+  Csr<double> p = m;
+  for (int step = 0; step < 3; ++step) {
+    p = spgemm_tile(p, m);
+    tracked_vector<double> col_sum(80, 0.0);
+    for (std::size_t k = 0; k < p.col_idx.size(); ++k) {
+      col_sum[static_cast<std::size_t>(p.col_idx[k])] += p.val[k];
+    }
+    for (index_t j = 0; j < 80; ++j) {
+      // Columns reachable in the chain sum to 1; unreachable stay 0.
+      if (col_sum[static_cast<std::size_t>(j)] != 0.0) {
+        ASSERT_NEAR(col_sum[static_cast<std::size_t>(j)], 1.0, 1e-9)
+            << "step " << step << " col " << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,90 @@
+// Drives the artifact-style command line tool end-to-end: writes a Matrix
+// Market file, runs `tilespgemm_cli` on it (A^2 and AA^T), and checks the
+// documented output lines (appendix A.8) and exit status.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/generators.h"
+#include "matrix/io_mm.h"
+
+#ifndef TSG_CLI_PATH
+#error "TSG_CLI_PATH must be defined by the build"
+#endif
+
+namespace tsg {
+namespace {
+
+std::string run_cli(const std::string& args, int& exit_code) {
+  const std::string out_path = ::testing::TempDir() + "/tsg_cli_out.txt";
+  const std::string cmd = std::string(TSG_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
+  exit_code = std::system(cmd.c_str());
+  std::ifstream in(out_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string write_test_matrix() {
+  const std::string path = ::testing::TempDir() + "/tsg_cli_matrix.mtx";
+  write_matrix_market_file(path, gen::erdos_renyi(120, 120, 900, 99));
+  return path;
+}
+
+TEST(Cli, ComputesASquaredFromMtxFile) {
+  const std::string mtx = write_test_matrix();
+  int code = -1;
+  const std::string out = run_cli("-d 0 -aat 0 " + mtx, code);
+  EXPECT_EQ(code, 0) << out;
+  // The documented output lines (appendix A.8).
+  EXPECT_NE(out.find("rows = 120, cols = 120"), std::string::npos) << out;
+  EXPECT_NE(out.find("tile size: 16 x 16"), std::string::npos);
+  EXPECT_NE(out.find("#flops of C = A*A:"), std::string::npos);
+  EXPECT_NE(out.find("CSR->tile conversion time:"), std::string::npos);
+  EXPECT_NE(out.find("tiled structure space:"), std::string::npos);
+  EXPECT_NE(out.find("step 1"), std::string::npos);
+  EXPECT_NE(out.find("step 2"), std::string::npos);
+  EXPECT_NE(out.find("step 3"), std::string::npos);
+  EXPECT_NE(out.find("tiles of C:"), std::string::npos);
+  EXPECT_NE(out.find("nnz of C:"), std::string::npos);
+  EXPECT_NE(out.find("GFlops"), std::string::npos);
+  EXPECT_NE(out.find("check vs independent SpGEMM: PASS"), std::string::npos) << out;
+}
+
+TEST(Cli, ComputesAATWhenRequested) {
+  const std::string mtx = write_test_matrix();
+  int code = -1;
+  const std::string out = run_cli("-aat 1 " + mtx, code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("#flops of C = A*A^T:"), std::string::npos);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+}
+
+TEST(Cli, RunsOnGeneratedMatrixWithoutArguments) {
+  int code = -1;
+  const std::string out = run_cli("", code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("<generated"), std::string::npos);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+}
+
+TEST(Cli, FailsCleanlyOnMissingFile) {
+  int code = -1;
+  const std::string out = run_cli("/no/such/file.mtx", code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  int code = -1;
+  const std::string out = run_cli("--bogus", code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,74 @@
+// Bit-mask helpers: these carry the symbolic phase of the tile algorithm,
+// so they are pinned down exhaustively.
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+
+namespace tsg {
+namespace {
+
+TEST(Bitops, Popcount16) {
+  EXPECT_EQ(popcount16(0x0000), 0);
+  EXPECT_EQ(popcount16(0xFFFF), 16);
+  EXPECT_EQ(popcount16(0x0001), 1);
+  EXPECT_EQ(popcount16(0x8000), 1);
+  EXPECT_EQ(popcount16(0xAAAA), 8);
+  EXPECT_EQ(popcount16(0b1110), 3);  // the paper's Fig. 5 example mask c10
+}
+
+TEST(Bitops, BitOfCoversAllColumns) {
+  for (index_t c = 0; c < kTileDim; ++c) {
+    EXPECT_EQ(popcount16(bit_of(c)), 1);
+    EXPECT_EQ(mask_select(bit_of(c), 0), c);
+  }
+}
+
+TEST(Bitops, BitsBelow) {
+  EXPECT_EQ(bits_below(0), 0x0000);
+  EXPECT_EQ(bits_below(1), 0x0001);
+  EXPECT_EQ(bits_below(4), 0x000F);
+  EXPECT_EQ(bits_below(15), 0x7FFF);
+}
+
+TEST(Bitops, MaskRankIsPositionAmongSetBits) {
+  const rowmask_t m = 0b0010'1101;  // bits 0,2,3,5
+  EXPECT_EQ(mask_rank(m, 0), 0);
+  EXPECT_EQ(mask_rank(m, 2), 1);
+  EXPECT_EQ(mask_rank(m, 3), 2);
+  EXPECT_EQ(mask_rank(m, 5), 3);
+}
+
+TEST(Bitops, RankSelectRoundTrip) {
+  // For every mask in a pseudo-random sample and every set bit:
+  // select(rank(bit)) == bit.
+  for (unsigned m = 1; m < 0x10000; m = m * 3 + 7) {
+    const rowmask_t mask = static_cast<rowmask_t>(m & 0xFFFF);
+    const int n = popcount16(mask);
+    for (int k = 0; k < n; ++k) {
+      const index_t col = mask_select(mask, k);
+      EXPECT_EQ(mask_rank(mask, col), k) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(Bitops, NibblePackRoundTrip) {
+  for (index_t r = 0; r < kTileDim; ++r) {
+    for (index_t c = 0; c < kTileDim; ++c) {
+      const std::uint8_t packed = pack_nibbles(r, c);
+      EXPECT_EQ(unpack_row(packed), r);
+      EXPECT_EQ(unpack_col(packed), c);
+    }
+  }
+}
+
+TEST(Bitops, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 16), 0);
+  EXPECT_EQ(ceil_div(1, 16), 1);
+  EXPECT_EQ(ceil_div(16, 16), 1);
+  EXPECT_EQ(ceil_div(17, 16), 2);
+  EXPECT_EQ(ceil_div(255, 16), 16);
+  EXPECT_EQ(ceil_div(256, 16), 16);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,84 @@
+// IEEE binary16 conversion properties — the numerics contract of the
+// tSparse comparison (half storage, float compute).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/half.h"
+#include "common/random.h"
+
+namespace tsg {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  // Integers up to 2048 are exactly representable in fp16.
+  for (int i = -2048; i <= 2048; i += 17) {
+    EXPECT_EQ(static_cast<float>(half(static_cast<float>(i))), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(half(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(half(-2.0f).bits(), 0xC000);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7BFF);  // max finite fp16
+  EXPECT_EQ(half(0.5f).bits(), 0x3800);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(half(std::ldexp(1.0f, -24)).bits(), 0x0001);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_EQ(half(1.0e6f).bits(), 0x7C00);
+  EXPECT_EQ(half(-1.0e6f).bits(), 0xFC00);
+  EXPECT_TRUE(std::isinf(static_cast<float>(half(7.0e4f))));
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(half(1.0e-9f).bits(), 0x0000);
+  EXPECT_EQ(half(-1.0e-9f).bits(), 0x8000);
+}
+
+TEST(Half, NanPropagates) {
+  const half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+}
+
+TEST(Half, InfinityPropagates) {
+  const half h(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isinf(static_cast<float>(h)));
+  EXPECT_GT(static_cast<float>(h), 0.0f);
+}
+
+TEST(Half, RoundTripThroughBitsIsIdentity) {
+  // half -> float -> half must be exact for every possible bit pattern
+  // (including subnormals), except NaN payloads.
+  for (unsigned b = 0; b < 0x10000; ++b) {
+    const std::uint16_t bits = static_cast<std::uint16_t>(b);
+    const float f = half_bits_to_float(bits);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(float_to_half_bits(f), bits) << "bits=0x" << std::hex << b;
+  }
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // Round-to-nearest guarantees relative error <= 2^-11 for normal values.
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = static_cast<float>(rng.next_double()) * 100.0f + 0.01f;
+    const float r = static_cast<float>(half(f));
+    EXPECT_LE(std::fabs(r - f) / f, 1.0f / 2048.0f) << f;
+  }
+}
+
+TEST(Half, SubnormalRoundTripValues) {
+  // 2^-24 * k for small k are exactly representable subnormals.
+  for (int k = 1; k <= 16; ++k) {
+    const float f = std::ldexp(static_cast<float>(k), -24);
+    EXPECT_EQ(static_cast<float>(half(f)), f) << k;
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,64 @@
+// Peak-memory accounting used by the Fig. 9 experiment.
+#include <gtest/gtest.h>
+
+#include "common/memory.h"
+
+namespace tsg {
+namespace {
+
+TEST(Memory, TrackedVectorCountsBytes) {
+  MemoryTracker::instance().reset();
+  {
+    tracked_vector<double> v(1000);
+    EXPECT_GE(MemoryTracker::instance().current(), 8000);
+    EXPECT_GE(MemoryTracker::instance().peak(), 8000);
+  }
+  EXPECT_EQ(MemoryTracker::instance().current(), 0);
+  EXPECT_GE(MemoryTracker::instance().peak(), 8000);  // peak survives free
+}
+
+TEST(Memory, PeakTracksMaximumNotCurrent) {
+  MemoryTracker::instance().reset();
+  {
+    tracked_vector<char> big(1 << 20);
+  }
+  tracked_vector<char> small(16);
+  EXPECT_GE(MemoryTracker::instance().peak(), 1 << 20);
+  EXPECT_LT(MemoryTracker::instance().current(), 1 << 12);
+}
+
+TEST(Memory, PeakMemoryScopeResets) {
+  {
+    tracked_vector<char> outside(4096);
+    PeakMemoryScope scope;  // resets counters
+    EXPECT_EQ(scope.peak_bytes(), 0);
+    {
+      tracked_vector<char> inside(1 << 16);
+      EXPECT_GE(scope.peak_bytes(), 1 << 16);
+    }
+    EXPECT_GE(scope.peak_bytes(), 1 << 16);
+  }
+  MemoryTracker::instance().reset();  // 'outside' was freed after the reset
+}
+
+TEST(Memory, TraceRecordsSamples) {
+  MemoryTracker::instance().reset();
+  MemoryTracker::instance().start_trace();
+  {
+    tracked_vector<char> a(1000);
+    tracked_vector<char> b(2000);
+  }
+  const auto trace = MemoryTracker::instance().stop_trace();
+  ASSERT_GE(trace.size(), 4u);  // 2 allocs + 2 frees
+  // The running maximum of the trace equals the peak.
+  std::int64_t max_seen = 0;
+  for (const auto& s : trace) max_seen = std::max(max_seen, s.bytes);
+  EXPECT_EQ(max_seen, MemoryTracker::instance().peak());
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time_ms, trace[i - 1].time_ms);
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/prefix_sum.h"
+#include "common/random.h"
+
+namespace tsg {
+namespace {
+
+TEST(PrefixSum, EmptyAndSingle) {
+  std::vector<int> v;
+  EXPECT_EQ(exclusive_scan_inplace(v), 0);
+  v = {7};
+  EXPECT_EQ(exclusive_scan_inplace(v), 7);
+  EXPECT_EQ(v[0], 0);
+}
+
+TEST(PrefixSum, KnownSequence) {
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(exclusive_scan_inplace(v), 15);
+  EXPECT_EQ(v, (std::vector<int>{0, 1, 3, 6, 10}));
+}
+
+TEST(PrefixSum, ParallelMatchesSerialSmall) {
+  std::vector<std::int64_t> a(1000), b;
+  Xoshiro256 rng(1);
+  for (auto& x : a) x = static_cast<std::int64_t>(rng.next_below(100));
+  b = a;
+  const auto ts = exclusive_scan_inplace(a);
+  const auto tp = parallel_exclusive_scan_inplace(b);
+  EXPECT_EQ(ts, tp);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixSum, ParallelMatchesSerialLarge) {
+  // Above the serial cutoff so the blocked path actually runs.
+  std::vector<std::int64_t> a(1 << 17), b;
+  Xoshiro256 rng(2);
+  for (auto& x : a) x = static_cast<std::int64_t>(rng.next_below(7));
+  b = a;
+  const auto ts = exclusive_scan_inplace(a);
+  const auto tp = parallel_exclusive_scan_inplace(b);
+  EXPECT_EQ(ts, tp);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixSum, AllZeros) {
+  std::vector<std::int64_t> v(100000, 0);
+  EXPECT_EQ(parallel_exclusive_scan_inplace(v), 0);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](auto x) { return x == 0; }));
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace tsg {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotone) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.milliseconds(), b * 1e3);
+}
+
+TEST(Timer, MeasuresSleepRoughly) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.milliseconds();
+  EXPECT_GE(ms, 15.0);   // scheduler slack downward
+  EXPECT_LE(ms, 2000.0); // and a generous upper bound
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 10.0);
+}
+
+TEST(Timer, ScopedAccumulatorAddsLifetime) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator scope(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  }
+  EXPECT_GE(sink, 8.0);
+  const double after_first = sink;
+  {
+    ScopedAccumulator scope(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  }
+  EXPECT_GE(sink, after_first + 8.0);  // accumulates, does not overwrite
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,70 @@
+// Failure injection: with a tiny modeled device-memory budget, every
+// method that stages O(intermediate products) of global workspace must
+// fail with bad_alloc — and TileSpGEMM, which allocates no global
+// intermediate space, must still succeed. This is the mechanism behind the
+// paper's "0.00 (failed)" bars, isolated in its own binary because the
+// budget is latched from the environment once per process.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "baselines/esc.h"
+#include "baselines/hash.h"
+#include "baselines/spa.h"
+#include "baselines/speck.h"
+#include "common/memory.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "harness/runner.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+class BudgetEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { setenv("TSG_DEVICE_MEM_MB", "1", 1); }
+};
+
+const auto* const g_env =
+    ::testing::AddGlobalTestEnvironment(new BudgetEnvironment());  // NOLINT
+
+Csr<double> workload() {
+  // ~1.3M intermediate products: ~16 MB of staging, far over the 1 MB cap.
+  return gen::dense_blocks(8, 40, 7);
+}
+
+TEST(DeviceBudget, BudgetIsLatchedFromEnvironment) {
+  EXPECT_EQ(device_memory_budget_bytes(), 1u * 1024 * 1024);
+}
+
+TEST(DeviceBudget, GlobalBufferMethodsFail) {
+  const Csr<double> a = workload();
+  EXPECT_THROW(spgemm_esc(a, a), std::bad_alloc);
+  EXPECT_THROW(spgemm_spa(a, a), std::bad_alloc);
+  EXPECT_THROW(spgemm_hash(a, a), std::bad_alloc);
+}
+
+TEST(DeviceBudget, TileSpgemmSucceedsRegardless) {
+  const Csr<double> a = workload();
+  const Csr<double> c = spgemm_tile(a, a);
+  EXPECT_GT(c.nnz(), 0);
+  // spECK's adaptive accumulators are per-row and bounded too.
+  test::expect_equal(spgemm_speck(a, a), c, "speck vs tile under budget");
+}
+
+TEST(DeviceBudget, HarnessReportsFailureAsNotOk) {
+  const NamedMatrix m{"blocks", "dense blocks", true, workload()};
+  const Measurement esc = measure(m, paper_algorithms()[1], SpgemmOp::kASquared, 1);
+  EXPECT_FALSE(esc.ok);
+  const Measurement tile = measure(m, paper_algorithms()[4], SpgemmOp::kASquared, 1);
+  EXPECT_TRUE(tile.ok);
+}
+
+TEST(DeviceBudget, CheckHelperThrowsExactlyAboveBudget) {
+  EXPECT_NO_THROW(check_workspace_budget(1024 * 1024));
+  EXPECT_THROW(check_workspace_budget(1024 * 1024 + 1), std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace tsg

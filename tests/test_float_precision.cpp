@@ -1,0 +1,93 @@
+// Single-precision instantiation of every method: the whole pipeline is
+// templated on the value type, and fp32 must agree with the fp32 serial
+// reference at fp32 tolerances (the structure is value-independent, so it
+// must match *exactly*).
+#include <gtest/gtest.h>
+
+#include "baselines/esc.h"
+#include "baselines/reference.h"
+#include "baselines/hash.h"
+#include "baselines/heap.h"
+#include "baselines/spa.h"
+#include "baselines/speck.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "matrix/compare.h"
+#include "matrix/transpose.h"
+
+namespace tsg {
+namespace {
+
+using SpgemmFnF = Csr<float> (*)(const Csr<float>&, const Csr<float>&);
+
+struct FloatCase {
+  const char* algo;
+  SpgemmFnF fn;
+};
+
+Csr<float> run_tile_f(const Csr<float>& a, const Csr<float>& b) { return spgemm_tile(a, b); }
+
+class FloatSweep : public ::testing::TestWithParam<FloatCase> {};
+
+TEST_P(FloatSweep, MatchesFloatReference) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const Csr<float> a =
+        gen::cast_values<float>(gen::erdos_renyi(110, 110, 800, seed));
+    const Csr<float> expected = spgemm_reference(a, a);
+    const Csr<float> actual = GetParam().fn(a, a);
+    CompareOptions opt;
+    opt.rel_tol = 1e-4;
+    const CompareResult r = compare(expected, actual, opt);
+    EXPECT_TRUE(r.equal) << GetParam().algo << ": " << r.message;
+  }
+}
+
+TEST_P(FloatSweep, StructureIdenticalToDoubleRun) {
+  // Symbolic phases never read values: the fp32 product's structure must
+  // equal the fp64 product's structure entry for entry.
+  const Csr<double> ad = gen::rmat(8, 5.0, 77);
+  const Csr<float> af = gen::cast_values<float>(ad);
+  const Csr<double> cd = spgemm_reference(ad, ad);
+  const Csr<float> cf = GetParam().fn(af, af);
+  ASSERT_EQ(cf.nnz(), cd.nnz()) << GetParam().algo;
+  for (std::size_t k = 0; k < cf.col_idx.size(); ++k) {
+    ASSERT_EQ(cf.col_idx[k], cd.col_idx[k]) << GetParam().algo << " entry " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, FloatSweep,
+    ::testing::Values(FloatCase{"tile", &run_tile_f}, FloatCase{"spa", &spgemm_spa<float>},
+                      FloatCase{"esc", &spgemm_esc<float>},
+                      FloatCase{"hash", &spgemm_hash<float>},
+                      FloatCase{"heap", &spgemm_heap<float>},
+                      FloatCase{"speck", &spgemm_speck<float>}),
+    [](const auto& info) { return std::string(info.param.algo); });
+
+TEST(FloatPrecision, AatPathInFloat) {
+  const Csr<float> a = gen::cast_values<float>(gen::erdos_renyi(80, 50, 500, 3));
+  const Csr<float> at = transpose(a);
+  const Csr<float> expected = spgemm_reference(a, at);
+  const Csr<float> actual = spgemm_tile(a, at);
+  CompareOptions opt;
+  opt.rel_tol = 1e-4;
+  EXPECT_TRUE(compare(expected, actual, opt).equal);
+}
+
+TEST(FloatPrecision, ErrorsGrowNoFasterThanExpected) {
+  // fp32 vs fp64 on the same product: max relative error bounded by
+  // ~products-per-entry * eps_f32. Loose sanity bound: 1e-4.
+  const Csr<double> ad = gen::dense_blocks(3, 24, 4);
+  const Csr<float> af = gen::cast_values<float>(ad);
+  const Csr<double> cd = spgemm_tile(ad, ad);
+  const Csr<float> cf = spgemm_tile(af, af);
+  ASSERT_EQ(cf.nnz(), cd.nnz());
+  for (std::size_t k = 0; k < cf.val.size(); ++k) {
+    const double expected = cd.val[k];
+    const double got = static_cast<double>(cf.val[k]);
+    ASSERT_NEAR(got, expected, 1e-4 * std::max(std::abs(expected), 1.0)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace tsg

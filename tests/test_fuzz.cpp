@@ -1,0 +1,110 @@
+// Randomised cross-validation ("fuzzing"): many random shapes, densities
+// and structure mixes; every method must agree with the serial reference.
+// This is the broadest net for integer-boundary and scheduling bugs.
+#include <gtest/gtest.h>
+
+#include "baselines/esc.h"
+#include "baselines/hash.h"
+#include "baselines/heap.h"
+#include "baselines/spa.h"
+#include "baselines/speck.h"
+#include "common/random.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+/// A random matrix with seed-dependent shape and structure; deliberately
+/// biased toward tile-boundary-adjacent dimensions.
+Csr<double> random_matrix(Xoshiro256& rng, index_t rows, index_t cols) {
+  switch (rng.next_below(4)) {
+    case 0: {  // uniform random, density up to ~10%
+      const offset_t nnz = 1 + static_cast<offset_t>(rng.next_below(
+                                   static_cast<std::uint64_t>(rows) * cols / 10 + 1));
+      return gen::erdos_renyi(rows, cols, nnz, rng.next());
+    }
+    case 1: {  // clusters (square only -> fall through to uniform if rect)
+      if (rows == cols) return gen::clustered_rows(rows, 2, 4, rng.next());
+      return gen::erdos_renyi(rows, cols, rows * 3, rng.next());
+    }
+    case 2: {  // very sparse
+      return gen::erdos_renyi(rows, cols, std::max<offset_t>(1, rows / 2), rng.next());
+    }
+    default: {  // a few dense rows + sparse remainder
+      Coo<double> coo;
+      coo.rows = rows;
+      coo.cols = cols;
+      const index_t hubs = 1 + static_cast<index_t>(rng.next_below(3));
+      for (index_t h = 0; h < hubs; ++h) {
+        const index_t r = static_cast<index_t>(rng.next_below(rows));
+        for (index_t j = 0; j < cols; ++j) {
+          if (rng.next_double() < 0.7) coo.push_back(r, j, rng.next_double() + 0.1);
+        }
+      }
+      for (index_t i = 0; i < rows; ++i) {
+        coo.push_back(i, static_cast<index_t>(rng.next_below(cols)),
+                      rng.next_double() + 0.1);
+      }
+      coo.sort_and_combine();
+      return coo_to_csr(std::move(coo));
+    }
+  }
+}
+
+index_t random_dim(Xoshiro256& rng) {
+  // Mix of tiny, tile-boundary (15/16/17/31/32/33...) and moderate sizes.
+  static constexpr index_t boundary[] = {1, 2, 15, 16, 17, 31, 32, 33, 47, 48, 49, 255, 256};
+  if (rng.next_below(2) == 0) {
+    return boundary[rng.next_below(std::size(boundary))];
+  }
+  return 1 + static_cast<index_t>(rng.next_below(300));
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, AllMethodsAgreeWithReference) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const index_t m = random_dim(rng);
+  const index_t k = random_dim(rng);
+  const index_t n = random_dim(rng);
+  const Csr<double> a = random_matrix(rng, m, k);
+  const Csr<double> b = random_matrix(rng, k, n);
+  SCOPED_TRACE("shape " + std::to_string(m) + "x" + std::to_string(k) + "x" +
+               std::to_string(n) + " nnzA=" + std::to_string(a.nnz()) +
+               " nnzB=" + std::to_string(b.nnz()));
+
+  const Csr<double> expected = spgemm_reference(a, b);
+  auto check = [&](const char* name, const Csr<double>& c) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(c.validate().empty()) << c.validate();
+    test::expect_equal(expected, c, name, 1e-9);
+  };
+  check("tile", spgemm_tile(a, b));
+  check("spa", spgemm_spa(a, b));
+  check("esc", spgemm_esc(a, b));
+  check("hash", spgemm_hash(a, b));
+  check("heap", spgemm_heap(a, b));
+  check("speck", spgemm_speck(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 40));
+
+TEST(FuzzFloat, TileAgreesWithReferenceInSinglePrecision) {
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const index_t n = random_dim(rng);
+    const Csr<float> a = gen::cast_values<float>(random_matrix(rng, n, n));
+    const Csr<float> expected = spgemm_reference(a, a);
+    const Csr<float> actual = spgemm_tile(a, a);
+    CompareOptions opt;
+    opt.rel_tol = 1e-4;
+    const CompareResult r = compare(expected, actual, opt);
+    ASSERT_TRUE(r.equal) << "trial " << trial << ": " << r.message;
+  }
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,145 @@
+// Graph algorithms on the tiled semiring kernels, validated against
+// classical sequential implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "graph/algorithms.h"
+#include "matrix/convert.h"
+
+namespace tsg {
+namespace {
+
+/// Queue-based reference BFS.
+std::vector<index_t> reference_bfs(const Csr<double>& adj, index_t source) {
+  std::vector<index_t> level(static_cast<std::size_t>(adj.rows), -1);
+  std::deque<index_t> queue;
+  level[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const index_t u = queue.front();
+    queue.pop_front();
+    for (offset_t k = adj.row_ptr[u]; k < adj.row_ptr[u + 1]; ++k) {
+      const index_t v = adj.col_idx[k];
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = level[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+/// Floyd-Warshall reference APSP.
+std::vector<double> reference_apsp(const Csr<double>& w) {
+  const std::size_t n = static_cast<std::size_t>(w.rows);
+  std::vector<double> d(n * n, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0;
+  for (index_t i = 0; i < w.rows; ++i) {
+    for (offset_t k = w.row_ptr[i]; k < w.row_ptr[i + 1]; ++k) {
+      const std::size_t j = static_cast<std::size_t>(w.col_idx[k]);
+      d[static_cast<std::size_t>(i) * n + j] =
+          std::min(d[static_cast<std::size_t>(i) * n + j], w.val[k]);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        d[i * n + j] = std::min(d[i * n + j], d[i * n + k] + d[k * n + j]);
+      }
+    }
+  }
+  return d;
+}
+
+class BfsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsSweep, MatchesQueueBfs) {
+  const Csr<double> g = gen::rmat(8, 4.0, GetParam());
+  const auto expected = reference_bfs(g, 0);
+  const auto got = graph::bfs_levels(g, 0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_EQ(got[v], expected[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Bfs, PathGraphLevelsAreDistances) {
+  Coo<double> coo;
+  coo.rows = coo.cols = 50;
+  for (index_t i = 0; i + 1 < 50; ++i) coo.push_back(i, i + 1, 1.0);
+  const Csr<double> g = coo_to_csr(std::move(coo));
+  const auto level = graph::bfs_levels(g, 0);
+  for (index_t v = 0; v < 50; ++v) EXPECT_EQ(level[static_cast<std::size_t>(v)], v);
+  // Backward unreachable from the last vertex.
+  const auto back = graph::bfs_levels(g, 49);
+  EXPECT_EQ(back[49], 0);
+  EXPECT_EQ(back[0], -1);
+}
+
+TEST(Bfs, InvalidArguments) {
+  const Csr<double> g = gen::erdos_renyi(10, 10, 20, 6);
+  EXPECT_THROW(graph::bfs_levels(g, -1), std::invalid_argument);
+  EXPECT_THROW(graph::bfs_levels(g, 10), std::invalid_argument);
+  const Csr<double> rect = gen::erdos_renyi(10, 12, 20, 7);
+  EXPECT_THROW(graph::bfs_levels(rect, 0), std::invalid_argument);
+}
+
+class ApspSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApspSweep, MatchesFloydWarshall) {
+  const Csr<double> w = gen::erdos_renyi(60, 60, 300, GetParam(), {0.1, 2.0});
+  const auto expected = reference_apsp(w);
+  const auto got = graph::apsp_min_plus(w);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      ASSERT_TRUE(std::isinf(got[i])) << i;
+    } else {
+      ASSERT_NEAR(got[i], expected[i], 1e-9) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspSweep, ::testing::Values(1u, 2u, 3u));
+
+TEST(Apsp, RejectsNegativeWeights) {
+  Coo<double> coo;
+  coo.rows = coo.cols = 3;
+  coo.push_back(0, 1, -1.0);
+  const Csr<double> w = coo_to_csr(std::move(coo));
+  EXPECT_THROW(graph::apsp_min_plus(w), std::invalid_argument);
+}
+
+TEST(Components, PlantedComponentsRecovered) {
+  // Three disjoint cliques plus isolated vertices.
+  Coo<double> coo;
+  coo.rows = coo.cols = 35;
+  auto clique = [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      for (index_t j = lo; j < hi; ++j) {
+        if (i != j) coo.push_back(i, j, 1.0);
+      }
+    }
+  };
+  clique(0, 10);
+  clique(10, 25);
+  clique(25, 33);  // vertices 33, 34 isolated
+  const Csr<double> g = coo_to_csr(std::move(coo));
+  const auto label = graph::connected_components(g);
+  for (index_t v = 0; v < 10; ++v) EXPECT_EQ(label[static_cast<std::size_t>(v)], 0);
+  for (index_t v = 10; v < 25; ++v) EXPECT_EQ(label[static_cast<std::size_t>(v)], 10);
+  for (index_t v = 25; v < 33; ++v) EXPECT_EQ(label[static_cast<std::size_t>(v)], 25);
+  EXPECT_EQ(label[33], 33);
+  EXPECT_EQ(label[34], 34);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,126 @@
+// Bench harness: tables, regression, and the measurement runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.h"
+#include "harness/regression.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "matrix/stats.h"
+
+namespace tsg {
+namespace {
+
+TEST(Report, TableAlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"}).add_row({"beta-long-name", "2.50"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta-long-name"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Report, TableCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Report, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(fmt_count(1'100'000'000), "1.1B");
+  EXPECT_EQ(fmt_count(4'300'000), "4.3M");
+  EXPECT_EQ(fmt_count(999), "999");
+}
+
+TEST(Regression, PerfectLine) {
+  const LinearFit f = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x+1
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).slope, 0.0);
+  EXPECT_EQ(linear_fit({1}, {2}).slope, 0.0);
+  EXPECT_EQ(linear_fit({1, 1, 1}, {1, 2, 3}).slope, 0.0);  // vertical
+}
+
+TEST(Regression, NoisyLineReasonableFit) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 2.0 + ((i % 3) - 1) * 0.1);
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Regression, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({0.0, -3.0, 4.0}), 4.0);  // non-positive skipped
+}
+
+TEST(Runner, MeasureProducesConsistentMetrics) {
+  const NamedMatrix m{"test", "band", true, gen::banded(600, 8, 501)};
+  for (const SpgemmAlgorithm& algo : paper_algorithms()) {
+    const Measurement r = measure(m, algo, SpgemmOp::kASquared, 1);
+    ASSERT_TRUE(r.ok) << algo.name;
+    EXPECT_GT(r.ms, 0.0) << algo.name;
+    EXPECT_GT(r.gflops, 0.0) << algo.name;
+    EXPECT_GT(r.nnz_c, 0) << algo.name;
+    EXPECT_EQ(r.flops, spgemm_flops(m.a, m.a)) << algo.name;
+  }
+}
+
+TEST(Runner, AllMethodsAgreeOnNnzC) {
+  const NamedMatrix m{"test", "rmat", false, gen::rmat(9, 4.0, 502)};
+  offset_t nnz = -1;
+  for (const SpgemmAlgorithm& algo : paper_algorithms()) {
+    const Measurement r = measure(m, algo, SpgemmOp::kAAT, 1);
+    ASSERT_TRUE(r.ok) << algo.name;
+    if (nnz < 0) nnz = r.nnz_c;
+    EXPECT_EQ(r.nnz_c, nnz) << algo.name;
+  }
+}
+
+TEST(Runner, FailingAlgorithmIsReportedNotFatal) {
+  const NamedMatrix m{"test", "er", false, gen::erdos_renyi(50, 50, 100, 503)};
+  SpgemmAlgorithm bad{"Broken", "", false,
+                      [](const Csr<double>&, const Csr<double>&) -> Csr<double> {
+                        throw std::bad_alloc();
+                      }};
+  const Measurement r = measure(m, bad, SpgemmOp::kASquared, 1);
+  EXPECT_FALSE(r.ok);  // the paper plots these as "0.00" bars
+}
+
+TEST(Runner, RegistryShape) {
+  ASSERT_EQ(paper_algorithms().size(), 5u);
+  EXPECT_EQ(paper_algorithms().back().name, "TileSpGEMM");
+  EXPECT_TRUE(paper_algorithms().back().is_tile);
+  EXPECT_GE(all_algorithms().size(), 7u);
+}
+
+}  // namespace
+}  // namespace tsg

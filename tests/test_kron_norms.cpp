@@ -1,0 +1,114 @@
+// Kronecker products and matrix norms — including the mixed-product
+// identity (A (x) B)(C (x) D) = (AC) (x) (BD), a strong whole-pipeline
+// property check for the tiled SpGEMM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/norms.h"
+#include "matrix/ops.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+TEST(Kronecker, DimensionsAndNnz) {
+  const Csr<double> a = gen::erdos_renyi(7, 9, 20, 1);
+  const Csr<double> b = gen::erdos_renyi(5, 4, 11, 2);
+  const Csr<double> k = gen::kronecker(a, b);
+  EXPECT_EQ(k.rows, 35);
+  EXPECT_EQ(k.cols, 36);
+  EXPECT_EQ(k.nnz(), a.nnz() * b.nnz());
+  EXPECT_TRUE(k.validate().empty()) << k.validate();
+  EXPECT_TRUE(k.rows_sorted());
+}
+
+TEST(Kronecker, ExplicitTinyCase) {
+  // A = [[2, 0], [0, 3]], B = [[0, 1], [1, 0]] -> block anti-diagonals.
+  Coo<double> ca, cb;
+  ca.rows = ca.cols = 2;
+  ca.push_back(0, 0, 2.0);
+  ca.push_back(1, 1, 3.0);
+  cb.rows = cb.cols = 2;
+  cb.push_back(0, 1, 1.0);
+  cb.push_back(1, 0, 1.0);
+  const Csr<double> k = gen::kronecker(coo_to_csr(std::move(ca)), coo_to_csr(std::move(cb)));
+  ASSERT_EQ(k.nnz(), 4);
+  // (0,1)=2, (1,0)=2, (2,3)=3, (3,2)=3.
+  EXPECT_EQ(k.col_idx[k.row_ptr[0]], 1);
+  EXPECT_DOUBLE_EQ(k.val[k.row_ptr[0]], 2.0);
+  EXPECT_EQ(k.col_idx[k.row_ptr[3]], 2);
+  EXPECT_DOUBLE_EQ(k.val[k.row_ptr[3]], 3.0);
+}
+
+TEST(Kronecker, IdentityKronIdentityIsIdentity) {
+  const Csr<double> k = gen::kronecker(identity<double>(6), identity<double>(7));
+  test::expect_equal(identity<double>(42), k, "I kron I", 1e-15);
+}
+
+TEST(Kronecker, MixedProductIdentityThroughTileSpgemm) {
+  // (A kron B)(C kron D) == (AC) kron (BD): exercises SpGEMM on the
+  // characteristically blocked Kronecker structure.
+  const Csr<double> a = gen::erdos_renyi(8, 10, 30, 3);
+  const Csr<double> b = gen::erdos_renyi(6, 5, 14, 4);
+  const Csr<double> c = gen::erdos_renyi(10, 7, 25, 5);
+  const Csr<double> d = gen::erdos_renyi(5, 9, 18, 6);
+
+  const Csr<double> lhs = spgemm_tile(gen::kronecker(a, b), gen::kronecker(c, d));
+  const Csr<double> rhs = gen::kronecker(spgemm_tile(a, c), spgemm_tile(b, d));
+  // Both sides keep full structural products; values must agree.
+  CompareOptions opt;
+  opt.rel_tol = 1e-10;
+  opt.prune_zeros = true;
+  opt.prune_tol = 1e-12;
+  const CompareResult r = compare(rhs, lhs, opt);
+  EXPECT_TRUE(r.equal) << r.message;
+}
+
+TEST(Norms, KnownSmallMatrix) {
+  Coo<double> coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.push_back(0, 0, 3.0);
+  coo.push_back(0, 2, -4.0);
+  coo.push_back(1, 1, 12.0);
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 13.0);  // sqrt(9+16+144)
+  EXPECT_DOUBLE_EQ(one_norm(a), 12.0);
+  EXPECT_DOUBLE_EQ(inf_norm(a), 12.0);
+  EXPECT_DOUBLE_EQ(max_abs(a), 12.0);
+}
+
+TEST(Norms, EmptyMatrixIsZero) {
+  const Csr<double> e(4, 4);
+  EXPECT_EQ(frobenius_norm(e), 0.0);
+  EXPECT_EQ(one_norm(e), 0.0);
+  EXPECT_EQ(inf_norm(e), 0.0);
+  EXPECT_EQ(max_abs(e), 0.0);
+}
+
+TEST(Norms, SubmultiplicativityOfProducts) {
+  // ||A*B||_F <= ||A||_F * ||B||_F, and the induced norms bound each other:
+  // ||A||_F^2 <= ||A||_1 * ||A||_inf * rank... use the simple consistent
+  // bounds that must always hold.
+  const Csr<double> a = gen::erdos_renyi(40, 40, 300, 7);
+  const Csr<double> b = gen::erdos_renyi(40, 40, 280, 8);
+  const Csr<double> c = spgemm_tile(a, b);
+  EXPECT_LE(frobenius_norm(c), frobenius_norm(a) * frobenius_norm(b) * (1 + 1e-12));
+  EXPECT_LE(one_norm(c), one_norm(a) * one_norm(b) * (1 + 1e-12));
+  EXPECT_LE(inf_norm(c), inf_norm(a) * inf_norm(b) * (1 + 1e-12));
+}
+
+TEST(Norms, KroneckerNormsFactor) {
+  // ||A kron B||_F = ||A||_F * ||B||_F (exactly, up to rounding).
+  const Csr<double> a = gen::erdos_renyi(9, 9, 25, 9);
+  const Csr<double> b = gen::erdos_renyi(7, 7, 18, 10);
+  EXPECT_NEAR(frobenius_norm(gen::kronecker(a, b)), frobenius_norm(a) * frobenius_norm(b),
+              1e-10);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,105 @@
+// Format conversions and transpose.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/transpose.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+TEST(Convert, CooToCsrAndBack) {
+  Coo<double> coo;
+  coo.rows = 4;
+  coo.cols = 5;
+  coo.push_back(3, 1, 1.0);
+  coo.push_back(0, 4, 2.0);
+  coo.push_back(0, 0, 3.0);
+  coo.push_back(2, 2, 4.0);
+  const Csr<double> a = coo_to_csr(coo);
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_TRUE(a.rows_sorted());
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_EQ(a.row_nnz(1), 0);
+
+  const Coo<double> back = csr_to_coo(a);
+  EXPECT_TRUE(back.is_sorted_unique());
+  EXPECT_EQ(back.nnz(), 4);
+  EXPECT_EQ(back.row[0], 0);
+  EXPECT_EQ(back.col[0], 0);
+  EXPECT_DOUBLE_EQ(back.val[0], 3.0);
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  const Csr<double> a = gen::erdos_renyi(83, 61, 700, 11);
+  const Csc<double> csc = csr_to_csc(a);
+  EXPECT_EQ(csc.nnz(), a.nnz());
+  // CSC of A reinterpreted as CSR is exactly A^T; transposing again gives A.
+  const Csr<double> at = csc_to_csr_of_transpose(csc);
+  EXPECT_EQ(at.rows, a.cols);
+  EXPECT_EQ(at.cols, a.rows);
+  test::expect_equal(a, transpose(at), "csc round trip");
+}
+
+TEST(Convert, CscColumnsAreSortedByRow) {
+  const Csr<double> a = gen::rmat(8, 4.0, 12);
+  const Csc<double> csc = csr_to_csc(a);
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (offset_t k = csc.col_ptr[j] + 1; k < csc.col_ptr[j + 1]; ++k) {
+      ASSERT_LT(csc.row_idx[k - 1], csc.row_idx[k]);
+    }
+  }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    const Csr<double> a = gen::erdos_renyi(120, 45, 800, seed);
+    test::expect_equal(a, transpose(transpose(a)), "transpose^2");
+  }
+}
+
+TEST(Transpose, ExplicitSmallCase) {
+  Coo<double> coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.push_back(0, 2, 5.0);
+  coo.push_back(1, 0, 7.0);
+  const Csr<double> at = transpose(coo_to_csr(coo));
+  EXPECT_EQ(at.rows, 3);
+  EXPECT_EQ(at.cols, 2);
+  ASSERT_EQ(at.nnz(), 2);
+  EXPECT_EQ(at.col_idx[at.row_ptr[0]], 1);  // (0,1) = 7
+  EXPECT_DOUBLE_EQ(at.val[at.row_ptr[0]], 7.0);
+  EXPECT_EQ(at.col_idx[at.row_ptr[2]], 0);  // (2,0) = 5
+  EXPECT_DOUBLE_EQ(at.val[at.row_ptr[2]], 5.0);
+}
+
+TEST(Transpose, SymmetricPatternStaysSymmetric) {
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(60, 60, 250, 24));
+  const Csr<double> at = transpose(a);
+  // Pattern symmetric: structure of A^T equals structure of A.
+  ASSERT_EQ(at.nnz(), a.nnz());
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    ASSERT_EQ(at.col_idx[k], a.col_idx[k]);
+  }
+}
+
+TEST(Transpose, EmptyAndRowVector) {
+  const Csr<double> e(0, 5);
+  const Csr<double> et = transpose(e);
+  EXPECT_EQ(et.rows, 5);
+  EXPECT_EQ(et.cols, 0);
+
+  Coo<double> coo;
+  coo.rows = 1;
+  coo.cols = 10;
+  for (index_t j = 0; j < 10; j += 2) coo.push_back(0, j, static_cast<double>(j));
+  const Csr<double> rt = transpose(coo_to_csr(coo));
+  EXPECT_EQ(rt.rows, 10);
+  EXPECT_EQ(rt.cols, 1);
+  EXPECT_EQ(rt.nnz(), 5);
+}
+
+}  // namespace
+}  // namespace tsg

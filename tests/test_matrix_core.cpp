@@ -1,0 +1,112 @@
+// COO and CSR container invariants.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+
+namespace tsg {
+namespace {
+
+TEST(Coo, WellFormedChecksBounds) {
+  Coo<double> c;
+  c.rows = 3;
+  c.cols = 3;
+  c.push_back(0, 0, 1.0);
+  EXPECT_TRUE(c.well_formed());
+  c.push_back(3, 0, 1.0);
+  EXPECT_FALSE(c.well_formed());
+  c.row.back() = 2;
+  c.col.back() = -1;
+  EXPECT_FALSE(c.well_formed());
+}
+
+TEST(Coo, SortAndCombineMergesDuplicates) {
+  Coo<double> c;
+  c.rows = c.cols = 4;
+  c.push_back(2, 1, 1.0);
+  c.push_back(0, 3, 2.0);
+  c.push_back(2, 1, 0.5);
+  c.push_back(2, 0, -1.0);
+  c.sort_and_combine();
+  ASSERT_EQ(c.nnz(), 3);
+  EXPECT_TRUE(c.is_sorted_unique());
+  EXPECT_EQ(c.row[0], 0);
+  EXPECT_EQ(c.col[0], 3);
+  EXPECT_EQ(c.row[1], 2);
+  EXPECT_EQ(c.col[1], 0);
+  EXPECT_DOUBLE_EQ(c.val[2], 1.5);  // merged 1.0 + 0.5 at (2,1)
+}
+
+TEST(Coo, SortAndCombineEmptyIsNoop) {
+  Coo<double> c;
+  c.rows = c.cols = 5;
+  c.sort_and_combine();
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_TRUE(c.is_sorted_unique());
+}
+
+TEST(Csr, ValidateAcceptsGenerated) {
+  const Csr<double> a = gen::erdos_renyi(50, 70, 300, 1);
+  EXPECT_TRUE(a.validate().empty()) << a.validate();
+  EXPECT_TRUE(a.rows_sorted());
+}
+
+TEST(Csr, ValidateRejectsBadRowPtr) {
+  Csr<double> a(3, 3);
+  a.row_ptr = {0, 2, 1, 1};  // not monotone
+  a.col_idx = {0};
+  a.val = {1.0};
+  EXPECT_FALSE(a.validate().empty());
+}
+
+TEST(Csr, ValidateRejectsOutOfRangeColumn) {
+  Csr<double> a(2, 2);
+  a.row_ptr = {0, 1, 1};
+  a.col_idx = {5};
+  a.val = {1.0};
+  EXPECT_FALSE(a.validate().empty());
+}
+
+TEST(Csr, ValidateRejectsSizeMismatch) {
+  Csr<double> a(2, 2);
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.val = {1.0};  // one value short
+  EXPECT_FALSE(a.validate().empty());
+}
+
+TEST(Csr, SortRowsFixesShuffledColumns) {
+  Csr<double> a(2, 8);
+  a.row_ptr = {0, 4, 6};
+  a.col_idx = {5, 1, 7, 3, 2, 0};
+  a.val = {5.0, 1.0, 7.0, 3.0, 2.0, 0.5};
+  EXPECT_FALSE(a.rows_sorted());
+  a.sort_rows();
+  EXPECT_TRUE(a.rows_sorted());
+  // Values must travel with their columns.
+  EXPECT_EQ(a.col_idx[0], 1);
+  EXPECT_DOUBLE_EQ(a.val[0], 1.0);
+  EXPECT_EQ(a.col_idx[3], 7);
+  EXPECT_DOUBLE_EQ(a.val[3], 7.0);
+  EXPECT_EQ(a.col_idx[4], 0);
+  EXPECT_DOUBLE_EQ(a.val[4], 0.5);
+}
+
+TEST(Csr, RowNnzAndBytes) {
+  const Csr<double> a = gen::banded(100, 2, 2);
+  EXPECT_EQ(a.row_nnz(0), 3);   // clipped band
+  EXPECT_EQ(a.row_nnz(50), 5);  // full band
+  EXPECT_GT(a.bytes(), 0u);
+  EXPECT_EQ(a.bytes(), a.row_ptr.size() * 8 + a.col_idx.size() * 4 + a.val.size() * 8);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Csr<double> a(0, 0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_TRUE(a.validate().empty()) << a.validate();
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,126 @@
+// Matrix Market parser/writer (artifact appendix A.5: "our matrix parser
+// currently only supports input files in the matrix market format").
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/io_mm.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 4 -1.0\n"
+      "2 2 7\n");
+  const Coo<double> coo = read_matrix_market<double>(in);
+  EXPECT_EQ(coo.rows, 3);
+  EXPECT_EQ(coo.cols, 4);
+  ASSERT_EQ(coo.nnz(), 3);
+  const Csr<double> a = coo_to_csr(coo);
+  EXPECT_DOUBLE_EQ(a.val[a.row_ptr[0]], 2.5);
+  EXPECT_EQ(a.col_idx[a.row_ptr[2]], 3);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 4.0\n"
+      "3 2 5.0\n");
+  const Csr<double> a = coo_to_csr(read_matrix_market<double>(in));
+  EXPECT_EQ(a.nnz(), 5);  // diagonal kept once, off-diagonals mirrored
+  EXPECT_DOUBLE_EQ(a.val[a.row_ptr[0]], 1.0);
+  // (1,2) mirror of (2,1):
+  bool found = false;
+  for (offset_t k = a.row_ptr[0]; k < a.row_ptr[1]; ++k) {
+    if (a.col_idx[k] == 1) {
+      EXPECT_DOUBLE_EQ(a.val[k], 4.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Csr<double> a = coo_to_csr(read_matrix_market<double>(in));
+  ASSERT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.val[a.row_ptr[0]], -3.0);  // mirrored negated
+  EXPECT_DOUBLE_EQ(a.val[a.row_ptr[1]], 3.0);
+}
+
+TEST(MatrixMarket, PatternEntriesReadAsOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Csr<double> a = coo_to_csr(read_matrix_market<double>(in));
+  ASSERT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.val[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.val[1], 1.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 -42\n");
+  const Csr<double> a = coo_to_csr(read_matrix_market<double>(in));
+  EXPECT_DOUBLE_EQ(a.val[0], -42.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a banner\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+    EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+    EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);  // out of bounds
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);  // truncated
+  }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const Csr<double> a = gen::erdos_renyi(37, 53, 250, 31);
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  const Csr<double> back = coo_to_csr(read_matrix_market<double>(buf));
+  test::expect_equal(a, back, "mm round trip", 1e-15);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const Csr<double> a = gen::banded(64, 3, 32);
+  const std::string path = ::testing::TempDir() + "/tsg_io_test.mtx";
+  write_matrix_market_file(path, a);
+  const Csr<double> back = coo_to_csr(read_matrix_market_file<double>(path));
+  test::expect_equal(a, back, "mm file round trip", 1e-15);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/path.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsg

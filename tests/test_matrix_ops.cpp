@@ -1,0 +1,165 @@
+// Element-level operations (add, hadamard, masks, normalisation) and the
+// comparison utility itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference.h"
+#include "gen/generators.h"
+#include "matrix/compare.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+TEST(Ops, IdentityAndDiagonal) {
+  const Csr<double> i = identity<double>(5);
+  EXPECT_EQ(i.nnz(), 5);
+  for (index_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(i.col_idx[r], r);
+    EXPECT_DOUBLE_EQ(i.val[r], 1.0);
+  }
+  tracked_vector<double> d = {1.0, -2.0, 0.0, 4.0};
+  const Csr<double> dm = diagonal(d);
+  EXPECT_EQ(dm.nnz(), 4);
+  EXPECT_DOUBLE_EQ(dm.val[1], -2.0);
+  EXPECT_DOUBLE_EQ(dm.val[2], 0.0);  // explicit zero kept
+}
+
+TEST(Ops, PermutationReordersRows) {
+  tracked_vector<index_t> perm = {2, 0, 1};
+  const Csr<double> p = permutation<double>(perm);
+  const Csr<double> a = gen::erdos_renyi(3, 3, 6, 5);
+  const Csr<double> pa = spgemm_reference(p, a);
+  for (index_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(pa.row_nnz(i), a.row_nnz(perm[i]));
+    for (offset_t k = 0; k < pa.row_nnz(i); ++k) {
+      EXPECT_EQ(pa.col_idx[pa.row_ptr[i] + k], a.col_idx[a.row_ptr[perm[i]] + k]);
+    }
+  }
+  tracked_vector<index_t> bad = {0, 0, 5};
+  EXPECT_THROW(permutation<double>(bad), std::invalid_argument);
+}
+
+TEST(Ops, AddIsUnionWithSums) {
+  const Csr<double> a = gen::erdos_renyi(40, 40, 200, 6);
+  const Csr<double> b = gen::erdos_renyi(40, 40, 220, 7);
+  const Csr<double> c = add(a, b);
+  EXPECT_TRUE(c.validate().empty());
+  EXPECT_TRUE(c.rows_sorted());
+  EXPECT_GE(c.nnz(), std::max(a.nnz(), b.nnz()));
+  EXPECT_LE(c.nnz(), a.nnz() + b.nnz());
+  EXPECT_NEAR(value_sum(c), value_sum(a) + value_sum(b), 1e-9);
+}
+
+TEST(Ops, AddWithCoefficients) {
+  const Csr<double> a = gen::banded(30, 2, 8);
+  const Csr<double> c = add(a, a, 2.0, -2.0);  // 2A - 2A = 0 values, same pattern
+  EXPECT_EQ(c.nnz(), a.nnz());
+  for (double v : c.val) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Ops, HadamardIsIntersection) {
+  const Csr<double> a = gen::erdos_renyi(50, 50, 400, 9);
+  const Csr<double> b = gen::erdos_renyi(50, 50, 400, 10);
+  const Csr<double> h = hadamard(a, b);
+  EXPECT_LE(h.nnz(), std::min(a.nnz(), b.nnz()));
+  // Every surviving entry is a product of matching entries.
+  const Csr<double> haa = hadamard(a, a);
+  EXPECT_EQ(haa.nnz(), a.nnz());
+  for (std::size_t k = 0; k < haa.val.size(); ++k) {
+    EXPECT_DOUBLE_EQ(haa.val[k], a.val[k] * a.val[k]);
+  }
+}
+
+TEST(Ops, StructuralMaskKeepsValuesOfA) {
+  const Csr<double> a = gen::erdos_renyi(30, 30, 300, 11);
+  const Csr<double> m = gen::erdos_renyi(30, 30, 150, 12);
+  const Csr<double> r = structural_mask(a, m);
+  // r's pattern is a subset of both, values from a.
+  const Csr<double> h = hadamard(a, m);
+  EXPECT_EQ(r.nnz(), h.nnz());
+  for (std::size_t k = 0; k < r.col_idx.size(); ++k) {
+    EXPECT_EQ(r.col_idx[k], h.col_idx[k]);
+  }
+}
+
+TEST(Ops, ScaleAndPow) {
+  Csr<double> a = gen::banded(20, 1, 13);
+  const double sum_before = value_sum(a);
+  scale_inplace(a, 3.0);
+  EXPECT_NEAR(value_sum(a), 3.0 * sum_before, 1e-9);
+  Csr<double> b = gen::banded(20, 1, 14);
+  pow_inplace(b, 2.0);
+  for (double v : b.val) EXPECT_GE(v, 0.0);
+}
+
+TEST(Ops, NormalizeColumnsMakesStochastic) {
+  Csr<double> a = gen::erdos_renyi(60, 60, 500, 15);
+  normalize_columns_inplace(a);
+  tracked_vector<double> col_sum(60, 0.0);
+  for (std::size_t k = 0; k < a.col_idx.size(); ++k) {
+    col_sum[static_cast<std::size_t>(a.col_idx[k])] += a.val[k];
+  }
+  for (index_t j = 0; j < 60; ++j) {
+    if (col_sum[static_cast<std::size_t>(j)] != 0.0) {
+      EXPECT_NEAR(col_sum[static_cast<std::size_t>(j)], 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Ops, PruneDropsSmallEntries) {
+  Coo<double> coo;
+  coo.rows = coo.cols = 3;
+  coo.push_back(0, 0, 1.0);
+  coo.push_back(0, 1, 1e-12);
+  coo.push_back(1, 1, -1e-12);
+  coo.push_back(2, 2, -3.0);
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  const Csr<double> p = prune(a, 1e-9);
+  EXPECT_EQ(p.nnz(), 2);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Ops, TrilStrict) {
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(40, 40, 200, 16));
+  const Csr<double> l = tril_strict(a);
+  for (index_t i = 0; i < l.rows; ++i) {
+    for (offset_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      ASSERT_LT(l.col_idx[k], i);
+    }
+  }
+}
+
+TEST(Compare, DetectsStructureAndValueDiffs) {
+  const Csr<double> a = gen::erdos_renyi(20, 20, 80, 17);
+  Csr<double> b = a;
+  EXPECT_TRUE(compare(a, b).equal);
+  b.val[0] += 1.0;
+  EXPECT_FALSE(compare(a, b).equal);
+  b = a;
+  b.col_idx[0] = (b.col_idx[0] + 1) % 20;
+  EXPECT_FALSE(compare(a, b).equal);
+
+  const Csr<double> wrong_shape(20, 21);
+  EXPECT_FALSE(compare(a, wrong_shape).equal);
+}
+
+TEST(Compare, PruneZerosModeIgnoresExplicitZeros) {
+  Coo<double> c1, c2;
+  c1.rows = c1.cols = c2.rows = c2.cols = 2;
+  c1.push_back(0, 0, 1.0);
+  c1.push_back(0, 1, 0.0);  // explicit zero only in c1
+  c2.push_back(0, 0, 1.0);
+  const Csr<double> a = coo_to_csr(std::move(c1));
+  const Csr<double> b = coo_to_csr(std::move(c2));
+  EXPECT_FALSE(compare(a, b).equal);
+  CompareOptions opt;
+  opt.prune_zeros = true;
+  EXPECT_TRUE(compare(a, b, opt).equal);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,74 @@
+// Workload statistics: flops, intermediate products, compression rate, and
+// the row-imbalance histogram of Section 2.3.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "matrix/stats.h"
+
+namespace tsg {
+namespace {
+
+TEST(Stats, IntermediateProductsBruteForce) {
+  const Csr<double> a = gen::erdos_renyi(40, 40, 200, 61);
+  const Csr<double> b = gen::erdos_renyi(40, 40, 250, 62);
+  offset_t expected = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      expected += b.row_nnz(a.col_idx[k]);
+    }
+  }
+  EXPECT_EQ(intermediate_products(a, b), expected);
+  EXPECT_EQ(spgemm_flops(a, b), 2 * expected);
+}
+
+TEST(Stats, IdentityProducts) {
+  const Csr<double> i = identity<double>(64);
+  // I*I: each of the 64 rows produces exactly one product.
+  EXPECT_EQ(intermediate_products(i, i), 64);
+}
+
+TEST(Stats, DenseBlockCompressionRateNearBlockDim) {
+  // For a block-diagonal matrix of dense k x k blocks, A^2 has the same
+  // pattern, so rate = products/nnz(C) = (n*k^2)/(n*k) = k.
+  const index_t k = 24;
+  const Csr<double> a = gen::dense_blocks(4, k, 63);
+  const offset_t products = intermediate_products(a, a);
+  const Csr<double> c = spgemm_reference(a, a);
+  EXPECT_NEAR(compression_rate(products, c.nnz()), static_cast<double>(k), 1e-9);
+}
+
+TEST(Stats, CompressionRateZeroNnzC) {
+  EXPECT_DOUBLE_EQ(compression_rate(100, 0), 0.0);
+}
+
+TEST(Stats, RowHistogramDetectsSkew) {
+  // One power-law-style hub row with ~100k flops, the rest tiny — the
+  // webbase-1M motivation scenario in miniature.
+  Coo<double> coo;
+  coo.rows = coo.cols = 1000;
+  for (index_t j = 0; j < 250; ++j) coo.push_back(0, j, 1.0);  // hub row
+  // Rows the hub references are moderately heavy themselves, so the hub's
+  // flops = 2 * sum(nnz of referenced rows) ~ 2*250*40 = 20000.
+  for (index_t i = 1; i < 250; ++i) {
+    for (index_t k = 0; k < 40; ++k) coo.push_back(i, (i * 41 + k * 13) % 1000, 1.0);
+  }
+  for (index_t i = 250; i < 1000; ++i) coo.push_back(i, i, 1.0);  // diagonal tail
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  const RowFlopsHistogram h = row_flops_histogram(a, a);
+  // The hub rows dominate; the majority of rows need < 100 flops.
+  EXPECT_GE(h.rows_at_least(4), 1);  // >= 10^4 flops rows exist
+  EXPECT_GE(h.decade_count[0] + h.decade_count[1] + h.decade_count[2], 750);
+  EXPECT_GT(h.max_row_flops, 10000);
+}
+
+TEST(Stats, GflopsArithmetic) {
+  EXPECT_DOUBLE_EQ(gflops(2'000'000'000, 1000.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1'000'000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gflops(100, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tsg

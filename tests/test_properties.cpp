@@ -1,0 +1,150 @@
+// Algebraic property tests: identities that must hold for any correct
+// SpGEMM regardless of implementation, checked across methods and
+// structure classes.
+#include <gtest/gtest.h>
+
+#include "baselines/hash.h"
+#include "baselines/reference.h"
+#include "core/tile_spgemm.h"
+#include "gen/generators.h"
+#include "matrix/compare.h"
+#include "matrix/convert.h"
+#include "matrix/ops.h"
+#include "matrix/stats.h"
+#include "matrix/transpose.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+using test::expect_equal;
+
+// Value-level equality ignoring explicit zeros: different association
+// orders can turn an exact zero into a tiny residual, so pattern-carrying
+// identities are compared with pruning.
+void expect_value_equal(const Csr<double>& x, const Csr<double>& y, const char* what) {
+  CompareOptions opt;
+  opt.rel_tol = 1e-9;
+  opt.prune_zeros = true;
+  opt.prune_tol = 1e-9;
+  const CompareResult r = compare(x, y, opt);
+  EXPECT_TRUE(r.equal) << what << ": " << r.message;
+}
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySweep, TransposeIdentity) {
+  // (A*B)^T == B^T * A^T
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::erdos_renyi(70, 50, 400, seed);
+  const Csr<double> b = gen::erdos_renyi(50, 66, 420, seed + 1000);
+  const Csr<double> lhs = transpose(spgemm_tile(a, b));
+  const Csr<double> rhs = spgemm_tile(transpose(b), transpose(a));
+  expect_equal(lhs, rhs, "(AB)^T = B^T A^T");
+}
+
+TEST_P(PropertySweep, Associativity) {
+  // (A*B)*C == A*(B*C) up to rounding.
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::erdos_renyi(40, 30, 200, seed);
+  const Csr<double> b = gen::erdos_renyi(30, 45, 220, seed + 1);
+  const Csr<double> c = gen::erdos_renyi(45, 35, 210, seed + 2);
+  const Csr<double> lhs = spgemm_tile(spgemm_tile(a, b), c);
+  const Csr<double> rhs = spgemm_tile(a, spgemm_tile(b, c));
+  // Structures can differ in explicit zeros; compare pruned values.
+  expect_value_equal(lhs, rhs, "(AB)C = A(BC)");
+}
+
+TEST_P(PropertySweep, LeftDistributivity) {
+  // A*(B+C) == A*B + A*C.
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::erdos_renyi(48, 36, 250, seed + 10);
+  const Csr<double> b = gen::erdos_renyi(36, 52, 260, seed + 11);
+  const Csr<double> c = gen::erdos_renyi(36, 52, 240, seed + 12);
+  const Csr<double> lhs = spgemm_tile(a, add(b, c));
+  const Csr<double> rhs = add(spgemm_tile(a, b), spgemm_tile(a, c));
+  expect_value_equal(lhs, rhs, "A(B+C) = AB+AC");
+}
+
+TEST_P(PropertySweep, ScalarPullsThrough) {
+  // (alpha*A)*B == alpha*(A*B).
+  const std::uint64_t seed = GetParam();
+  Csr<double> a = gen::erdos_renyi(55, 55, 300, seed + 20);
+  const Csr<double> b = gen::erdos_renyi(55, 55, 310, seed + 21);
+  const Csr<double> ab = spgemm_tile(a, b);
+  scale_inplace(a, 2.5);
+  Csr<double> expected = ab;
+  scale_inplace(expected, 2.5);
+  expect_equal(expected, spgemm_tile(a, b), "(aA)B = a(AB)");
+}
+
+TEST_P(PropertySweep, NnzBounds) {
+  // nnz(C) <= intermediate products, and nnz(C) <= rows*cols.
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::rmat(8, 5.0, seed + 30);
+  const Csr<double> c = spgemm_tile(a, a);
+  EXPECT_LE(c.nnz(), intermediate_products(a, a));
+  EXPECT_LE(c.nnz(), static_cast<offset_t>(c.rows) * c.cols);
+  EXPECT_EQ(c.nnz(), spgemm_reference(a, a).nnz());
+}
+
+TEST_P(PropertySweep, RowSumsMatchMatVec) {
+  // (A*B)*1 == A*(B*1): row sums of the product equal A applied to B's row
+  // sums — a cheap full-value integrity check independent of structure.
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::erdos_renyi(64, 48, 350, seed + 40);
+  const Csr<double> b = gen::erdos_renyi(48, 57, 330, seed + 41);
+  const Csr<double> c = spgemm_tile(a, b);
+
+  std::vector<double> b_row_sums(static_cast<std::size_t>(b.rows), 0.0);
+  for (index_t i = 0; i < b.rows; ++i) {
+    for (offset_t k = b.row_ptr[i]; k < b.row_ptr[i + 1]; ++k) b_row_sums[i] += b.val[k];
+  }
+  for (index_t i = 0; i < a.rows; ++i) {
+    double via_a = 0.0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      via_a += a.val[k] * b_row_sums[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    double via_c = 0.0;
+    for (offset_t k = c.row_ptr[i]; k < c.row_ptr[i + 1]; ++k) via_c += c.val[k];
+    ASSERT_NEAR(via_a, via_c, 1e-9 * (std::abs(via_a) + 1.0)) << "row " << i;
+  }
+}
+
+TEST_P(PropertySweep, AATIsSymmetric) {
+  const std::uint64_t seed = GetParam();
+  const Csr<double> a = gen::erdos_renyi(60, 44, 320, seed + 50);
+  const Csr<double> aat = spgemm_tile(a, transpose(a));
+  const Csr<double> aat_t = transpose(aat);
+  expect_equal(aat, aat_t, "AA^T symmetric");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(Properties, PowersOfAdjacencyCountWalks) {
+  // For a directed cycle 0->1->...->n-1->0, A^k has exactly n entries and
+  // A^n = I (with value 1 when all weights are 1).
+  const index_t n = 12;
+  Coo<double> coo;
+  coo.rows = coo.cols = n;
+  for (index_t i = 0; i < n; ++i) coo.push_back(i, (i + 1) % n, 1.0);
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  Csr<double> p = a;
+  for (index_t k = 1; k < n; ++k) p = spgemm_tile(p, a);
+  const Csr<double> eye = identity<double>(n);
+  expect_equal(eye, p, "cycle^n = I");
+}
+
+TEST(Properties, AllMethodsAgreeWithEachOther) {
+  // Cross-check: tile vs hash on a matrix big enough to hit parallel paths.
+  const Csr<double> a = gen::rmat(11, 6.0, 99);
+  const Csr<double> c1 = spgemm_tile(a, a);
+  const Csr<double> c2 = spgemm_hash(a, a);
+  expect_equal(c2, c1, "tile vs hash", 1e-9);
+}
+
+}  // namespace
+}  // namespace tsg

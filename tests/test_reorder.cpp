@@ -1,0 +1,117 @@
+// RCM reordering and its effect on tile occupancy.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.h"
+#include "core/tile_convert.h"
+#include "core/tile_stats.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "matrix/reorder.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+TEST(Reorder, RcmIsAPermutation) {
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(200, 200, 900, 1));
+  const auto perm = rcm_ordering(a);
+  ASSERT_EQ(perm.size(), 200u);
+  std::vector<bool> seen(200, false);
+  for (index_t v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 200);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Reorder, RcmReducesBandwidthOfShuffledBand) {
+  // A band matrix destroyed by a random symmetric shuffle: RCM must
+  // recover a narrow band.
+  const Csr<double> band = gen::banded(400, 5, 2);
+  tracked_vector<index_t> shuffle(400);
+  for (index_t i = 0; i < 400; ++i) shuffle[static_cast<std::size_t>(i)] = (i * 233) % 400;
+  const Csr<double> scrambled = permute_symmetric(band, shuffle);
+  ASSERT_GT(bandwidth(scrambled), 100);
+
+  const Csr<double> restored = permute_symmetric(scrambled, rcm_ordering(scrambled));
+  EXPECT_LT(bandwidth(restored), 30);
+}
+
+TEST(Reorder, PermuteSymmetricPreservesSpectralStructure) {
+  // Permutation similarity preserves row-sum multiset and diagonal values.
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(80, 80, 300, 3));
+  const auto perm = rcm_ordering(a);
+  const Csr<double> p = permute_symmetric(a, perm);
+  ASSERT_EQ(p.nnz(), a.nnz());
+
+  std::vector<double> sums_a, sums_p;
+  for (index_t i = 0; i < a.rows; ++i) {
+    double sa = 0, sp = 0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) sa += a.val[k];
+    for (offset_t k = p.row_ptr[i]; k < p.row_ptr[i + 1]; ++k) sp += p.val[k];
+    sums_a.push_back(sa);
+    sums_p.push_back(sp);
+  }
+  std::sort(sums_a.begin(), sums_a.end());
+  std::sort(sums_p.begin(), sums_p.end());
+  for (std::size_t i = 0; i < sums_a.size(); ++i) {
+    ASSERT_NEAR(sums_a[i], sums_p[i], 1e-10);
+  }
+}
+
+TEST(Reorder, PermuteRejectsInvalidInput) {
+  const Csr<double> a = gen::banded(10, 1, 4);
+  tracked_vector<index_t> bad = {0, 0, 2, 3, 4, 5, 6, 7, 8, 9};  // duplicate
+  EXPECT_THROW(permute_symmetric(a, bad), std::invalid_argument);
+  tracked_vector<index_t> short_perm = {0, 1};
+  EXPECT_THROW(permute_symmetric(a, short_perm), std::invalid_argument);
+  const Csr<double> rect = gen::erdos_renyi(5, 6, 10, 5);
+  EXPECT_THROW(rcm_ordering(rect), std::invalid_argument);
+}
+
+TEST(Reorder, ImprovesTileOccupancyOfScrambledBand) {
+  // The tile-format implication: the same nonzeros in far fewer tiles.
+  const Csr<double> band = gen::banded(600, 8, 6);
+  tracked_vector<index_t> shuffle(600);
+  for (index_t i = 0; i < 600; ++i) shuffle[static_cast<std::size_t>(i)] = (i * 371) % 600;
+  const Csr<double> scrambled = permute_symmetric(band, shuffle);
+  const Csr<double> restored = permute_symmetric(scrambled, rcm_ordering(scrambled));
+
+  const TileFormatStats before = tile_format_stats(csr_to_tile(scrambled));
+  const TileFormatStats after = tile_format_stats(csr_to_tile(restored));
+  EXPECT_LT(after.num_tiles * 2, before.num_tiles);
+  EXPECT_GT(after.avg_nnz_per_tile, 2.0 * before.avg_nnz_per_tile);
+}
+
+TEST(Reorder, ProductOnReorderedMatrixIsPermutedProduct) {
+  // (P A P^T)^2 = P A^2 P^T: squaring commutes with symmetric permutation.
+  const Csr<double> a = gen::symmetrized(gen::erdos_renyi(64, 64, 250, 7));
+  const auto perm = rcm_ordering(a);
+  const Csr<double> pa = permute_symmetric(a, perm);
+  const Csr<double> lhs = spgemm_reference(pa, pa);
+  const Csr<double> rhs = permute_symmetric(spgemm_reference(a, a), perm);
+  test::expect_equal(rhs, lhs, "permute commutes with square");
+}
+
+TEST(Reorder, HandlesDisconnectedGraphs) {
+  // Two disjoint bands: RCM must cover both components.
+  Coo<double> coo;
+  coo.rows = coo.cols = 60;
+  for (index_t i = 0; i < 29; ++i) {
+    coo.push_back(i, i + 1, 1.0);
+    coo.push_back(i + 1, i, 1.0);
+  }
+  for (index_t i = 30; i < 59; ++i) {
+    coo.push_back(i, i + 1, 1.0);
+    coo.push_back(i + 1, i, 1.0);
+  }
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  const auto perm = rcm_ordering(a);
+  EXPECT_EQ(perm.size(), 60u);
+  const Csr<double> p = permute_symmetric(a, perm);
+  EXPECT_LE(bandwidth(p), 31);  // components stay contiguous
+}
+
+}  // namespace
+}  // namespace tsg

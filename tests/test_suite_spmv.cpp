@@ -1,0 +1,45 @@
+// SpMV consistency across the whole representative suite: the tiled SpMV
+// must agree with CSR SpMV on every proxy structure — a broad integration
+// net for the kernel the solver stack leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/tile_convert.h"
+#include "core/tile_spmv.h"
+#include "gen/representative.h"
+#include "matrix/spmv.h"
+
+namespace tsg {
+namespace {
+
+class SuiteSpmv : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteSpmv, TileAgreesWithCsrOnRepresentativeMatrix) {
+  const auto suite = gen::representative_suite();
+  const auto& m = suite[static_cast<std::size_t>(GetParam())];
+  SCOPED_TRACE(m.name);
+
+  const TileMatrix<double> t = csr_to_tile(m.a);
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  tracked_vector<double> x(static_cast<std::size_t>(m.a.cols));
+  for (auto& v : x) v = rng.next_double() * 2.0 - 1.0;
+
+  tracked_vector<double> y_csr, y_tile;
+  spmv(m.a, x, y_csr);
+  tile_spmv(t, x, y_tile);
+  ASSERT_EQ(y_csr.size(), y_tile.size());
+  double max_mag = 0.0;
+  for (double v : y_csr) max_mag = std::max(max_mag, std::fabs(v));
+  for (std::size_t i = 0; i < y_csr.size(); ++i) {
+    ASSERT_NEAR(y_csr[i], y_tile[i], 1e-11 * (max_mag + 1.0)) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All18, SuiteSpmv, ::testing::Range(0, 18), [](const auto& info) {
+  return "m" + std::to_string(info.param);
+});
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,176 @@
+// The sparse tile data structure (Section 3.2): conversion round trips over
+// all structure classes and shapes, mask/row-pointer consistency, the
+// uint8 boundaries, and the column-major layout view.
+#include <gtest/gtest.h>
+
+#include "core/tile_convert.h"
+#include "core/tile_format.h"
+#include "core/tile_stats.h"
+#include "gen/generators.h"
+#include "matrix/convert.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+struct RoundTripCase {
+  const char* name;
+  Csr<double> (*make)();
+};
+
+class TileRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TileRoundTrip, CsrTileCsrIsIdentity) {
+  const Csr<double> a = GetParam().make();
+  const TileMatrix<double> t = csr_to_tile(a);
+  ASSERT_TRUE(t.validate().empty()) << GetParam().name << ": " << t.validate();
+  EXPECT_EQ(t.nnz(), a.nnz());
+  test::expect_equal(a, tile_to_csr(t), GetParam().name, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StructureClasses, TileRoundTrip,
+    ::testing::Values(RoundTripCase{"er_small", test::make_er_small},
+                      RoundTripCase{"er_rect", test::make_er_rect},
+                      RoundTripCase{"er_dense", test::make_er_dense},
+                      RoundTripCase{"rmat", test::make_rmat_small},
+                      RoundTripCase{"stencil", test::make_stencil},
+                      RoundTripCase{"band", test::make_band},
+                      RoundTripCase{"band_wide", test::make_band_wide},
+                      RoundTripCase{"blocks", test::make_blocks},
+                      RoundTripCase{"clustered", test::make_clustered},
+                      RoundTripCase{"hyper_sparse", test::make_hyper_sparse}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(TileFormat, GridDimensions) {
+  const TileMatrix<double> t = csr_to_tile(gen::erdos_renyi(100, 50, 200, 90));
+  EXPECT_EQ(t.tile_rows, 7);  // ceil(100/16)
+  EXPECT_EQ(t.tile_cols, 4);  // ceil(50/16)
+}
+
+TEST(TileFormat, SingleFullTileUsesAllUint8Values) {
+  const Csr<double> a = gen::dense_blocks(1, 16, 91);
+  const TileMatrix<double> t = csr_to_tile(a);
+  ASSERT_EQ(t.num_tiles(), 1);
+  ASSERT_EQ(t.tile_nnz_of(0), 256);
+  // Row pointers are 0,16,...,240 — the full uint8-representable ladder.
+  for (index_t r = 0; r < kTileDim; ++r) {
+    EXPECT_EQ(t.row_ptr[static_cast<std::size_t>(r)], r * 16);
+    EXPECT_EQ(t.tile_mask(0)[r], 0xFFFF);
+  }
+  // The implied 17th row-pointer entry (tile_nnz) reconstructs 256.
+  index_t lo, hi;
+  t.tile_row_range(0, 15, lo, hi);
+  EXPECT_EQ(lo, 240);
+  EXPECT_EQ(hi, 256);
+}
+
+TEST(TileFormat, MasksMatchColumnIndices) {
+  const TileMatrix<double> t = csr_to_tile(gen::rmat(9, 5.0, 92));
+  for (offset_t tile = 0; tile < t.num_tiles(); ++tile) {
+    for (index_t r = 0; r < kTileDim; ++r) {
+      index_t lo, hi;
+      t.tile_row_range(tile, r, lo, hi);
+      rowmask_t rebuilt = 0;
+      for (index_t k = lo; k < hi; ++k) {
+        rebuilt |= bit_of(t.col_idx[static_cast<std::size_t>(t.tile_nnz[tile] + k)]);
+      }
+      ASSERT_EQ(rebuilt, t.tile_mask(tile)[r]);
+    }
+  }
+}
+
+TEST(TileFormat, EmptyMatrix) {
+  const TileMatrix<double> t = csr_to_tile(Csr<double>(40, 40));
+  EXPECT_EQ(t.num_tiles(), 0);
+  EXPECT_EQ(t.nnz(), 0);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  const Csr<double> back = tile_to_csr(t);
+  EXPECT_EQ(back.nnz(), 0);
+  EXPECT_EQ(back.rows, 40);
+}
+
+TEST(TileFormat, PartialEdgeTiles) {
+  // 17x17: 2x2 tile grid where the last tile row/column holds one line.
+  Coo<double> coo;
+  coo.rows = coo.cols = 17;
+  coo.push_back(16, 16, 5.0);  // lone entry in the corner tile
+  coo.push_back(16, 0, 6.0);   // bottom edge tile
+  coo.push_back(0, 16, 7.0);   // right edge tile
+  const Csr<double> a = coo_to_csr(std::move(coo));
+  const TileMatrix<double> t = csr_to_tile(a);
+  ASSERT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.num_tiles(), 3);
+  test::expect_equal(a, tile_to_csr(t), "edge tiles", 1e-15);
+}
+
+TEST(TileFormat, ValidateCatchesCorruptedMask) {
+  TileMatrix<double> t = csr_to_tile(gen::banded(64, 2, 93));
+  ASSERT_TRUE(t.validate().empty());
+  t.mask[0] ^= 1;  // flip one bit
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(TileFormat, ValidateCatchesBadTileOrder) {
+  TileMatrix<double> t = csr_to_tile(gen::banded(64, 20, 94));
+  ASSERT_GE(t.num_tiles(), 2);
+  std::swap(t.tile_col_idx[0], t.tile_col_idx[1]);
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(TileLayoutCsc, MatchesRowMajorLayout) {
+  const TileMatrix<double> t = csr_to_tile(gen::rmat(8, 4.0, 95));
+  const TileLayoutCsc v = tile_layout_csc(t);
+  ASSERT_EQ(static_cast<offset_t>(v.row_idx.size()), t.num_tiles());
+  // Every (tile row, tile col) pair present row-major must appear in the
+  // column view with the right storage id, and row indices sorted per col.
+  offset_t checked = 0;
+  for (index_t tc = 0; tc < t.tile_cols; ++tc) {
+    for (offset_t k = v.col_ptr[tc]; k < v.col_ptr[tc + 1]; ++k) {
+      const index_t tr = v.row_idx[k];
+      const offset_t id = v.tile_id[k];
+      ASSERT_EQ(t.tile_col_idx[id], tc);
+      ASSERT_GE(id, t.tile_ptr[tr]);
+      ASSERT_LT(id, t.tile_ptr[tr + 1]);
+      if (k > v.col_ptr[tc]) {
+        ASSERT_LT(v.row_idx[k - 1], tr);
+      }
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, t.num_tiles());
+}
+
+TEST(TileStats, CountsAndBytes) {
+  const Csr<double> a = gen::dense_blocks(2, 16, 96);  // two full tiles
+  const TileMatrix<double> t = csr_to_tile(a);
+  const TileFormatStats s = tile_format_stats(t);
+  EXPECT_EQ(s.num_tiles, 2);
+  EXPECT_EQ(s.nnz, 512);
+  EXPECT_DOUBLE_EQ(s.avg_nnz_per_tile, 256.0);
+  EXPECT_EQ(s.max_nnz_per_tile, 256);
+  EXPECT_EQ(s.empty_tiles, 0);
+  EXPECT_EQ(s.bytes, t.bytes());
+  EXPECT_EQ(s.mask_bytes, 2u * 16 * 2);
+  EXPECT_EQ(s.row_ptr_bytes, 2u * 16);
+  EXPECT_GT(s.high_level_bytes, 0u);
+}
+
+TEST(TileStats, HyperSparseTilesLookLikeCop20k) {
+  // Scattered nonzeros: most tiles hold ~1 nonzero (the cop20k_A pathology
+  // of Section 4.2 — tile overhead dominates).
+  const Csr<double> a = gen::erdos_renyi(3000, 3000, 4000, 97);
+  const TileFormatStats s = tile_format_stats(csr_to_tile(a));
+  EXPECT_LT(s.avg_nnz_per_tile, 1.5);
+}
+
+TEST(TileFormat, FloatInstantiationWorks) {
+  const Csr<float> a = gen::cast_values<float>(gen::banded(40, 3, 98));
+  const TileMatrix<float> t = csr_to_tile(a);
+  EXPECT_TRUE(t.validate().empty());
+  const Csr<float> back = tile_to_csr(t);
+  EXPECT_EQ(back.nnz(), a.nnz());
+}
+
+}  // namespace
+}  // namespace tsg

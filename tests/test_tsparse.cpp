@@ -1,0 +1,94 @@
+// The tSparse proxy: dense-tile multiplication with half-precision storage.
+// Its results must agree with a float reference up to fp16 rounding, and it
+// prunes numeric zeros (dense->sparse conversion), unlike the other methods.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.h"
+#include "baselines/tsparse.h"
+#include "common/half.h"
+#include "gen/generators.h"
+#include "matrix/compare.h"
+#include "matrix/convert.h"
+
+namespace tsg {
+namespace {
+
+/// Reference product computed the same way tSparse rounds: operands pushed
+/// through fp16 first, float accumulation.
+Csr<float> reference_half(const Csr<float>& a, const Csr<float>& b) {
+  Csr<float> ah = a, bh = b;
+  for (auto& v : ah.val) v = static_cast<float>(half(v));
+  for (auto& v : bh.val) v = static_cast<float>(half(v));
+  return spgemm_reference(ah, bh);
+}
+
+void check_tsparse(const Csr<float>& a, const Csr<float>& b, const char* what) {
+  const Csr<float> expected = reference_half(a, b);
+  const Csr<float> actual = spgemm_tsparse(a, b);
+  ASSERT_TRUE(actual.validate().empty()) << what;
+  CompareOptions opt;
+  // fp32 accumulation over fp16 inputs in different orders: loose relative
+  // tolerance; prune numeric zeros since tSparse drops them by design.
+  opt.rel_tol = 1e-4;
+  opt.prune_zeros = true;
+  opt.prune_tol = 0.0f;
+  const CompareResult r = compare(expected, actual, opt);
+  EXPECT_TRUE(r.equal) << what << ": " << r.message;
+}
+
+TEST(Tsparse, MatchesHalfReferenceOnRandom) {
+  const auto a = gen::cast_values<float>(gen::erdos_renyi(97, 97, 500, 301));
+  check_tsparse(a, a, "er");
+}
+
+TEST(Tsparse, MatchesHalfReferenceOnBlocks) {
+  const auto a = gen::cast_values<float>(gen::dense_blocks(4, 20, 302));
+  check_tsparse(a, a, "blocks");
+}
+
+TEST(Tsparse, MatchesHalfReferenceOnBand) {
+  const auto a = gen::cast_values<float>(gen::banded(200, 9, 303));
+  check_tsparse(a, a, "band");
+}
+
+TEST(Tsparse, MatchesHalfReferenceOnPowerLaw) {
+  const auto a = gen::cast_values<float>(gen::rmat(9, 4.0, 304));
+  check_tsparse(a, a, "rmat");
+}
+
+TEST(Tsparse, RectangularProduct) {
+  const auto a = gen::cast_values<float>(gen::erdos_renyi(60, 33, 300, 305));
+  const auto b = gen::cast_values<float>(gen::erdos_renyi(33, 90, 350, 306));
+  check_tsparse(a, b, "rect");
+}
+
+TEST(Tsparse, EmptyOperands) {
+  const Csr<float> e(20, 20);
+  EXPECT_EQ(spgemm_tsparse(e, e).nnz(), 0);
+}
+
+TEST(Tsparse, TimingsBreakdownPopulated) {
+  const auto a = gen::cast_values<float>(gen::banded(400, 8, 307));
+  TsparseTimings tm;
+  (void)spgemm_tsparse(a, a, &tm);
+  EXPECT_GT(tm.total_ms(), 0.0);
+  EXPECT_GT(tm.step2_ms, 0.0);  // dense multiply is never free
+  EXPECT_GT(tm.step3_ms, 0.0);  // dense->sparse conversion
+}
+
+TEST(Tsparse, HalfRoundingIsApplied) {
+  // 1/3 is not representable in fp16; the product must reflect fp16 inputs,
+  // not the fp32 originals.
+  Coo<float> coo;
+  coo.rows = coo.cols = 1;
+  coo.push_back(0, 0, 1.0f / 3.0f);
+  const Csr<float> a = coo_to_csr(std::move(coo));
+  const Csr<float> c = spgemm_tsparse(a, a);
+  ASSERT_EQ(c.nnz(), 1);
+  const float h = static_cast<float>(half(1.0f / 3.0f));
+  EXPECT_FLOAT_EQ(c.val[0], h * h);
+  EXPECT_NE(c.val[0], (1.0f / 3.0f) * (1.0f / 3.0f));
+}
+
+}  // namespace
+}  // namespace tsg
