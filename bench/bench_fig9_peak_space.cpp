@@ -8,6 +8,7 @@
 #include "bench_common.h"
 #include "common/memory.h"
 #include "common/timer.h"
+#include "core/tile_spgemm.h"
 #include "gen/representative.h"
 #include "matrix/transpose.h"
 
@@ -52,7 +53,9 @@ int main(int argc, char** argv) {
     if (m.name != "cant") continue;
     MemoryTracker::instance().reset();
     MemoryTracker::instance().start_trace();
-    (void)paper_algorithms().back().run(m.a, m.a);
+    // Call the tiled method directly (not through `profiled`, whose peak
+    // scope would reset the tracker mid-trace).
+    (void)spgemm_tile(m.a, m.a);
     const auto trace = MemoryTracker::instance().stop_trace();
     // Print ~10 evenly spaced samples.
     const std::size_t step = trace.size() > 10 ? trace.size() / 10 : 1;

@@ -10,7 +10,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/tile_spgemm.h"
+#include "core/spgemm_context.h"
 #include "gen/generators.h"
 #include "matrix/convert.h"
 #include "matrix/stats.h"
@@ -40,6 +40,9 @@ int main() {
   std::cout << "level 0: n = " << a_fine.rows << ", nnz = " << a_fine.nnz() << "\n";
 
   Csr<double> a = a_fine;
+  // One context across the whole hierarchy: every Galerkin product on every
+  // level reuses the same pooled workspaces.
+  SpgemmContext ctx;
   int level = 0;
   while (a.rows > 64) {
     const Csr<double> p = aggregation_prolongator(a.rows, 4);
@@ -49,8 +52,8 @@ int main() {
     // results stay in the tiled format across the chain, so conversion is
     // paid once per level, not per product.
     TileSpgemmTimings t_ap, t_rap;
-    const Csr<double> ap = spgemm_tile(a, p, {}, &t_ap);
-    const Csr<double> a_coarse = spgemm_tile(r, ap, {}, &t_rap);
+    const Csr<double> ap = ctx.run_csr(a, p, &t_ap);
+    const Csr<double> a_coarse = ctx.run_csr(r, ap, &t_rap);
 
     // Galerkin identity on the constant vector: since P*1 = 1,
     // (R*A*P)*1 = R*(A*1), i.e. each coarse row sum equals the sum of the

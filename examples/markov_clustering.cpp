@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/tile_spgemm.h"
+#include "core/spgemm_context.h"
 #include "gen/generators.h"
 #include "matrix/convert.h"
 #include "matrix/ops.h"
@@ -59,9 +59,12 @@ int main() {
   const double inflation = 2.0;
   const double prune_tol = 1e-4;
 
+  // One context for the whole MCL run: the expansion SpGEMM reuses the
+  // pooled workspaces every iteration instead of reallocating them.
+  SpgemmContext ctx;
   for (int iter = 0; iter < 24; ++iter) {
     // Expansion: the SpGEMM at the heart of MCL.
-    Csr<double> expanded = spgemm_tile(m, m);
+    Csr<double> expanded = ctx.run_csr(m, m);
     // Inflation + pruning keep the matrix sparse and sharpen clusters.
     pow_inplace(expanded, inflation);
     normalize_columns_inplace(expanded);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build the sanitizer preset (ASan + UBSan via -DTSG_SANITIZE=ON)
+# and run the full test suite under it, then build and test the regular
+# preset. Any sanitizer report aborts the run (-fno-sanitize-recover=all).
+#
+# Usage: scripts/check.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== sanitized build (ASan+UBSan) ==="
+cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "$@"
+
+echo "=== regular build ==="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
+
+echo "check.sh: all green"

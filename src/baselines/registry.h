@@ -12,20 +12,28 @@
 
 namespace tsg {
 
+/// Result of one profiled SpGEMM invocation: the product plus the two
+/// numbers every figure needs.
+struct SpgemmRunReport {
+  Csr<double> c;         ///< the product, in CSR for cross-validation
+  double core_ms = 0.0;  ///< milliseconds that count as "the SpGEMM"
+  double peak_mb = 0.0;  ///< peak tracked workspace MB during the core
+};
+
 struct SpgemmAlgorithm {
-  std::string name;        ///< name used in output tables
-  std::string proxies;     ///< the paper baseline this method stands in for
-  bool is_tile = false;    ///< true for the paper's contribution
+  std::string name;      ///< name used in output tables
+  std::string proxies;   ///< the paper baseline this method stands in for
+  bool is_tile = false;  ///< true for the paper's contribution
+  /// The single profiled entry point. `core_ms` and `peak_mb` cover what
+  /// counts as "the SpGEMM" for this method: for TileSpGEMM both exclude
+  /// the CSR<->tile conversions, matching Section 4.6 ("we always assume
+  /// the matrix is already stored in the tiled format"); for the row-row
+  /// methods they cover the whole call (their operands and outputs are
+  /// natively CSR).
+  std::function<SpgemmRunReport(const Csr<double>&, const Csr<double>&)> profiled;
+  /// Deprecated: unprofiled shim kept for one release. Equivalent to
+  /// `profiled(a, b).c` — migrate callers to `profiled`.
   std::function<Csr<double>(const Csr<double>&, const Csr<double>&)> run;
-  /// Profiled variant: returns the product and reports the milliseconds and
-  /// peak tracked workspace megabytes that count as "the SpGEMM" for this
-  /// method. For TileSpGEMM both exclude the CSR<->tile conversions,
-  /// matching Section 4.6 ("we always assume the matrix is already stored
-  /// in the tiled format"); for the row-row methods they cover the whole
-  /// call (their operands and outputs are natively CSR).
-  std::function<Csr<double>(const Csr<double>&, const Csr<double>&, double& core_ms,
-                            double& peak_mb)>
-      run_timed;
 };
 
 /// The five methods in the paper's comparison order:

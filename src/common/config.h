@@ -29,6 +29,11 @@ inline constexpr index_t kTileNnzMax = kTileDim * kTileDim;
 /// the rest use the sparse (popcount-indexed) accumulator.
 inline constexpr index_t kAccumulatorThreshold = kTileNnzMax * 3 / 4;  // 192
 
+/// Number of cost bins the SpgemmContext scheduler partitions C tiles into
+/// (bin 0 lightest). Heavy bins are dispatched first so the long-pole tiles
+/// never land at the tail of a dynamically scheduled loop.
+inline constexpr int kCostBins = 4;
+
 static_assert(kTileDim <= 16, "local indices must fit in 4 bits");
 static_assert(kAccumulatorThreshold == 192, "paper uses tnnz = 192 for 16x16 tiles");
 

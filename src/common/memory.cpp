@@ -5,7 +5,13 @@
 
 namespace tsg {
 
+namespace {
+std::atomic<std::size_t> g_budget_override{0};
+}  // namespace
+
 std::size_t device_memory_budget_bytes() {
+  const std::size_t override_bytes = g_budget_override.load(std::memory_order_relaxed);
+  if (override_bytes != 0) return override_bytes;
   static const std::size_t budget = [] {
     if (const char* env = std::getenv("TSG_DEVICE_MEM_MB")) {
       const long mb = std::atol(env);
@@ -14,6 +20,10 @@ std::size_t device_memory_budget_bytes() {
     return std::size_t{420} * 1024 * 1024;
   }();
   return budget;
+}
+
+void set_device_memory_budget_bytes(std::size_t bytes) {
+  g_budget_override.store(bytes, std::memory_order_relaxed);
 }
 
 void check_workspace_budget(std::size_t bytes) {
@@ -26,6 +36,7 @@ MemoryTracker& MemoryTracker::instance() {
 }
 
 void MemoryTracker::add(std::size_t bytes) {
+  allocated_total_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
   const std::int64_t now =
       current_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed) +
       static_cast<std::int64_t>(bytes);
@@ -46,6 +57,7 @@ void MemoryTracker::sub(std::size_t bytes) {
 void MemoryTracker::reset() {
   current_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
+  allocated_total_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(trace_mutex_);
   trace_.clear();
 }

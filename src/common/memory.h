@@ -40,6 +40,13 @@ class MemoryTracker {
   std::int64_t current() const { return current_.load(std::memory_order_relaxed); }
   std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// Cumulative bytes ever allocated through tracked buffers since the last
+  /// reset (never decremented). The delta across an iteration of a repeated
+  /// workload is the "allocation traffic" a pooled workspace eliminates.
+  std::int64_t allocated_total() const {
+    return allocated_total_.load(std::memory_order_relaxed);
+  }
+
   /// Reset current/peak to zero and clear any recorded trace.
   /// Only valid between experiments (no tracked buffers alive), which the
   /// bench harness guarantees by scoping.
@@ -56,6 +63,7 @@ class MemoryTracker {
 
   std::atomic<std::int64_t> current_{0};
   std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::int64_t> allocated_total_{0};
   std::atomic<bool> tracing_{false};
   std::mutex trace_mutex_;
   std::vector<MemorySample> trace_;
@@ -111,8 +119,16 @@ using tracked_vector = std::vector<T, TrackedAllocator<T>>;
 /// Configured by TSG_DEVICE_MEM_MB (default 420 MB, which sits in the same
 /// place relative to the scaled-down workloads as 24 GB sat relative to the
 /// paper's full-size ones: the bulk of the suite fits, the highest-
-/// compression-rate matrices do not).
+/// compression-rate matrices do not). A programmatic override set through
+/// set_device_memory_budget_bytes (e.g. from SpgemmContext::Config) wins
+/// over the environment.
 std::size_t device_memory_budget_bytes();
+
+/// Override the modeled device-memory budget at runtime; 0 reverts to the
+/// TSG_DEVICE_MEM_MB environment value. SpgemmContext::Config is the
+/// intended caller — prefer configuring a context over touching this
+/// process-wide knob directly.
+void set_device_memory_budget_bytes(std::size_t bytes);
 
 /// Throw std::bad_alloc if a workspace of `bytes` would exceed the modeled
 /// device memory.

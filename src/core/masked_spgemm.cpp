@@ -1,17 +1,17 @@
 #include "core/masked_spgemm.h"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "common/parallel.h"
-#include "core/intersect.h"
+#include "core/spgemm_context.h"
 #include "core/tile_convert.h"
+#include "core/tile_kernels.h"
 
 namespace tsg {
 
 namespace {
-
-thread_local std::vector<MatchedPair> t_pairs;
 
 /// Masked numeric accumulation: like step 3's sparse path but products
 /// whose target position is outside the (already mask-ANDed) tile mask are
@@ -46,15 +46,21 @@ void accumulate_sparse_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
 }  // namespace
 
 template <class T>
-TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
-                                 const TileMatrix<T>& mask,
-                                 const TileSpgemmOptions& options) {
+TileMatrix<T> SpgemmContext::run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                        const TileMatrix<T>& mask) {
   if (a.cols != b.rows) throw std::invalid_argument("masked spgemm: inner dims differ");
   if (mask.rows != a.rows || mask.cols != b.cols) {
     throw std::invalid_argument("masked spgemm: mask shape mismatch");
   }
+  std::optional<ThreadCountGuard> guard;
+  if (config().threads > 0) guard.emplace(config().threads);
+  const TileSpgemmOptions& options = config().options;
 
-  const TileLayoutCsc b_csc = tile_layout_csc(b);
+  SpgemmWorkspace<T>& ws = workspace<T>();
+  ws.ensure_threads(omp_get_max_threads());
+  ws.begin_call();
+  tile_layout_csc(b, ws.b_csc);
+  const TileLayoutCsc& b_csc = ws.b_csc;
 
   // Step 1 (masked): candidate output tiles are exactly M's tiles — the
   // symbolic product can only shrink them, never add outside the mask.
@@ -66,8 +72,10 @@ TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
   c.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
   c.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
 
-  // Expanded tile row index (mask layout is CSR over tiles).
-  tracked_vector<index_t> tile_row_idx(static_cast<std::size_t>(ntiles));
+  // Expanded tile row index (mask layout is CSR over tiles), pooled in the
+  // workspace structure so iterated masked products reuse its capacity.
+  tracked_vector<index_t>& tile_row_idx = ws.structure.tile_row_idx;
+  tile_row_idx.resize(static_cast<std::size_t>(ntiles));
   for (index_t tr = 0; tr < mask.tile_rows; ++tr) {
     for (offset_t t = mask.tile_ptr[tr]; t < mask.tile_ptr[tr + 1]; ++t) {
       tile_row_idx[static_cast<std::size_t>(t)] = tr;
@@ -79,7 +87,7 @@ TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
 
-    std::vector<MatchedPair>& pairs = t_pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -129,21 +137,11 @@ TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const rowmask_t* mask_c = c.mask.data() + base;
     const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
 
-    index_t out = 0;
-    for (index_t r = 0; r < kTileDim; ++r) {
-      rowmask_t m = mask_c[r];
-      while (m != 0) {
-        const index_t col = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
-        const std::size_t dst = static_cast<std::size_t>(nz_base + out);
-        c.row_idx[dst] = static_cast<std::uint8_t>(r);
-        c.col_idx[dst] = static_cast<std::uint8_t>(col);
-        ++out;
-        m = static_cast<rowmask_t>(m & (m - 1));
-      }
-    }
+    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
+                                     c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
-    std::vector<MatchedPair>& pairs = t_pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -164,12 +162,26 @@ TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
 }
 
 template <class T>
+TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                 const TileMatrix<T>& mask,
+                                 const TileSpgemmOptions& options) {
+  SpgemmContext ctx(SpgemmContext::Config{}.with_options(options));
+  return ctx.run_masked(a, b, mask);
+}
+
+template <class T>
 Csr<T> spgemm_tile_masked(const Csr<T>& a, const Csr<T>& b, const Csr<T>& mask,
                           const TileSpgemmOptions& options) {
   return tile_to_csr(
       tile_spgemm_masked(csr_to_tile(a), csr_to_tile(b), csr_to_tile(mask), options));
 }
 
+template TileMatrix<double> SpgemmContext::run_masked(const TileMatrix<double>&,
+                                                      const TileMatrix<double>&,
+                                                      const TileMatrix<double>&);
+template TileMatrix<float> SpgemmContext::run_masked(const TileMatrix<float>&,
+                                                     const TileMatrix<float>&,
+                                                     const TileMatrix<float>&);
 template TileMatrix<double> tile_spgemm_masked(const TileMatrix<double>&,
                                                const TileMatrix<double>&,
                                                const TileMatrix<double>&,

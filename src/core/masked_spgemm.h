@@ -16,6 +16,8 @@ namespace tsg {
 
 /// C = (A*B) .* structure(mask). Values come from the product; entries of
 /// the product outside the mask's pattern are dropped (and never computed).
+/// Transient-context wrapper around SpgemmContext::run_masked — iterated
+/// callers should hold a context instead (see spgemm_context.h).
 template <class T>
 TileMatrix<T> tile_spgemm_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                  const TileMatrix<T>& mask,

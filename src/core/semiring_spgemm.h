@@ -2,6 +2,11 @@
 // and 2 are purely structural), with a step-3 numeric phase parameterised
 // on the semiring's combine/reduce.
 //
+// The kernels are driven through a SpgemmContext so they share its pooled
+// workspace (layout view, tile structure, per-thread pair scratch); the
+// options-only overloads spin up a transient context like the other free
+// functions.
+//
 // Semantics note: the output structure is the *structural* product — an
 // entry exists wherever at least one (A_ik, B_kj) product lands, with value
 // reduce over those products. For semirings whose identity annihilates
@@ -14,36 +19,42 @@
 #include "common/parallel.h"
 #include "core/intersect.h"
 #include "core/semiring.h"
-#include "core/step2.h"
+#include "core/spgemm_context.h"
 #include "core/tile_convert.h"
+#include "core/tile_kernels.h"
 #include "core/tile_spgemm.h"
 
 namespace tsg {
 
-namespace detail {
-// Matched-pair scratch shared by the semiring numeric pass.
-inline thread_local std::vector<MatchedPair> t_semiring_pairs;
-}  // namespace detail
-
-/// C = A (x) B over the given semiring, tile format in and out.
+/// C = A (x) B over the given semiring through a reusable context.
 template <class Semiring, class T>
-TileMatrix<T> tile_spgemm_semiring(const TileMatrix<T>& a, const TileMatrix<T>& b,
-                                   const TileSpgemmOptions& options = {}) {
+TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
+                                   const TileMatrix<T>& b) {
   if (a.cols != b.rows) {
     throw std::invalid_argument("tile_spgemm_semiring: inner dimensions differ");
   }
-  const TileLayoutCsc b_csc = tile_layout_csc(b);
-  const TileStructure structure = step1_tile_structure(a, b);
-  const Step2Result symbolic = step2_symbolic(a, b, b_csc, structure, options);
+  const TileSpgemmOptions& options = ctx.config().options;
+  SpgemmWorkspace<T>& ws = ctx.workspace<T>();
+  ws.ensure_threads(omp_get_max_threads());
+  ws.begin_call();
+
+  tile_layout_csc(b, ws.b_csc);
+  const TileLayoutCsc& b_csc = ws.b_csc;
+  step1_tile_structure(a, b, ws, ws.structure);
+  const TileStructure& structure = ws.structure;
+  // Structural symbolic pass only — the semiring numeric below re-runs the
+  // intersection, so the plan requests neither caching nor fusion (fused
+  // values would be plus-times, not the semiring's combine/reduce).
+  Step2Result symbolic = step2_symbolic(a, b, b_csc, structure, options, ws, ExecutionPlan{});
 
   TileMatrix<T> c(a.rows, b.cols);
   c.tile_rows = structure.tile_rows;
   c.tile_cols = structure.tile_cols;
   c.tile_ptr = structure.tile_ptr;
   c.tile_col_idx = structure.tile_col_idx;
-  c.tile_nnz = symbolic.tile_nnz;
-  c.row_ptr = symbolic.row_ptr;
-  c.mask = symbolic.mask;
+  c.tile_nnz = std::move(symbolic.tile_nnz);
+  c.row_ptr = std::move(symbolic.row_ptr);
+  c.mask = std::move(symbolic.mask);
   const std::size_t nnz = static_cast<std::size_t>(c.nnz());
   c.row_idx.resize(nnz);
   c.col_idx.resize(nnz);
@@ -59,22 +70,11 @@ TileMatrix<T> tile_spgemm_semiring(const TileMatrix<T>& a, const TileMatrix<T>& 
     const rowmask_t* mask_c = c.mask.data() + base;
     const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
 
-    // Indices from the masks (mask bit order == storage order).
-    index_t out = 0;
-    for (index_t r = 0; r < kTileDim; ++r) {
-      rowmask_t m = mask_c[r];
-      while (m != 0) {
-        const index_t col = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
-        const std::size_t dst = static_cast<std::size_t>(nz_base + out);
-        c.row_idx[dst] = static_cast<std::uint8_t>(r);
-        c.col_idx[dst] = static_cast<std::uint8_t>(col);
-        ++out;
-        m = static_cast<rowmask_t>(m & (m - 1));
-      }
-    }
+    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
+                                     c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
-    std::vector<MatchedPair>& pairs = detail::t_semiring_pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -110,6 +110,15 @@ TileMatrix<T> tile_spgemm_semiring(const TileMatrix<T>& a, const TileMatrix<T>& 
     }
   });
   return c;
+}
+
+/// C = A (x) B over the given semiring, tile format in and out (transient
+/// context).
+template <class Semiring, class T>
+TileMatrix<T> tile_spgemm_semiring(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                   const TileSpgemmOptions& options = {}) {
+  SpgemmContext ctx(SpgemmContext::Config{}.with_options(options));
+  return tile_spgemm_semiring<Semiring>(ctx, a, b);
 }
 
 /// CSR convenience wrapper.

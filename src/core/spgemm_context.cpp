@@ -1,0 +1,212 @@
+#include "core/spgemm_context.h"
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/tile_transpose.h"
+
+namespace tsg {
+
+namespace {
+
+/// Cost bin of one C tile. The estimated intersection work is the sum of
+/// the two list lengths (both the binary-search and merge intersections
+/// are linear-ish in it), which also bounds the number of matched pairs
+/// the numeric phase accumulates.
+int bin_of(offset_t cost) {
+  if (cost <= 8) return 0;
+  if (cost <= 32) return 1;
+  if (cost <= 128) return 2;
+  return 3;
+}
+
+}  // namespace
+
+SpgemmContext::Config SpgemmContext::Config::from_env() {
+  Config cfg;
+  if (const char* env = std::getenv("TSG_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) cfg.threads = n;
+  }
+  if (const char* env = std::getenv("TSG_DEVICE_MEM_MB")) {
+    const long mb = std::atol(env);
+    if (mb > 0) cfg.device_mem_mb = static_cast<std::size_t>(mb);
+  }
+  return cfg;
+}
+
+SpgemmContext::SpgemmContext(const Config& config) : cfg_(config) {
+  if (cfg_.device_mem_mb > 0) {
+    set_device_memory_budget_bytes(cfg_.device_mem_mb * 1024 * 1024);
+  }
+}
+
+template <class T>
+ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
+                                       SpgemmWorkspace<T>& ws, TileSpgemmTimings& tm) {
+  ExecutionPlan plan;
+  plan.cache_pairs = cfg_.options.cache_pairs;
+  plan.fuse_light = cfg_.fuse_light_tiles && cfg_.options.cache_pairs;
+  plan.fuse_threshold = cfg_.fuse_threshold;
+
+  const offset_t ntiles = ws.structure.num_tiles();
+  tm.scheduled_tiles = ntiles;
+  if (!cfg_.cost_binning || ntiles == 0) return plan;
+
+  ScopedAccumulator scope(tm.plan_ms);
+  // Per-tile cost = |A's tile row| + |B's tile column|: the length of the
+  // two lists the step-2/3 intersection walks. Binned counting sort, heavy
+  // bins first, so the dynamically scheduled loops never finish a light
+  // prefix and then wait on one trailing monster tile.
+  ws.cost_bin.resize(static_cast<std::size_t>(ntiles));
+  std::array<offset_t, kCostBins> count{};
+  for (offset_t t = 0; t < ntiles; ++t) {
+    const index_t ti = ws.structure.tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tj = ws.structure.tile_col_idx[static_cast<std::size_t>(t)];
+    const offset_t cost = (a.tile_ptr[ti + 1] - a.tile_ptr[ti]) +
+                          (b_csc.col_ptr[tj + 1] - b_csc.col_ptr[tj]);
+    const int bin = bin_of(cost);
+    ws.cost_bin[static_cast<std::size_t>(t)] = bin;
+    ++count[static_cast<std::size_t>(bin)];
+  }
+  std::array<offset_t, kCostBins> cursor{};
+  offset_t acc = 0;
+  for (int bin = kCostBins - 1; bin >= 0; --bin) {
+    cursor[static_cast<std::size_t>(bin)] = acc;
+    acc += count[static_cast<std::size_t>(bin)];
+  }
+  ws.schedule.resize(static_cast<std::size_t>(ntiles));
+  for (offset_t t = 0; t < ntiles; ++t) {
+    const auto bin = static_cast<std::size_t>(ws.cost_bin[static_cast<std::size_t>(t)]);
+    ws.schedule[static_cast<std::size_t>(cursor[bin]++)] = t;
+  }
+  tm.bin_tiles = count;
+  plan.order = ws.schedule.data();
+  return plan;
+}
+
+template <class T>
+TileSpgemmResult<T> SpgemmContext::run(const TileMatrix<T>& a, const TileMatrix<T>& b) {
+  if (a.cols != b.rows) {
+    throw std::invalid_argument("SpgemmContext::run: inner dimensions differ");
+  }
+  std::optional<ThreadCountGuard> guard;
+  if (cfg_.threads > 0) guard.emplace(cfg_.threads);
+
+  SpgemmWorkspace<T>& ws = workspace<T>();
+  ws.ensure_threads(omp_get_max_threads());
+  ws.begin_call();
+
+  TileSpgemmResult<T> result;
+  TileSpgemmTimings& tm = result.timings;
+  tm.convert_ms = pending_convert_ms_;
+  pending_convert_ms_ = 0.0;
+
+  // Column-major view of B's tile layout, needed by the step-2/3
+  // intersections; building it is allocation/bookkeeping, not algorithm.
+  {
+    ScopedAccumulator scope(tm.alloc_ms);
+    tile_layout_csc(b, ws.b_csc);
+  }
+
+  // Step 1: tile structure of C.
+  {
+    ScopedAccumulator scope(tm.step1_ms);
+    step1_tile_structure(a, b, ws, ws.structure);
+  }
+
+  // Cost model + binned schedule (plan_ms).
+  const ExecutionPlan plan = make_plan(a, ws.b_csc, ws, tm);
+
+  // Step 2: per-tile symbolic -> nnz, row pointers, masks (and, under the
+  // fused plan, staged values for light tiles).
+  Step2Result symbolic;
+  {
+    ScopedAccumulator scope(tm.step2_ms);
+    symbolic = step2_symbolic(a, b, ws.b_csc, ws.structure, cfg_.options, ws, plan);
+  }
+  tm.fused_tiles = symbolic.fused_tiles;
+
+  // Allocate C (the only sizeable allocation of the whole algorithm).
+  TileMatrix<T>& c = result.c;
+  {
+    ScopedAccumulator scope(tm.alloc_ms);
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.tile_rows = ws.structure.tile_rows;
+    c.tile_cols = ws.structure.tile_cols;
+    c.tile_ptr = ws.structure.tile_ptr;
+    c.tile_col_idx = ws.structure.tile_col_idx;
+    c.tile_nnz = std::move(symbolic.tile_nnz);
+    c.row_ptr = std::move(symbolic.row_ptr);
+    c.mask = std::move(symbolic.mask);
+    const std::size_t nnz = static_cast<std::size_t>(c.nnz());
+    c.row_idx.resize(nnz);
+    c.col_idx.resize(nnz);
+    c.val.resize(nnz);
+  }
+
+  // Step 3: numeric.
+  {
+    ScopedAccumulator scope(tm.step3_ms);
+    step3_numeric(a, b, ws.b_csc, ws.structure, cfg_.options, c, ws, plan);
+  }
+  tm.workspace_bytes = workspace_bytes();
+  return result;
+}
+
+template <class T>
+TileSpgemmResult<T> SpgemmContext::run_aat(const TileMatrix<T>& a) {
+  TileMatrix<T> at;
+  double transpose_ms = 0.0;
+  {
+    // Transposition is data movement, not multiplication: book it with the
+    // allocation share like the layout view.
+    ScopedAccumulator scope(transpose_ms);
+    at = tile_transpose(a);
+  }
+  TileSpgemmResult<T> product = run(a, at);
+  product.timings.alloc_ms += transpose_ms;
+  return product;
+}
+
+template <class T>
+TileMatrix<T> SpgemmContext::to_tile(const Csr<T>& m) {
+  Timer timer;
+  TileMatrix<T> tile = csr_to_tile(m);
+  pending_convert_ms_ += timer.milliseconds();
+  return tile;
+}
+
+template <class T>
+Csr<T> SpgemmContext::run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings) {
+  const TileMatrix<T> ta = to_tile(a);
+  // Aliased operands (C = A*A) convert once.
+  std::optional<TileMatrix<T>> tb;
+  if (&a != &b) tb.emplace(to_tile(b));
+  TileSpgemmResult<T> result = run(ta, tb ? *tb : ta);
+  Timer back;
+  Csr<T> c = tile_to_csr(result.c);
+  result.timings.convert_ms += back.milliseconds();
+  if (timings != nullptr) *timings = result.timings;
+  return c;
+}
+
+template TileSpgemmResult<double> SpgemmContext::run(const TileMatrix<double>&,
+                                                     const TileMatrix<double>&);
+template TileSpgemmResult<float> SpgemmContext::run(const TileMatrix<float>&,
+                                                    const TileMatrix<float>&);
+template TileSpgemmResult<double> SpgemmContext::run_aat(const TileMatrix<double>&);
+template TileSpgemmResult<float> SpgemmContext::run_aat(const TileMatrix<float>&);
+template Csr<double> SpgemmContext::run_csr(const Csr<double>&, const Csr<double>&,
+                                            TileSpgemmTimings*);
+template Csr<float> SpgemmContext::run_csr(const Csr<float>&, const Csr<float>&,
+                                           TileSpgemmTimings*);
+template TileMatrix<double> SpgemmContext::to_tile(const Csr<double>&);
+template TileMatrix<float> SpgemmContext::to_tile(const Csr<float>&);
+
+}  // namespace tsg

@@ -1,0 +1,171 @@
+// SpgemmContext — the reusable TileSpGEMM execution engine.
+//
+// One context owns everything a multiply needs besides its operands and
+// output: pooled workspaces (per value type), the cost-binned tile
+// scheduler, and the configuration that used to be scattered across
+// TileSpgemmOptions defaults and ad-hoc environment parsing. Creating a
+// context is cheap; *reusing* one across the multiplies of an iterated
+// workload (AMG Galerkin chains, Markov clustering, GNN propagation) is
+// the point — after the first call the pooled buffers have their
+// steady-state capacity and subsequent iterations allocate little beyond
+// the output matrix itself.
+//
+// Lifecycle:
+//
+//     Config::from_env() ── builder tweaks ──> SpgemmContext ctx(cfg)
+//           ctx.run(a, b)        tile in/out, timings + bin counters
+//           ctx.run_csr(a, b)    CSR in/out, conversion time in convert_ms
+//           ctx.run_aat(a)       A * A^T, transpose formed tile-natively
+//           ctx.run_masked(...)  C = (A*B) .* structure(M)
+//           ctx.workspace_bytes() / ctx.release_workspaces()
+//
+// The free functions tile_spgemm() / spgemm_tile() / tile_spgemm_aat() /
+// tile_spgemm_masked() remain as thin wrappers that create a transient
+// context per call.
+//
+// Thread safety: a context is a single-caller object (like a cuSPARSE or
+// KokkosKernels handle). Concurrent run() calls on one context race on the
+// pooled workspace; use one context per calling thread instead.
+#pragma once
+
+#include "core/spgemm_workspace.h"
+#include "core/tile_spgemm.h"
+
+namespace tsg {
+
+class SpgemmContext {
+ public:
+  /// All knobs of the engine in one documented place. Builder-style
+  /// setters return *this so configs compose inline:
+  ///
+  ///     SpgemmContext ctx(SpgemmContext::Config::from_env()
+  ///                           .with_pair_cache(true)
+  ///                           .with_fused_path(true));
+  struct Config {
+    /// Kernel options (intersection method, accumulator policy, tnnz,
+    /// pair caching) — defaults follow the paper.
+    TileSpgemmOptions options{};
+    /// Worker threads for this context's runs; 0 keeps the library-wide
+    /// setting (set_num_threads / OMP_NUM_THREADS).
+    int threads = 0;
+    /// Cost-bin the C tiles by estimated intersection work and visit heavy
+    /// bins first. Pure scheduling: results are bit-identical either way.
+    bool cost_binning = true;
+    /// Fuse step 3 into step 2 for tiles of at most fuse_threshold
+    /// nonzeros. Requires (and with_fused_path() enables) the pair cache;
+    /// heavy tiles still take the staged path with cached pairs.
+    bool fuse_light_tiles = false;
+    /// Largest tile (by nnz) the fused path handles in-visit.
+    index_t fuse_threshold = kAccumulatorThreshold;
+    /// Modeled device-memory budget in MB; 0 keeps TSG_DEVICE_MEM_MB (or
+    /// its 420 MB default). Published process-wide at context creation.
+    std::size_t device_mem_mb = 0;
+
+    Config& with_options(const TileSpgemmOptions& o) { options = o; return *this; }
+    Config& with_intersect(IntersectMethod m) { options.intersect = m; return *this; }
+    Config& with_accumulator(AccumulatorPolicy p) { options.accumulator = p; return *this; }
+    Config& with_tnnz(index_t t) { options.tnnz = t; return *this; }
+    Config& with_pair_cache(bool on) { options.cache_pairs = on; return *this; }
+    Config& with_threads(int n) { threads = n; return *this; }
+    Config& with_cost_binning(bool on) { cost_binning = on; return *this; }
+    Config& with_fused_path(bool on) {
+      fuse_light_tiles = on;
+      if (on) options.cache_pairs = true;
+      return *this;
+    }
+    Config& with_fuse_threshold(index_t t) { fuse_threshold = t; return *this; }
+    Config& with_device_mem_mb(std::size_t mb) { device_mem_mb = mb; return *this; }
+
+    /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget)
+    /// and TSG_NUM_THREADS (worker threads). CLI, benches, and tests build
+    /// on this instead of parsing getenv themselves.
+    static Config from_env();
+  };
+
+  SpgemmContext() : SpgemmContext(Config{}) {}
+  explicit SpgemmContext(const Config& config);
+
+  const Config& config() const { return cfg_; }
+
+  /// C = A * B on tile-format operands. Timings carry the per-step
+  /// breakdown plus bin/fusion counters and the pooled-workspace footprint.
+  template <class T>
+  TileSpgemmResult<T> run(const TileMatrix<T>& a, const TileMatrix<T>& b);
+
+  /// C = A * A^T, transpose formed tile-natively (booked as alloc_ms).
+  template <class T>
+  TileSpgemmResult<T> run_aat(const TileMatrix<T>& a);
+
+  /// CSR in/out convenience: converts (aliased operands convert once),
+  /// multiplies, converts back. Conversion time lands in
+  /// timings->convert_ms — the Fig. 12 numerator — not in core_ms().
+  template <class T>
+  Csr<T> run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings = nullptr);
+
+  /// C = (A*B) .* structure(mask), Values from the product; entries outside
+  /// the mask's pattern are never computed. Defined in masked_spgemm.cpp.
+  template <class T>
+  TileMatrix<T> run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                           const TileMatrix<T>& mask);
+
+  /// Convert through the context so the conversion cost is attributed to
+  /// the next run()'s convert_ms instead of being re-timed by callers.
+  template <class T>
+  TileMatrix<T> to_tile(const Csr<T>& m);
+
+  /// Pooled scratch bytes currently held (both value types). Stops growing
+  /// once the workload's steady-state shapes have been seen.
+  std::size_t workspace_bytes() const { return ws_d_.bytes() + ws_f_.bytes(); }
+
+  /// Drop all pooled buffers (e.g. between workloads of very different
+  /// scale). The next run() re-grows them.
+  void release_workspaces() {
+    ws_d_.release();
+    ws_f_.release();
+  }
+
+  /// Direct access to the pooled workspace of a value type — for kernel
+  /// extensions (semiring header) that drive steps 1-3 themselves.
+  template <class T>
+  SpgemmWorkspace<T>& workspace();
+
+ private:
+  template <class T>
+  ExecutionPlan make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
+                          SpgemmWorkspace<T>& ws, TileSpgemmTimings& tm);
+
+  Config cfg_;
+  SpgemmWorkspace<double> ws_d_;
+  SpgemmWorkspace<float> ws_f_;
+  double pending_convert_ms_ = 0.0;
+};
+
+template <>
+inline SpgemmWorkspace<double>& SpgemmContext::workspace<double>() {
+  return ws_d_;
+}
+template <>
+inline SpgemmWorkspace<float>& SpgemmContext::workspace<float>() {
+  return ws_f_;
+}
+
+extern template TileSpgemmResult<double> SpgemmContext::run(const TileMatrix<double>&,
+                                                            const TileMatrix<double>&);
+extern template TileSpgemmResult<float> SpgemmContext::run(const TileMatrix<float>&,
+                                                           const TileMatrix<float>&);
+extern template TileSpgemmResult<double> SpgemmContext::run_aat(const TileMatrix<double>&);
+extern template TileSpgemmResult<float> SpgemmContext::run_aat(const TileMatrix<float>&);
+extern template Csr<double> SpgemmContext::run_csr(const Csr<double>&, const Csr<double>&,
+                                                   TileSpgemmTimings*);
+extern template Csr<float> SpgemmContext::run_csr(const Csr<float>&, const Csr<float>&,
+                                                  TileSpgemmTimings*);
+extern template TileMatrix<double> SpgemmContext::run_masked(const TileMatrix<double>&,
+                                                             const TileMatrix<double>&,
+                                                             const TileMatrix<double>&);
+extern template TileMatrix<float> SpgemmContext::run_masked(const TileMatrix<float>&,
+                                                            const TileMatrix<float>&,
+                                                            const TileMatrix<float>&);
+extern template TileMatrix<double> SpgemmContext::to_tile(const Csr<double>&);
+extern template TileMatrix<float> SpgemmContext::to_tile(const Csr<float>&);
+
+}  // namespace tsg

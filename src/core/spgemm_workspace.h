@@ -1,0 +1,155 @@
+// Pooled workspace for the TileSpGEMM pipeline.
+//
+// Every tile_spgemm() call needs the same family of scratch buffers: the
+// column-major view of B's tile layout, the symbolic tile structure of C,
+// step 1's per-tile-row column lists, the cost/schedule arrays of the
+// binned scheduler, and per-thread buffers (intersection scratch, pair
+// cache, staged fused values, the stamped tile set). On the GPU all of
+// this is either on-chip or allocated once per launch; on the CPU the
+// repeated malloc/free of these buffers dominates the iterated workloads
+// (AMG Galerkin chains, Markov clustering). SpgemmWorkspace owns all of
+// them with capacity-preserving reuse: a SpgemmContext keeps one instance
+// per value type and every run() clears sizes but keeps capacity, so
+// steady-state iterations allocate (almost) only the output matrix.
+//
+// The tracked buffers still report through MemoryTracker, so Fig. 9 style
+// peak accounting sees the pool exactly like any other workspace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/intersect.h"
+#include "core/step1.h"
+#include "core/tile_format.h"
+
+namespace tsg {
+
+namespace detail {
+
+/// Location of a per-tile record inside a per-thread buffer: step 2 hands
+/// each output tile to exactly one thread, which appends the tile's pairs
+/// (or staged values) to its own buffer and notes where they landed.
+struct TileSlot {
+  std::uint32_t thread = 0;
+  offset_t offset = 0;
+  std::uint32_t count = 0;
+};
+
+/// Stamped set of tile columns, reused across tile rows without clearing:
+/// bumping the stamp invalidates every entry in O(1).
+struct StampedTileSet {
+  std::vector<std::uint32_t> seen;
+  std::vector<index_t> cols;
+  std::uint32_t stamp = 0;
+
+  void prepare(index_t width) {
+    if (seen.size() < static_cast<std::size_t>(width)) {
+      seen.assign(static_cast<std::size_t>(width), 0);
+      stamp = 0;
+    }
+    ++stamp;
+    cols.clear();
+  }
+
+  void insert(index_t c) {
+    if (seen[static_cast<std::size_t>(c)] != stamp) {
+      seen[static_cast<std::size_t>(c)] = stamp;
+      cols.push_back(c);
+    }
+  }
+
+  std::size_t bytes() const {
+    return seen.capacity() * sizeof(std::uint32_t) + cols.capacity() * sizeof(index_t);
+  }
+};
+
+}  // namespace detail
+
+/// Per-call execution schedule handed to steps 2 and 3 by SpgemmContext.
+/// `order`, when non-null, is a permutation of [0, numtiles) that both
+/// steps follow instead of the natural tile order — the cost-binned
+/// scheduler places heavy bins first so the long-pole tiles are dispatched
+/// before the dynamically scheduled loop runs out of parallel slack.
+struct ExecutionPlan {
+  const offset_t* order = nullptr;  ///< visit order over C tiles; null = natural
+  bool cache_pairs = false;         ///< record matched pairs for step 3
+  bool fuse_light = false;          ///< fuse step 3 into step 2 for light tiles
+  index_t fuse_threshold = kAccumulatorThreshold;  ///< max nnz of a fused tile
+};
+
+/// All reusable scratch of one SpgemmContext for one value type.
+template <class T>
+struct SpgemmWorkspace {
+  /// Buffers owned by one worker thread. Tiles are visited by exactly one
+  /// thread, so appends need no synchronisation; per-tile TileSlot records
+  /// say which thread's buffer holds a tile's data. Cache-line aligned:
+  /// the vector headers are written on every append, and adjacent slots
+  /// sharing a line would false-share across threads (the thread_local
+  /// buffers this pool replaced got that isolation for free).
+  struct alignas(128) ThreadSlot {
+    std::vector<MatchedPair> pairs;     ///< intersection scratch (per visit)
+    tracked_vector<MatchedPair> cache;  ///< matched pairs kept for step 3
+    tracked_vector<T> staged;           ///< fused-path values staged in step 2
+    detail::StampedTileSet sym;         ///< step-1 stamped column set
+
+    std::size_t bytes() const {
+      return pairs.capacity() * sizeof(MatchedPair) +
+             cache.capacity() * sizeof(MatchedPair) + staged.capacity() * sizeof(T) +
+             sym.bytes();
+    }
+  };
+
+  TileLayoutCsc b_csc;        ///< column-major view of B's tile layout
+  TileStructure structure;    ///< step-1 tile structure of C
+  std::vector<std::vector<index_t>> step1_rows;  ///< step-1 per-tile-row columns
+  tracked_vector<offset_t> cost_bin;  ///< per-tile cost bin (scheduler scratch)
+  tracked_vector<offset_t> schedule;  ///< binned visit order over C tiles
+  tracked_vector<detail::TileSlot> pair_slot;    ///< per tile, iff cache_pairs
+  tracked_vector<detail::TileSlot> staged_slot;  ///< per tile, iff fuse_light
+  std::vector<ThreadSlot> slots;      ///< one per worker thread
+
+  /// Grow (never shrink) the per-thread slot array. Must be called before
+  /// any parallel section that indexes slots by omp_get_thread_num().
+  void ensure_threads(int n) {
+    if (static_cast<int>(slots.size()) < n) slots.resize(static_cast<std::size_t>(n));
+  }
+
+  ThreadSlot& slot(int tid) { return slots[static_cast<std::size_t>(tid)]; }
+
+  /// Reset per-call contents, keeping every buffer's capacity.
+  void begin_call() {
+    for (ThreadSlot& s : slots) {
+      s.cache.clear();
+      s.staged.clear();
+    }
+    pair_slot.clear();
+    staged_slot.clear();
+  }
+
+  /// Bytes currently held by the pool (capacities, tracked and untracked) —
+  /// the high-water mark the reuse tests pin down.
+  std::size_t bytes() const {
+    std::size_t total = b_csc.col_ptr.capacity() * sizeof(offset_t) +
+                        b_csc.row_idx.capacity() * sizeof(index_t) +
+                        b_csc.tile_id.capacity() * sizeof(offset_t) +
+                        structure.tile_ptr.capacity() * sizeof(offset_t) +
+                        structure.tile_col_idx.capacity() * sizeof(index_t) +
+                        structure.tile_row_idx.capacity() * sizeof(index_t) +
+                        cost_bin.capacity() * sizeof(offset_t) +
+                        schedule.capacity() * sizeof(offset_t) +
+                        pair_slot.capacity() * sizeof(detail::TileSlot) +
+                        staged_slot.capacity() * sizeof(detail::TileSlot);
+    for (const std::vector<index_t>& row : step1_rows) {
+      total += row.capacity() * sizeof(index_t);
+    }
+    total += step1_rows.capacity() * sizeof(std::vector<index_t>);
+    for (const ThreadSlot& s : slots) total += s.bytes();
+    return total;
+  }
+
+  /// Drop every pooled buffer (used by SpgemmContext::release_workspaces).
+  void release() { *this = SpgemmWorkspace{}; }
+};
+
+}  // namespace tsg

@@ -2,58 +2,34 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 #include "common/parallel.h"
+#include "core/spgemm_workspace.h"
 
 namespace tsg {
 
-namespace {
-
-/// Stamped per-thread set of tile columns, reused across tile rows.
-struct SymbolicScratch {
-  std::vector<std::uint32_t> seen;
-  std::vector<index_t> cols;
-  std::uint32_t stamp = 0;
-
-  void prepare(index_t width) {
-    if (seen.size() < static_cast<std::size_t>(width)) {
-      seen.assign(static_cast<std::size_t>(width), 0);
-      stamp = 0;
-    }
-    ++stamp;
-    cols.clear();
-  }
-
-  void insert(index_t c) {
-    if (seen[static_cast<std::size_t>(c)] != stamp) {
-      seen[static_cast<std::size_t>(c)] = stamp;
-      cols.push_back(c);
-    }
-  }
-};
-
-thread_local SymbolicScratch t_sym_scratch;
-
-}  // namespace
-
 template <class T>
-TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b) {
+void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                          SpgemmWorkspace<T>& ws, TileStructure& out) {
   if (a.cols != b.rows) throw std::invalid_argument("step1: inner dimensions differ");
 
-  TileStructure c;
-  c.tile_rows = a.tile_rows;
-  c.tile_cols = b.tile_cols;
-  c.tile_ptr.assign(static_cast<std::size_t>(c.tile_rows) + 1, 0);
+  out.tile_rows = a.tile_rows;
+  out.tile_cols = b.tile_cols;
+  out.tile_ptr.assign(static_cast<std::size_t>(out.tile_rows) + 1, 0);
 
   // Gustavson on the tile layouts: C' row i = union of B' rows named by the
   // tile columns of A' row i. Dense stamped accumulator — tile_cols of B is
   // small (cols/16), so this is exactly the "dense row SPA on a small
-  // matrix" NSPARSE would use for these sizes.
-  std::vector<std::vector<index_t>> rows(static_cast<std::size_t>(c.tile_rows));
-  parallel_for(index_t{0}, c.tile_rows, [&](index_t ti) {
-    SymbolicScratch& scratch = t_sym_scratch;
-    scratch.prepare(c.tile_cols);
+  // matrix" NSPARSE would use for these sizes. The per-row lists and the
+  // stamped sets live in the workspace; copy-assignment into a pooled
+  // std::vector reuses its capacity.
+  std::vector<std::vector<index_t>>& rows = ws.step1_rows;
+  if (rows.size() < static_cast<std::size_t>(out.tile_rows)) {
+    rows.resize(static_cast<std::size_t>(out.tile_rows));
+  }
+  parallel_for(index_t{0}, out.tile_rows, [&](index_t ti) {
+    detail::StampedTileSet& scratch = ws.slot(omp_get_thread_num()).sym;
+    scratch.prepare(out.tile_cols);
     for (offset_t ka = a.tile_ptr[ti]; ka < a.tile_ptr[ti + 1]; ++ka) {
       const index_t tk = a.tile_col_idx[ka];
       for (offset_t kb = b.tile_ptr[tk]; kb < b.tile_ptr[tk + 1]; ++kb) {
@@ -64,24 +40,36 @@ TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& 
     rows[static_cast<std::size_t>(ti)] = scratch.cols;
   });
 
-  for (index_t ti = 0; ti < c.tile_rows; ++ti) {
-    c.tile_ptr[ti + 1] =
-        c.tile_ptr[ti] + static_cast<offset_t>(rows[static_cast<std::size_t>(ti)].size());
+  for (index_t ti = 0; ti < out.tile_rows; ++ti) {
+    out.tile_ptr[ti + 1] =
+        out.tile_ptr[ti] + static_cast<offset_t>(rows[static_cast<std::size_t>(ti)].size());
   }
-  const offset_t ntiles = c.tile_ptr[c.tile_rows];
-  c.tile_col_idx.resize(static_cast<std::size_t>(ntiles));
-  c.tile_row_idx.resize(static_cast<std::size_t>(ntiles));
-  parallel_for(index_t{0}, c.tile_rows, [&](index_t ti) {
-    offset_t dst = c.tile_ptr[ti];
+  const offset_t ntiles = out.tile_ptr[out.tile_rows];
+  out.tile_col_idx.resize(static_cast<std::size_t>(ntiles));
+  out.tile_row_idx.resize(static_cast<std::size_t>(ntiles));
+  parallel_for(index_t{0}, out.tile_rows, [&](index_t ti) {
+    offset_t dst = out.tile_ptr[ti];
     for (index_t col : rows[static_cast<std::size_t>(ti)]) {
-      c.tile_col_idx[static_cast<std::size_t>(dst)] = col;
-      c.tile_row_idx[static_cast<std::size_t>(dst)] = ti;
+      out.tile_col_idx[static_cast<std::size_t>(dst)] = col;
+      out.tile_row_idx[static_cast<std::size_t>(dst)] = ti;
       ++dst;
     }
   });
-  return c;
 }
 
+template <class T>
+TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b) {
+  SpgemmWorkspace<T> ws;
+  ws.ensure_threads(omp_get_max_threads());
+  TileStructure out;
+  step1_tile_structure(a, b, ws, out);
+  return out;
+}
+
+template void step1_tile_structure(const TileMatrix<double>&, const TileMatrix<double>&,
+                                   SpgemmWorkspace<double>&, TileStructure&);
+template void step1_tile_structure(const TileMatrix<float>&, const TileMatrix<float>&,
+                                   SpgemmWorkspace<float>&, TileStructure&);
 template TileStructure step1_tile_structure(const TileMatrix<double>&,
                                             const TileMatrix<double>&);
 template TileStructure step1_tile_structure(const TileMatrix<float>&,

@@ -11,6 +11,9 @@
 
 namespace tsg {
 
+template <class T>
+struct SpgemmWorkspace;
+
 /// Tile structure of the output matrix C (the paper's tilePtr_C,
 /// tileColidx_C, plus the expanded per-tile row index used by steps 2/3).
 struct TileStructure {
@@ -23,10 +26,21 @@ struct TileStructure {
   offset_t num_tiles() const { return static_cast<offset_t>(tile_col_idx.size()); }
 };
 
-/// Symbolic product of the two tile layouts.
+/// Symbolic product of the two tile layouts, writing into `out` and drawing
+/// scratch (stamped column sets, per-tile-row lists) from the workspace so
+/// repeated calls through one SpgemmContext reuse their capacity.
+template <class T>
+void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                          SpgemmWorkspace<T>& ws, TileStructure& out);
+
+/// Convenience overload with a transient workspace (one-shot callers).
 template <class T>
 TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b);
 
+extern template void step1_tile_structure(const TileMatrix<double>&, const TileMatrix<double>&,
+                                          SpgemmWorkspace<double>&, TileStructure&);
+extern template void step1_tile_structure(const TileMatrix<float>&, const TileMatrix<float>&,
+                                          SpgemmWorkspace<float>&, TileStructure&);
 extern template TileStructure step1_tile_structure(const TileMatrix<double>&,
                                                    const TileMatrix<double>&);
 extern template TileStructure step1_tile_structure(const TileMatrix<float>&,

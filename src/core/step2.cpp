@@ -1,37 +1,38 @@
 #include "core/step2.h"
 
-#include <vector>
-
 #include "common/parallel.h"
-#include "core/intersect.h"
+#include "core/spgemm_workspace.h"
+#include "core/tile_kernels.h"
 
 namespace tsg {
-
-namespace {
-thread_local std::vector<MatchedPair> t_pairs;
-}  // namespace
 
 template <class T>
 Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
                            const TileLayoutCsc& b_csc, const TileStructure& structure,
-                           const TileSpgemmOptions& options) {
+                           const TileSpgemmOptions& options, SpgemmWorkspace<T>& ws,
+                           const ExecutionPlan& plan) {
   const offset_t ntiles = structure.num_tiles();
   Step2Result out;
   out.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
   out.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
   out.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  if (options.cache_pairs) {
-    out.pair_cache.per_thread.resize(static_cast<std::size_t>(omp_get_max_threads()));
-    out.pair_cache.tile_slot.resize(static_cast<std::size_t>(ntiles));
-  }
+  ws.ensure_threads(omp_get_max_threads());
+  if (plan.cache_pairs) ws.pair_slot.assign(static_cast<std::size_t>(ntiles), {});
+  const bool fuse = plan.fuse_light && plan.cache_pairs;
+  if (fuse) ws.staged_slot.assign(static_cast<std::size_t>(ntiles), {});
 
-  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+  parallel_for(offset_t{0}, ntiles, [&](offset_t i) {
+    // The plan may reorder the visit so heavy tiles are dispatched first;
+    // output locations are still indexed by the tile id itself.
+    const offset_t t = plan.order != nullptr ? plan.order[i] : i;
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
+    const int tid = omp_get_thread_num();
+    typename SpgemmWorkspace<T>::ThreadSlot& slot = ws.slot(tid);
 
     // Set intersection of A's tile row `tile_i` with B's tile column
     // `tile_j` (Algorithm 2 lines 4-18).
-    std::vector<MatchedPair>& pairs = t_pairs;
+    std::vector<MatchedPair>& pairs = slot.pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -40,17 +41,6 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
     intersect_tiles(a.tile_col_idx.data() + a_base, a_base, len_a,
                     b_csc.row_idx.data() + b_base, b_csc.tile_id.data() + b_base, len_b,
                     options.intersect, pairs);
-
-    if (options.cache_pairs) {
-      // Record this tile's pairs in the owning thread's buffer so step 3
-      // skips its re-intersection (see TileSpgemmOptions::cache_pairs).
-      const auto thread = static_cast<std::uint32_t>(omp_get_thread_num());
-      auto& buffer = out.pair_cache.per_thread[thread];
-      out.pair_cache.tile_slot[static_cast<std::size_t>(t)] = {
-          thread, static_cast<offset_t>(buffer.size()),
-          static_cast<std::uint32_t>(pairs.size())};
-      buffer.insert(buffer.end(), pairs.begin(), pairs.end());
-    }
 
     // OR the selected row masks of B into the C masks (Algorithm 2 lines
     // 19-25, Figure 5): each nonzero of A_ik at local (r, c) contributes
@@ -76,20 +66,54 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       count += popcount16(mask_c[r]);
     }
     out.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
+
+    if (fuse && count > 0 && count <= plan.fuse_threshold) {
+      // Fused numeric: the tile's structure is fully known and its matched
+      // pairs are still hot, so accumulate the values now and stage them in
+      // this thread's buffer; step 3 only copies them to their final home.
+      T vals[kTileNnzMax];
+      for (index_t k = 0; k < count; ++k) vals[k] = T{};
+      const std::uint8_t* row_ptr_c = out.row_ptr.data() + base;
+      const rowmask_t* mask_ptr = out.mask.data() + base;
+      if (detail::use_dense_accumulator(options, count)) {
+        detail::accumulate_pairs_dense(a, b, pairs.data(), pairs.size(), mask_ptr, vals);
+      } else {
+        detail::accumulate_pairs_sparse(a, b, pairs.data(), pairs.size(), mask_ptr,
+                                        row_ptr_c, vals);
+      }
+      ws.staged_slot[static_cast<std::size_t>(t)] = {
+          static_cast<std::uint32_t>(tid), static_cast<offset_t>(slot.staged.size()),
+          static_cast<std::uint32_t>(count)};
+      slot.staged.insert(slot.staged.end(), vals, vals + count);
+    } else if (plan.cache_pairs) {
+      // Record this tile's pairs in the owning thread's buffer so step 3
+      // skips its re-intersection (see TileSpgemmOptions::cache_pairs).
+      ws.pair_slot[static_cast<std::size_t>(t)] = {
+          static_cast<std::uint32_t>(tid), static_cast<offset_t>(slot.cache.size()),
+          static_cast<std::uint32_t>(pairs.size())};
+      slot.cache.insert(slot.cache.end(), pairs.begin(), pairs.end());
+    }
   });
 
   // Offsets for allocating C (serial scan: numtiles is small relative to nnz).
   for (offset_t t = 0; t < ntiles; ++t) {
     out.tile_nnz[static_cast<std::size_t>(t) + 1] += out.tile_nnz[static_cast<std::size_t>(t)];
   }
+  if (fuse) {
+    for (const detail::TileSlot& s : ws.staged_slot) {
+      if (s.count > 0) ++out.fused_tiles;
+    }
+  }
   return out;
 }
 
 template Step2Result step2_symbolic(const TileMatrix<double>&, const TileMatrix<double>&,
                                     const TileLayoutCsc&, const TileStructure&,
-                                    const TileSpgemmOptions&);
+                                    const TileSpgemmOptions&, SpgemmWorkspace<double>&,
+                                    const ExecutionPlan&);
 template Step2Result step2_symbolic(const TileMatrix<float>&, const TileMatrix<float>&,
                                     const TileLayoutCsc&, const TileStructure&,
-                                    const TileSpgemmOptions&);
+                                    const TileSpgemmOptions&, SpgemmWorkspace<float>&,
+                                    const ExecutionPlan&);
 
 }  // namespace tsg

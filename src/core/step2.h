@@ -4,61 +4,52 @@
 // the per-tile nonzero count and local row pointer. All per-tile state is
 // bounded by 16 masks / 256 nonzeros and lives on the stack — no global
 // intermediate space, which is the paper's answer to performance issue #2.
+//
+// Under an ExecutionPlan the pass can also (a) visit tiles in the binned
+// heavy-first order, (b) record each tile's matched pairs in the workspace
+// pair cache for step 3, and (c) fuse the numeric phase for light tiles:
+// once a tile's masks are known its values are accumulated immediately and
+// staged in the workspace, so step 3 only copies them out.
 #pragma once
 
-#include <vector>
-
-#include "core/intersect.h"
 #include "core/options.h"
 #include "core/step1.h"
 
 namespace tsg {
 
-namespace detail {
-/// Matched pairs recorded by step 2 when options.cache_pairs is set. Each
-/// output tile is processed by exactly one thread, so pairs live in that
-/// thread's buffer; the per-tile record points into it.
-struct PairCache {
-  struct Slot {
-    std::uint32_t thread = 0;
-    offset_t offset = 0;
-    std::uint32_t count = 0;
-  };
-  std::vector<tracked_vector<MatchedPair>> per_thread;  // tracked: it IS
-                                                        // global workspace
-  tracked_vector<Slot> tile_slot;  ///< one per output tile
+struct ExecutionPlan;
+template <class T>
+struct SpgemmWorkspace;
 
-  bool enabled() const { return !tile_slot.empty(); }
-  const MatchedPair* pairs_of(offset_t tile, std::uint32_t& count) const {
-    const Slot& s = tile_slot[static_cast<std::size_t>(tile)];
-    count = s.count;
-    return per_thread[s.thread].data() + s.offset;
-  }
-};
-}  // namespace detail
-
-/// Per-tile symbolic results for C.
+/// Per-tile symbolic results for C. The three arrays are fresh allocations
+/// (they are moved into the output matrix); every scratch buffer the pass
+/// uses comes from the workspace.
 struct Step2Result {
   tracked_vector<offset_t> tile_nnz;    ///< size numtiles+1, offsets
   tracked_vector<std::uint8_t> row_ptr; ///< numtiles*16 local row pointers
   tracked_vector<rowmask_t> mask;       ///< numtiles*16 row masks
-  detail::PairCache pair_cache;         ///< filled iff options.cache_pairs
+  offset_t fused_tiles = 0;             ///< tiles whose values were staged
 
   offset_t nnz() const { return tile_nnz.empty() ? 0 : tile_nnz.back(); }
 };
 
 /// Symbolic per-tile pass. `b_csc` is the column-major view of B's tile
-/// layout (tileColPtr_B / tileRowidx_B in Algorithm 2).
+/// layout (tileColPtr_B / tileRowidx_B in Algorithm 2). Pair-cache and
+/// fused-value records land in `ws`; `plan` controls visit order, caching,
+/// and fusion.
 template <class T>
 Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
                            const TileLayoutCsc& b_csc, const TileStructure& structure,
-                           const TileSpgemmOptions& options);
+                           const TileSpgemmOptions& options, SpgemmWorkspace<T>& ws,
+                           const ExecutionPlan& plan);
 
 extern template Step2Result step2_symbolic(const TileMatrix<double>&, const TileMatrix<double>&,
                                            const TileLayoutCsc&, const TileStructure&,
-                                           const TileSpgemmOptions&);
+                                           const TileSpgemmOptions&, SpgemmWorkspace<double>&,
+                                           const ExecutionPlan&);
 extern template Step2Result step2_symbolic(const TileMatrix<float>&, const TileMatrix<float>&,
                                            const TileLayoutCsc&, const TileStructure&,
-                                           const TileSpgemmOptions&);
+                                           const TileSpgemmOptions&, SpgemmWorkspace<float>&,
+                                           const ExecutionPlan&);
 
 }  // namespace tsg

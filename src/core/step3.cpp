@@ -3,95 +3,25 @@
 #include <vector>
 
 #include "common/parallel.h"
-#include "core/intersect.h"
+#include "core/spgemm_workspace.h"
+#include "core/tile_kernels.h"
 
 namespace tsg {
-
-namespace {
-
-thread_local std::vector<MatchedPair> t_pairs;
-
-/// Scatter products of all matched pairs into `slots` via popcount-rank
-/// indexing (Algorithm 3 lines 4-12): the final position of column cb in
-/// C's local row r is row_ptr[r] + rank of cb in mask[r].
-template <class T>
-void accumulate_sparse(const TileMatrix<T>& a, const TileMatrix<T>& b,
-                       const MatchedPair* pairs, std::size_t pair_count,
-                       const rowmask_t* mask_c, const std::uint8_t* row_ptr_c, T* slots) {
-  for (std::size_t pi = 0; pi < pair_count; ++pi) {
-    const MatchedPair& p = pairs[pi];
-    const offset_t a_nz = a.tile_nnz[p.tile_a];
-    const index_t a_cnt = a.tile_nnz_of(p.tile_a);
-    const offset_t b_nz = b.tile_nnz[p.tile_b];
-    for (index_t k = 0; k < a_cnt; ++k) {
-      const std::size_t ga = static_cast<std::size_t>(a_nz + k);
-      const index_t r = a.row_idx[ga];
-      const index_t col_a = a.col_idx[ga];
-      const T va = a.val[ga];
-      index_t lo, hi;
-      b.tile_row_range(p.tile_b, col_a, lo, hi);
-      const std::uint8_t base = row_ptr_c[r];
-      const rowmask_t m = mask_c[r];
-      for (index_t kb = lo; kb < hi; ++kb) {
-        const std::size_t gb = static_cast<std::size_t>(b_nz + kb);
-        const index_t cb = b.col_idx[gb];
-        slots[base + mask_rank(m, cb)] += va * b.val[gb];
-      }
-    }
-  }
-}
-
-/// Accumulate into a dense 16x16 scratch tile, then compress through the
-/// mask (Algorithm 3 lines 13-17).
-template <class T>
-void accumulate_dense(const TileMatrix<T>& a, const TileMatrix<T>& b,
-                      const MatchedPair* pairs, std::size_t pair_count,
-                      const rowmask_t* mask_c, T* slots) {
-  T acc[kTileNnzMax] = {};
-  for (std::size_t pi = 0; pi < pair_count; ++pi) {
-    const MatchedPair& p = pairs[pi];
-    const offset_t a_nz = a.tile_nnz[p.tile_a];
-    const index_t a_cnt = a.tile_nnz_of(p.tile_a);
-    const offset_t b_nz = b.tile_nnz[p.tile_b];
-    for (index_t k = 0; k < a_cnt; ++k) {
-      const std::size_t ga = static_cast<std::size_t>(a_nz + k);
-      const index_t r = a.row_idx[ga];
-      const index_t col_a = a.col_idx[ga];
-      const T va = a.val[ga];
-      index_t lo, hi;
-      b.tile_row_range(p.tile_b, col_a, lo, hi);
-      T* acc_row = acc + static_cast<std::size_t>(r) * kTileDim;
-      for (index_t kb = lo; kb < hi; ++kb) {
-        const std::size_t gb = static_cast<std::size_t>(b_nz + kb);
-        acc_row[b.col_idx[gb]] += va * b.val[gb];
-      }
-    }
-  }
-  // Compress: walk the mask bits in order; their rank order equals the
-  // storage order of the tile's nonzeros.
-  index_t out = 0;
-  for (index_t r = 0; r < kTileDim; ++r) {
-    rowmask_t m = mask_c[r];
-    const T* acc_row = acc + static_cast<std::size_t>(r) * kTileDim;
-    while (m != 0) {
-      const index_t c = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
-      slots[out++] = acc_row[c];
-      m = static_cast<rowmask_t>(m & (m - 1));
-    }
-  }
-}
-
-}  // namespace
 
 template <class T>
 void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
                    const TileLayoutCsc& b_csc, const TileStructure& structure,
                    const TileSpgemmOptions& options, TileMatrix<T>& c,
-                   const detail::PairCache* pair_cache) {
+                   SpgemmWorkspace<T>& ws, const ExecutionPlan& plan) {
   const offset_t ntiles = structure.num_tiles();
-  const bool use_cache = pair_cache != nullptr && pair_cache->enabled();
+  ws.ensure_threads(omp_get_max_threads());
+  const bool use_cache =
+      plan.cache_pairs && ws.pair_slot.size() == static_cast<std::size_t>(ntiles);
+  const bool use_staged = plan.fuse_light && plan.cache_pairs &&
+                          ws.staged_slot.size() == static_cast<std::size_t>(ntiles);
 
-  parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+  parallel_for(offset_t{0}, ntiles, [&](offset_t i) {
+    const offset_t t = plan.order != nullptr ? plan.order[i] : i;
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
     const index_t nnz_c = c.tile_nnz_of(t);
@@ -101,21 +31,21 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
 
     // Materialise the local row/column indices from the masks; the mask bit
     // order is the storage order.
-    {
-      index_t out = 0;
-      for (index_t r = 0; r < kTileDim; ++r) {
-        rowmask_t m = mask_c[r];
-        while (m != 0) {
-          const index_t col = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
-          const std::size_t dst = static_cast<std::size_t>(nz_base + out);
-          c.row_idx[dst] = static_cast<std::uint8_t>(r);
-          c.col_idx[dst] = static_cast<std::uint8_t>(col);
-          ++out;
-          m = static_cast<rowmask_t>(m & (m - 1));
+    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
+                                     c.col_idx.data() + nz_base);
+    if (nnz_c == 0) return;  // step 1 may keep tiles that turned out empty
+
+    if (use_staged) {
+      // Fused path: step 2 already accumulated this tile's values.
+      const detail::TileSlot& s = ws.staged_slot[static_cast<std::size_t>(t)];
+      if (s.count > 0) {
+        const T* staged = ws.slot(static_cast<int>(s.thread)).staged.data() + s.offset;
+        for (index_t k = 0; k < nnz_c; ++k) {
+          c.val[static_cast<std::size_t>(nz_base + k)] = staged[k];
         }
+        return;
       }
     }
-    if (nnz_c == 0) return;  // step 1 may keep tiles that turned out empty
 
     // Gather the matched pairs: a borrowed span from the step-2 cache when
     // enabled, otherwise by re-running the intersection (the paper's
@@ -123,11 +53,11 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const MatchedPair* pair_data;
     std::size_t pair_count;
     if (use_cache) {
-      std::uint32_t count = 0;
-      pair_data = pair_cache->pairs_of(t, count);
-      pair_count = count;
+      const detail::TileSlot& s = ws.pair_slot[static_cast<std::size_t>(t)];
+      pair_data = ws.slot(static_cast<int>(s.thread)).cache.data() + s.offset;
+      pair_count = s.count;
     } else {
-      std::vector<MatchedPair>& pairs = t_pairs;
+      std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
       pairs.clear();
       const offset_t a_base = a.tile_ptr[tile_i];
       const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -144,13 +74,10 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
     // dominate the runtime of hyper-sparse-tile matrices (cop20k_A class).
     T slots[kTileNnzMax];
     for (index_t k = 0; k < nnz_c; ++k) slots[k] = T{};
-    const bool dense = options.accumulator == AccumulatorPolicy::kAlwaysDense ||
-                       (options.accumulator == AccumulatorPolicy::kAdaptive &&
-                        nnz_c > options.tnnz);
-    if (dense) {
-      accumulate_dense(a, b, pair_data, pair_count, mask_c, slots);
+    if (detail::use_dense_accumulator(options, nnz_c)) {
+      detail::accumulate_pairs_dense(a, b, pair_data, pair_count, mask_c, slots);
     } else {
-      accumulate_sparse(a, b, pair_data, pair_count, mask_c, row_ptr_c, slots);
+      detail::accumulate_pairs_sparse(a, b, pair_data, pair_count, mask_c, row_ptr_c, slots);
     }
     for (index_t k = 0; k < nnz_c; ++k) {
       c.val[static_cast<std::size_t>(nz_base + k)] = slots[k];
@@ -161,10 +88,10 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
 template void step3_numeric(const TileMatrix<double>&, const TileMatrix<double>&,
                             const TileLayoutCsc&, const TileStructure&,
                             const TileSpgemmOptions&, TileMatrix<double>&,
-                            const detail::PairCache*);
+                            SpgemmWorkspace<double>&, const ExecutionPlan&);
 template void step3_numeric(const TileMatrix<float>&, const TileMatrix<float>&,
                             const TileLayoutCsc&, const TileStructure&,
                             const TileSpgemmOptions&, TileMatrix<float>&,
-                            const detail::PairCache*);
+                            SpgemmWorkspace<float>&, const ExecutionPlan&);
 
 }  // namespace tsg

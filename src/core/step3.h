@@ -8,6 +8,11 @@
 //     final slot via popcount-rank indexing — no temporary space at all.
 //   * dense  (nnz >  tnnz): a 256-slot accumulator on the stack, compressed
 //     through the mask afterwards.
+//
+// When the ExecutionPlan enabled the pair cache, step 2 left each tile's
+// matched pairs in the workspace and this pass skips the re-intersection;
+// when it enabled fusion, light tiles arrive with their values already
+// staged and only need copying into place.
 #pragma once
 
 #include "core/step2.h"
@@ -16,22 +21,22 @@ namespace tsg {
 
 /// Numeric pass: fills the low-level arrays of C (row_idx/col_idx/val).
 /// `c` must already carry its high-level structure and the step-2 results;
-/// see tile_spgemm.cpp for the assembly. `pair_cache` may carry the pairs
-/// recorded by step 2 (options.cache_pairs); pass nullptr (or a disabled
-/// cache) to re-run the intersection per tile as the paper does.
+/// see spgemm_context.cpp for the assembly. `ws` holds the per-thread
+/// intersection scratch plus any pair-cache / staged-value records written
+/// by step 2 under the same plan.
 template <class T>
 void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
                    const TileLayoutCsc& b_csc, const TileStructure& structure,
                    const TileSpgemmOptions& options, TileMatrix<T>& c,
-                   const detail::PairCache* pair_cache = nullptr);
+                   SpgemmWorkspace<T>& ws, const ExecutionPlan& plan);
 
 extern template void step3_numeric(const TileMatrix<double>&, const TileMatrix<double>&,
                                    const TileLayoutCsc&, const TileStructure&,
                                    const TileSpgemmOptions&, TileMatrix<double>&,
-                                   const detail::PairCache*);
+                                   SpgemmWorkspace<double>&, const ExecutionPlan&);
 extern template void step3_numeric(const TileMatrix<float>&, const TileMatrix<float>&,
                                    const TileLayoutCsc&, const TileStructure&,
                                    const TileSpgemmOptions&, TileMatrix<float>&,
-                                   const detail::PairCache*);
+                                   SpgemmWorkspace<float>&, const ExecutionPlan&);
 
 }  // namespace tsg

@@ -105,8 +105,7 @@ std::string TileMatrix<T>::validate() const {
 }
 
 template <class T>
-TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m) {
-  TileLayoutCsc v;
+void tile_layout_csc(const TileMatrix<T>& m, TileLayoutCsc& v) {
   const offset_t ntiles = m.num_tiles();
   v.col_ptr.assign(static_cast<std::size_t>(m.tile_cols) + 1, 0);
   v.row_idx.resize(static_cast<std::size_t>(ntiles));
@@ -117,15 +116,25 @@ TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m) {
   }
   for (index_t j = 0; j < m.tile_cols; ++j) v.col_ptr[j + 1] += v.col_ptr[j];
 
-  tracked_vector<offset_t> cursor(v.col_ptr.begin(), v.col_ptr.end() - 1);
-  // Walking tile rows in order keeps row indices sorted within each column.
+  // Counting sort using col_ptr itself as the write cursor (no temporary):
+  // after the scatter col_ptr[j] holds the *end* of column j, so one
+  // backward shift restores the start offsets. Walking tile rows in order
+  // keeps row indices sorted within each column.
   for (index_t tr = 0; tr < m.tile_rows; ++tr) {
     for (offset_t t = m.tile_ptr[tr]; t < m.tile_ptr[tr + 1]; ++t) {
-      const offset_t dst = cursor[m.tile_col_idx[t]]++;
+      const offset_t dst = v.col_ptr[m.tile_col_idx[t]]++;
       v.row_idx[dst] = tr;
       v.tile_id[dst] = t;
     }
   }
+  for (index_t j = m.tile_cols; j > 0; --j) v.col_ptr[j] = v.col_ptr[j - 1];
+  v.col_ptr[0] = 0;
+}
+
+template <class T>
+TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m) {
+  TileLayoutCsc v;
+  tile_layout_csc(m, v);
   return v;
 }
 
@@ -133,5 +142,7 @@ template struct TileMatrix<double>;
 template struct TileMatrix<float>;
 template TileLayoutCsc tile_layout_csc(const TileMatrix<double>&);
 template TileLayoutCsc tile_layout_csc(const TileMatrix<float>&);
+template void tile_layout_csc(const TileMatrix<double>&, TileLayoutCsc&);
+template void tile_layout_csc(const TileMatrix<float>&, TileLayoutCsc&);
 
 }  // namespace tsg

@@ -111,9 +111,16 @@ struct TileLayoutCsc {
 template <class T>
 TileLayoutCsc tile_layout_csc(const TileMatrix<T>& m);
 
+/// Capacity-preserving variant: rebuilds the view inside `out` so pooled
+/// callers (SpgemmContext) avoid re-allocating it on every multiply.
+template <class T>
+void tile_layout_csc(const TileMatrix<T>& m, TileLayoutCsc& out);
+
 extern template struct TileMatrix<double>;
 extern template struct TileMatrix<float>;
 extern template TileLayoutCsc tile_layout_csc(const TileMatrix<double>&);
 extern template TileLayoutCsc tile_layout_csc(const TileMatrix<float>&);
+extern template void tile_layout_csc(const TileMatrix<double>&, TileLayoutCsc&);
+extern template void tile_layout_csc(const TileMatrix<float>&, TileLayoutCsc&);
 
 }  // namespace tsg

@@ -1,93 +1,32 @@
 #include "core/tile_spgemm.h"
 
-#include <stdexcept>
-#include <utility>
-
-#include "common/timer.h"
-#include "core/tile_transpose.h"
+#include "core/spgemm_context.h"
 
 namespace tsg {
+
+// The free functions are thin compatibility wrappers: each call spins up a
+// transient SpgemmContext, so one-shot callers keep the old signatures
+// while iterated workloads migrate to a long-lived context and get the
+// pooled-workspace reuse.
 
 template <class T>
 TileSpgemmResult<T> tile_spgemm(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                 const TileSpgemmOptions& options) {
-  if (a.cols != b.rows) throw std::invalid_argument("tile_spgemm: inner dimensions differ");
-
-  TileSpgemmResult<T> result;
-  TileSpgemmTimings& tm = result.timings;
-
-  // Column-major view of B's tile layout, needed by the step-2/3
-  // intersections; building it is allocation/bookkeeping, not algorithm.
-  TileLayoutCsc b_csc;
-  {
-    ScopedAccumulator scope(tm.alloc_ms);
-    b_csc = tile_layout_csc(b);
-  }
-
-  // Step 1: tile structure of C.
-  TileStructure structure;
-  {
-    ScopedAccumulator scope(tm.step1_ms);
-    structure = step1_tile_structure(a, b);
-  }
-
-  // Step 2: per-tile symbolic -> nnz, row pointers, masks.
-  Step2Result symbolic;
-  {
-    ScopedAccumulator scope(tm.step2_ms);
-    symbolic = step2_symbolic(a, b, b_csc, structure, options);
-  }
-
-  // Allocate C (the only sizeable allocation of the whole algorithm).
-  TileMatrix<T>& c = result.c;
-  {
-    ScopedAccumulator scope(tm.alloc_ms);
-    c.rows = a.rows;
-    c.cols = b.cols;
-    c.tile_rows = structure.tile_rows;
-    c.tile_cols = structure.tile_cols;
-    c.tile_ptr = structure.tile_ptr;
-    c.tile_col_idx = structure.tile_col_idx;
-    c.tile_nnz = std::move(symbolic.tile_nnz);
-    c.row_ptr = std::move(symbolic.row_ptr);
-    c.mask = std::move(symbolic.mask);
-    const std::size_t nnz = static_cast<std::size_t>(c.nnz());
-    c.row_idx.resize(nnz);
-    c.col_idx.resize(nnz);
-    c.val.resize(nnz);
-  }
-
-  // Step 3: numeric.
-  {
-    ScopedAccumulator scope(tm.step3_ms);
-    step3_numeric(a, b, b_csc, structure, options, c, &symbolic.pair_cache);
-  }
-  return result;
+  SpgemmContext ctx(SpgemmContext::Config{}.with_options(options));
+  return ctx.run(a, b);
 }
 
 template <class T>
 Csr<T> spgemm_tile(const Csr<T>& a, const Csr<T>& b, const TileSpgemmOptions& options,
                    TileSpgemmTimings* timings) {
-  const TileMatrix<T> ta = csr_to_tile(a);
-  const TileMatrix<T> tb = csr_to_tile(b);
-  TileSpgemmResult<T> result = tile_spgemm(ta, tb, options);
-  if (timings != nullptr) *timings = result.timings;
-  return tile_to_csr(result.c);
+  SpgemmContext ctx(SpgemmContext::Config{}.with_options(options));
+  return ctx.run_csr(a, b, timings);
 }
 
 template <class T>
 TileSpgemmResult<T> tile_spgemm_aat(const TileMatrix<T>& a, const TileSpgemmOptions& options) {
-  TileMatrix<T> at;
-  TileSpgemmResult<T> result;
-  {
-    // Transposition is data movement, not multiplication: book it with the
-    // allocation share like the layout view.
-    ScopedAccumulator scope(result.timings.alloc_ms);
-    at = tile_transpose(a);
-  }
-  TileSpgemmResult<T> product = tile_spgemm(a, at, options);
-  product.timings.alloc_ms += result.timings.alloc_ms;
-  return product;
+  SpgemmContext ctx(SpgemmContext::Config{}.with_options(options));
+  return ctx.run_aat(a);
 }
 
 template TileSpgemmResult<double> tile_spgemm(const TileMatrix<double>&,

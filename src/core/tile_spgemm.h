@@ -6,11 +6,18 @@
 //   3. numeric phase with an adaptive sparse/dense accumulator
 //
 // Public entry points:
-//   * tile_spgemm()  — tile-format in/out, with per-step timings (Fig. 10)
+//   * SpgemmContext  — the execution engine (spgemm_context.h): pooled
+//                      workspaces, cost-binned scheduling, reusable across
+//                      calls. Preferred for iterated workloads.
+//   * tile_spgemm()  — tile-format in/out through a transient context, with
+//                      per-step timings (Fig. 10)
 //   * spgemm_tile()  — CSR convenience wrapper (converts, multiplies,
 //                      converts back), the drop-in comparator used by the
 //                      benches and tests
 #pragma once
+
+#include <array>
+#include <cstddef>
 
 #include "core/step3.h"
 #include "core/tile_convert.h"
@@ -18,14 +25,30 @@
 
 namespace tsg {
 
-/// Per-step wall-clock attribution, matching the paper's Fig. 10 categories.
+/// Per-step wall-clock attribution, matching the paper's Fig. 10 categories
+/// plus the scheduling/fusion counters of the SpgemmContext engine.
 struct TileSpgemmTimings {
-  double step1_ms = 0.0;  ///< tile-structure symbolic SpGEMM
-  double step2_ms = 0.0;  ///< per-tile symbolic (intersection + masks)
-  double step3_ms = 0.0;  ///< numeric accumulation
-  double alloc_ms = 0.0;  ///< memory allocation for C (and views)
+  double step1_ms = 0.0;    ///< tile-structure symbolic SpGEMM
+  double step2_ms = 0.0;    ///< per-tile symbolic (intersection + masks)
+  double step3_ms = 0.0;    ///< numeric accumulation
+  double alloc_ms = 0.0;    ///< memory allocation for C (and views)
+  double plan_ms = 0.0;     ///< cost model + binned schedule construction
+  double convert_ms = 0.0;  ///< CSR<->tile conversions (zero for tile-native runs)
 
-  double total_ms() const { return step1_ms + step2_ms + step3_ms + alloc_ms; }
+  /// Tiles per cost bin (bin 0 lightest); all zero when binning is off.
+  std::array<offset_t, kCostBins> bin_tiles{};
+  offset_t scheduled_tiles = 0;     ///< C tiles visited by steps 2/3
+  offset_t fused_tiles = 0;         ///< tiles resolved by the fused step-2+3 path
+  std::size_t workspace_bytes = 0;  ///< pooled workspace footprint after the run
+
+  /// Algorithm time: the paper's Fig. 10 categories plus plan construction.
+  double core_ms() const {
+    return step1_ms + step2_ms + step3_ms + alloc_ms + plan_ms;
+  }
+  /// End-to-end time including CSR<->tile conversion (Fig. 12's numerator
+  /// plus denominator; conversion is excluded from the paper's algorithm
+  /// timings, Section 4.6).
+  double total_ms() const { return core_ms() + convert_ms; }
 };
 
 template <class T>
@@ -34,14 +57,15 @@ struct TileSpgemmResult {
   TileSpgemmTimings timings;
 };
 
-/// The tiled SpGEMM on tile-format operands.
+/// The tiled SpGEMM on tile-format operands (transient SpgemmContext).
 template <class T>
 TileSpgemmResult<T> tile_spgemm(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                 const TileSpgemmOptions& options = {});
 
 /// CSR-to-CSR convenience wrapper. Conversion time is *not* part of the
 /// algorithm (the paper assumes operands already live in tile format,
-/// Section 4.6); pass `timings` to retrieve the per-step breakdown.
+/// Section 4.6) but is reported in `timings->convert_ms`; pass `timings`
+/// to retrieve the per-step breakdown.
 template <class T>
 Csr<T> spgemm_tile(const Csr<T>& a, const Csr<T>& b, const TileSpgemmOptions& options = {},
                    TileSpgemmTimings* timings = nullptr);

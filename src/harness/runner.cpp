@@ -39,12 +39,10 @@ Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp 
   try {
     double best_ms = -1.0;
     for (int r = 0; r < reps; ++r) {
-      double ms = 0.0;
-      double peak_mb = 0.0;
-      Csr<double> c = algo.run_timed(a, *b, ms, peak_mb);
-      if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
-      out.peak_mb = peak_mb > out.peak_mb ? peak_mb : out.peak_mb;
-      out.nnz_c = c.nnz();
+      const SpgemmRunReport rep = algo.profiled(a, *b);
+      if (best_ms < 0.0 || rep.core_ms < best_ms) best_ms = rep.core_ms;
+      out.peak_mb = rep.peak_mb > out.peak_mb ? rep.peak_mb : out.peak_mb;
+      out.nnz_c = rep.c.nnz();
     }
     out.ms = best_ms;
     out.gflops = gflops(out.flops, out.ms);

@@ -41,6 +41,25 @@ TEST(Memory, PeakMemoryScopeResets) {
   MemoryTracker::instance().reset();  // 'outside' was freed after the reset
 }
 
+TEST(Memory, AllocatedTotalAccumulatesAcrossFrees) {
+  MemoryTracker::instance().reset();
+  const std::int64_t base = MemoryTracker::instance().allocated_total();
+  EXPECT_EQ(base, 0);
+  for (int i = 0; i < 3; ++i) {
+    tracked_vector<char> v(1000);
+  }
+  // Unlike current(), the cumulative counter keeps the freed allocations.
+  EXPECT_GE(MemoryTracker::instance().allocated_total(), 3000);
+  EXPECT_EQ(MemoryTracker::instance().current(), 0);
+}
+
+TEST(Memory, DeviceBudgetOverride) {
+  set_device_memory_budget_bytes(7 * 1024 * 1024);
+  EXPECT_EQ(device_memory_budget_bytes(), 7u * 1024 * 1024);
+  set_device_memory_budget_bytes(0);  // back to the environment default
+  EXPECT_GT(device_memory_budget_bytes(), 0u);
+}
+
 TEST(Memory, TraceRecordsSamples) {
   MemoryTracker::instance().reset();
   MemoryTracker::instance().start_trace();

@@ -107,12 +107,26 @@ TEST(Runner, AllMethodsAgreeOnNnzC) {
 
 TEST(Runner, FailingAlgorithmIsReportedNotFatal) {
   const NamedMatrix m{"test", "er", false, gen::erdos_renyi(50, 50, 100, 503)};
-  SpgemmAlgorithm bad{"Broken", "", false,
-                      [](const Csr<double>&, const Csr<double>&) -> Csr<double> {
-                        throw std::bad_alloc();
-                      }};
+  SpgemmAlgorithm bad;
+  bad.name = "Broken";
+  bad.profiled = [](const Csr<double>&, const Csr<double>&) -> SpgemmRunReport {
+    throw std::bad_alloc();
+  };
   const Measurement r = measure(m, bad, SpgemmOp::kASquared, 1);
   EXPECT_FALSE(r.ok);  // the paper plots these as "0.00" bars
+}
+
+TEST(Runner, DeprecatedRunShimMatchesProfiled) {
+  const NamedMatrix m{"test", "band", true, gen::banded(200, 6, 504)};
+  for (const SpgemmAlgorithm& algo : paper_algorithms()) {
+    ASSERT_TRUE(algo.profiled) << algo.name;
+    ASSERT_TRUE(algo.run) << algo.name;  // compatibility shim, one release
+    const SpgemmRunReport rep = algo.profiled(m.a, m.a);
+    const Csr<double> via_shim = algo.run(m.a, m.a);
+    EXPECT_EQ(rep.c.nnz(), via_shim.nnz()) << algo.name;
+    EXPECT_GE(rep.core_ms, 0.0) << algo.name;
+    EXPECT_GE(rep.peak_mb, 0.0) << algo.name;
+  }
 }
 
 TEST(Runner, RegistryShape) {

@@ -38,7 +38,7 @@ TEST(Integration, RepresentativeSubsetAllMethodsAgree) {
     ++checked;
     Csr<double> first;
     for (const SpgemmAlgorithm& algo : paper_algorithms()) {
-      const Csr<double> c = algo.run(m.a, m.a);
+      const Csr<double> c = algo.profiled(m.a, m.a).c;
       ASSERT_TRUE(c.validate().empty()) << algo.name;
       if (first.rows == 0) {
         first = c;
@@ -58,7 +58,7 @@ TEST(Integration, AatOnAsymmetricProxies) {
     SCOPED_TRACE(m.name);
     const Csr<double> at = transpose(m.a);
     const Csr<double> tile = spgemm_tile(m.a, at);
-    const Csr<double> speck = paper_algorithms()[3].run(m.a, at);
+    const Csr<double> speck = paper_algorithms()[3].profiled(m.a, at).c;
     CompareOptions opt;
     opt.rel_tol = 1e-9;
     const CompareResult r = compare(speck, tile, opt);
