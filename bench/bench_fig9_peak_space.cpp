@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     for (const auto& a : algos) {
       headers.push_back(a.name + " ms");
       headers.push_back(a.name + " MB");
+      if (a.is_tile) headers.push_back("chunks");
     }
     return headers;
   }());
@@ -41,6 +42,13 @@ int main(int argc, char** argv) {
       const Measurement r = measure(m, algo, SpgemmOp::kASquared, args.effective_reps());
       cells.push_back(r.ok ? fmt(r.ms) : "fail");
       cells.push_back(r.ok ? fmt(r.peak_mb) : "-");
+      if (algo.is_tile) {
+        // The budget-degradation column: ">1" is the "completes where the
+        // row-row methods fail" half of the Fig. 9 story.
+        cells.push_back(!r.ok ? "-"
+                              : (r.budget_limited ? std::to_string(r.chunks) + "*"
+                                                  : std::to_string(r.chunks)));
+      }
     }
     table.add_row(cells);
   }

@@ -3,6 +3,13 @@
 # and run the full test suite under it, then build and test the regular
 # preset. Any sanitizer report aborts the run (-fno-sanitize-recover=all).
 #
+# On top of the full suites, two dedicated robustness passes (ISSUE 2):
+#   * fault injection under ASan — every injected allocation failure must
+#     unwind without leaking a byte;
+#   * budget stress — a 1 MB device budget must force the tiled pipeline
+#     into chunked graceful degradation with bit-identical results
+#     (test_device_budget asserts >= 2 chunks).
+#
 # Usage: scripts/check.sh [ctest-args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,9 +21,25 @@ cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "$@"
 
+echo "=== robustness: fault injection under ASan ==="
+# Injected bad_alloc at every allocation site: ASan proves the unwind path
+# releases everything the aborted run had staged.
+ctest --test-dir build-asan --output-on-failure -R test_fault_injection
+
 echo "=== regular build ==="
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
+
+echo "=== robustness: labeled suite + budget stress ==="
+# The labeled robustness surface (Status layer, loader hardening, budget
+# degradation, fault plans) in one pass...
+ctest --test-dir build --output-on-failure -L robustness
+# ...and the budget-stress pass: a 1 MB budget over the context sweep forces
+# chunked execution on every case big enough to matter, and the bit-identity
+# assertions must still hold. (test_integration and baseline binaries are
+# excluded on purpose: the row-row baselines legitimately fail at 1 MB.)
+TSG_DEVICE_MEM_MB=1 ./build/tests/test_spgemm_context --gtest_brief=1
+TSG_DEVICE_MEM_MB=1 ./build/tests/test_fault_injection --gtest_brief=1
 
 echo "check.sh: all green"

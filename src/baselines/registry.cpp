@@ -51,6 +51,8 @@ SpgemmAlgorithm make_tile_algorithm() {
       TileSpgemmResult<double> res = ctx.run(ta, tb);
       rep.core_ms = t.milliseconds();
       rep.peak_mb = mem.peak_mb();
+      rep.chunks = res.timings.chunks;
+      rep.budget_limited = res.timings.budget_limited;
       // The back-conversion is outside both budgets: a tile-native caller
       // never pays it (res.c *is* the result); `rep.c` exists only so the
       // harness can cross-validate in CSR.

@@ -18,6 +18,11 @@ struct SpgemmRunReport {
   Csr<double> c;         ///< the product, in CSR for cross-validation
   double core_ms = 0.0;  ///< milliseconds that count as "the SpGEMM"
   double peak_mb = 0.0;  ///< peak tracked workspace MB during the core
+  /// Budget outcome (TileSpGEMM only; the row-row baselines either fit or
+  /// throw): execution chunks the run was split into (1 = single shot) and
+  /// whether the modeled device budget forced that split.
+  int chunks = 1;
+  bool budget_limited = false;
 };
 
 struct SpgemmAlgorithm {

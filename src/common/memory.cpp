@@ -35,6 +35,65 @@ MemoryTracker& MemoryTracker::instance() {
   return tracker;
 }
 
+namespace {
+
+/// splitmix64 finaliser: the counter-based hash behind FaultPlan::fail_rate.
+/// Pure function of (seed, allocation index) — no global RNG state, so the
+/// verdict stream is reproducible across runs and thread schedules.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void MemoryTracker::on_allocate(std::size_t bytes) {
+  const std::uint64_t index = allocs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!fault_armed_.load(std::memory_order_acquire)) return;
+
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    plan = plan_;
+  }
+  bool trip = false;
+  if (plan.fail_at > 0 && index == plan.fail_at) trip = true;
+  if (!trip && plan.byte_watermark > 0) {
+    const std::int64_t live = current_.load(std::memory_order_relaxed);
+    if (live + static_cast<std::int64_t>(bytes) >
+        static_cast<std::int64_t>(plan.byte_watermark)) {
+      trip = true;
+    }
+  }
+  if (!trip && plan.fail_rate > 0.0) {
+    const double u = static_cast<double>(mix64(plan.seed ^ index) >> 11) *
+                     (1.0 / 9007199254740992.0);  // uniform in [0,1)
+    if (u < plan.fail_rate) trip = true;
+  }
+  if (trip) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+}
+
+void MemoryTracker::set_fault_plan(const FaultPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    plan_ = plan;
+  }
+  allocs_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+  fault_armed_.store(plan.enabled(), std::memory_order_release);
+}
+
+void MemoryTracker::clear_fault_plan() {
+  fault_armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  plan_ = FaultPlan{};
+}
+
 void MemoryTracker::add(std::size_t bytes) {
   allocated_total_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
   const std::int64_t now =

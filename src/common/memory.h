@@ -11,11 +11,37 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <new>
 #include <vector>
 
+#include "common/status.h"
 #include "common/timer.h"
 
 namespace tsg {
+
+/// Deterministic allocation-failure injection plan. All three triggers are
+/// optional and combine with OR; a tripped trigger makes the tracked
+/// allocation throw std::bad_alloc *before* any memory is requested, so the
+/// tracker's accounting stays balanced and the failing call site sees
+/// exactly what a real out-of-memory would produce. Tests use this to prove
+/// every allocation site of a multiply surfaces as a clean
+/// StatusCode::kAllocationFailed (see tests/test_fault_injection.cpp).
+struct FaultPlan {
+  /// Fail the Nth tracked allocation after the plan is armed (1-based);
+  /// 0 disables this trigger. Deterministic under a fixed thread count.
+  std::uint64_t fail_at = 0;
+  /// Fail any allocation that would push the live tracked footprint above
+  /// this many bytes; 0 disables this trigger.
+  std::size_t byte_watermark = 0;
+  /// Fail each allocation independently with this probability, driven by a
+  /// counter-based hash of `seed` — same plan, same allocation index, same
+  /// verdict, regardless of wall clock or prior runs. 0 disables.
+  double fail_rate = 0.0;
+  /// Stream seed for `fail_rate` decisions.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  bool enabled() const { return fail_at > 0 || byte_watermark > 0 || fail_rate > 0.0; }
+};
 
 /// One sample of the live tracked footprint.
 struct MemorySample {
@@ -36,6 +62,25 @@ class MemoryTracker {
 
   void add(std::size_t bytes);
   void sub(std::size_t bytes);
+
+  /// Gate every tracked allocation: bumps the allocation counter and throws
+  /// std::bad_alloc when the armed fault plan trips. Called by
+  /// TrackedAllocator::allocate before the real allocation, so an injected
+  /// failure requests no memory and unbalances no accounting.
+  void on_allocate(std::size_t bytes);
+
+  /// Arm / disarm allocation-failure injection. Arming resets the
+  /// allocation counter so FaultPlan::fail_at counts from the next tracked
+  /// allocation.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+  bool fault_injection_armed() const { return fault_armed_.load(std::memory_order_acquire); }
+
+  /// Tracked allocations observed since the plan was last armed (or since
+  /// construction when no plan was ever armed).
+  std::uint64_t tracked_allocs() const { return allocs_.load(std::memory_order_relaxed); }
+  /// Allocations failed by the plan since it was last armed.
+  std::uint64_t injected_faults() const { return faults_.load(std::memory_order_relaxed); }
 
   std::int64_t current() const { return current_.load(std::memory_order_relaxed); }
   std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
@@ -68,6 +113,25 @@ class MemoryTracker {
   std::mutex trace_mutex_;
   std::vector<MemorySample> trace_;
   Timer trace_timer_;
+
+  std::atomic<bool> fault_armed_{false};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> faults_{0};
+  std::mutex fault_mutex_;  ///< guards plan_ against concurrent (re)arming
+  FaultPlan plan_;
+};
+
+/// RAII fault-plan guard for tests: arms the plan on construction, disarms
+/// on destruction (also on the exception path, so a failed EXPECT cannot
+/// leave injection armed for the rest of the binary).
+class FaultInjectionScope {
+ public:
+  explicit FaultInjectionScope(const FaultPlan& plan) {
+    MemoryTracker::instance().set_fault_plan(plan);
+  }
+  ~FaultInjectionScope() { MemoryTracker::instance().clear_fault_plan(); }
+  FaultInjectionScope(const FaultInjectionScope&) = delete;
+  FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
 };
 
 /// RAII helper: resets the tracker on construction; exposes the peak
@@ -90,8 +154,14 @@ class TrackedAllocator {
   TrackedAllocator(const TrackedAllocator<U>&) noexcept {}
 
   T* allocate(std::size_t n) {
-    MemoryTracker::instance().add(n * sizeof(T));
-    return static_cast<T*>(::operator new(n * sizeof(T)));
+    // Widened byte count with an explicit overflow check: a corrupted
+    // element count must surface as bad_alloc, not wrap to a tiny request.
+    std::size_t bytes = 0;
+    if (!checked_mul(n, sizeof(T), bytes)) throw std::bad_alloc();
+    MemoryTracker::instance().on_allocate(bytes);  // may inject a failure
+    T* p = static_cast<T*>(::operator new(bytes));
+    MemoryTracker::instance().add(bytes);
+    return p;
   }
   void deallocate(T* p, std::size_t n) noexcept {
     MemoryTracker::instance().sub(n * sizeof(T));
@@ -115,7 +185,11 @@ using tracked_vector = std::vector<T, TrackedAllocator<T>>;
 /// (bhSPARSE most of all) fail with out-of-memory on high-compression-rate
 /// matrices. The host has no such hard limit, so methods that allocate a
 /// single large workspace consult this budget and throw std::bad_alloc
-/// beyond it — reproducing the paper's "0.00 (failed)" bars.
+/// beyond it — reproducing the paper's "0.00 (failed)" bars. SpgemmContext
+/// enforces the same budget on the tiled pipeline itself: when the
+/// estimated per-call footprint exceeds it, the multiply degrades to
+/// chunked execution over C's tile rows instead of failing (see
+/// spgemm_context.h), the graceful half of the Fig. 9 story.
 /// Configured by TSG_DEVICE_MEM_MB (default 420 MB, which sits in the same
 /// place relative to the scaled-down workloads as 24 GB sat relative to the
 /// paper's full-size ones: the bulk of the suite fits, the highest-

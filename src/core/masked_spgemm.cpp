@@ -1,13 +1,15 @@
 #include "core/masked_spgemm.h"
 
+#include <new>
 #include <optional>
-#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
 #include "core/spgemm_context.h"
 #include "core/tile_convert.h"
 #include "core/tile_kernels.h"
+#include "core/validate.h"
 
 namespace tsg {
 
@@ -46,12 +48,50 @@ void accumulate_sparse_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
 }  // namespace
 
 template <class T>
+Expected<TileMatrix<T>> SpgemmContext::try_run_masked(const TileMatrix<T>& a,
+                                                      const TileMatrix<T>& b,
+                                                      const TileMatrix<T>& mask) {
+  if (a.cols != b.rows) {
+    return Status::dimension_mismatch("masked spgemm: inner dimensions differ (A is " +
+                                      std::to_string(a.rows) + "x" + std::to_string(a.cols) +
+                                      ", B is " + std::to_string(b.rows) + "x" +
+                                      std::to_string(b.cols) + ")");
+  }
+  if (mask.rows != a.rows || mask.cols != b.cols) {
+    return Status::dimension_mismatch("masked spgemm: mask shape does not match A*B");
+  }
+  if (Status s = validate_tile_operand(a, "A", config().validation, config().nan_policy);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = validate_tile_operand(b, "B", config().validation, config().nan_policy);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = validate_tile_operand(mask, "mask", config().validation, config().nan_policy);
+      !s.ok()) {
+    return s;
+  }
+  try {
+    return run_masked_impl(a, b, mask);
+  } catch (const Error& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::allocation_failed(
+        "masked spgemm: a tracked allocation failed mid-run (real or injected); the context "
+        "remains reusable");
+  }
+}
+
+template <class T>
 TileMatrix<T> SpgemmContext::run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                         const TileMatrix<T>& mask) {
-  if (a.cols != b.rows) throw std::invalid_argument("masked spgemm: inner dims differ");
-  if (mask.rows != a.rows || mask.cols != b.cols) {
-    throw std::invalid_argument("masked spgemm: mask shape mismatch");
-  }
+  return std::move(try_run_masked(a, b, mask)).value();
+}
+
+template <class T>
+TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                             const TileMatrix<T>& mask) {
   std::optional<ThreadCountGuard> guard;
   if (config().threads > 0) guard.emplace(config().threads);
   const TileSpgemmOptions& options = config().options;
@@ -176,6 +216,12 @@ Csr<T> spgemm_tile_masked(const Csr<T>& a, const Csr<T>& b, const Csr<T>& mask,
       tile_spgemm_masked(csr_to_tile(a), csr_to_tile(b), csr_to_tile(mask), options));
 }
 
+template Expected<TileMatrix<double>> SpgemmContext::try_run_masked(const TileMatrix<double>&,
+                                                                    const TileMatrix<double>&,
+                                                                    const TileMatrix<double>&);
+template Expected<TileMatrix<float>> SpgemmContext::try_run_masked(const TileMatrix<float>&,
+                                                                   const TileMatrix<float>&,
+                                                                   const TileMatrix<float>&);
 template TileMatrix<double> SpgemmContext::run_masked(const TileMatrix<double>&,
                                                       const TileMatrix<double>&,
                                                       const TileMatrix<double>&);

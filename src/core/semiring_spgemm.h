@@ -31,7 +31,7 @@ template <class Semiring, class T>
 TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
                                    const TileMatrix<T>& b) {
   if (a.cols != b.rows) {
-    throw std::invalid_argument("tile_spgemm_semiring: inner dimensions differ");
+    throw Error(Status::dimension_mismatch("tile_spgemm_semiring: inner dimensions differ"));
   }
   const TileSpgemmOptions& options = ctx.config().options;
   SpgemmWorkspace<T>& ws = ctx.workspace<T>();
@@ -134,7 +134,7 @@ template <class Semiring, class T>
 void tile_spmv_semiring(const TileMatrix<T>& a, const tracked_vector<T>& x,
                         tracked_vector<T>& y) {
   if (static_cast<index_t>(x.size()) != a.cols) {
-    throw std::invalid_argument("tile_spmv_semiring: x size mismatch");
+    throw Error(Status::dimension_mismatch("tile_spmv_semiring: x size mismatch"));
   }
   y.assign(static_cast<std::size_t>(a.rows), Semiring::identity());
   parallel_for(index_t{0}, a.tile_rows, [&](index_t tr) {

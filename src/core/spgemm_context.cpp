@@ -1,13 +1,18 @@
 #include "core/spgemm_context.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
-#include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/tile_transpose.h"
+#include "core/validate.h"
 
 namespace tsg {
 
@@ -22,6 +27,122 @@ int bin_of(offset_t cost) {
   if (cost <= 32) return 1;
   if (cost <= 128) return 2;
   return 3;
+}
+
+std::string mb_string(std::size_t bytes) {
+  if (bytes == static_cast<std::size_t>(-1)) return "(overflowed) MB";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+/// Guaranteed upper bound on the device-side bytes one C tile needs during
+/// steps 2-3: output staging at the 256-nonzero tile maximum plus whatever
+/// the active plan caches per tile (matched pairs, staged fused values).
+/// Deliberately a bound, not an estimate — chunking decisions made from it
+/// are always safe.
+template <class T>
+std::size_t tile_bytes_bound(const TileMatrix<T>& a, const TileLayoutCsc& b_csc, index_t ti,
+                             index_t tj, bool cache_pairs, bool fuse_light) {
+  std::size_t bytes =
+      sizeof(offset_t) +
+      static_cast<std::size_t>(kTileDim) * (sizeof(std::uint8_t) + sizeof(rowmask_t)) +
+      static_cast<std::size_t>(kTileNnzMax) * (2 * sizeof(std::uint8_t) + sizeof(T));
+  if (cache_pairs) {
+    const offset_t len_a = a.tile_ptr[static_cast<std::size_t>(ti) + 1] -
+                           a.tile_ptr[static_cast<std::size_t>(ti)];
+    const offset_t len_b = b_csc.col_ptr[static_cast<std::size_t>(tj) + 1] -
+                           b_csc.col_ptr[static_cast<std::size_t>(tj)];
+    const std::size_t pairs = static_cast<std::size_t>(len_a < len_b ? len_a : len_b);
+    bytes += pairs * sizeof(MatchedPair) + sizeof(detail::TileSlot);
+  }
+  if (fuse_light) {
+    bytes += static_cast<std::size_t>(kTileNnzMax) * sizeof(T) + sizeof(detail::TileSlot);
+  }
+  return bytes;
+}
+
+/// Outcome of the post-step-1 budget check.
+struct BudgetPlan {
+  bool limited = false;       ///< single-shot footprint exceeds the budget
+  std::size_t estimate = 0;   ///< single-shot bound (SIZE_MAX if arithmetic saturated)
+  std::size_t budget = 0;     ///< modeled device budget at decision time
+  /// Tile-row ranges [lo, hi) to execute when limited and degradation is
+  /// on; empty otherwise.
+  std::vector<std::pair<index_t, index_t>> chunks;
+};
+
+/// Bound the per-call footprint (pooled scratch after step 1 + per-tile
+/// staging) against the modeled device budget and, when it does not fit,
+/// greedily partition C's tile rows into chunks that each do. All byte
+/// arithmetic is overflow-checked and saturates to SIZE_MAX, which simply
+/// reads as "does not fit".
+template <class T>
+BudgetPlan plan_budget(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
+                       const TileStructure& st, const SpgemmWorkspace<T>& ws, bool cache_pairs,
+                       bool fuse_light, bool degrade) {
+  constexpr std::size_t kSat = static_cast<std::size_t>(-1);
+  BudgetPlan out;
+  out.budget = device_memory_budget_bytes();
+
+  // Fixed share: the pooled buffers already sized by step 1 (layout view,
+  // structure, per-thread scratch) plus C's top-level arrays, all of which
+  // stay live for the whole multiply regardless of chunking.
+  std::size_t fixed = ws.bytes();
+  const std::size_t top_level = st.tile_ptr.size() * sizeof(offset_t) +
+                                st.tile_col_idx.size() * sizeof(index_t) +
+                                (st.tile_col_idx.size() + 1) * sizeof(offset_t);
+  if (!checked_add(fixed, top_level, fixed)) fixed = kSat;
+
+  // Per-tile-row staging bounds; these drive both the single-shot verdict
+  // and the greedy partition.
+  const index_t tile_rows = st.tile_rows;
+  std::vector<std::size_t> row_bytes(static_cast<std::size_t>(tile_rows), 0);
+  std::size_t staging = 0;
+  for (index_t tr = 0; tr < tile_rows; ++tr) {
+    std::size_t rb = 0;
+    for (offset_t t = st.tile_ptr[static_cast<std::size_t>(tr)];
+         t < st.tile_ptr[static_cast<std::size_t>(tr) + 1]; ++t) {
+      const index_t ti = st.tile_row_idx[static_cast<std::size_t>(t)];
+      const index_t tj = st.tile_col_idx[static_cast<std::size_t>(t)];
+      const std::size_t tb = tile_bytes_bound(a, b_csc, ti, tj, cache_pairs, fuse_light);
+      if (!checked_add(rb, tb, rb)) {
+        rb = kSat;
+        break;
+      }
+    }
+    row_bytes[static_cast<std::size_t>(tr)] = rb;
+    if (staging != kSat && !checked_add(staging, rb, staging)) staging = kSat;
+  }
+  if (fixed == kSat || staging == kSat || !checked_add(fixed, staging, out.estimate)) {
+    out.estimate = kSat;
+  }
+  if (out.estimate <= out.budget) return out;
+
+  out.limited = true;
+  if (!degrade) return out;  // the caller turns this into kBudgetExceeded
+
+  // Greedy tile-row partition. Every chunk's staging bound fits within the
+  // budget left after the fixed share; a single tile row that exceeds that
+  // on its own becomes its own best-effort chunk (one row is the finest
+  // granularity the pipeline can execute).
+  const std::size_t chunk_budget = out.budget > fixed ? out.budget - fixed : 1;
+  index_t lo = 0;
+  std::size_t acc = 0;
+  for (index_t tr = 0; tr < tile_rows; ++tr) {
+    const std::size_t rb = row_bytes[static_cast<std::size_t>(tr)];
+    std::size_t next = 0;
+    const bool fits = checked_add(acc, rb, next) && next <= chunk_budget;
+    if (!fits && tr > lo) {
+      out.chunks.emplace_back(lo, tr);
+      lo = tr;
+      acc = rb;
+    } else {
+      acc = fits ? next : rb;
+    }
+  }
+  out.chunks.emplace_back(lo, tile_rows);
+  return out;
 }
 
 }  // namespace
@@ -47,14 +168,16 @@ SpgemmContext::SpgemmContext(const Config& config) : cfg_(config) {
 
 template <class T>
 ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
-                                       SpgemmWorkspace<T>& ws, TileSpgemmTimings& tm) {
+                                       const TileStructure& structure, SpgemmWorkspace<T>& ws,
+                                       TileSpgemmTimings& tm) {
   ExecutionPlan plan;
   plan.cache_pairs = cfg_.options.cache_pairs;
   plan.fuse_light = cfg_.fuse_light_tiles && cfg_.options.cache_pairs;
   plan.fuse_threshold = cfg_.fuse_threshold;
 
-  const offset_t ntiles = ws.structure.num_tiles();
-  tm.scheduled_tiles = ntiles;
+  const offset_t ntiles = structure.num_tiles();
+  // Accumulated, not assigned: chunked execution builds one plan per chunk.
+  tm.scheduled_tiles += ntiles;
   if (!cfg_.cost_binning || ntiles == 0) return plan;
 
   ScopedAccumulator scope(tm.plan_ms);
@@ -65,8 +188,8 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
   ws.cost_bin.resize(static_cast<std::size_t>(ntiles));
   std::array<offset_t, kCostBins> count{};
   for (offset_t t = 0; t < ntiles; ++t) {
-    const index_t ti = ws.structure.tile_row_idx[static_cast<std::size_t>(t)];
-    const index_t tj = ws.structure.tile_col_idx[static_cast<std::size_t>(t)];
+    const index_t ti = structure.tile_row_idx[static_cast<std::size_t>(t)];
+    const index_t tj = structure.tile_col_idx[static_cast<std::size_t>(t)];
     const offset_t cost = (a.tile_ptr[ti + 1] - a.tile_ptr[ti]) +
                           (b_csc.col_ptr[tj + 1] - b_csc.col_ptr[tj]);
     const int bin = bin_of(cost);
@@ -84,16 +207,15 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
     const auto bin = static_cast<std::size_t>(ws.cost_bin[static_cast<std::size_t>(t)]);
     ws.schedule[static_cast<std::size_t>(cursor[bin]++)] = t;
   }
-  tm.bin_tiles = count;
+  for (int bin = 0; bin < kCostBins; ++bin) {
+    tm.bin_tiles[static_cast<std::size_t>(bin)] += count[static_cast<std::size_t>(bin)];
+  }
   plan.order = ws.schedule.data();
   return plan;
 }
 
 template <class T>
-TileSpgemmResult<T> SpgemmContext::run(const TileMatrix<T>& a, const TileMatrix<T>& b) {
-  if (a.cols != b.rows) {
-    throw std::invalid_argument("SpgemmContext::run: inner dimensions differ");
-  }
+TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMatrix<T>& b) {
   std::optional<ThreadCountGuard> guard;
   if (cfg_.threads > 0) guard.emplace(cfg_.threads);
 
@@ -119,8 +241,33 @@ TileSpgemmResult<T> SpgemmContext::run(const TileMatrix<T>& a, const TileMatrix<
     step1_tile_structure(a, b, ws, ws.structure);
   }
 
+  // Budget decision: bound the per-call footprint now that step 1 fixed the
+  // output's tile structure, and degrade to chunked execution if it does
+  // not fit the modeled device.
+  BudgetPlan budget;
+  {
+    ScopedAccumulator scope(tm.plan_ms);
+    budget = plan_budget(a, ws.b_csc, ws.structure, ws, cfg_.options.cache_pairs,
+                         cfg_.fuse_light_tiles && cfg_.options.cache_pairs,
+                         cfg_.degrade_on_budget);
+  }
+  tm.budget_limited = budget.limited;
+  if (budget.limited && !cfg_.degrade_on_budget) {
+    throw Error(Status::budget_exceeded(
+        "estimated footprint " + mb_string(budget.estimate) +
+        " exceeds the modeled device budget " + mb_string(budget.budget) +
+        " and degradation is disabled (Config::with_degradation)"));
+  }
+
+  if (budget.limited) {
+    run_chunked(a, b, budget.chunks, ws, result);
+    tm.chunks = static_cast<int>(budget.chunks.size());
+    tm.workspace_bytes = workspace_bytes();
+    return result;
+  }
+
   // Cost model + binned schedule (plan_ms).
-  const ExecutionPlan plan = make_plan(a, ws.b_csc, ws, tm);
+  const ExecutionPlan plan = make_plan(a, ws.b_csc, ws.structure, ws, tm);
 
   // Step 2: per-tile symbolic -> nnz, row pointers, masks (and, under the
   // fused plan, staged values for light tiles).
@@ -160,18 +307,153 @@ TileSpgemmResult<T> SpgemmContext::run(const TileMatrix<T>& a, const TileMatrix<
 }
 
 template <class T>
-TileSpgemmResult<T> SpgemmContext::run_aat(const TileMatrix<T>& a) {
+void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                const std::vector<std::pair<index_t, index_t>>& chunks,
+                                SpgemmWorkspace<T>& ws, TileSpgemmResult<T>& result) {
+  const TileStructure& st = ws.structure;
+  TileSpgemmTimings& tm = result.timings;
+  TileMatrix<T>& c = result.c;
+
+  // Assemble C's top level once; the low-level arrays grow chunk by chunk.
+  {
+    ScopedAccumulator scope(tm.alloc_ms);
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.tile_rows = st.tile_rows;
+    c.tile_cols = st.tile_cols;
+    c.tile_ptr = st.tile_ptr;
+    c.tile_col_idx = st.tile_col_idx;
+    const std::size_t ntiles = st.tile_col_idx.size();
+    c.tile_nnz.clear();
+    c.tile_nnz.reserve(ntiles + 1);
+    c.tile_nnz.push_back(0);
+    c.row_ptr.clear();
+    c.row_ptr.reserve(ntiles * static_cast<std::size_t>(kTileDim));
+    c.mask.clear();
+    c.mask.reserve(ntiles * static_cast<std::size_t>(kTileDim));
+  }
+
+  // Chunk-local structure and output, hoisted so later chunks reuse their
+  // capacity. Steps 2/3 identify each tile purely through tile_row_idx /
+  // tile_col_idx (original, un-rebased indices into A's tile rows and
+  // B's tile columns) and index their outputs by position, so a chunk is
+  // literally a slice of the step-1 structure.
+  TileStructure chunk_st;
+  chunk_st.tile_rows = st.tile_rows;
+  chunk_st.tile_cols = st.tile_cols;
+  TileMatrix<T> cc;
+
+  for (const std::pair<index_t, index_t>& range : chunks) {
+    const std::size_t tlo = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.first)]);
+    const std::size_t thi = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.second)]);
+
+    ws.begin_call();  // drop the previous chunk's pair cache / staged values
+    {
+      ScopedAccumulator scope(tm.alloc_ms);
+      chunk_st.tile_row_idx.assign(st.tile_row_idx.begin() + static_cast<std::ptrdiff_t>(tlo),
+                                   st.tile_row_idx.begin() + static_cast<std::ptrdiff_t>(thi));
+      chunk_st.tile_col_idx.assign(st.tile_col_idx.begin() + static_cast<std::ptrdiff_t>(tlo),
+                                   st.tile_col_idx.begin() + static_cast<std::ptrdiff_t>(thi));
+    }
+
+    const ExecutionPlan plan = make_plan(a, ws.b_csc, chunk_st, ws, tm);
+
+    Step2Result symbolic;
+    {
+      ScopedAccumulator scope(tm.step2_ms);
+      symbolic = step2_symbolic(a, b, ws.b_csc, chunk_st, cfg_.options, ws, plan);
+    }
+    tm.fused_tiles += symbolic.fused_tiles;
+
+    {
+      ScopedAccumulator scope(tm.alloc_ms);
+      cc.rows = a.rows;
+      cc.cols = b.cols;
+      cc.tile_rows = st.tile_rows;
+      cc.tile_cols = st.tile_cols;
+      cc.tile_nnz = std::move(symbolic.tile_nnz);
+      cc.row_ptr = std::move(symbolic.row_ptr);
+      cc.mask = std::move(symbolic.mask);
+      const std::size_t cn = static_cast<std::size_t>(cc.nnz());
+      cc.row_idx.resize(cn);
+      cc.col_idx.resize(cn);
+      cc.val.resize(cn);
+    }
+
+    {
+      ScopedAccumulator scope(tm.step3_ms);
+      step3_numeric(a, b, ws.b_csc, chunk_st, cfg_.options, cc, ws, plan);
+    }
+
+    // Stitch. Chunks arrive in tile-row order and tiles keep their storage
+    // order inside a chunk, so appending (with the nnz offsets rebased onto
+    // the running total) reproduces the single-shot layout bit for bit.
+    {
+      ScopedAccumulator scope(tm.alloc_ms);
+      const offset_t base = c.tile_nnz.back();
+      for (std::size_t k = 0; k + 1 < cc.tile_nnz.size(); ++k) {
+        c.tile_nnz.push_back(base + cc.tile_nnz[k + 1]);
+      }
+      c.row_ptr.insert(c.row_ptr.end(), cc.row_ptr.begin(), cc.row_ptr.end());
+      c.mask.insert(c.mask.end(), cc.mask.begin(), cc.mask.end());
+      c.row_idx.insert(c.row_idx.end(), cc.row_idx.begin(), cc.row_idx.end());
+      c.col_idx.insert(c.col_idx.end(), cc.col_idx.begin(), cc.col_idx.end());
+      c.val.insert(c.val.end(), cc.val.begin(), cc.val.end());
+    }
+  }
+}
+
+template <class T>
+Expected<TileSpgemmResult<T>> SpgemmContext::try_run(const TileMatrix<T>& a,
+                                                     const TileMatrix<T>& b) {
+  if (a.cols != b.rows) {
+    return Status::dimension_mismatch("spgemm: inner dimensions differ (A is " +
+                                      std::to_string(a.rows) + "x" + std::to_string(a.cols) +
+                                      ", B is " + std::to_string(b.rows) + "x" +
+                                      std::to_string(b.cols) + ")");
+  }
+  if (Status s = validate_tile_operand(a, "A", cfg_.validation, cfg_.nan_policy); !s.ok()) {
+    return s;
+  }
+  if (Status s = validate_tile_operand(b, "B", cfg_.validation, cfg_.nan_policy); !s.ok()) {
+    return s;
+  }
+  try {
+    return run_impl(a, b);
+  } catch (const Error& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::allocation_failed(
+        "spgemm: a tracked allocation failed mid-run (real or injected); the context remains "
+        "reusable");
+  }
+}
+
+template <class T>
+TileSpgemmResult<T> SpgemmContext::run(const TileMatrix<T>& a, const TileMatrix<T>& b) {
+  return std::move(try_run(a, b)).value();
+}
+
+template <class T>
+Expected<TileSpgemmResult<T>> SpgemmContext::try_run_aat(const TileMatrix<T>& a) {
   TileMatrix<T> at;
   double transpose_ms = 0.0;
-  {
+  try {
     // Transposition is data movement, not multiplication: book it with the
     // allocation share like the layout view.
     ScopedAccumulator scope(transpose_ms);
     at = tile_transpose(a);
+  } catch (const std::bad_alloc&) {
+    return Status::allocation_failed("run_aat: allocation failed while forming A^T");
   }
-  TileSpgemmResult<T> product = run(a, at);
-  product.timings.alloc_ms += transpose_ms;
+  Expected<TileSpgemmResult<T>> product = try_run(a, at);
+  if (product.ok()) product->timings.alloc_ms += transpose_ms;
   return product;
+}
+
+template <class T>
+TileSpgemmResult<T> SpgemmContext::run_aat(const TileMatrix<T>& a) {
+  return std::move(try_run_aat(a)).value();
 }
 
 template <class T>
@@ -183,25 +465,67 @@ TileMatrix<T> SpgemmContext::to_tile(const Csr<T>& m) {
 }
 
 template <class T>
-Csr<T> SpgemmContext::run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings) {
-  const TileMatrix<T> ta = to_tile(a);
-  // Aliased operands (C = A*A) convert once.
-  std::optional<TileMatrix<T>> tb;
-  if (&a != &b) tb.emplace(to_tile(b));
-  TileSpgemmResult<T> result = run(ta, tb ? *tb : ta);
-  Timer back;
-  Csr<T> c = tile_to_csr(result.c);
-  result.timings.convert_ms += back.milliseconds();
-  if (timings != nullptr) *timings = result.timings;
-  return c;
+Expected<Csr<T>> SpgemmContext::try_run_csr(const Csr<T>& a, const Csr<T>& b,
+                                            TileSpgemmTimings* timings) {
+  if (a.cols != b.rows) {
+    return Status::dimension_mismatch("spgemm: inner dimensions differ (A is " +
+                                      std::to_string(a.rows) + "x" + std::to_string(a.cols) +
+                                      ", B is " + std::to_string(b.rows) + "x" +
+                                      std::to_string(b.cols) + ")");
+  }
+  if (Status s = validate_csr_operand(a, "A", cfg_.validation, cfg_.nan_policy); !s.ok()) {
+    return s;
+  }
+  if (&a != &b) {
+    if (Status s = validate_csr_operand(b, "B", cfg_.validation, cfg_.nan_policy); !s.ok()) {
+      return s;
+    }
+  }
+  try {
+    const TileMatrix<T> ta = to_tile(a);
+    // Aliased operands (C = A*A) convert once.
+    std::optional<TileMatrix<T>> tb;
+    if (&a != &b) tb.emplace(to_tile(b));
+    Expected<TileSpgemmResult<T>> result = try_run(ta, tb ? *tb : ta);
+    if (!result.ok()) {
+      pending_convert_ms_ = 0.0;  // the failed run consumed nothing; don't charge the next one
+      return result.status();
+    }
+    Timer back;
+    Csr<T> c = tile_to_csr(result->c);
+    result->timings.convert_ms += back.milliseconds();
+    if (timings != nullptr) *timings = result->timings;
+    return c;
+  } catch (const std::bad_alloc&) {
+    pending_convert_ms_ = 0.0;
+    return Status::allocation_failed("run_csr: allocation failed during CSR<->tile conversion");
+  } catch (const Error& e) {
+    pending_convert_ms_ = 0.0;
+    return e.status();
+  }
 }
 
+template <class T>
+Csr<T> SpgemmContext::run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings) {
+  return std::move(try_run_csr(a, b, timings)).value();
+}
+
+template Expected<TileSpgemmResult<double>> SpgemmContext::try_run(const TileMatrix<double>&,
+                                                                  const TileMatrix<double>&);
+template Expected<TileSpgemmResult<float>> SpgemmContext::try_run(const TileMatrix<float>&,
+                                                                 const TileMatrix<float>&);
 template TileSpgemmResult<double> SpgemmContext::run(const TileMatrix<double>&,
                                                      const TileMatrix<double>&);
 template TileSpgemmResult<float> SpgemmContext::run(const TileMatrix<float>&,
                                                     const TileMatrix<float>&);
+template Expected<TileSpgemmResult<double>> SpgemmContext::try_run_aat(const TileMatrix<double>&);
+template Expected<TileSpgemmResult<float>> SpgemmContext::try_run_aat(const TileMatrix<float>&);
 template TileSpgemmResult<double> SpgemmContext::run_aat(const TileMatrix<double>&);
 template TileSpgemmResult<float> SpgemmContext::run_aat(const TileMatrix<float>&);
+template Expected<Csr<double>> SpgemmContext::try_run_csr(const Csr<double>&, const Csr<double>&,
+                                                          TileSpgemmTimings*);
+template Expected<Csr<float>> SpgemmContext::try_run_csr(const Csr<float>&, const Csr<float>&,
+                                                         TileSpgemmTimings*);
 template Csr<double> SpgemmContext::run_csr(const Csr<double>&, const Csr<double>&,
                                             TileSpgemmTimings*);
 template Csr<float> SpgemmContext::run_csr(const Csr<float>&, const Csr<float>&,

@@ -19,6 +19,23 @@
 //           ctx.run_masked(...)  C = (A*B) .* structure(M)
 //           ctx.workspace_bytes() / ctx.release_workspaces()
 //
+// Every run* entry point has a try_run* twin returning Expected<...>:
+// anticipated failures (bad operands, the modeled device budget with
+// degradation disabled, a tracked allocation failing — for real or via the
+// MemoryTracker fault plan) come back as a tsg::Status instead of an
+// exception, and the context remains reusable for the next call. The
+// classic run* names wrap the try_ variants and throw tsg::Error carrying
+// the same Status.
+//
+// Budget enforcement (the paper's Fig. 9 robustness claim): after step 1
+// the context bounds the per-call device-side footprint — step-2/3 output
+// staging plus the pooled scratch — against the modeled device budget. If
+// it does not fit, the multiply degrades gracefully: C's tile rows are
+// split into chunks that each fit, the pipeline runs chunk by chunk
+// through the same pooled workspace, and the chunks are stitched into the
+// final matrix. Results are bit-identical to the single-shot run;
+// TileSpgemmTimings::chunks / budget_limited report what happened.
+//
 // The free functions tile_spgemm() / spgemm_tile() / tile_spgemm_aat() /
 // tile_spgemm_masked() remain as thin wrappers that create a transient
 // context per call.
@@ -28,6 +45,7 @@
 // pooled workspace; use one context per calling thread instead.
 #pragma once
 
+#include "common/status.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_spgemm.h"
 
@@ -58,8 +76,23 @@ class SpgemmContext {
     /// Largest tile (by nnz) the fused path handles in-visit.
     index_t fuse_threshold = kAccumulatorThreshold;
     /// Modeled device-memory budget in MB; 0 keeps TSG_DEVICE_MEM_MB (or
-    /// its 420 MB default). Published process-wide at context creation.
+    /// its 420 MB default). Published process-wide at context creation and
+    /// *enforced* by every run: a call whose estimated footprint exceeds it
+    /// either degrades to chunked execution (degrade_on_budget) or fails
+    /// with StatusCode::kBudgetExceeded.
     std::size_t device_mem_mb = 0;
+    /// When the estimated footprint exceeds the budget: true (default)
+    /// splits the run into tile-row chunks that each fit and stitches a
+    /// bit-identical result; false refuses with kBudgetExceeded.
+    bool degrade_on_budget = true;
+    /// Operand checking at the API boundary. kOff trusts the caller
+    /// (dimension compatibility is still verified), kCheap (default) does
+    /// O(rows + tiles) structural sanity, kFull walks every invariant and
+    /// applies nan_policy.
+    ValidationLevel validation = ValidationLevel::kCheap;
+    /// Under kFull validation: reject operands containing NaN/Inf values,
+    /// or let them propagate with IEEE semantics (default).
+    NanPolicy nan_policy = NanPolicy::kAllow;
 
     Config& with_options(const TileSpgemmOptions& o) { options = o; return *this; }
     Config& with_intersect(IntersectMethod m) { options.intersect = m; return *this; }
@@ -75,6 +108,9 @@ class SpgemmContext {
     }
     Config& with_fuse_threshold(index_t t) { fuse_threshold = t; return *this; }
     Config& with_device_mem_mb(std::size_t mb) { device_mem_mb = mb; return *this; }
+    Config& with_degradation(bool on) { degrade_on_budget = on; return *this; }
+    Config& with_validation(ValidationLevel level) { validation = level; return *this; }
+    Config& with_nan_policy(NanPolicy policy) { nan_policy = policy; return *this; }
 
     /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget)
     /// and TSG_NUM_THREADS (worker threads). CLI, benches, and tests build
@@ -88,22 +124,37 @@ class SpgemmContext {
   const Config& config() const { return cfg_; }
 
   /// C = A * B on tile-format operands. Timings carry the per-step
-  /// breakdown plus bin/fusion counters and the pooled-workspace footprint.
+  /// breakdown plus bin/fusion counters, the pooled-workspace footprint,
+  /// and the budget outcome (chunks / budget_limited). Anticipated
+  /// failures come back as a Status; the context stays reusable.
+  template <class T>
+  Expected<TileSpgemmResult<T>> try_run(const TileMatrix<T>& a, const TileMatrix<T>& b);
+
+  /// Throwing twin of try_run: raises tsg::Error carrying the same Status.
   template <class T>
   TileSpgemmResult<T> run(const TileMatrix<T>& a, const TileMatrix<T>& b);
 
   /// C = A * A^T, transpose formed tile-natively (booked as alloc_ms).
+  template <class T>
+  Expected<TileSpgemmResult<T>> try_run_aat(const TileMatrix<T>& a);
   template <class T>
   TileSpgemmResult<T> run_aat(const TileMatrix<T>& a);
 
   /// CSR in/out convenience: converts (aliased operands convert once),
   /// multiplies, converts back. Conversion time lands in
   /// timings->convert_ms — the Fig. 12 numerator — not in core_ms().
+  /// On failure `*timings` is untouched.
+  template <class T>
+  Expected<Csr<T>> try_run_csr(const Csr<T>& a, const Csr<T>& b,
+                               TileSpgemmTimings* timings = nullptr);
   template <class T>
   Csr<T> run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings = nullptr);
 
   /// C = (A*B) .* structure(mask), Values from the product; entries outside
   /// the mask's pattern are never computed. Defined in masked_spgemm.cpp.
+  template <class T>
+  Expected<TileMatrix<T>> try_run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                         const TileMatrix<T>& mask);
   template <class T>
   TileMatrix<T> run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                            const TileMatrix<T>& mask);
@@ -130,9 +181,29 @@ class SpgemmContext {
   SpgemmWorkspace<T>& workspace();
 
  private:
+  /// Cost-binned schedule over the tiles of `structure` (the full step-1
+  /// structure, or one chunk of it under budget degradation).
   template <class T>
   ExecutionPlan make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
-                          SpgemmWorkspace<T>& ws, TileSpgemmTimings& tm);
+                          const TileStructure& structure, SpgemmWorkspace<T>& ws,
+                          TileSpgemmTimings& tm);
+
+  /// The pipeline body shared by single-shot and chunked execution; throws
+  /// (bad_alloc, Error) rather than returning a Status — try_run converts.
+  template <class T>
+  TileSpgemmResult<T> run_impl(const TileMatrix<T>& a, const TileMatrix<T>& b);
+
+  /// Chunked degradation: executes steps 2-3 tile-row range by range and
+  /// stitches the ranges into `result.c` (bit-identical to single-shot).
+  template <class T>
+  void run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                   const std::vector<std::pair<index_t, index_t>>& chunks,
+                   SpgemmWorkspace<T>& ws, TileSpgemmResult<T>& result);
+
+  /// Masked pipeline body (masked_spgemm.cpp); throws, try_run_masked converts.
+  template <class T>
+  TileMatrix<T> run_masked_impl(const TileMatrix<T>& a, const TileMatrix<T>& b,
+                                const TileMatrix<T>& mask);
 
   Config cfg_;
   SpgemmWorkspace<double> ws_d_;
@@ -149,16 +220,34 @@ inline SpgemmWorkspace<float>& SpgemmContext::workspace<float>() {
   return ws_f_;
 }
 
+extern template Expected<TileSpgemmResult<double>> SpgemmContext::try_run(
+    const TileMatrix<double>&, const TileMatrix<double>&);
+extern template Expected<TileSpgemmResult<float>> SpgemmContext::try_run(
+    const TileMatrix<float>&, const TileMatrix<float>&);
 extern template TileSpgemmResult<double> SpgemmContext::run(const TileMatrix<double>&,
                                                             const TileMatrix<double>&);
 extern template TileSpgemmResult<float> SpgemmContext::run(const TileMatrix<float>&,
                                                            const TileMatrix<float>&);
+extern template Expected<TileSpgemmResult<double>> SpgemmContext::try_run_aat(
+    const TileMatrix<double>&);
+extern template Expected<TileSpgemmResult<float>> SpgemmContext::try_run_aat(
+    const TileMatrix<float>&);
 extern template TileSpgemmResult<double> SpgemmContext::run_aat(const TileMatrix<double>&);
 extern template TileSpgemmResult<float> SpgemmContext::run_aat(const TileMatrix<float>&);
+extern template Expected<Csr<double>> SpgemmContext::try_run_csr(const Csr<double>&,
+                                                                 const Csr<double>&,
+                                                                 TileSpgemmTimings*);
+extern template Expected<Csr<float>> SpgemmContext::try_run_csr(const Csr<float>&,
+                                                                const Csr<float>&,
+                                                                TileSpgemmTimings*);
 extern template Csr<double> SpgemmContext::run_csr(const Csr<double>&, const Csr<double>&,
                                                    TileSpgemmTimings*);
 extern template Csr<float> SpgemmContext::run_csr(const Csr<float>&, const Csr<float>&,
                                                   TileSpgemmTimings*);
+extern template Expected<TileMatrix<double>> SpgemmContext::try_run_masked(
+    const TileMatrix<double>&, const TileMatrix<double>&, const TileMatrix<double>&);
+extern template Expected<TileMatrix<float>> SpgemmContext::try_run_masked(
+    const TileMatrix<float>&, const TileMatrix<float>&, const TileMatrix<float>&);
 extern template TileMatrix<double> SpgemmContext::run_masked(const TileMatrix<double>&,
                                                              const TileMatrix<double>&,
                                                              const TileMatrix<double>&);

@@ -27,6 +27,15 @@ namespace tsg {
 
 namespace detail {
 
+/// Byte footprint of a vector's capacity with the element size widened to
+/// std::size_t before the multiply. capacity() is already size_t, but every
+/// footprint sum in this header goes through here so the widening (and the
+/// place to audit it) is explicit rather than re-derived per call site.
+template <class Vec>
+constexpr std::size_t capacity_bytes(const Vec& v) {
+  return v.capacity() * static_cast<std::size_t>(sizeof(typename Vec::value_type));
+}
+
 /// Location of a per-tile record inside a per-thread buffer: step 2 hands
 /// each output tile to exactly one thread, which appends the tile's pairs
 /// (or staged values) to its own buffer and notes where they landed.
@@ -59,9 +68,7 @@ struct StampedTileSet {
     }
   }
 
-  std::size_t bytes() const {
-    return seen.capacity() * sizeof(std::uint32_t) + cols.capacity() * sizeof(index_t);
-  }
+  std::size_t bytes() const { return capacity_bytes(seen) + capacity_bytes(cols); }
 };
 
 }  // namespace detail
@@ -94,9 +101,8 @@ struct SpgemmWorkspace {
     detail::StampedTileSet sym;         ///< step-1 stamped column set
 
     std::size_t bytes() const {
-      return pairs.capacity() * sizeof(MatchedPair) +
-             cache.capacity() * sizeof(MatchedPair) + staged.capacity() * sizeof(T) +
-             sym.bytes();
+      return detail::capacity_bytes(pairs) + detail::capacity_bytes(cache) +
+             detail::capacity_bytes(staged) + sym.bytes();
     }
   };
 
@@ -130,18 +136,16 @@ struct SpgemmWorkspace {
   /// Bytes currently held by the pool (capacities, tracked and untracked) —
   /// the high-water mark the reuse tests pin down.
   std::size_t bytes() const {
-    std::size_t total = b_csc.col_ptr.capacity() * sizeof(offset_t) +
-                        b_csc.row_idx.capacity() * sizeof(index_t) +
-                        b_csc.tile_id.capacity() * sizeof(offset_t) +
-                        structure.tile_ptr.capacity() * sizeof(offset_t) +
-                        structure.tile_col_idx.capacity() * sizeof(index_t) +
-                        structure.tile_row_idx.capacity() * sizeof(index_t) +
-                        cost_bin.capacity() * sizeof(offset_t) +
-                        schedule.capacity() * sizeof(offset_t) +
-                        pair_slot.capacity() * sizeof(detail::TileSlot) +
-                        staged_slot.capacity() * sizeof(detail::TileSlot);
+    std::size_t total = detail::capacity_bytes(b_csc.col_ptr) +
+                        detail::capacity_bytes(b_csc.row_idx) +
+                        detail::capacity_bytes(b_csc.tile_id) +
+                        detail::capacity_bytes(structure.tile_ptr) +
+                        detail::capacity_bytes(structure.tile_col_idx) +
+                        detail::capacity_bytes(structure.tile_row_idx) +
+                        detail::capacity_bytes(cost_bin) + detail::capacity_bytes(schedule) +
+                        detail::capacity_bytes(pair_slot) + detail::capacity_bytes(staged_slot);
     for (const std::vector<index_t>& row : step1_rows) {
-      total += row.capacity() * sizeof(index_t);
+      total += detail::capacity_bytes(row);
     }
     total += step1_rows.capacity() * sizeof(std::vector<index_t>);
     for (const ThreadSlot& s : slots) total += s.bytes();

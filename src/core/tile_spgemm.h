@@ -40,6 +40,14 @@ struct TileSpgemmTimings {
   offset_t scheduled_tiles = 0;     ///< C tiles visited by steps 2/3
   offset_t fused_tiles = 0;         ///< tiles resolved by the fused step-2+3 path
   std::size_t workspace_bytes = 0;  ///< pooled workspace footprint after the run
+  /// Execution chunks the run was split into. 1 = single shot; >= 2 means
+  /// the modeled device budget forced graceful degradation over C's tile
+  /// rows (results are bit-identical either way).
+  int chunks = 1;
+  /// True when the estimated footprint exceeded the device budget and the
+  /// run degraded to chunked execution (the Fig. 9 "completes where others
+  /// fail" scenario, now enforced rather than merely modeled).
+  bool budget_limited = false;
 
   /// Algorithm time: the paper's Fig. 10 categories plus plan construction.
   double core_ms() const {

@@ -43,6 +43,8 @@ Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp 
       if (best_ms < 0.0 || rep.core_ms < best_ms) best_ms = rep.core_ms;
       out.peak_mb = rep.peak_mb > out.peak_mb ? rep.peak_mb : out.peak_mb;
       out.nnz_c = rep.c.nnz();
+      out.chunks = rep.chunks > out.chunks ? rep.chunks : out.chunks;
+      out.budget_limited = out.budget_limited || rep.budget_limited;
     }
     out.ms = best_ms;
     out.gflops = gflops(out.flops, out.ms);

@@ -29,6 +29,8 @@ struct Measurement {
   offset_t nnz_c = 0;
   double compression_rate = 0.0;
   double peak_mb = 0.0;    ///< tracked peak workspace during the run
+  int chunks = 1;          ///< budget-forced execution chunks (tile method; 1 = single shot)
+  bool budget_limited = false;  ///< true when the device budget forced chunking
 };
 
 /// Number of timed repetitions (minimum is reported). Reads TSG_BENCH_REPS,

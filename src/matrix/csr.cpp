@@ -25,10 +25,20 @@ std::string Csr<T>::validate() const {
     return err.str();
   }
   for (index_t i = 0; i < rows; ++i) {
+    if (row_ptr[i] < 0) {
+      // A negative offset means the 64-bit running sum wrapped (or the file
+      // loader let one through): report it as overflow, not just disorder.
+      err << "row_ptr[" << i << "] = " << row_ptr[i] << " negative (offset overflow)";
+      return err.str();
+    }
     if (row_ptr[i + 1] < row_ptr[i]) {
       err << "row_ptr not monotone at row " << i;
       return err.str();
     }
+  }
+  if (nnz() < 0) {
+    err << "nnz " << nnz() << " negative (offset overflow)";
+    return err.str();
   }
   if (col_idx.size() != val.size() ||
       col_idx.size() != static_cast<std::size_t>(nnz())) {

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
 
 namespace tsg {
 
@@ -14,9 +19,19 @@ namespace {
 enum class ValueKind { kReal, kInteger, kPattern };
 enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
 
+/// All loader failures surface as tsg::Error carrying StatusCode::kIoError
+/// with the 1-based line number, so a caller (or the CLI) can point the
+/// user at the offending line. Error derives from std::runtime_error, so
+/// pre-Status catch sites keep working.
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("matrix market parse error (line " + std::to_string(line_no) +
-                           "): " + what);
+  throw Error(Status::io_error("matrix market parse error (line " + std::to_string(line_no) +
+                               "): " + what));
+}
+
+[[noreturn]] void fail_overflow(std::size_t line_no, const std::string& what) {
+  throw Error(
+      Status::index_overflow("matrix market parse error (line " + std::to_string(line_no) +
+                             "): " + what));
 }
 
 std::string to_lower(std::string s) {
@@ -79,12 +94,29 @@ Coo<T> read_matrix_market(std::istream& in) {
     std::istringstream size_line(line);
     if (!(size_line >> rows >> cols >> entries)) fail(line_no, "bad size line");
     if (rows < 0 || cols < 0 || entries < 0) fail(line_no, "negative sizes");
+    if (rows > static_cast<long long>(std::numeric_limits<index_t>::max()) ||
+        cols > static_cast<long long>(std::numeric_limits<index_t>::max())) {
+      fail_overflow(line_no, "dimensions do not fit index_t");
+    }
+    // rows*cols fits long long (both operands are < 2^31), so this bound is
+    // safe to form and rules out entry counts no duplicate-free coordinate
+    // file can hold.
+    if (rows * cols >= 0 && entries > rows * cols) {
+      fail(line_no, "entry count exceeds rows*cols");
+    }
   }
 
   Coo<T> coo;
   coo.rows = static_cast<index_t>(rows);
   coo.cols = static_cast<index_t>(cols);
   coo.reserve(static_cast<std::size_t>(entries) * (sym == Symmetry::kGeneral ? 1 : 2));
+
+  // (packed coordinate, source line) of every raw entry, for the duplicate
+  // scan after the read loop. Symmetric entries are keyed on the unordered
+  // pair, so a file that repeats (r,c) — or illegally lists both (r,c) and
+  // (c,r) when only one triangle may be stored — collides either way.
+  std::vector<std::pair<std::uint64_t, std::size_t>> keys;
+  keys.reserve(static_cast<std::size_t>(entries));
 
   long long seen = 0;
   while (seen < entries) {
@@ -103,10 +135,30 @@ Coo<T> read_matrix_market(std::istream& in) {
 
     const index_t ri = static_cast<index_t>(r - 1);
     const index_t ci = static_cast<index_t>(c - 1);
+    const index_t kr = sym == Symmetry::kGeneral ? ri : (ri > ci ? ri : ci);
+    const index_t kc = sym == Symmetry::kGeneral ? ci : (ri > ci ? ci : ri);
+    keys.emplace_back(static_cast<std::uint64_t>(kr) * static_cast<std::uint64_t>(cols) +
+                          static_cast<std::uint64_t>(kc),
+                      line_no);
     coo.push_back(ri, ci, static_cast<T>(v));
     if (sym != Symmetry::kGeneral && ri != ci) {
       const double mirrored = sym == Symmetry::kSkewSymmetric ? -v : v;
       coo.push_back(ci, ri, static_cast<T>(mirrored));
+    }
+  }
+
+  // Duplicate rejection: the CSR conversion downstream assumes one entry
+  // per coordinate, and silently summed duplicates have corrupted more than
+  // one benchmark. Sort the packed keys and report the *line* of the second
+  // occurrence.
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t k = 1; k < keys.size(); ++k) {
+    if (keys[k].first == keys[k - 1].first) {
+      const std::uint64_t key = keys[k].first;
+      const long long dup_r = static_cast<long long>(key / static_cast<std::uint64_t>(cols)) + 1;
+      const long long dup_c = static_cast<long long>(key % static_cast<std::uint64_t>(cols)) + 1;
+      fail(keys[k].second, "duplicate entry (" + std::to_string(dup_r) + ", " +
+                               std::to_string(dup_c) + "), first seen before this line");
     }
   }
   return coo;
@@ -115,7 +167,7 @@ Coo<T> read_matrix_market(std::istream& in) {
 template <class T>
 Coo<T> read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  if (!in) throw Error(Status::io_error("cannot open matrix file: " + path));
   return read_matrix_market<T>(in);
 }
 
@@ -135,7 +187,7 @@ void write_matrix_market(std::ostream& out, const Csr<T>& a) {
 template <class T>
 void write_matrix_market_file(const std::string& path, const Csr<T>& a) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  if (!out) throw Error(Status::io_error("cannot open output file: " + path));
   write_matrix_market(out, a);
 }
 

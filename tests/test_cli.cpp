@@ -86,5 +86,66 @@ TEST(Cli, RejectsUnknownFlags) {
   EXPECT_NE(out.find("usage:"), std::string::npos);
 }
 
+/// A matrix big enough that the per-tile footprint estimate blows past a
+/// 1 MB budget: ~100x100 tile grid, C populates thousands of tiles.
+std::string write_big_matrix() {
+  const std::string path = ::testing::TempDir() + "/tsg_cli_big.mtx";
+  write_matrix_market_file(path, gen::erdos_renyi(1600, 1600, 20000, 5));
+  return path;
+}
+
+TEST(Cli, ReportsBudgetAndChunksWithTimings) {
+  const std::string mtx = write_test_matrix();
+  int code = -1;
+  const std::string out = run_cli(mtx, code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("device budget:"), std::string::npos) << out;
+  EXPECT_NE(out.find("execution chunks:"), std::string::npos) << out;
+}
+
+TEST(Cli, TinyBudgetDegradesGracefully) {
+  const std::string mtx = write_big_matrix();
+  int code = -1;
+  const std::string out = run_cli("--budget-mb 1 " + mtx, code);
+  // The multiply must complete by chunking (the correctness check may be
+  // SKIPPED: the comparator baseline legitimately runs out of budget).
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("budget-limited, graceful degradation"), std::string::npos) << out;
+}
+
+TEST(Cli, NoDegradeFailsWithBudgetStatus) {
+  const std::string mtx = write_big_matrix();
+  int code = -1;
+  const std::string out = run_cli("--budget-mb 1 --no-degrade " + mtx, code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("error: BudgetExceeded:"), std::string::npos) << out;
+}
+
+TEST(Cli, MalformedMatrixFailsWithIoStatus) {
+  const std::string path = ::testing::TempDir() + "/tsg_cli_bad.mtx";
+  {
+    std::ofstream bad(path);
+    bad << "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n";
+  }
+  int code = -1;
+  const std::string out = run_cli(path, code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("error: IoError:"), std::string::npos) << out;
+  EXPECT_NE(out.find("line 3"), std::string::npos) << out;
+}
+
+TEST(Cli, ValidateFlagParsesAndRejectsBadLevels) {
+  const std::string mtx = write_test_matrix();
+  int code = -1;
+  const std::string out = run_cli("--validate full " + mtx, code);
+  EXPECT_EQ(code, 0) << out;
+  // The documented `--flag=value` spelling works too.
+  const std::string eq = run_cli("--validate=full --budget-mb=512 " + mtx, code);
+  EXPECT_EQ(code, 0) << eq;
+  const std::string bad = run_cli("--validate sometimes " + mtx, code);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(bad.find("usage:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tsg

@@ -1,6 +1,9 @@
 // Peak-memory accounting used by the Fig. 9 experiment.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "common/memory.h"
 
 namespace tsg {
@@ -58,6 +61,76 @@ TEST(Memory, DeviceBudgetOverride) {
   EXPECT_EQ(device_memory_budget_bytes(), 7u * 1024 * 1024);
   set_device_memory_budget_bytes(0);  // back to the environment default
   EXPECT_GT(device_memory_budget_bytes(), 0u);
+}
+
+// --- FaultPlan: the allocation fault-injection triggers (ISSUE 2). ---
+
+TEST(Memory, FaultPlanFailsExactlyTheNthAllocation) {
+  FaultPlan plan;
+  plan.fail_at = 3;
+  FaultInjectionScope scope(plan);
+  tracked_vector<char> a(64);  // 1
+  tracked_vector<char> b(64);  // 2
+  EXPECT_THROW(tracked_vector<char>(64), std::bad_alloc);  // 3: trips
+  EXPECT_EQ(MemoryTracker::instance().injected_faults(), 1u);
+  EXPECT_NO_THROW(tracked_vector<char>(64));  // 4: fail_at is one-shot
+  EXPECT_EQ(MemoryTracker::instance().tracked_allocs(), 4u);
+}
+
+TEST(Memory, FaultPlanWatermarkTripsOnLiveFootprint) {
+  MemoryTracker::instance().reset();
+  FaultPlan plan;
+  plan.byte_watermark = 4096;
+  FaultInjectionScope scope(plan);
+  tracked_vector<char> small(1024);  // live 1 KB: fine
+  EXPECT_THROW(tracked_vector<char>(1 << 16), std::bad_alloc);  // would exceed
+  EXPECT_NO_THROW(tracked_vector<char>(1024));  // still under after the failure
+}
+
+TEST(Memory, FaultPlanRateIsDeterministicPerSeed) {
+  auto verdicts = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.fail_rate = 0.5;
+    plan.seed = seed;
+    FaultInjectionScope scope(plan);
+    std::string out;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        tracked_vector<char> v(16);
+        out.push_back('.');
+      } catch (const std::bad_alloc&) {
+        out.push_back('X');
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(verdicts(7), verdicts(7));        // same seed: same stream
+  EXPECT_NE(verdicts(7), verdicts(8));        // different seed: different stream
+  EXPECT_NE(verdicts(7).find('X'), std::string::npos);  // rate 0.5 does trip
+}
+
+TEST(Memory, FaultScopeDisarmsOnExit) {
+  {
+    FaultPlan plan;
+    plan.fail_at = 1;
+    FaultInjectionScope scope(plan);
+    EXPECT_TRUE(MemoryTracker::instance().fault_injection_armed());
+    EXPECT_THROW(tracked_vector<char>(16), std::bad_alloc);
+  }
+  EXPECT_FALSE(MemoryTracker::instance().fault_injection_armed());
+  EXPECT_NO_THROW(tracked_vector<char>(16));
+}
+
+TEST(Memory, InjectedFailureLeavesAccountingBalanced) {
+  MemoryTracker::instance().reset();
+  const std::int64_t before = MemoryTracker::instance().current();
+  FaultPlan plan;
+  plan.fail_at = 1;
+  FaultInjectionScope scope(plan);
+  EXPECT_THROW(tracked_vector<char>(1 << 20), std::bad_alloc);
+  // The failure is injected before any memory is requested: nothing to
+  // unwind, current() unchanged.
+  EXPECT_EQ(MemoryTracker::instance().current(), before);
 }
 
 TEST(Memory, TraceRecordsSamples) {

