@@ -102,5 +102,6 @@ int main(int argc, char** argv) {
     t3.add_row(cells);
   }
   bench::emit(t3, args);
+  args.write_metrics();
   return 0;
 }

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
                "artefact there. When the natural ordering is already clustered\n"
                "(FEM case), RCM's pure bandwidth objective can *hurt* tile\n"
                "occupancy: reorder by measurement, not by default.\n";
+  args.write_metrics();
   return 0;
 }

@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
                "block (up to 1024 nonzeros, 4 KB masks+accumulator) no longer fits\n"
                "the per-warp scratchpad budget that the 16x16 design is built\n"
                "around.\n";
+  args.write_metrics();
   return 0;
 }

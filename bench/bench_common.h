@@ -2,20 +2,25 @@
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "obs/metrics.h"
 
 namespace tsg::bench {
 
 /// Minimal flag handling: every bench accepts --csv (machine-readable
-/// output) and --reps N (override TSG_BENCH_REPS).
+/// output), --reps N (override TSG_BENCH_REPS), and --metrics FILE (dump
+/// the metrics-registry snapshot as JSON when the bench exits — the
+/// machine-readable provenance next to each figure's output).
 struct BenchArgs {
   bool csv = false;
   int reps = 0;  // 0 = use bench_reps() default
+  std::string metrics_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -24,8 +29,10 @@ struct BenchArgs {
         args.csv = true;
       } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
         args.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+        args.metrics_path = argv[++i];
       } else {
-        std::cerr << "usage: bench [--csv] [--reps N]\n";
+        std::cerr << "usage: bench [--csv] [--reps N] [--metrics FILE]\n";
         std::exit(2);
       }
     }
@@ -33,6 +40,20 @@ struct BenchArgs {
   }
 
   int effective_reps() const { return reps > 0 ? reps : bench_reps(); }
+
+  /// Call once after the bench's tables are printed. No-op without
+  /// --metrics; failures go to stderr but do not fail the bench (the
+  /// figure output is the primary artifact).
+  void write_metrics() const {
+    if (metrics_path.empty()) return;
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "warning: cannot open metrics file '" << metrics_path << "'\n";
+      return;
+    }
+    obs::MetricsRegistry::instance().write_json(out);
+    std::cerr << "metrics written: " << metrics_path << "\n";
+  }
 };
 
 inline void emit(const Table& t, const BenchArgs& args) {

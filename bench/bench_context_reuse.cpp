@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
             << ", scheduled tiles " << fmt_count(last.scheduled_tiles) << "\n";
   std::cout << "expected shape: reused alloc/iter is well below transient once the\n"
                "pool is warm; step times match since both paths run the same kernels.\n";
+  args.write_metrics();
   return 0;
 }

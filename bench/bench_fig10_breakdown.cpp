@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "core/tile_spgemm.h"
 #include "gen/representative.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace tsg;
@@ -18,9 +19,10 @@ int main(int argc, char** argv) {
   Table table({"matrix", "step1 %", "step2 %", "step3 %", "alloc %", "total ms",
                "bins 0/1/2/3"});
 
+  // Sweep totals come from the metrics registry (one delta across the whole
+  // loop) rather than summed timing fields; per-row numbers stay best-of-reps.
+  const obs::MetricsSnapshot sweep_start = obs::MetricsRegistry::instance().snapshot();
   double s1 = 0, s2 = 0, s3 = 0, al = 0;
-  offset_t tiles_total = 0;
-  std::array<offset_t, kCostBins> bins_total{};
   std::size_t ws_peak = 0;
   int counted = 0;
   for (const auto& m : gen::representative_suite()) {
@@ -39,7 +41,6 @@ int main(int argc, char** argv) {
     std::string bins;
     for (int bin = 0; bin < kCostBins; ++bin) {
       bins += (bin ? "/" : "") + std::to_string(best.bin_tiles[bin]);
-      bins_total[bin] += best.bin_tiles[bin];
     }
     table.add_row({m.name, fmt(pct(best.step1_ms), 1), fmt(pct(best.step2_ms), 1),
                    fmt(pct(best.step3_ms), 1), fmt(pct(best.alloc_ms), 1), fmt(total),
@@ -48,18 +49,25 @@ int main(int argc, char** argv) {
     s2 += pct(best.step2_ms);
     s3 += pct(best.step3_ms);
     al += pct(best.alloc_ms);
-    tiles_total += best.scheduled_tiles;
     ws_peak = std::max(ws_peak, best.workspace_bytes);
     ++counted;
   }
+  const obs::MetricsSnapshot sweep = obs::MetricsSnapshot::delta(
+      sweep_start, obs::MetricsRegistry::instance().snapshot());
   bench::emit(table, args);
   std::cout << "mean shares: step1 " << fmt(s1 / counted, 1) << "%, step2 "
             << fmt(s2 / counted, 1) << "%, step3 " << fmt(s3 / counted, 1) << "%, alloc "
             << fmt(al / counted, 1) << "%\n";
-  std::cout << "scheduled C-tiles: " << fmt_count(tiles_total) << " (cost bins light->heavy: ";
-  for (int bin = 0; bin < kCostBins; ++bin)
-    std::cout << (bin ? "/" : "") << fmt_count(bins_total[bin]);
+  // Registry totals cover every repetition, not just the best one per matrix.
+  std::cout << "scheduled C-tiles (all reps): " << fmt_count(sweep.counter("spgemm.tiles.scheduled"))
+            << " over " << fmt_count(sweep.counter("spgemm.runs"))
+            << " runs (cost bins light->heavy: ";
+  for (int bin = 0; bin < kCostBins; ++bin) {
+    std::cout << (bin ? "/" : "")
+              << fmt_count(sweep.counter("spgemm.tiles.bin" + std::to_string(bin)));
+  }
   std::cout << "), max workspace " << fmt_bytes(ws_peak) << "\n";
   std::cout << "paper shape: step1 < 5%, step2 ~15%, step3 ~70%, alloc ~20% on average.\n";
+  args.write_metrics();
   return 0;
 }

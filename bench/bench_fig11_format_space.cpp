@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   std::cout << "paper shape: the tiled structure averages less space than CSR but\n"
                "more than CSB-M/CSB-I (it additionally stores 16 uint8 row pointers\n"
                "and 16 uint16 masks per tile).\n";
+  args.write_metrics();
   return 0;
 }

@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
             << " matrices need more than 10 SpGEMM runtimes to convert\n";
   std::cout << "paper shape: conversion in general does not exceed ten single\n"
                "SpGEMM operations.\n";
+  args.write_metrics();
   return 0;
 }

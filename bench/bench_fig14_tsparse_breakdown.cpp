@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
                "share (its dense C tiles are resized repeatedly); on hyper-sparse\n"
                "tiles (webbase-1M, cage12) TileSpGEMM's steps 2+3 are much cheaper\n"
                "because sparse tile math skips the wasted dense MACs.\n";
+  args.write_metrics();
   return 0;
 }

@@ -33,10 +33,12 @@ void run_op(const std::vector<gen::NamedMatrix>& suite, SpgemmOp op, const char*
   std::map<std::string, double> max_speedup;
   std::map<std::string, int> completed;
 
+  std::vector<Measurement> all;
   for (const auto& m : suite) {
     std::vector<Measurement> row;
     for (const auto& algo : algos) row.push_back(measure(m, algo, op, args.effective_reps()));
     const Measurement& tile = row.back();
+    all.insert(all.end(), row.begin(), row.end());
 
     std::vector<std::string> cells = {m.name, fmt(tile.compression_rate, 2)};
     for (const auto& r : row) cells.push_back(bench::gflops_or_fail(r));
@@ -78,6 +80,7 @@ void run_op(const std::vector<gen::NamedMatrix>& suite, SpgemmOp op, const char*
          "slope " + fmt(fit.slope) + ", r2 " + fmt(fit.r2)});
   }
   bench::emit(summary, args);
+  print_budget_summary(std::cout, all);
 }
 
 void run_scalability(const std::vector<gen::NamedMatrix>& suite, const BenchArgs& args) {
@@ -125,5 +128,6 @@ int main(int argc, char** argv) {
   run_op(suite, tsg::SpgemmOp::kASquared, "C=A^2", args);
   run_op(suite, tsg::SpgemmOp::kAAT, "C=AA^T", args);
   run_scalability(suite, args);
+  args.write_metrics();
   return 0;
 }

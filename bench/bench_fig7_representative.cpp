@@ -94,5 +94,6 @@ int main(int argc, char** argv) {
   const auto suite = tsg::gen::representative_suite();
   run_fig7(suite, args);
   run_motivation(suite, args);
+  args.write_metrics();
   return 0;
 }

@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
   std::cout << "paper shape: TileSpGEMM completes all six; cuSPARSE and NSPARSE\n"
                "fail on webbase-1M (out of memory) while the tiled method needs no\n"
                "global intermediate storage.\n";
+  args.write_metrics();
   return 0;
 }

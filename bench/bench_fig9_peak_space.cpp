@@ -45,9 +45,7 @@ int main(int argc, char** argv) {
       if (algo.is_tile) {
         // The budget-degradation column: ">1" is the "completes where the
         // row-row methods fail" half of the Fig. 9 story.
-        cells.push_back(!r.ok ? "-"
-                              : (r.budget_limited ? std::to_string(r.chunks) + "*"
-                                                  : std::to_string(r.chunks)));
+        cells.push_back(r.ok ? fmt_chunks(r.chunks, r.budget_limited) : "-");
       }
     }
     table.add_row(cells);
@@ -75,5 +73,6 @@ int main(int argc, char** argv) {
   std::cout << "paper shape: bhSPARSE uses the most space; TileSpGEMM typically\n"
                "uses less and finishes earlier, except on hyper-sparse matrices\n"
                "(cop20k_A) where per-tile metadata dominates.\n";
+  args.write_metrics();
   return 0;
 }

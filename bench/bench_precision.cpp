@@ -76,5 +76,6 @@ int main(int argc, char** argv) {
                "rounded to 11-bit mantissas, fp32 accumulation), structure\n"
                "identical across precisions because the symbolic phases never\n"
                "look at values.\n";
+  args.write_metrics();
   return 0;
 }

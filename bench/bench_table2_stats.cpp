@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args);
   std::cout << "paper shape: rates span ~1.1 (mac_econ) to ~136 (SiO2); the proxies\n"
                "cover the same axis at reduced scale.\n";
+  args.write_metrics();
   return 0;
 }

@@ -10,6 +10,14 @@
 #     into chunked graceful degradation with bit-identical results
 #     (test_device_budget asserts >= 2 chunks).
 #
+# And two observability passes (ISSUE 3):
+#   * the obs-labeled tests under ASan/UBSan with tracing force-enabled
+#     (TSG_TRACE=1) — the concurrent ring-buffer emit path must be
+#     sanitizer-clean;
+#   * a disabled-overhead gate — the Fig. 10 breakdown bench with tracing
+#     compiled in (but runtime-disabled) must not be measurably slower
+#     than a -DTSG_TRACING=OFF build of the same bench.
+#
 # Usage: scripts/check.sh [ctest-args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +34,13 @@ echo "=== robustness: fault injection under ASan ==="
 # releases everything the aborted run had staged.
 ctest --test-dir build-asan --output-on-failure -R test_fault_injection
 
+echo "=== observability: trace/metrics under ASan (tracing enabled) ==="
+# The obs suite drives the per-thread rings from concurrent emitters; with
+# TSG_TRACE=1 the context tests also run fully instrumented. Any data race
+# or lifetime bug on the lock-free emit path is a sanitizer report here.
+TSG_TRACE=1 TSG_METRICS=1 ctest --test-dir build-asan --output-on-failure -L obs
+TSG_TRACE=1 TSG_METRICS=1 ./build-asan/tests/test_spgemm_context --gtest_brief=1
+
 echo "=== regular build ==="
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
@@ -41,5 +56,27 @@ ctest --test-dir build --output-on-failure -L robustness
 # excluded on purpose: the row-row baselines legitimately fail at 1 MB.)
 TSG_DEVICE_MEM_MB=1 ./build/tests/test_spgemm_context --gtest_brief=1
 TSG_DEVICE_MEM_MB=1 ./build/tests/test_fault_injection --gtest_brief=1
+
+echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
+# Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
+# breakdown bench (regular build, TSG_TRACING=ON by default) against a
+# -DTSG_TRACING=OFF build of the same tree. The paper-facing target is < 2 %
+# overhead; the gate defaults to TSG_OBS_OVERHEAD_PCT=10 so scheduler noise
+# on shared CI hosts does not flake the run.
+cmake -B build-noobs -S . -DTSG_TRACING=OFF >/dev/null
+cmake --build build-noobs -j "${JOBS}" --target bench_fig10_breakdown
+OBS_REPS="${TSG_OBS_GATE_REPS:-3}"
+# Sum the best-of-reps "total ms" CSV column over the 18-matrix sweep.
+sum_total_ms() {
+  "$1" --csv --reps "${OBS_REPS}" | awk -F, 'NF==7 && $6+0==$6 {s+=$6} END {printf "%.3f", s}'
+}
+with_ms="$(sum_total_ms ./build/bench/bench_fig10_breakdown)"
+without_ms="$(sum_total_ms ./build-noobs/bench/bench_fig10_breakdown)"
+awk -v a="${with_ms}" -v b="${without_ms}" -v tol="${TSG_OBS_OVERHEAD_PCT:-10}" 'BEGIN {
+  pct = (b > 0) ? 100.0 * (a - b) / b : 0.0;
+  printf "tracing compiled-in-but-disabled: %s ms, no-obs build: %s ms (%+.2f%%, gate %s%%)\n",
+         a, b, pct, tol;
+  exit (pct > tol) ? 1 : 0;
+}'
 
 echo "check.sh: all green"

@@ -17,6 +17,14 @@ for bench in build/bench/bench_*; do
   [ -x "$bench" ] && [ -f "$bench" ] || continue
   name="$(basename "$bench")"
   echo "=== $name ==="
-  "$bench" | tee "results/${name}.txt"
+  if [ "$name" = "bench_micro_kernels" ]; then
+    # google-benchmark binary: rejects our flags, has its own counters.
+    "$bench" | tee "results/${name}.txt"
+  else
+    # Per-figure provenance: the metrics-registry snapshot (run counts,
+    # tiles per cost bin, chunk counts, memory gauges) lands as JSON next
+    # to the figure's text output.
+    "$bench" --metrics "results/${name}.metrics.json" | tee "results/${name}.txt"
+  fi
 done
-echo "All figure/table outputs written to results/."
+echo "All figure/table outputs written to results/ (with .metrics.json provenance)."

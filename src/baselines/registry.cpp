@@ -9,10 +9,20 @@
 #include "common/memory.h"
 #include "common/timer.h"
 #include "core/spgemm_context.h"
+#include "obs/metrics.h"
 
 namespace tsg {
 
 namespace {
+
+/// Peak tracked bytes as the registry reports them. The MemoryTracker is
+/// still the source of truth (it owns the gauge callback); reading through
+/// the registry keeps `peak_mb` consistent with what a --metrics dump says.
+double registry_peak_mb() {
+  const std::int64_t bytes =
+      obs::MetricsRegistry::instance().snapshot().gauge("memory.peak_bytes");
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
 
 /// Wrap a plain CSR->CSR method: its core time is the whole call.
 template <class Fn>
@@ -22,11 +32,11 @@ SpgemmAlgorithm wrap(std::string name, std::string proxies, Fn fn) {
   algo.proxies = std::move(proxies);
   algo.profiled = [fn](const Csr<double>& a, const Csr<double>& b) {
     SpgemmRunReport rep;
-    PeakMemoryScope mem;
+    PeakMemoryScope mem;  // resets the tracker; the gauge reads the peak back
     Timer t;
     rep.c = fn(a, b);
     rep.core_ms = t.milliseconds();
-    rep.peak_mb = mem.peak_mb();
+    rep.peak_mb = registry_peak_mb();
     return rep;
   };
   algo.run = [fn](const Csr<double>& a, const Csr<double>& b) { return fn(a, b); };
@@ -45,14 +55,15 @@ SpgemmAlgorithm make_tile_algorithm() {
     {
       // The context (and its pooled workspace) lives inside the peak scope
       // so its allocations count against the method like any workspace.
-      PeakMemoryScope mem;
+      PeakMemoryScope mem;  // resets the tracker; the gauge reads the peak back
       SpgemmContext ctx;
       Timer t;
       TileSpgemmResult<double> res = ctx.run(ta, tb);
       rep.core_ms = t.milliseconds();
-      rep.peak_mb = mem.peak_mb();
+      rep.peak_mb = registry_peak_mb();
       rep.chunks = res.timings.chunks;
       rep.budget_limited = res.timings.budget_limited;
+      rep.metrics = res.timings.metrics;
       // The back-conversion is outside both budgets: a tile-native caller
       // never pays it (res.c *is* the result); `rep.c` exists only so the
       // harness can cross-validate in CSR.

@@ -5,10 +5,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "matrix/csr.h"
+
+namespace tsg::obs {
+struct MetricsSnapshot;
+}  // namespace tsg::obs
 
 namespace tsg {
 
@@ -17,12 +22,18 @@ namespace tsg {
 struct SpgemmRunReport {
   Csr<double> c;         ///< the product, in CSR for cross-validation
   double core_ms = 0.0;  ///< milliseconds that count as "the SpGEMM"
-  double peak_mb = 0.0;  ///< peak tracked workspace MB during the core
+  /// Peak tracked workspace MB during the core, read back from the
+  /// obs::MetricsRegistry "memory.peak_bytes" gauge (the PeakMemoryScope
+  /// inside `profiled` still performs the reset).
+  double peak_mb = 0.0;
   /// Budget outcome (TileSpGEMM only; the row-row baselines either fit or
   /// throw): execution chunks the run was split into (1 = single shot) and
   /// whether the modeled device budget forced that split.
   int chunks = 1;
   bool budget_limited = false;
+  /// This run's registry delta (TileSpGEMM only, and only when the detail
+  /// gate was on — see TileSpgemmTimings::metrics); null otherwise.
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
 };
 
 struct SpgemmAlgorithm {

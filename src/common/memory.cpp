@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tsg {
 
 namespace {
@@ -32,6 +35,26 @@ void check_workspace_budget(std::size_t bytes) {
 
 MemoryTracker& MemoryTracker::instance() {
   static MemoryTracker tracker;
+  // The tracker is the source of truth for the memory gauges; registering
+  // callbacks (rather than obs reading the tracker) keeps the obs library
+  // free of upward dependencies. Done once, on first use.
+  static const bool gauges_registered = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    reg.register_gauge("memory.current_bytes", [] { return MemoryTracker::instance().current(); });
+    reg.register_gauge("memory.peak_bytes", [] { return MemoryTracker::instance().peak(); });
+    reg.register_gauge("memory.allocated_total_bytes",
+                       [] { return MemoryTracker::instance().allocated_total(); });
+    reg.register_gauge("memory.tracked_allocs", [] {
+      return static_cast<std::int64_t>(MemoryTracker::instance().tracked_allocs());
+    });
+    reg.register_gauge("memory.injected_faults", [] {
+      return static_cast<std::int64_t>(MemoryTracker::instance().injected_faults());
+    });
+    reg.register_gauge("memory.budget_bytes",
+                       [] { return static_cast<std::int64_t>(device_memory_budget_bytes()); });
+    return true;
+  }();
+  (void)gauges_registered;
   return tracker;
 }
 
@@ -104,6 +127,11 @@ void MemoryTracker::add(std::size_t bytes) {
   while (now > prev && !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
   }
   if (tracing()) record(now);
+  // Only sizeable buffers land in the execution trace: small tracked
+  // allocations are frequent enough to drown the timeline (and the ring).
+  if (bytes >= std::size_t{64} * 1024) {
+    TSG_TRACE_INSTANT("alloc.tracked", static_cast<std::int64_t>(bytes));
+  }
 }
 
 void MemoryTracker::sub(std::size_t bytes) {

@@ -15,6 +15,8 @@
 
 #include <omp.h>
 
+#include "obs/metrics.h"
+
 namespace tsg {
 
 /// Number of threads a parallel region will use.
@@ -73,11 +75,15 @@ void parallel_for(Index begin, Index end, Body&& body, std::ptrdiff_t grain = 1)
   if (grain < 1) grain = 1;
   detail::ExceptionTrap trap;
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(end - begin);
+  // Always-on call/task counters; per-thread tallies (for the imbalance
+  // histogram) only materialise under the metrics-detail gate.
+  obs::ParallelForScope obs_scope(static_cast<std::size_t>(n), omp_get_max_threads());
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::ptrdiff_t chunk = 0; chunk < (n + grain - 1) / grain; ++chunk) {
     trap.run([&] {
       const std::ptrdiff_t lo = chunk * grain;
       const std::ptrdiff_t hi = lo + grain < n ? lo + grain : n;
+      obs_scope.count(omp_get_thread_num(), static_cast<std::size_t>(hi - lo));
       for (std::ptrdiff_t i = lo; i < hi; ++i) body(static_cast<Index>(begin + i));
     });
   }

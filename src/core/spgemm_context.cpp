@@ -13,10 +13,36 @@
 #include "common/timer.h"
 #include "core/tile_transpose.h"
 #include "core/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsg {
 
 namespace {
+
+/// Fold one run's outcome into the always-on registry counters. Called once
+/// per run_impl — never per tile — so the cost is a dozen relaxed
+/// fetch_adds regardless of matrix size.
+void publish_run_metrics(const TileSpgemmTimings& tm) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& runs = reg.counter("spgemm.runs");
+  static obs::Counter& scheduled = reg.counter("spgemm.tiles.scheduled");
+  static obs::Counter& fused = reg.counter("spgemm.tiles.fused");
+  static obs::Counter& chunks = reg.counter("spgemm.chunks");
+  static obs::Counter& degraded = reg.counter("spgemm.runs.degraded");
+  static std::array<obs::Counter*, kCostBins> bins = {
+      &reg.counter("spgemm.tiles.bin0"), &reg.counter("spgemm.tiles.bin1"),
+      &reg.counter("spgemm.tiles.bin2"), &reg.counter("spgemm.tiles.bin3")};
+  static_assert(kCostBins == 4, "bin counter names assume four cost bins");
+  runs.inc();
+  scheduled.add(tm.scheduled_tiles);
+  fused.add(tm.fused_tiles);
+  chunks.add(tm.chunks);
+  if (tm.budget_limited) degraded.inc();
+  for (int bin = 0; bin < kCostBins; ++bin) {
+    bins[static_cast<std::size_t>(bin)]->add(tm.bin_tiles[static_cast<std::size_t>(bin)]);
+  }
+}
 
 /// Cost bin of one C tile. The estimated intersection work is the sum of
 /// the two list lengths (both the binary-search and merge intersections
@@ -157,6 +183,11 @@ SpgemmContext::Config SpgemmContext::Config::from_env() {
     const long mb = std::atol(env);
     if (mb > 0) cfg.device_mem_mb = static_cast<std::size_t>(mb);
   }
+  const auto truthy = [](const char* v) {
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  };
+  if (truthy(std::getenv("TSG_TRACE"))) cfg.tracing = true;
+  if (truthy(std::getenv("TSG_METRICS"))) cfg.metrics_detail = true;
   return cfg;
 }
 
@@ -164,6 +195,10 @@ SpgemmContext::SpgemmContext(const Config& config) : cfg_(config) {
   if (cfg_.device_mem_mb > 0) {
     set_device_memory_budget_bytes(cfg_.device_mem_mb * 1024 * 1024);
   }
+  // One-way: a default-constructed context must not disable a gate some
+  // other entry point (CLI --trace, a test) already opened.
+  if (cfg_.tracing) obs::TraceCollector::instance().set_enabled(true);
+  if (cfg_.metrics_detail) obs::set_metrics_detail_enabled(true);
 }
 
 template <class T>
@@ -181,6 +216,7 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
   if (!cfg_.cost_binning || ntiles == 0) return plan;
 
   ScopedAccumulator scope(tm.plan_ms);
+  TSG_TRACE_SPAN("plan", ntiles);
   // Per-tile cost = |A's tile row| + |B's tile column|: the length of the
   // two lists the step-2/3 intersection walks. Binned counting sort, heavy
   // bins first, so the dynamically scheduled loops never finish a light
@@ -216,6 +252,11 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
 
 template <class T>
 TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMatrix<T>& b) {
+  TSG_TRACE_SPAN("spgemm.run");
+  std::optional<obs::MetricsSnapshot> before;
+  if (obs::metrics_detail_enabled()) {
+    before.emplace(obs::MetricsRegistry::instance().snapshot());
+  }
   std::optional<ThreadCountGuard> guard;
   if (cfg_.threads > 0) guard.emplace(cfg_.threads);
 
@@ -232,12 +273,14 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   // intersections; building it is allocation/bookkeeping, not algorithm.
   {
     ScopedAccumulator scope(tm.alloc_ms);
+    TSG_TRACE_SPAN("alloc.layout");
     tile_layout_csc(b, ws.b_csc);
   }
 
   // Step 1: tile structure of C.
   {
     ScopedAccumulator scope(tm.step1_ms);
+    TSG_TRACE_SPAN("step1");
     step1_tile_structure(a, b, ws, ws.structure);
   }
 
@@ -247,6 +290,7 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   BudgetPlan budget;
   {
     ScopedAccumulator scope(tm.plan_ms);
+    TSG_TRACE_SPAN("plan.budget");
     budget = plan_budget(a, ws.b_csc, ws.structure, ws, cfg_.options.cache_pairs,
                          cfg_.fuse_light_tiles && cfg_.options.cache_pairs,
                          cfg_.degrade_on_budget);
@@ -262,47 +306,58 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   if (budget.limited) {
     run_chunked(a, b, budget.chunks, ws, result);
     tm.chunks = static_cast<int>(budget.chunks.size());
-    tm.workspace_bytes = workspace_bytes();
-    return result;
-  }
+  } else {
+    // Cost model + binned schedule (plan_ms).
+    const ExecutionPlan plan = make_plan(a, ws.b_csc, ws.structure, ws, tm);
 
-  // Cost model + binned schedule (plan_ms).
-  const ExecutionPlan plan = make_plan(a, ws.b_csc, ws.structure, ws, tm);
+    // Step 2: per-tile symbolic -> nnz, row pointers, masks (and, under the
+    // fused plan, staged values for light tiles).
+    Step2Result symbolic;
+    {
+      ScopedAccumulator scope(tm.step2_ms);
+      TSG_TRACE_SPAN("step2", ws.structure.num_tiles());
+      symbolic = step2_symbolic(a, b, ws.b_csc, ws.structure, cfg_.options, ws, plan);
+    }
+    tm.fused_tiles = symbolic.fused_tiles;
 
-  // Step 2: per-tile symbolic -> nnz, row pointers, masks (and, under the
-  // fused plan, staged values for light tiles).
-  Step2Result symbolic;
-  {
-    ScopedAccumulator scope(tm.step2_ms);
-    symbolic = step2_symbolic(a, b, ws.b_csc, ws.structure, cfg_.options, ws, plan);
-  }
-  tm.fused_tiles = symbolic.fused_tiles;
+    // Allocate C (the only sizeable allocation of the whole algorithm).
+    TileMatrix<T>& c = result.c;
+    {
+      ScopedAccumulator scope(tm.alloc_ms);
+      TSG_TRACE_SPAN("alloc.c");
+      c.rows = a.rows;
+      c.cols = b.cols;
+      c.tile_rows = ws.structure.tile_rows;
+      c.tile_cols = ws.structure.tile_cols;
+      c.tile_ptr = ws.structure.tile_ptr;
+      c.tile_col_idx = ws.structure.tile_col_idx;
+      c.tile_nnz = std::move(symbolic.tile_nnz);
+      c.row_ptr = std::move(symbolic.row_ptr);
+      c.mask = std::move(symbolic.mask);
+      const std::size_t nnz = static_cast<std::size_t>(c.nnz());
+      c.row_idx.resize(nnz);
+      c.col_idx.resize(nnz);
+      c.val.resize(nnz);
+    }
 
-  // Allocate C (the only sizeable allocation of the whole algorithm).
-  TileMatrix<T>& c = result.c;
-  {
-    ScopedAccumulator scope(tm.alloc_ms);
-    c.rows = a.rows;
-    c.cols = b.cols;
-    c.tile_rows = ws.structure.tile_rows;
-    c.tile_cols = ws.structure.tile_cols;
-    c.tile_ptr = ws.structure.tile_ptr;
-    c.tile_col_idx = ws.structure.tile_col_idx;
-    c.tile_nnz = std::move(symbolic.tile_nnz);
-    c.row_ptr = std::move(symbolic.row_ptr);
-    c.mask = std::move(symbolic.mask);
-    const std::size_t nnz = static_cast<std::size_t>(c.nnz());
-    c.row_idx.resize(nnz);
-    c.col_idx.resize(nnz);
-    c.val.resize(nnz);
-  }
-
-  // Step 3: numeric.
-  {
-    ScopedAccumulator scope(tm.step3_ms);
-    step3_numeric(a, b, ws.b_csc, ws.structure, cfg_.options, c, ws, plan);
+    // Step 3: numeric.
+    {
+      ScopedAccumulator scope(tm.step3_ms);
+      TSG_TRACE_SPAN("step3", ws.structure.num_tiles());
+      step3_numeric(a, b, ws.b_csc, ws.structure, cfg_.options, c, ws, plan);
+    }
   }
   tm.workspace_bytes = workspace_bytes();
+
+  // Publish the run to the registry (always-on counters), then — only when
+  // detail is on — attach this run's registry delta to the timings. The
+  // publish happens first so the snapshot already reflects this run, which
+  // is what keeps tm.metrics consistent with tm's own counters.
+  publish_run_metrics(tm);
+  if (before.has_value()) {
+    tm.metrics = std::make_shared<const obs::MetricsSnapshot>(obs::MetricsSnapshot::delta(
+        *before, obs::MetricsRegistry::instance().snapshot()));
+  }
   return result;
 }
 
@@ -343,7 +398,9 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
   chunk_st.tile_cols = st.tile_cols;
   TileMatrix<T> cc;
 
-  for (const std::pair<index_t, index_t>& range : chunks) {
+  for (std::size_t chunk_idx = 0; chunk_idx < chunks.size(); ++chunk_idx) {
+    const std::pair<index_t, index_t>& range = chunks[chunk_idx];
+    TSG_TRACE_SPAN("chunk", static_cast<std::int64_t>(chunk_idx));
     const std::size_t tlo = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.first)]);
     const std::size_t thi = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.second)]);
 
@@ -361,6 +418,7 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
     Step2Result symbolic;
     {
       ScopedAccumulator scope(tm.step2_ms);
+      TSG_TRACE_SPAN("step2", chunk_st.num_tiles());
       symbolic = step2_symbolic(a, b, ws.b_csc, chunk_st, cfg_.options, ws, plan);
     }
     tm.fused_tiles += symbolic.fused_tiles;
@@ -382,6 +440,7 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
 
     {
       ScopedAccumulator scope(tm.step3_ms);
+      TSG_TRACE_SPAN("step3", chunk_st.num_tiles());
       step3_numeric(a, b, ws.b_csc, chunk_st, cfg_.options, cc, ws, plan);
     }
 

@@ -93,6 +93,14 @@ class SpgemmContext {
     /// Under kFull validation: reject operands containing NaN/Inf values,
     /// or let them propagate with IEEE semantics (default).
     NanPolicy nan_policy = NanPolicy::kAllow;
+    /// Turn on the execution-trace runtime gate (obs/trace.h) at context
+    /// creation. The gate is process-wide: true enables it, false leaves
+    /// it as-is (so a CLI --trace is not undone by a default config).
+    bool tracing = false;
+    /// Turn on the per-tile detail metrics gate (obs/metrics.h) at context
+    /// creation; also makes each run attach its registry delta to
+    /// TileSpgemmTimings::metrics. Same one-way semantics as `tracing`.
+    bool metrics_detail = false;
 
     Config& with_options(const TileSpgemmOptions& o) { options = o; return *this; }
     Config& with_intersect(IntersectMethod m) { options.intersect = m; return *this; }
@@ -111,10 +119,13 @@ class SpgemmContext {
     Config& with_degradation(bool on) { degrade_on_budget = on; return *this; }
     Config& with_validation(ValidationLevel level) { validation = level; return *this; }
     Config& with_nan_policy(NanPolicy policy) { nan_policy = policy; return *this; }
+    Config& with_tracing(bool on) { tracing = on; return *this; }
+    Config& with_metrics(bool on) { metrics_detail = on; return *this; }
 
-    /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget)
-    /// and TSG_NUM_THREADS (worker threads). CLI, benches, and tests build
-    /// on this instead of parsing getenv themselves.
+    /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget),
+    /// TSG_NUM_THREADS (worker threads), TSG_TRACE (execution tracing),
+    /// and TSG_METRICS (per-tile detail metrics). CLI, benches, and tests
+    /// build on this instead of parsing getenv themselves.
     static Config from_env();
   };
 

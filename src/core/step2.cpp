@@ -3,6 +3,7 @@
 #include "common/parallel.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_kernels.h"
+#include "obs/metrics.h"
 
 namespace tsg {
 
@@ -20,6 +21,18 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
   if (plan.cache_pairs) ws.pair_slot.assign(static_cast<std::size_t>(ntiles), {});
   const bool fuse = plan.fuse_light && plan.cache_pairs;
   if (fuse) ws.staged_slot.assign(static_cast<std::size_t>(ntiles), {});
+
+  // Per-tile detail instruments, resolved once per call. The gate is read
+  // once here: flipping it mid-run only affects the next call.
+  const bool detail_metrics = obs::metrics_detail_enabled();
+  static obs::Counter& m_pairs =
+      obs::MetricsRegistry::instance().counter("spgemm.intersect.pairs");
+  static obs::Counter& m_fused_dense =
+      obs::MetricsRegistry::instance().counter("spgemm.accumulator.dense");
+  static obs::Counter& m_fused_sparse =
+      obs::MetricsRegistry::instance().counter("spgemm.accumulator.sparse");
+  static obs::Histogram& m_tile_nnz = obs::MetricsRegistry::instance().histogram(
+      "spgemm.tile_nnz", {0, 4, 16, 64, 128, 256});
 
   parallel_for(offset_t{0}, ntiles, [&](offset_t i) {
     // The plan may reorder the visit so heavy tiles are dispatched first;
@@ -66,6 +79,10 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       count += popcount16(mask_c[r]);
     }
     out.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
+    if (detail_metrics) {
+      m_pairs.add(static_cast<std::int64_t>(pairs.size()));
+      m_tile_nnz.observe(count);
+    }
 
     if (fuse && count > 0 && count <= plan.fuse_threshold) {
       // Fused numeric: the tile's structure is fully known and its matched
@@ -77,9 +94,11 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       const rowmask_t* mask_ptr = out.mask.data() + base;
       if (detail::use_dense_accumulator(options, count)) {
         detail::accumulate_pairs_dense(a, b, pairs.data(), pairs.size(), mask_ptr, vals);
+        if (detail_metrics) m_fused_dense.inc();
       } else {
         detail::accumulate_pairs_sparse(a, b, pairs.data(), pairs.size(), mask_ptr,
                                         row_ptr_c, vals);
+        if (detail_metrics) m_fused_sparse.inc();
       }
       ws.staged_slot[static_cast<std::size_t>(t)] = {
           static_cast<std::uint32_t>(tid), static_cast<offset_t>(slot.staged.size()),

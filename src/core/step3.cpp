@@ -5,6 +5,8 @@
 #include "common/parallel.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsg {
 
@@ -20,7 +22,29 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
   const bool use_staged = plan.fuse_light && plan.cache_pairs &&
                           ws.staged_slot.size() == static_cast<std::size_t>(ntiles);
 
+  // Per-tile detail instruments (see step2.cpp); the gate is read once per
+  // call so the hot loop branches on a local bool.
+  const bool detail_metrics = obs::metrics_detail_enabled();
+  static obs::Counter& m_dense =
+      obs::MetricsRegistry::instance().counter("spgemm.accumulator.dense");
+  static obs::Counter& m_sparse =
+      obs::MetricsRegistry::instance().counter("spgemm.accumulator.sparse");
+  static obs::Histogram& m_visit_us = obs::MetricsRegistry::instance().histogram(
+      "spgemm.tile_visit_us", {1, 2, 5, 10, 25, 50, 100, 1000});
+
   parallel_for(offset_t{0}, ntiles, [&](offset_t i) {
+    // Guard, not inline observes: the staged and empty-tile paths leave
+    // early and must still land in the duration histogram.
+    struct VisitGuard {
+      bool on;
+      double start_us;
+      obs::Histogram& hist;
+      ~VisitGuard() {
+        if (on) {
+          hist.observe(static_cast<std::int64_t>(obs::TraceCollector::now_us() - start_us));
+        }
+      }
+    } visit{detail_metrics, detail_metrics ? obs::TraceCollector::now_us() : 0.0, m_visit_us};
     const offset_t t = plan.order != nullptr ? plan.order[i] : i;
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
@@ -76,8 +100,10 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
     for (index_t k = 0; k < nnz_c; ++k) slots[k] = T{};
     if (detail::use_dense_accumulator(options, nnz_c)) {
       detail::accumulate_pairs_dense(a, b, pair_data, pair_count, mask_c, slots);
+      if (detail_metrics) m_dense.inc();
     } else {
       detail::accumulate_pairs_sparse(a, b, pair_data, pair_count, mask_c, row_ptr_c, slots);
+      if (detail_metrics) m_sparse.inc();
     }
     for (index_t k = 0; k < nnz_c; ++k) {
       c.val[static_cast<std::size_t>(nz_base + k)] = slots[k];

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsg {
 
@@ -44,6 +46,9 @@ thread_local TileRowScratch t_scratch;
 
 template <class T>
 TileMatrix<T> csr_to_tile(const Csr<T>& a) {
+  TSG_TRACE_SPAN("convert.csr_to_tile", a.nnz());
+  static obs::Counter& calls = obs::MetricsRegistry::instance().counter("convert.csr_to_tile");
+  calls.inc();
   TileMatrix<T> t(a.rows, a.cols);
 
   // Pass 1: per tile row, find the distinct non-empty tile columns and the
@@ -150,6 +155,9 @@ TileMatrix<T> csr_to_tile(const Csr<T>& a) {
 
 template <class T>
 Csr<T> tile_to_csr(const TileMatrix<T>& t) {
+  TSG_TRACE_SPAN("convert.tile_to_csr", t.nnz());
+  static obs::Counter& calls = obs::MetricsRegistry::instance().counter("convert.tile_to_csr");
+  calls.inc();
   Csr<T> a(t.rows, t.cols);
   const std::size_t n = static_cast<std::size_t>(t.nnz());
   a.col_idx.resize(n);

@@ -18,10 +18,15 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 
 #include "core/step3.h"
 #include "core/tile_convert.h"
 #include "matrix/csr.h"
+
+namespace tsg::obs {
+struct MetricsSnapshot;
+}  // namespace tsg::obs
 
 namespace tsg {
 
@@ -48,6 +53,12 @@ struct TileSpgemmTimings {
   /// run degraded to chunked execution (the Fig. 9 "completes where others
   /// fail" scenario, now enforced rather than merely modeled).
   bool budget_limited = false;
+  /// Registry activity of this run (counters/histograms as deltas, gauges
+  /// as end-of-run values). Populated only when the context ran with
+  /// metrics detail enabled (Config::with_metrics / TSG_METRICS); null
+  /// otherwise — the always-on counters still accumulate in the global
+  /// obs::MetricsRegistry either way.
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
 
   /// Algorithm time: the paper's Fig. 10 categories plus plan construction.
   double core_ms() const {

@@ -76,4 +76,8 @@ std::string fmt_count(long long v) {
   return std::to_string(v);
 }
 
+std::string fmt_chunks(int chunks, bool budget_limited) {
+  return std::to_string(chunks) + (budget_limited ? "*" : "");
+}
+
 }  // namespace tsg

@@ -39,4 +39,9 @@ std::string fmt_bytes(std::size_t bytes);
 /// Large-count formatting with K/M/B suffixes ("1.1B", "4.3M").
 std::string fmt_count(long long v);
 
+/// Budget-outcome cell: the chunk count, starred when the device budget
+/// forced the split ("1", "3*"). Every bench that prints a chunks column
+/// uses this so degraded runs look the same everywhere.
+std::string fmt_chunks(int chunks, bool budget_limited);
+
 }  // namespace tsg

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <exception>
+#include <ostream>
 
 #include "common/memory.h"
 #include "common/timer.h"
@@ -36,6 +37,7 @@ Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp 
   }
   out.flops = spgemm_flops(a, *b);
 
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
   try {
     double best_ms = -1.0;
     for (int r = 0; r < reps; ++r) {
@@ -53,6 +55,8 @@ Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp 
   } catch (const std::exception&) {
     out.ok = false;  // mirrors the paper's "0.00" bars for failing methods
   }
+  out.metrics = std::make_shared<const obs::MetricsSnapshot>(
+      obs::MetricsSnapshot::delta(before, obs::MetricsRegistry::instance().snapshot()));
   return out;
 }
 
@@ -67,6 +71,17 @@ std::vector<Measurement> measure_suite(const std::vector<NamedMatrix>& suite,
     }
   }
   return results;
+}
+
+void print_budget_summary(std::ostream& out, const std::vector<Measurement>& results) {
+  bool any = false;
+  for (const Measurement& m : results) {
+    if (!m.budget_limited) continue;
+    if (!any) out << "budget-limited runs (graceful degradation):\n";
+    any = true;
+    out << "  " << m.matrix << " / " << m.algorithm << ": " << m.chunks
+        << " execution chunks\n";
+  }
 }
 
 }  // namespace tsg

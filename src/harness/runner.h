@@ -2,12 +2,15 @@
 // with the throughput / memory metrics the paper's figures report.
 #pragma once
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/registry.h"
 #include "gen/representative.h"
 #include "matrix/csr.h"
+#include "obs/metrics.h"
 
 namespace tsg {
 
@@ -31,6 +34,11 @@ struct Measurement {
   double peak_mb = 0.0;    ///< tracked peak workspace during the run
   int chunks = 1;          ///< budget-forced execution chunks (tile method; 1 = single shot)
   bool budget_limited = false;  ///< true when the device budget forced chunking
+  /// Registry activity across all reps of this measurement (counters and
+  /// histograms as deltas, gauges as end values). Always populated; the
+  /// per-tile detail metrics inside it are zero unless the detail gate was
+  /// on (obs::set_metrics_detail_enabled / TSG_METRICS).
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
 };
 
 /// Number of timed repetitions (minimum is reported). Reads TSG_BENCH_REPS,
@@ -46,5 +54,10 @@ Measurement measure(const NamedMatrix& m, const SpgemmAlgorithm& algo, SpgemmOp 
 std::vector<Measurement> measure_suite(const std::vector<NamedMatrix>& suite,
                                        const std::vector<SpgemmAlgorithm>& algorithms,
                                        SpgemmOp op);
+
+/// One line per budget-degraded measurement ("matrix/method: N chunks"),
+/// so chunked runs are visible in every bench that prints tables. Silent
+/// when nothing degraded.
+void print_budget_summary(std::ostream& out, const std::vector<Measurement>& results);
 
 }  // namespace tsg

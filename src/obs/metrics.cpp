@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tsg::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Pairs>
+std::int64_t lookup(const Pairs& pairs, std::string_view name) {
+  for (const auto& [k, v] : pairs) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+void write_pairs(std::ostream& out, const std::vector<std::pair<std::string, std::int64_t>>& pairs) {
+  bool first = true;
+  for (const auto& [name, value] : pairs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << name << "\": " << value;
+  }
+}
+
+void write_int_array(std::ostream& out, const std::vector<std::int64_t>& values) {
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ",";
+    out << values[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  return lookup(counters, name);
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const { return lookup(gauges, name); }
+
+const MetricsSnapshot::Hist* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const Hist& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  out.counters.reserve(after.counters.size());
+  for (const auto& [name, value] : after.counters) {
+    out.counters.emplace_back(name, value - lookup(before.counters, name));
+  }
+  out.gauges = after.gauges;
+  out.histograms.reserve(after.histograms.size());
+  for (const Hist& h : after.histograms) {
+    Hist d = h;
+    if (const Hist* b = before.histogram(h.name); b != nullptr && b->bounds == h.bounds) {
+      for (std::size_t i = 0; i < d.counts.size() && i < b->counts.size(); ++i) {
+        d.counts[i] -= b->counts[i];
+      }
+      d.count -= b->count;
+      d.sum -= b->sum;
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  write_pairs(out, counters);
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  write_pairs(out, gauges);
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  bool first = true;
+  for (const Hist& h : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << h.name << "\": {\"bounds\": ";
+    write_int_array(out, h.bounds);
+    out << ", \"counts\": ";
+    write_int_array(out, h.counts);
+    out << ", \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::register_gauge(std::string_view name, std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) snap.gauges.emplace_back(name, fn());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.name = name;
+    out.bounds = h->bounds();
+    out.counts = h->counts();
+    out.count = 0;
+    for (std::int64_t c : out.counts) out.count += c;
+    out.sum = h->sum();
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const { snapshot().write_json(out); }
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+ParallelForScope::ParallelForScope(std::size_t total_tasks, int max_threads)
+    : total_tasks_(total_tasks) {
+  if (metrics_detail_enabled() && max_threads > 0) {
+    per_thread_.assign(static_cast<std::size_t>(max_threads), 0);
+  }
+}
+
+ParallelForScope::~ParallelForScope() {
+  static Counter& calls = MetricsRegistry::instance().counter("parallel_for.calls");
+  static Counter& tasks = MetricsRegistry::instance().counter("parallel_for.tasks");
+  calls.inc();
+  tasks.add(static_cast<std::int64_t>(total_tasks_));
+  if (per_thread_.empty()) return;
+  std::int64_t total = 0;
+  std::int64_t max = 0;
+  int active = 0;
+  for (std::int64_t t : per_thread_) {
+    total += t;
+    max = std::max(max, t);
+    if (t > 0) ++active;
+  }
+  if (total == 0 || active == 0) return;
+  const double mean = static_cast<double>(total) / static_cast<double>(per_thread_.size());
+  const double imbalance_pct = mean > 0 ? (static_cast<double>(max) - mean) / mean * 100.0 : 0.0;
+  static Histogram& imbalance = MetricsRegistry::instance().histogram(
+      "parallel_for.imbalance_pct", {1, 2, 5, 10, 25, 50, 100, 200});
+  imbalance.observe(static_cast<std::int64_t>(imbalance_pct));
+}
+
+}  // namespace tsg::obs

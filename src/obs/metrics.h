@@ -1,0 +1,173 @@
+// Metrics registry — named monotonic counters, fixed-bucket histograms, and
+// registered gauges, snapshotable as JSON.
+//
+// The registry is a process-wide singleton. Lookups by name take a mutex,
+// so hot sites resolve their instruments once (function-local static
+// `Counter&`) and then touch only a relaxed atomic per update. Gauges are
+// callbacks registered by their owner (e.g. MemoryTracker) and evaluated at
+// snapshot time, so the obs layer never depends on the subsystems it
+// observes.
+//
+// Two classes of instrumentation use the registry:
+//   * always-on counters — bumped once per run / per call (run counts, tiles
+//     per bin, chunk counts, converter invocations). Cost: a handful of
+//     relaxed fetch_adds per SpGEMM, never per tile.
+//   * detail metrics — per-tile counters and histograms (accumulator
+//     choices, intersection pairs, tile nnz/duration). Gated behind
+//     metrics_detail_enabled(), one relaxed atomic load, off by default.
+//
+// Snapshots are value types: subtract two with MetricsSnapshot::delta to get
+// the activity of one region (counters/histograms subtract; gauges keep the
+// after-value, since "current bytes" has no meaningful difference).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg::obs {
+
+namespace detail {
+/// Runtime gate for the per-tile detail metrics (see header comment).
+inline std::atomic<bool> g_metrics_detail{false};
+}  // namespace detail
+
+inline bool metrics_detail_enabled() {
+  return detail::g_metrics_detail.load(std::memory_order_relaxed);
+}
+inline void set_metrics_detail_enabled(bool on) {
+  detail::g_metrics_detail.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic counter. References handed out by the registry are stable for
+/// the process lifetime — cache them at hot sites.
+class Counter {
+ public:
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// plus one implicit overflow bucket. Observation is a short linear scan
+/// (bucket counts are single digits here) and one relaxed fetch_add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::int64_t v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::int64_t> counts() const;
+  std::int64_t count() const;
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Point-in-time view of the registry (or a delta of two views). Plain
+/// values, safe to copy, hand to reports, or serialise after the run.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<std::int64_t> bounds;
+    std::vector<std::int64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+  };
+
+  std::vector<std::pair<std::string, std::int64_t>> counters;  ///< sorted by name
+  std::vector<std::pair<std::string, std::int64_t>> gauges;    ///< sorted by name
+  std::vector<Hist> histograms;                                ///< sorted by name
+
+  /// Value lookups; 0 / nullptr when the name is absent.
+  std::int64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const Hist* histogram(std::string_view name) const;
+
+  /// after - before. Counters and histograms subtract (entries absent from
+  /// `before` count from zero); gauges keep the after-value.
+  static MetricsSnapshot delta(const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+  void write_json(std::ostream& out) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Get-or-create. The returned reference is stable for the process
+  /// lifetime; resolve once per site (function-local static).
+  Counter& counter(std::string_view name);
+
+  /// Get-or-create; `bounds` are ascending upper bounds and apply only on
+  /// creation (a second call with different bounds returns the original).
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds);
+
+  /// Register (or replace) a gauge callback, evaluated at snapshot time.
+  /// The callback must stay valid for the process lifetime and be safe to
+  /// call from any thread.
+  void register_gauge(std::string_view name, std::function<std::int64_t()> fn);
+
+  MetricsSnapshot snapshot() const;
+  void write_json(std::ostream& out) const;
+
+  /// Zero every counter and histogram (gauges re-read their source).
+  /// Intended for tests.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // unique_ptr values keep instrument addresses stable across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<std::int64_t()>, std::less<>> gauges_;
+};
+
+/// Per-call instrumentation for tsg::parallel_for. Always-on: one counter
+/// bump per call ("parallel_for.calls") and per task count
+/// ("parallel_for.tasks"). Detail-gated: per-thread task tallies feeding the
+/// "parallel_for.imbalance_pct" histogram ((max - mean) / mean, percent).
+class ParallelForScope {
+ public:
+  ParallelForScope(std::size_t total_tasks, int max_threads);
+  ~ParallelForScope();
+  ParallelForScope(const ParallelForScope&) = delete;
+  ParallelForScope& operator=(const ParallelForScope&) = delete;
+
+  /// Called by the owning worker thread only; no synchronisation needed.
+  void count(int tid, std::size_t tasks) {
+    if (!per_thread_.empty()) per_thread_[static_cast<std::size_t>(tid)] += tasks;
+  }
+
+ private:
+  std::size_t total_tasks_;
+  std::vector<std::int64_t> per_thread_;  ///< empty unless detail enabled
+};
+
+}  // namespace tsg::obs

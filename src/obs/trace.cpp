@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+namespace tsg::obs {
+
+/// One thread's event buffer. Only the owning thread writes; the collector
+/// reads under its mutex. `head` counts lifetime appends (monotonic), so
+/// `head - capacity` is the number of overwritten events after a wrap.
+/// The release store on head pairs with the drain's acquire load: an event
+/// the drain can see is an event whose slot write happened-before.
+struct TraceCollector::Ring {
+  std::uint32_t tid = 0;
+  std::size_t mask = 0;                   ///< capacity - 1 (capacity is pow2)
+  std::vector<TraceEvent> buf;
+  std::atomic<std::uint64_t> head{0};
+
+  explicit Ring(std::uint32_t id, std::size_t capacity)
+      : tid(id), mask(capacity - 1), buf(capacity) {}
+
+  void push(const TraceEvent& e) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    buf[static_cast<std::size_t>(h) & mask] = e;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint64_t overwritten() const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    return h > buf.size() ? h - buf.size() : 0;
+  }
+};
+
+TraceCollector::~TraceCollector() = default;
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+double TraceCollector::now_us() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Cached ring of the current thread, invalidated when the collector's
+/// epoch moves on (capacity change). The stale ring stays alive in the
+/// collector's retired list, so a racing emit is safe, merely lost.
+struct CachedRing {
+  TraceCollector::Ring* ring = nullptr;
+  std::uint64_t epoch = 0;
+};
+thread_local CachedRing t_cached;
+
+}  // namespace
+
+TraceCollector::Ring& TraceCollector::ring_for_this_thread() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ring = std::make_unique<Ring>(static_cast<std::uint32_t>(rings_.size()),
+                                     round_up_pow2(std::max<std::size_t>(ring_capacity_, 2)));
+  rings_.push_back(std::move(ring));
+  t_cached.ring = rings_.back().get();
+  t_cached.epoch = epoch_;
+  return *t_cached.ring;
+}
+
+void TraceCollector::record_complete(const char* name, double ts_us, double dur_us,
+                                     std::int64_t arg) {
+  Ring* ring = t_cached.ring;
+  std::uint64_t current_epoch;
+  {
+    // Epoch check without holding the lock on the common path would race
+    // set_ring_capacity; the epoch moves only in tests, so read it relaxed
+    // through the mutex-free mirror below.
+    current_epoch = epoch_mirror_.load(std::memory_order_acquire);
+  }
+  if (ring == nullptr || t_cached.epoch != current_epoch) {
+    ring = &ring_for_this_thread();
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.tid = ring->tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.arg = arg;
+  ring->push(e);
+}
+
+void TraceCollector::record_instant(const char* name, std::int64_t arg) {
+  Ring* ring = t_cached.ring;
+  const std::uint64_t current_epoch = epoch_mirror_.load(std::memory_order_acquire);
+  if (ring == nullptr || t_cached.epoch != current_epoch) {
+    ring = &ring_for_this_thread();
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.tid = ring->tid;
+  e.ts_us = now_us();
+  e.arg = arg;
+  ring->push(e);
+}
+
+std::vector<TraceEvent> TraceCollector::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::size_t cap = ring->buf.size();
+    const std::uint64_t n = std::min<std::uint64_t>(h, cap);
+    dropped_ += h > cap ? h - cap : 0;
+    // Oldest-first: after a wrap the oldest surviving slot is head % cap.
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t idx = h > cap ? (h + k) : k;
+      out.push_back(ring->buf[static_cast<std::size_t>(idx) & ring->mask]);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = dropped_;
+  for (const std::unique_ptr<Ring>& ring : rings_) total += ring->overwritten();
+  return total;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+  dropped_ = 0;
+}
+
+void TraceCollector::set_ring_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = round_up_pow2(std::max<std::size_t>(events, 2));
+  // Invalidate every cached pointer; old rings retire but stay alive so a
+  // concurrently emitting thread scribbles into dead-but-valid memory.
+  for (std::unique_ptr<Ring>& ring : rings_) retired_.push_back(std::move(ring));
+  rings_.clear();
+  ++epoch_;
+  epoch_mirror_.store(epoch_, std::memory_order_release);
+  dropped_ = 0;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) {
+  const std::vector<TraceEvent> events = drain();
+  const std::uint64_t lost = dropped();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const std::streamsize saved_precision = out.precision();
+  out.precision(3);
+  out << std::fixed;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"tsg\",\"ph\":\"" << e.phase
+        << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    if (e.arg != TraceEvent::kNoArg) out << ",\"args\":{\"v\":" << e.arg << "}";
+    out << "}";
+  }
+  if (lost > 0) {
+    if (!first) out << ",";
+    out << "\n{\"name\":\"trace.dropped\",\"cat\":\"tsg\",\"ph\":\"i\",\"ts\":" << now_us()
+        << ",\"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{\"v\":" << lost << "}}";
+  }
+  out << "\n]}\n";
+  out.unsetf(std::ios_base::fixed);
+  out.precision(saved_precision);
+}
+
+}  // namespace tsg::obs

@@ -1,0 +1,178 @@
+// Execution tracing — the observability layer's event stream.
+//
+// Every instrumented site emits a timestamped event into a per-thread ring
+// buffer; only the owning thread writes its ring, so the hot path is one
+// relaxed atomic load (the runtime enable flag), a steady_clock read, and a
+// store into thread-local storage — no locks, no allocation after the ring
+// exists. The collector drains all rings into Chrome `trace_event` JSON
+// that loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Two gates stack:
+//   * compile time — the TSG_TRACING CMake option (default ON). When OFF
+//     the TSG_TRACE_SPAN / TSG_TRACE_INSTANT macros compile to nothing and
+//     the binary carries no tracing code at the instrumented sites.
+//   * run time — trace_enabled(), one relaxed atomic bool. Off by default;
+//     enabled by SpgemmContext::Config::with_tracing(true), the TSG_TRACE
+//     environment variable (via Config::from_env), the CLI's `--trace`
+//     flag, or obs::set_trace_enabled(true) directly.
+//
+// Usage:
+//
+//     TSG_TRACE_SPAN("step2");             // span over the enclosing scope
+//     TSG_TRACE_SPAN("chunk", chunk_idx);  // with an integer argument
+//     TSG_TRACE_INSTANT("alloc", bytes);   // point event
+//     ...
+//     obs::TraceCollector::instance().write_chrome_trace(file);
+//
+// Names must be string literals (the event stores the pointer, not a copy)
+// and must not need JSON escaping — stick to [A-Za-z0-9._-].
+//
+// Rings are fixed-capacity and overwrite their oldest events on wrap; the
+// collector reports how many were dropped. Draining is intended between
+// parallel regions (a thread emitting *during* a drain may tear its oldest
+// in-flight slot — acceptable for a tracer, never UB for the program).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#ifndef TSG_TRACING
+#define TSG_TRACING 1
+#endif
+
+namespace tsg::obs {
+
+struct TraceEvent {
+  /// Events without an integer argument carry this sentinel.
+  static constexpr std::int64_t kNoArg = INT64_MIN;
+
+  const char* name = nullptr;  ///< string literal; never freed, never copied
+  char phase = 'X';            ///< 'X' complete span, 'i' instant
+  std::uint32_t tid = 0;       ///< collector-assigned thread id (dense, small)
+  double ts_us = 0.0;          ///< start, microseconds since the trace epoch
+  double dur_us = 0.0;         ///< span duration; 0 for instants
+  std::int64_t arg = kNoArg;   ///< optional site-defined argument
+};
+
+namespace detail {
+/// The one runtime gate. Namespace-scope inline atomic so trace_enabled()
+/// is exactly one relaxed load — no function-local-static guard on the
+/// disabled path.
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+/// Runtime gate for the whole trace layer. Relaxed: enabling mid-run means
+/// threads start emitting "soon", which is all a tracer needs.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void set_enabled(bool on) {
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return trace_enabled(); }
+
+  /// Append one complete-span / instant event to the calling thread's ring.
+  void record_complete(const char* name, double ts_us, double dur_us,
+                       std::int64_t arg = TraceEvent::kNoArg);
+  void record_instant(const char* name, std::int64_t arg = TraceEvent::kNoArg);
+
+  /// Move every buffered event out (oldest-first per thread) and reset the
+  /// rings. Call between parallel regions.
+  std::vector<TraceEvent> drain();
+
+  /// Events overwritten by ring wraparound since the last clear(),
+  /// including drains. A nonzero value means the trace has a hole — raise
+  /// the ring capacity or drain more often.
+  std::uint64_t dropped() const;
+
+  /// Drop all buffered events and zero the dropped counter.
+  void clear();
+
+  /// Per-thread ring capacity in events (rounded up to a power of two).
+  /// Existing rings are discarded; intended for tests and for front-loading
+  /// the capacity decision before enabling. Default 32768 events/thread.
+  void set_ring_capacity(std::size_t events);
+
+  /// Drain and serialise as Chrome trace_event JSON (Perfetto-loadable).
+  /// Emits a final "trace.dropped" counter event when events were lost.
+  void write_chrome_trace(std::ostream& out);
+
+  /// Microseconds since the process-wide trace epoch (first use).
+  static double now_us();
+
+  struct Ring;  ///< per-thread buffer; opaque outside trace.cpp
+
+ private:
+  TraceCollector() = default;
+  ~TraceCollector();  // defined where Ring is complete
+  Ring& ring_for_this_thread();
+
+  mutable std::mutex mutex_;  ///< guards the ring lists; never held on the emit path
+  std::vector<std::unique_ptr<Ring>> rings_;
+  /// Rings invalidated by set_ring_capacity. Kept alive (not drained): a
+  /// straggler thread holding a stale cached pointer must never write into
+  /// freed memory. Bounded by the number of capacity changes (test-only).
+  std::vector<std::unique_ptr<Ring>> retired_;
+  std::size_t ring_capacity_ = std::size_t{1} << 15;
+  std::uint64_t epoch_ = 0;    ///< bumped when cached ring pointers go stale
+  /// Lock-free mirror of epoch_ so the emit path can validate its cached
+  /// ring without taking mutex_.
+  std::atomic<std::uint64_t> epoch_mirror_{0};
+  std::uint64_t dropped_ = 0;  ///< overwrites accounted by past drains
+};
+
+/// RAII span: captures the start time on construction (when tracing is on)
+/// and records a complete event on destruction. Cheap enough to put around
+/// every pipeline phase; do not put it around per-element work.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = TraceEvent::kNoArg) {
+    if (!trace_enabled()) return;
+    name_ = name;
+    arg_ = arg;
+    start_us_ = TraceCollector::now_us();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    TraceCollector::instance().record_complete(name_, start_us_,
+                                               TraceCollector::now_us() - start_us_, arg_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null = tracing was off at construction
+  std::int64_t arg_ = TraceEvent::kNoArg;
+  double start_us_ = 0.0;
+};
+
+inline void trace_instant(const char* name, std::int64_t arg = TraceEvent::kNoArg) {
+  if (!trace_enabled()) return;
+  TraceCollector::instance().record_instant(name, arg);
+}
+
+}  // namespace tsg::obs
+
+#define TSG_OBS_CONCAT_INNER(a, b) a##b
+#define TSG_OBS_CONCAT(a, b) TSG_OBS_CONCAT_INNER(a, b)
+
+#if TSG_TRACING
+/// Span over the enclosing scope: TSG_TRACE_SPAN("step2") or
+/// TSG_TRACE_SPAN("chunk", chunk_index).
+#define TSG_TRACE_SPAN(...) \
+  ::tsg::obs::TraceSpan TSG_OBS_CONCAT(tsg_trace_span_, __LINE__)(__VA_ARGS__)
+/// Point event: TSG_TRACE_INSTANT("alloc", bytes).
+#define TSG_TRACE_INSTANT(...) ::tsg::obs::trace_instant(__VA_ARGS__)
+#else
+#define TSG_TRACE_SPAN(...) ((void)0)
+#define TSG_TRACE_INSTANT(...) ((void)0)
+#endif

@@ -1,0 +1,389 @@
+// Observability subsystem (src/obs): trace ring buffers, Chrome trace JSON,
+// the metrics registry, snapshot deltas, and the runtime gates. Registered
+// with the `obs` ctest label; scripts/check.sh runs it under ASan/UBSan with
+// tracing enabled to prove the concurrent emit path is clean.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/memory.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace tsg;
+
+// Minimal recursive-descent JSON syntax checker — enough to prove the trace
+// and metrics emitters produce well-formed documents without pulling in a
+// JSON dependency the container does not have.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// Every test starts from a quiet collector and disabled gates, and leaves
+/// the process the same way (the binary shares one singleton).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceCollector::instance().set_enabled(false);
+    obs::TraceCollector::instance().clear();
+    obs::set_metrics_detail_enabled(false);
+  }
+  void TearDown() override {
+    obs::TraceCollector::instance().set_enabled(false);
+    obs::TraceCollector::instance().clear();
+    obs::set_metrics_detail_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, DisabledGateRecordsNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    TSG_TRACE_SPAN("obs.test.off");
+    TSG_TRACE_INSTANT("obs.test.off.instant", 3);
+  }
+  const auto events = obs::TraceCollector::instance().drain();
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(obs::TraceCollector::instance().dropped(), 0u);
+}
+
+TEST_F(ObsTest, SpanAndInstantRoundTrip) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  {
+    TSG_TRACE_SPAN("obs.test.span", 42);
+    TSG_TRACE_INSTANT("obs.test.instant", 7);
+  }
+  tc.set_enabled(false);
+  const auto events = tc.drain();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent* span = nullptr;
+  const obs::TraceEvent* instant = nullptr;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) == "obs.test.span") span = &e;
+    if (std::string_view(e.name) == "obs.test.instant") instant = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(span->phase, 'X');
+  EXPECT_EQ(span->arg, 42);
+  EXPECT_GE(span->dur_us, 0.0);
+  EXPECT_EQ(instant->phase, 'i');
+  EXPECT_EQ(instant->arg, 7);
+  EXPECT_DOUBLE_EQ(instant->dur_us, 0.0);
+  // The instant fires inside the span: its timestamp is within the span.
+  EXPECT_GE(instant->ts_us, span->ts_us);
+  EXPECT_LE(instant->ts_us, span->ts_us + span->dur_us);
+}
+
+TEST_F(ObsTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_ring_capacity(16);
+  tc.set_enabled(true);
+  for (int i = 0; i < 40; ++i) {
+    obs::trace_instant("obs.test.wrap", i);
+  }
+  tc.set_enabled(false);
+  const auto events = tc.drain();
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest events are overwritten; the survivors are the newest 16, in order.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].arg, 24 + i);
+  }
+  EXPECT_EQ(tc.dropped(), 24u);
+  tc.clear();
+  EXPECT_EQ(tc.dropped(), 0u);
+  tc.set_ring_capacity(std::size_t{1} << 15);  // restore the default
+}
+
+TEST_F(ObsTest, ConcurrentEmittersFromParallelFor) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  constexpr int kTasks = 512;
+  parallel_for(0, kTasks, [](int i) { obs::trace_instant("obs.test.parallel", i); });
+  tc.set_enabled(false);
+  const auto events = tc.drain();
+  std::vector<bool> seen(kTasks, false);
+  for (const auto& e : events) {
+    ASSERT_STREQ(e.name, "obs.test.parallel");
+    ASSERT_GE(e.arg, 0);
+    ASSERT_LT(e.arg, kTasks);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(e.arg)]);
+    seen[static_cast<std::size_t>(e.arg)] = true;
+  }
+  // Every iteration emitted exactly once, across however many threads ran.
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kTasks));
+  // Drain output is globally time-ordered.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  EXPECT_EQ(tc.dropped(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsWellFormed) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  {
+    TSG_TRACE_SPAN("obs.test.json", 5);
+    TSG_TRACE_INSTANT("obs.test.json.instant");
+  }
+  tc.set_enabled(false);
+  std::ostringstream out;
+  tc.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.json.instant\""), std::string::npos);
+  // write_chrome_trace drains: a second dump has no events left.
+  EXPECT_TRUE(tc.drain().empty());
+}
+
+TEST_F(ObsTest, CounterAndHistogramSemantics) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("obs.test.counter");
+  const std::int64_t base = c.value();
+  c.inc();
+  c.add(9);
+  EXPECT_EQ(c.value(), base + 10);
+  // Same name returns the same instrument (stable reference).
+  EXPECT_EQ(&reg.counter("obs.test.counter"), &c);
+
+  obs::Histogram& h = reg.histogram("obs.test.hist", {0, 4, 16});
+  h.reset();
+  h.observe(-1);  // <= 0 -> bucket 0
+  h.observe(0);   // inclusive upper bound -> bucket 0
+  h.observe(4);   // inclusive upper bound -> bucket 1
+  h.observe(5);   // -> bucket 2
+  h.observe(99);  // -> overflow bucket
+  const std::vector<std::int64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), -1 + 0 + 4 + 5 + 99);
+  // Bounds apply on creation only; a mismatched re-request returns the
+  // original instrument.
+  EXPECT_EQ(&reg.histogram("obs.test.hist", {1, 2}), &h);
+  EXPECT_EQ(h.bounds(), (std::vector<std::int64_t>{0, 4, 16}));
+}
+
+TEST_F(ObsTest, SnapshotDeltaAndGauges) {
+  auto& reg = obs::MetricsRegistry::instance();
+  static std::int64_t gauge_value = 17;
+  reg.register_gauge("obs.test.gauge", [] { return gauge_value; });
+
+  obs::Counter& c = reg.counter("obs.test.delta.counter");
+  obs::Histogram& h = reg.histogram("obs.test.delta.hist", {10, 100});
+  const obs::MetricsSnapshot before = reg.snapshot();
+
+  c.add(5);
+  h.observe(50);
+  reg.counter("obs.test.delta.fresh").add(3);  // absent from `before`
+  gauge_value = 23;
+
+  const obs::MetricsSnapshot after = reg.snapshot();
+  const obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(before, after);
+
+  EXPECT_EQ(d.counter("obs.test.delta.counter"), 5);
+  EXPECT_EQ(d.counter("obs.test.delta.fresh"), 3);  // counts from zero
+  EXPECT_EQ(d.counter("obs.test.absent"), 0);
+  EXPECT_EQ(d.gauge("obs.test.gauge"), 23);  // gauges keep the after-value
+
+  const obs::MetricsSnapshot::Hist* hd = d.histogram("obs.test.delta.hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 1);
+  EXPECT_EQ(hd->sum, 50);
+  ASSERT_EQ(hd->counts.size(), 3u);
+  EXPECT_EQ(hd->counts[1], 1);  // 50 lands in (10, 100]
+}
+
+TEST_F(ObsTest, RegistryJsonIsWellFormed) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("obs.test.json.counter").add(2);
+  reg.histogram("obs.test.json.hist", {1, 2, 3}).observe(2);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.json.counter\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ParallelForCountersAndDetailGate) {
+  auto& reg = obs::MetricsRegistry::instance();
+
+  // Detail gate off: the always-on call/task counters move, the imbalance
+  // histogram does not.
+  const obs::MetricsSnapshot before_off = reg.snapshot();
+  parallel_for(0, 100, [](int) {});
+  const obs::MetricsSnapshot d_off =
+      obs::MetricsSnapshot::delta(before_off, reg.snapshot());
+  EXPECT_EQ(d_off.counter("parallel_for.calls"), 1);
+  EXPECT_EQ(d_off.counter("parallel_for.tasks"), 100);
+  if (const auto* h = d_off.histogram("parallel_for.imbalance_pct")) {
+    EXPECT_EQ(h->count, 0);
+  }
+
+  // Detail gate on: one imbalance observation per parallel_for call.
+  obs::set_metrics_detail_enabled(true);
+  const obs::MetricsSnapshot before_on = reg.snapshot();
+  parallel_for(0, 100, [](int) {});
+  obs::set_metrics_detail_enabled(false);
+  const obs::MetricsSnapshot d_on =
+      obs::MetricsSnapshot::delta(before_on, reg.snapshot());
+  EXPECT_EQ(d_on.counter("parallel_for.calls"), 1);
+  const obs::MetricsSnapshot::Hist* h = d_on.histogram("parallel_for.imbalance_pct");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1);
+}
+
+TEST_F(ObsTest, MemoryGaugesAreRegistered) {
+  // MemoryTracker::instance() registers its gauges on first use; touching it
+  // here guarantees the registration ran in this process.
+  (void)MemoryTracker::instance().current();
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "memory.peak_bytes") {
+      found = true;
+      EXPECT_GE(value, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

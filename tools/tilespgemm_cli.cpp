@@ -16,6 +16,7 @@
 // Without a matrix path a built-in generated matrix is used, so the tool
 // runs in this offline environment.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -31,17 +32,22 @@
 #include "matrix/io_mm.h"
 #include "matrix/stats.h"
 #include "matrix/transpose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: tilespgemm_cli [-d <gpu-device>] [-aat 0|1] [--validate off|cheap|full]\n"
-               "                      [--budget-mb <n>] [--no-degrade] [matrix.mtx]\n"
+               "                      [--budget-mb <n>] [--no-degrade] [--trace <file>]\n"
+               "                      [--metrics <file>] [matrix.mtx]\n"
                "  -d           accepted for artifact compatibility (no GPU here)\n"
                "  -aat         0: C = A*A (default), 1: C = A*A^T\n"
                "  --validate   operand checking at the context boundary (default cheap)\n"
                "  --budget-mb  modeled device-memory budget (default TSG_DEVICE_MEM_MB)\n"
-               "  --no-degrade fail with BudgetExceeded instead of chunked execution\n";
+               "  --no-degrade fail with BudgetExceeded instead of chunked execution\n"
+               "  --trace      write a Chrome trace_event JSON of the run (open in Perfetto)\n"
+               "  --metrics    write the metrics-registry snapshot as JSON\n";
 }
 
 /// Print the structured failure the way scripts expect it: one
@@ -72,6 +78,8 @@ int main(int argc, char** argv) {
 
   int aat = 0;
   std::string path;
+  std::string trace_path;
+  std::string metrics_path;
   SpgemmContext::Config cfg = SpgemmContext::Config::from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-d") == 0 && i + 1 < argc) {
@@ -101,6 +109,12 @@ int main(int argc, char** argv) {
       cfg.with_device_mem_mb(static_cast<std::size_t>(mb));
     } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
       cfg.with_degradation(false);
+    } else if (std::string file = flag_value(argc, argv, i, "--trace"); !file.empty()) {
+      trace_path = file;
+      cfg.with_tracing(true);
+    } else if (std::string file = flag_value(argc, argv, i, "--metrics"); !file.empty()) {
+      metrics_path = file;
+      cfg.with_metrics(true);
     } else if (argv[i][0] == '-') {
       usage();
       return 2;
@@ -172,6 +186,27 @@ int main(int argc, char** argv) {
             << static_cast<double>(device_memory_budget_bytes()) / (1024.0 * 1024.0)
             << " MB, execution chunks: " << t.chunks
             << (t.budget_limited ? " (budget-limited, graceful degradation)" : "") << "\n";
+
+  // Observability dumps, written as soon as the multiply is done so a
+  // failing correctness check (or a comparator out-of-memory) cannot lose
+  // them. The trace covers everything up to this point; the metrics file is
+  // the full registry (this process ran exactly one multiply).
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      return fail_with(Status::io_error("cannot open trace file '" + trace_path + "'"));
+    }
+    obs::TraceCollector::instance().write_chrome_trace(trace_out);
+    std::cout << "trace written: " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) {
+      return fail_with(Status::io_error("cannot open metrics file '" + metrics_path + "'"));
+    }
+    obs::MetricsRegistry::instance().write_json(metrics_out);
+    std::cout << "metrics written: " << metrics_path << "\n";
+  }
 
   // Lines 15-16: output structure.
   std::cout << "tiles of C: " << result.c.num_tiles() << "\n";
