@@ -5,6 +5,7 @@
 
 #include "common/half.h"
 #include "common/parallel.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "core/intersect.h"
 #include "core/step1.h"
@@ -64,7 +65,7 @@ Csr<float> spgemm_tsparse(const Csr<float>& a, const Csr<float>& b,
       capacity *= 2;
       dense_c.reserve(capacity);  // forces the realloc-and-copy sequence
     }
-    dense_c.assign(static_cast<std::size_t>(ntiles) * kTileNnzMax, 0.0f);
+    dense_c.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileNnzMax), 0.0f);
   }
 
   // Dense tile multiplication: for every C tile, 16^3 MAC per matched pair.

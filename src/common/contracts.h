@@ -1,0 +1,44 @@
+// Compile-time contracts: clang thread-safety capability annotations.
+//
+// The locking discipline of the shared singletons (MemoryTracker,
+// MetricsRegistry, TraceCollector) is a convention the compiler can check:
+// clang's -Wthread-safety analysis verifies that every access to a
+// TSG_GUARDED_BY(mu) member happens with `mu` held and that every
+// TSG_REQUIRES(mu) function is only called under the lock. gcc has no such
+// analysis, so the macros expand to nothing there — the annotations are
+// free documentation on one toolchain and a hard gate on the other
+// (scripts/run_clang_tidy.sh adds -Wthread-safety when clang is present).
+//
+// Only the subset of the annotation vocabulary this codebase uses is
+// defined; grow it on demand rather than importing the full catalogue.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TSG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TSG_THREAD_ANNOTATION
+#define TSG_THREAD_ANNOTATION(x)
+#endif
+
+/// Member that must only be read or written with the named mutex held.
+#define TSG_GUARDED_BY(mu) TSG_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Pointer member whose *pointee* is protected by the named mutex.
+#define TSG_PT_GUARDED_BY(mu) TSG_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function that may only be called with the named mutex already held.
+#define TSG_REQUIRES(...) TSG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires / releases the named mutex itself.
+#define TSG_ACQUIRE(...) TSG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TSG_RELEASE(...) TSG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the named mutex held (deadlock
+/// guard for functions that take the lock internally).
+#define TSG_EXCLUDES(...) TSG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for functions whose locking the analysis cannot follow.
+#define TSG_NO_THREAD_SAFETY_ANALYSIS \
+  TSG_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <type_traits>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -104,22 +106,31 @@ class MemoryTracker {
 
  private:
   MemoryTracker() = default;
-  void record(std::int64_t bytes_now);
+  void record(std::int64_t bytes_now) TSG_EXCLUDES(trace_mutex_);
 
   std::atomic<std::int64_t> current_{0};
   std::atomic<std::int64_t> peak_{0};
   std::atomic<std::int64_t> allocated_total_{0};
   std::atomic<bool> tracing_{false};
   std::mutex trace_mutex_;
-  std::vector<MemorySample> trace_;
-  Timer trace_timer_;
+  std::vector<MemorySample> trace_ TSG_GUARDED_BY(trace_mutex_);
+  Timer trace_timer_ TSG_GUARDED_BY(trace_mutex_);
 
   std::atomic<bool> fault_armed_{false};
   std::atomic<std::uint64_t> allocs_{0};
   std::atomic<std::uint64_t> faults_{0};
   std::mutex fault_mutex_;  ///< guards plan_ against concurrent (re)arming
-  FaultPlan plan_;
+  FaultPlan plan_ TSG_GUARDED_BY(fault_mutex_);
 };
+
+/// Compile-time contracts on the accounting value types: samples are copied
+/// into traces in bulk and must stay trivially copyable and padding-free
+/// enough to reason about (the lint's static-analysis story leans on these
+/// shapes never silently growing locks or vtables).
+static_assert(std::is_trivially_copyable_v<MemorySample>,
+              "MemorySample is memcpy'd by trace consumers");
+static_assert(std::is_trivially_copyable_v<FaultPlan>,
+              "FaultPlan is copied under the fault mutex on every gate check");
 
 /// RAII fault-plan guard for tests: arms the plan on construction, disarms
 /// on destruction (also on the exception path, so a failed EXPECT cannot

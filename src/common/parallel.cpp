@@ -3,9 +3,23 @@
 namespace tsg {
 
 namespace {
-// 0 means "use the OpenMP runtime default".
+// 0 means "use the backend default".
 int g_requested_threads = 0;
 }  // namespace
+
+#if TSG_PARALLEL_STD
+
+int num_threads() {
+  if (g_requested_threads > 0) return g_requested_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void set_num_threads(int n) { g_requested_threads = n > 0 ? n : 0; }
+
+int max_workers() { return num_threads(); }
+
+#else
 
 int num_threads() {
   if (g_requested_threads > 0) return g_requested_threads;
@@ -20,5 +34,9 @@ void set_num_threads(int n) {
     omp_set_num_threads(omp_get_num_procs());
   }
 }
+
+int max_workers() { return omp_get_max_threads(); }
+
+#endif
 
 }  // namespace tsg

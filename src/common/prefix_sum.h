@@ -5,7 +5,7 @@
 #include <cstddef>
 #include <vector>
 
-#include <omp.h>
+#include "common/parallel.h"
 
 namespace tsg {
 
@@ -28,20 +28,20 @@ T exclusive_scan_inplace(std::vector<T, Alloc>& v) {
 }
 
 /// Two-pass blocked parallel exclusive scan. Falls back to the serial scan
-/// for small inputs where the fork/join cost dominates.
+/// for small inputs where the fork/join cost dominates. Expressed over
+/// parallel_for_static (one iteration per block) so it runs unchanged on
+/// every parallel backend.
 template <class T>
 T parallel_exclusive_scan_inplace(T* data, std::size_t n) {
   constexpr std::size_t kSerialCutoff = 1u << 15;
-  const int threads = omp_get_max_threads();
+  const int threads = max_workers();
   if (n < kSerialCutoff || threads <= 1) return exclusive_scan_inplace(data, n);
 
   const std::size_t nblocks = static_cast<std::size_t>(threads);
   const std::size_t block = (n + nblocks - 1) / nblocks;
   std::vector<T> block_sum(nblocks, T{});
 
-#pragma omp parallel num_threads(threads)
-  {
-    const std::size_t b = static_cast<std::size_t>(omp_get_thread_num());
+  parallel_for_static(std::size_t{0}, nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
     if (lo < hi) {
@@ -53,18 +53,16 @@ T parallel_exclusive_scan_inplace(T* data, std::size_t n) {
       }
       block_sum[b] = running;
     }
-  }
+  });
 
   T total = exclusive_scan_inplace(block_sum.data(), block_sum.size());
 
-#pragma omp parallel num_threads(threads)
-  {
-    const std::size_t b = static_cast<std::size_t>(omp_get_thread_num());
+  parallel_for_static(std::size_t{0}, nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
     const T offset = block_sum[b];
     for (std::size_t i = lo; i < hi; ++i) data[i] += offset;
-  }
+  });
   return total;
 }
 

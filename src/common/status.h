@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -47,7 +48,10 @@ inline const char* status_code_name(StatusCode code) {
   return "Unknown";
 }
 
-class Status {
+/// [[nodiscard]] on the class: *any* function returning a Status by value
+/// warns when the result is dropped — the annotate-then-sweep contract the
+/// `discarded-status` lint rule (tools/tsg_lint) re-checks lexically.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -103,7 +107,7 @@ class Error : public std::runtime_error {
 /// A value or a non-ok Status. Deliberately tiny: exactly the surface the
 /// `try_run*` entry points need, not a full std::expected polyfill.
 template <class T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : state_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
   Expected(Status status) : state_(std::move(status)) {           // NOLINT(google-explicit-constructor)
@@ -158,16 +162,27 @@ enum class NanPolicy {
 
 /// Overflow-checked size arithmetic for byte-footprint computations: the
 /// widening audit helpers. Return false (leaving `out` untouched) on wrap.
-inline bool checked_add(std::size_t a, std::size_t b, std::size_t& out) {
+[[nodiscard]] inline bool checked_add(std::size_t a, std::size_t b, std::size_t& out) {
   if (a > static_cast<std::size_t>(-1) - b) return false;
   out = a + b;
   return true;
 }
 
-inline bool checked_mul(std::size_t a, std::size_t b, std::size_t& out) {
+[[nodiscard]] inline bool checked_mul(std::size_t a, std::size_t b, std::size_t& out) {
   if (b != 0 && a > static_cast<std::size_t>(-1) / b) return false;
   out = a * b;
   return true;
+}
+
+/// Throwing convenience for allocation-size expressions: `a * b` as size_t,
+/// or std::bad_alloc on wrap — the same failure the allocation itself would
+/// produce, surfaced before a wrapped (tiny) size can be requested. This is
+/// the form the `unchecked-size-mul` lint rule expects at element-count
+/// multiplies feeding resize/reserve/assign.
+[[nodiscard]] inline std::size_t checked_size_mul(std::size_t a, std::size_t b) {
+  std::size_t out = 0;
+  if (!checked_mul(a, b, out)) throw std::bad_alloc();
+  return out;
 }
 
 }  // namespace tsg

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 
 namespace tsg::experimental {
 
@@ -100,8 +101,8 @@ BlockMatrix<Dim, T> csr_to_block(const Csr<T>& a) {
   }
 
   const std::size_t n = static_cast<std::size_t>(m.nnz());
-  m.row_ptr.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
-  m.mask.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  m.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(nblocks), Dim), 0);
+  m.mask.assign(checked_size_mul(static_cast<std::size_t>(nblocks), Dim), 0);
   m.row_idx.resize(n);
   m.col_idx.resize(n);
   m.val.resize(n);
@@ -219,8 +220,8 @@ BlockMatrix<Dim, T> block_spgemm(const BlockMatrix<Dim, T>& a, const BlockMatrix
   const offset_t nblocks = c.block_ptr[c.block_rows];
   c.block_col_idx.resize(static_cast<std::size_t>(nblocks));
   c.block_nnz.assign(static_cast<std::size_t>(nblocks) + 1, 0);
-  c.row_ptr.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
-  c.mask.assign(static_cast<std::size_t>(nblocks) * Dim, 0);
+  c.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(nblocks), Dim), 0);
+  c.mask.assign(checked_size_mul(static_cast<std::size_t>(nblocks), Dim), 0);
   tracked_vector<index_t> block_row_of(static_cast<std::size_t>(nblocks));
   {
     offset_t pos = 0;

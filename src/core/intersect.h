@@ -7,6 +7,7 @@
 // provided for the ablation comparison.
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "common/config.h"
@@ -19,6 +20,12 @@ struct MatchedPair {
   offset_t tile_a;
   offset_t tile_b;
 };
+
+// Pairs are bulk-copied between per-thread caches and the step-3 consumers
+// (vector::insert over raw ranges); the type must stay a plain value.
+static_assert(std::is_trivially_copyable_v<MatchedPair> &&
+                  std::is_standard_layout_v<MatchedPair>,
+              "MatchedPair is memcpy'd through per-thread pair caches");
 
 namespace detail {
 

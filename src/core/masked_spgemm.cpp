@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 #include "core/spgemm_context.h"
 #include "core/tile_convert.h"
 #include "core/tile_kernels.h"
@@ -97,7 +98,7 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
   const TileSpgemmOptions& options = config().options;
 
   SpgemmWorkspace<T>& ws = workspace<T>();
-  ws.ensure_threads(omp_get_max_threads());
+  ws.ensure_threads(max_workers());
   ws.begin_call();
   tile_layout_csc(b, ws.b_csc);
   const TileLayoutCsc& b_csc = ws.b_csc;
@@ -109,8 +110,8 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
   c.tile_ptr = mask.tile_ptr;
   c.tile_col_idx = mask.tile_col_idx;
   c.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
-  c.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  c.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  c.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  c.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
 
   // Expanded tile row index (mask layout is CSR over tiles), pooled in the
   // workspace structure so iterated masked products reuse its capacity.
@@ -127,7 +128,7 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
     const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
 
-    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);
@@ -181,7 +182,7 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
                                      c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
-    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);

@@ -35,7 +35,7 @@ TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
   }
   const TileSpgemmOptions& options = ctx.config().options;
   SpgemmWorkspace<T>& ws = ctx.workspace<T>();
-  ws.ensure_threads(omp_get_max_threads());
+  ws.ensure_threads(max_workers());
   ws.begin_call();
 
   tile_layout_csc(b, ws.b_csc);
@@ -74,7 +74,7 @@ TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
                                      c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
-    std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
+    std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;
     pairs.clear();
     const offset_t a_base = a.tile_ptr[tile_i];
     const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);

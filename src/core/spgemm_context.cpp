@@ -261,7 +261,7 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   if (cfg_.threads > 0) guard.emplace(cfg_.threads);
 
   SpgemmWorkspace<T>& ws = workspace<T>();
-  ws.ensure_threads(omp_get_max_threads());
+  ws.ensure_threads(max_workers());
   ws.begin_call();
 
   TileSpgemmResult<T> result;
@@ -383,9 +383,9 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
     c.tile_nnz.reserve(ntiles + 1);
     c.tile_nnz.push_back(0);
     c.row_ptr.clear();
-    c.row_ptr.reserve(ntiles * static_cast<std::size_t>(kTileDim));
+    c.row_ptr.reserve(checked_size_mul(ntiles, static_cast<std::size_t>(kTileDim)));
     c.mask.clear();
-    c.mask.reserve(ntiles * static_cast<std::size_t>(kTileDim));
+    c.mask.reserve(checked_size_mul(ntiles, static_cast<std::size_t>(kTileDim)));
   }
 
   // Chunk-local structure and output, hoisted so later chunks reuse their

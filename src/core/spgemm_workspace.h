@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/intersect.h"
@@ -44,6 +45,9 @@ struct TileSlot {
   offset_t offset = 0;
   std::uint32_t count = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<TileSlot>,
+              "TileSlot arrays are assign()-filled and copied per chunk");
 
 /// Stamped set of tile columns, reused across tile rows without clearing:
 /// bumping the stamp invalidates every entry in O(1).
@@ -106,6 +110,13 @@ struct SpgemmWorkspace {
     }
   };
 
+  // One slot per worker; adjacent slots must not share a cache line or the
+  // per-append header writes false-share across threads.
+  static_assert(alignof(ThreadSlot) >= 128,
+                "ThreadSlot must keep its cache-line isolation");
+  static_assert(kAccumulatorThreshold <= kTileNnzMax,
+                "the fused path stages at most one full tile of values");
+
   TileLayoutCsc b_csc;        ///< column-major view of B's tile layout
   TileStructure structure;    ///< step-1 tile structure of C
   std::vector<std::vector<index_t>> step1_rows;  ///< step-1 per-tile-row columns
@@ -116,7 +127,7 @@ struct SpgemmWorkspace {
   std::vector<ThreadSlot> slots;      ///< one per worker thread
 
   /// Grow (never shrink) the per-thread slot array. Must be called before
-  /// any parallel section that indexes slots by omp_get_thread_num().
+  /// any parallel section that indexes slots by worker_rank().
   void ensure_threads(int n) {
     if (static_cast<int>(slots.size()) < n) slots.resize(static_cast<std::size_t>(n));
   }

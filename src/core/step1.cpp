@@ -28,7 +28,7 @@ void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
     rows.resize(static_cast<std::size_t>(out.tile_rows));
   }
   parallel_for(index_t{0}, out.tile_rows, [&](index_t ti) {
-    detail::StampedTileSet& scratch = ws.slot(omp_get_thread_num()).sym;
+    detail::StampedTileSet& scratch = ws.slot(worker_rank()).sym;
     scratch.prepare(out.tile_cols);
     for (offset_t ka = a.tile_ptr[ti]; ka < a.tile_ptr[ti + 1]; ++ka) {
       const index_t tk = a.tile_col_idx[ka];
@@ -60,7 +60,7 @@ void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
 template <class T>
 TileStructure step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b) {
   SpgemmWorkspace<T> ws;
-  ws.ensure_threads(omp_get_max_threads());
+  ws.ensure_threads(max_workers());
   TileStructure out;
   step1_tile_structure(a, b, ws, out);
   return out;

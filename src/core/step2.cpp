@@ -1,6 +1,7 @@
 #include "core/step2.h"
 
 #include "common/parallel.h"
+#include "common/status.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_kernels.h"
 #include "obs/metrics.h"
@@ -15,9 +16,9 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
   const offset_t ntiles = structure.num_tiles();
   Step2Result out;
   out.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
-  out.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  out.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  ws.ensure_threads(omp_get_max_threads());
+  out.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  out.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  ws.ensure_threads(max_workers());
   if (plan.cache_pairs) ws.pair_slot.assign(static_cast<std::size_t>(ntiles), {});
   const bool fuse = plan.fuse_light && plan.cache_pairs;
   if (fuse) ws.staged_slot.assign(static_cast<std::size_t>(ntiles), {});
@@ -40,7 +41,7 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const offset_t t = plan.order != nullptr ? plan.order[i] : i;
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
-    const int tid = omp_get_thread_num();
+    const int tid = worker_rank();
     typename SpgemmWorkspace<T>::ThreadSlot& slot = ws.slot(tid);
 
     // Set intersection of A's tile row `tile_i` with B's tile column

@@ -16,7 +16,7 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
                    const TileSpgemmOptions& options, TileMatrix<T>& c,
                    SpgemmWorkspace<T>& ws, const ExecutionPlan& plan) {
   const offset_t ntiles = structure.num_tiles();
-  ws.ensure_threads(omp_get_max_threads());
+  ws.ensure_threads(max_workers());
   const bool use_cache =
       plan.cache_pairs && ws.pair_slot.size() == static_cast<std::size_t>(ntiles);
   const bool use_staged = plan.fuse_light && plan.cache_pairs &&
@@ -81,7 +81,7 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
       pair_data = ws.slot(static_cast<int>(s.thread)).cache.data() + s.offset;
       pair_count = s.count;
     } else {
-      std::vector<MatchedPair>& pairs = ws.slot(omp_get_thread_num()).pairs;
+      std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;
       pairs.clear();
       const offset_t a_base = a.tile_ptr[tile_i];
       const index_t len_a = static_cast<index_t>(a.tile_ptr[tile_i + 1] - a_base);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 
 namespace tsg {
 
@@ -67,8 +68,8 @@ TileMatrix<T> tile_add(const TileMatrix<T>& a, const TileMatrix<T>& b, T alpha, 
   const offset_t ntiles = c.tile_ptr[c.tile_rows];
   c.tile_col_idx.resize(static_cast<std::size_t>(ntiles));
   c.tile_nnz.assign(static_cast<std::size_t>(ntiles) + 1, 0);
-  c.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  c.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  c.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  c.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
 
   // Pass 2: per output tile, OR the input masks and derive rowPtr/nnz.
   parallel_for(index_t{0}, c.tile_rows, [&](index_t tr) {

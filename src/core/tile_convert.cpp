@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -95,8 +96,8 @@ TileMatrix<T> csr_to_tile(const Csr<T>& a) {
   }
 
   const std::size_t total_nnz = static_cast<std::size_t>(t.nnz());
-  t.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  t.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  t.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  t.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
   t.row_idx.resize(total_nnz);
   t.col_idx.resize(total_nnz);
   t.val.resize(total_nnz);

@@ -23,12 +23,24 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "common/bitops.h"
 #include "common/config.h"
 #include "common/memory.h"
 
 namespace tsg {
+
+// Compile-time contracts pinning the representation the whole pipeline
+// assumes (Section 3.2). If any of these move, the uint8 index arrays, the
+// per-row bit masks, and the fixed-size accumulators all break together —
+// fail the build, not the multiply.
+static_assert(sizeof(rowmask_t) * 8 == kTileDim,
+              "one per-row occupancy mask must be exactly one bit per tile column");
+static_assert(kTileNnzMax == 256,
+              "dense accumulators are T[kTileNnzMax]; the paper's 16x16 tile holds 256");
+static_assert(kTileNnzMax - 1 <= 0xff,
+              "row_ptr stores per-tile offsets in uint8 (implied-17th-entry trick)");
 
 template <class T>
 struct TileMatrix {

@@ -1,6 +1,7 @@
 #include "core/tile_transpose.h"
 
 #include "common/parallel.h"
+#include "common/status.h"
 
 namespace tsg {
 
@@ -24,8 +25,8 @@ TileMatrix<T> tile_transpose(const TileMatrix<T>& a) {
   }
 
   const std::size_t nnz = static_cast<std::size_t>(t.nnz());
-  t.row_ptr.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
-  t.mask.assign(static_cast<std::size_t>(ntiles) * kTileDim, 0);
+  t.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
+  t.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
   t.row_idx.resize(nnz);
   t.col_idx.resize(nnz);
   t.val.resize(nnz);

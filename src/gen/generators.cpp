@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "matrix/convert.h"
 
 namespace tsg::gen {
@@ -154,7 +155,7 @@ Csr<double> dense_blocks(index_t blocks, index_t block_dim, std::uint64_t seed,
   Xoshiro256 rng(seed);
   const index_t n = blocks * block_dim;
   Csr<double> a(n, n);
-  a.col_idx.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(block_dim));
+  a.col_idx.reserve(checked_size_mul(n, static_cast<std::size_t>(block_dim)));
   a.val.reserve(a.col_idx.capacity());
   for (index_t i = 0; i < n; ++i) {
     const index_t base = (i / block_dim) * block_dim;
@@ -175,8 +176,8 @@ Csr<double> clustered_rows(index_t n, int clusters, int run_len, std::uint64_t s
   Coo<double> coo;
   coo.rows = n;
   coo.cols = n;
-  coo.reserve(static_cast<std::size_t>(n) *
-              static_cast<std::size_t>(clusters * run_len + 1));
+  coo.reserve(checked_size_mul(static_cast<std::size_t>(n),
+                               static_cast<std::size_t>(clusters * run_len + 1)));
   for (index_t i = 0; i < n; ++i) {
     coo.push_back(i, i, draw_value(rng, dist));
     for (int c = 0; c < clusters; ++c) {
@@ -215,7 +216,7 @@ Csr<double> symmetrized(const Csr<double>& a) {
 
 Csr<double> kronecker(const Csr<double>& a, const Csr<double>& b) {
   Csr<double> c(a.rows * b.rows, a.cols * b.cols);
-  c.col_idx.reserve(static_cast<std::size_t>(a.nnz()) * static_cast<std::size_t>(b.nnz()));
+  c.col_idx.reserve(checked_size_mul(a.nnz(), static_cast<std::size_t>(b.nnz())));
   c.val.reserve(c.col_idx.capacity());
   // Row (ia, ib) of C is the outer product of A's row ia with B's row ib;
   // emitting A-entries outermost keeps columns sorted.

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/memory.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "matrix/stats.h"
 #include "matrix/transpose.h"
@@ -64,7 +65,7 @@ std::vector<Measurement> measure_suite(const std::vector<NamedMatrix>& suite,
                                        const std::vector<SpgemmAlgorithm>& algorithms,
                                        SpgemmOp op) {
   std::vector<Measurement> results;
-  results.reserve(suite.size() * algorithms.size());
+  results.reserve(checked_size_mul(suite.size(), algorithms.size()));
   for (const NamedMatrix& m : suite) {
     for (const SpgemmAlgorithm& algo : algorithms) {
       results.push_back(measure(m, algo, op));

@@ -109,7 +109,7 @@ Coo<T> read_matrix_market(std::istream& in) {
   Coo<T> coo;
   coo.rows = static_cast<index_t>(rows);
   coo.cols = static_cast<index_t>(cols);
-  coo.reserve(static_cast<std::size_t>(entries) * (sym == Symmetry::kGeneral ? 1 : 2));
+  coo.reserve(checked_size_mul(entries, sym == Symmetry::kGeneral ? 1 : 2));
 
   // (packed coordinate, source line) of every raw entry, for the duplicate
   // scan after the read loop. Symmetric entries are keyed on the unordered

@@ -32,6 +32,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/contracts.h"
+
 namespace tsg::obs {
 
 namespace detail {
@@ -144,9 +146,14 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   // unique_ptr values keep instrument addresses stable across rehash/insert.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::function<std::int64_t()>, std::less<>> gauges_;
+  // The maps are mutex-guarded; the *instruments* they point to are atomic
+  // and updated lock-free once resolved (the whole point of the design).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TSG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TSG_GUARDED_BY(mutex_);
+  std::map<std::string, std::function<std::int64_t()>, std::less<>> gauges_
+      TSG_GUARDED_BY(mutex_);
 };
 
 /// Per-call instrumentation for tsg::parallel_for. Always-on: one counter

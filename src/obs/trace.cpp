@@ -113,6 +113,35 @@ void TraceCollector::record_instant(const char* name, std::int64_t arg) {
   ring->push(e);
 }
 
+void TraceCollector::record_begin(const char* name, std::int64_t arg) {
+  Ring* ring = t_cached.ring;
+  const std::uint64_t current_epoch = epoch_mirror_.load(std::memory_order_acquire);
+  if (ring == nullptr || t_cached.epoch != current_epoch) {
+    ring = &ring_for_this_thread();
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'B';
+  e.tid = ring->tid;
+  e.ts_us = now_us();
+  e.arg = arg;
+  ring->push(e);
+}
+
+void TraceCollector::record_end(const char* name) {
+  Ring* ring = t_cached.ring;
+  const std::uint64_t current_epoch = epoch_mirror_.load(std::memory_order_acquire);
+  if (ring == nullptr || t_cached.epoch != current_epoch) {
+    ring = &ring_for_this_thread();
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'E';
+  e.tid = ring->tid;
+  e.ts_us = now_us();
+  ring->push(e);
+}
+
 std::vector<TraceEvent> TraceCollector::drain() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> out;

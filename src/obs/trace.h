@@ -38,7 +38,10 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <vector>
+
+#include "common/contracts.h"
 
 #ifndef TSG_TRACING
 #define TSG_TRACING 1
@@ -85,6 +88,14 @@ class TraceCollector {
                        std::int64_t arg = TraceEvent::kNoArg);
   void record_instant(const char* name, std::int64_t arg = TraceEvent::kNoArg);
 
+  /// Manual span pair ('B'/'E' duration events) for regions that cannot be
+  /// lexically scoped — a span opened in one function and closed in another
+  /// (CLI whole-run bracket, chunked execution across calls). Every begin
+  /// must be matched by an end with the *same literal name* on the same
+  /// thread; the `trace-span-pairing` lint rule checks the balance per file.
+  void record_begin(const char* name, std::int64_t arg = TraceEvent::kNoArg);
+  void record_end(const char* name);
+
   /// Move every buffered event out (oldest-first per thread) and reset the
   /// rings. Call between parallel regions.
   std::vector<TraceEvent> drain();
@@ -117,18 +128,26 @@ class TraceCollector {
   Ring& ring_for_this_thread();
 
   mutable std::mutex mutex_;  ///< guards the ring lists; never held on the emit path
-  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<Ring>> rings_ TSG_GUARDED_BY(mutex_);
   /// Rings invalidated by set_ring_capacity. Kept alive (not drained): a
   /// straggler thread holding a stale cached pointer must never write into
   /// freed memory. Bounded by the number of capacity changes (test-only).
-  std::vector<std::unique_ptr<Ring>> retired_;
-  std::size_t ring_capacity_ = std::size_t{1} << 15;
-  std::uint64_t epoch_ = 0;    ///< bumped when cached ring pointers go stale
+  std::vector<std::unique_ptr<Ring>> retired_ TSG_GUARDED_BY(mutex_);
+  std::size_t ring_capacity_ TSG_GUARDED_BY(mutex_) = std::size_t{1} << 15;
+  /// Bumped when cached ring pointers go stale.
+  std::uint64_t epoch_ TSG_GUARDED_BY(mutex_) = 0;
   /// Lock-free mirror of epoch_ so the emit path can validate its cached
   /// ring without taking mutex_.
   std::atomic<std::uint64_t> epoch_mirror_{0};
-  std::uint64_t dropped_ = 0;  ///< overwrites accounted by past drains
+  /// Overwrites accounted by past drains.
+  std::uint64_t dropped_ TSG_GUARDED_BY(mutex_) = 0;
 };
+
+/// TraceEvent rides through the per-thread rings by plain assignment and is
+/// bulk-copied on drain; it must stay trivially copyable (no owning
+/// members — `name` is a string literal by contract).
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent is copied through lock-free rings");
 
 /// RAII span: captures the start time on construction (when tracing is on)
 /// and records a complete event on destruction. Cheap enough to put around
@@ -160,6 +179,16 @@ inline void trace_instant(const char* name, std::int64_t arg = TraceEvent::kNoAr
   TraceCollector::instance().record_instant(name, arg);
 }
 
+inline void trace_begin(const char* name, std::int64_t arg = TraceEvent::kNoArg) {
+  if (!trace_enabled()) return;
+  TraceCollector::instance().record_begin(name, arg);
+}
+
+inline void trace_end(const char* name) {
+  if (!trace_enabled()) return;
+  TraceCollector::instance().record_end(name);
+}
+
 }  // namespace tsg::obs
 
 #define TSG_OBS_CONCAT_INNER(a, b) a##b
@@ -172,7 +201,14 @@ inline void trace_instant(const char* name, std::int64_t arg = TraceEvent::kNoAr
   ::tsg::obs::TraceSpan TSG_OBS_CONCAT(tsg_trace_span_, __LINE__)(__VA_ARGS__)
 /// Point event: TSG_TRACE_INSTANT("alloc", bytes).
 #define TSG_TRACE_INSTANT(...) ::tsg::obs::trace_instant(__VA_ARGS__)
+/// Manual span pair for regions a single lexical scope cannot bracket.
+/// Same literal name, same thread, and the counts must balance per file —
+/// tsg_lint's `trace-span-pairing` rule enforces the balance.
+#define TSG_TRACE_BEGIN(...) ::tsg::obs::trace_begin(__VA_ARGS__)
+#define TSG_TRACE_END(name) ::tsg::obs::trace_end(name)
 #else
 #define TSG_TRACE_SPAN(...) ((void)0)
 #define TSG_TRACE_INSTANT(...) ((void)0)
+#define TSG_TRACE_BEGIN(...) ((void)0)
+#define TSG_TRACE_END(name) ((void)0)
 #endif

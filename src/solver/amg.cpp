@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/status.h"
 #include "core/tile_convert.h"
 #include "core/tile_spmv.h"
 #include "core/tile_spgemm.h"
@@ -145,7 +146,7 @@ AmgHierarchy::AmgHierarchy(const Csr<double>& a, const AmgOptions& options)
   // Dense LU with partial pivoting of the coarsest operator.
   const Csr<double>& coarse = levels_.back().a;
   coarse_n_ = coarse.rows;
-  coarse_lu_.assign(static_cast<std::size_t>(coarse_n_) * coarse_n_, 0.0);
+  coarse_lu_.assign(checked_size_mul(static_cast<std::size_t>(coarse_n_), coarse_n_), 0.0);
   coarse_piv_.resize(static_cast<std::size_t>(coarse_n_));
   for (index_t i = 0; i < coarse_n_; ++i) {
     for (offset_t k = coarse.row_ptr[i]; k < coarse.row_ptr[i + 1]; ++k) {

@@ -1,0 +1,332 @@
+// Tests for the tsg-lint rule engine (tools/tsg_lint). Every rule is
+// exercised with at least one firing fixture and one clean fixture, and the
+// suppression comments are covered as a mechanism of their own.
+//
+// Fixtures live in raw strings: the lexer never tokenizes string contents,
+// so the violations quoted here cannot fire on this file itself when
+// `tsg_lint tests` runs over the tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tsg_lint/lint.h"
+
+namespace {
+
+using tsg::lint::Diagnostic;
+using tsg::lint::Options;
+
+std::vector<Diagnostic> run(const std::string& path, std::string_view src,
+                            tsg::lint::LintStats* stats = nullptr) {
+  return tsg::lint::lint_source(path, src, Options{}, stats);
+}
+
+int count_rule(const std::vector<Diagnostic>& diags, std::string_view rule) {
+  return static_cast<int>(std::count_if(
+      diags.begin(), diags.end(), [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// raw-alloc
+// ---------------------------------------------------------------------------
+
+TEST(RawAlloc, FiresOnMallocAndArrayNew) {
+  const auto diags = run("src/core/foo.cpp", R"(
+    void f(std::size_t n) {
+      void* p = malloc(n);
+      int* a = new int[8];
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "raw-alloc"), 2);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(RawAlloc, CleanOnTrackedAllocationAndScalarNew) {
+  const auto diags = run("src/core/foo.cpp", R"(
+    void f(std::size_t n) {
+      tsg::tracked_vector<int> v(n);
+      auto w = std::make_unique<Widget>();
+      auto* s = new Widget(n);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "raw-alloc"), 0);
+}
+
+TEST(RawAlloc, MemoryLayerIsExempt) {
+  const std::string_view src = R"(
+    void* raw = malloc(bytes);
+  )";
+  EXPECT_EQ(count_rule(run("src/common/memory.cpp", src), "raw-alloc"), 0);
+  EXPECT_EQ(count_rule(run("src/core/other.cpp", src), "raw-alloc"), 1);
+}
+
+TEST(RawAlloc, MemberNamedMallocIsNotACall) {
+  const auto diags = run("a.cpp", R"(
+    arena.malloc(n);
+    pool->calloc(a, b);
+  )");
+  EXPECT_EQ(count_rule(diags, "raw-alloc"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-size-mul
+// ---------------------------------------------------------------------------
+
+TEST(UncheckedSizeMul, FiresOnResizeProduct) {
+  const auto diags = run("a.cpp", R"(
+    void f(std::vector<int>& v, std::size_t rows, std::size_t cols) {
+      v.resize(rows * cols);
+    }
+  )");
+  ASSERT_EQ(count_rule(diags, "unchecked-size-mul"), 1);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(UncheckedSizeMul, FiresInsideMallocAndNewBrackets) {
+  // The allocation sites themselves also trip raw-alloc; count only the
+  // size rule here.
+  const auto diags = run("src/common/memory.cpp", R"(
+    void* p = malloc(n * sizeof(int));
+    int* a = new int[rows * cols];
+  )");
+  EXPECT_EQ(count_rule(diags, "unchecked-size-mul"), 2);
+}
+
+TEST(UncheckedSizeMul, CleanWhenRoutedThroughCheckedHelpers) {
+  const auto diags = run("a.cpp", R"(
+    v.resize(tsg::checked_size_mul(rows, cols));
+    v.reserve(n);
+    w.assign(count, 0);
+  )");
+  EXPECT_EQ(count_rule(diags, "unchecked-size-mul"), 0);
+}
+
+TEST(UncheckedSizeMul, DereferenceAndCompoundAssignAreNotMultiplies) {
+  const auto diags = run("a.cpp", R"(
+    v.resize(*size_ptr);
+    v.resize(n *= 2);
+  )");
+  EXPECT_EQ(count_rule(diags, "unchecked-size-mul"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status
+// ---------------------------------------------------------------------------
+
+TEST(DiscardedStatus, FiresOnBareTryCall) {
+  const auto diags = run("a.cpp", R"(
+    void f() {
+      try_reserve(buf, n);
+      ctx.try_run(a, b, &c);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "discarded-status"), 2);
+}
+
+TEST(DiscardedStatus, CleanWhenResultIsConsumed) {
+  const auto diags = run("a.cpp", R"(
+    tsg::Status g() {
+      auto st = try_reserve(buf, n);
+      if (!try_convert(m).ok()) return fail();
+      return try_run(a, b, &c);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "discarded-status"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// throw-in-parallel
+// ---------------------------------------------------------------------------
+
+TEST(ThrowInParallel, FiresInsideParallelForBodyInCore) {
+  const auto diags = run("src/core/step9.cpp", R"(
+    void f() {
+      tsg::parallel_for(index_t{0}, n, [&](index_t i) {
+        if (bad(i)) throw std::runtime_error("boom");
+      });
+    }
+  )");
+  ASSERT_EQ(count_rule(diags, "throw-in-parallel"), 1);
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(ThrowInParallel, CleanOutsideBodyAndOutsideCore) {
+  // A throw before/after the parallel region is fine...
+  const auto in_core = run("src/core/step9.cpp", R"(
+    void f() {
+      if (n < 0) throw std::invalid_argument("n");
+      tsg::parallel_for(index_t{0}, n, [&](index_t i) { work(i); });
+    }
+  )");
+  EXPECT_EQ(count_rule(in_core, "throw-in-parallel"), 0);
+
+  // ...and the rule is scoped to src/core: tests may throw wherever.
+  const auto in_tests = run("tests/test_x.cpp", R"(
+    tsg::parallel_for(0, n, [&](int i) { throw std::runtime_error("x"); });
+  )");
+  EXPECT_EQ(count_rule(in_tests, "throw-in-parallel"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// trace-span-pairing
+// ---------------------------------------------------------------------------
+
+TEST(TraceSpanPairing, FiresOnUnbalancedSpan) {
+  const auto diags = run("a.cpp", R"(
+    void f() {
+      TSG_TRACE_BEGIN("step2");
+      work();
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "trace-span-pairing"), 1);
+}
+
+TEST(TraceSpanPairing, CleanOnBalancedSpans) {
+  const auto diags = run("a.cpp", R"(
+    void f() {
+      TSG_TRACE_BEGIN("step2");
+      TSG_TRACE_BEGIN("probe", nnz);
+      work();
+      TSG_TRACE_END("probe");
+      TSG_TRACE_END("step2");
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "trace-span-pairing"), 0);
+}
+
+TEST(TraceSpanPairing, NonLiteralNameIsItsOwnFinding) {
+  const auto diags = run("a.cpp", R"(
+    void f(const char* name) {
+      TSG_TRACE_BEGIN(name);
+      TSG_TRACE_END(name);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "trace-span-pairing"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// banned-fn
+// ---------------------------------------------------------------------------
+
+TEST(BannedFn, FiresOnRandAndSprintf) {
+  const auto diags = run("a.cpp", R"(
+    int f(char* out) {
+      sprintf(out, "%d", 42);
+      return rand();
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 2);
+}
+
+TEST(BannedFn, CleanOnSafeAlternativesAndMembers) {
+  const auto diags = run("a.cpp", R"(
+    int f(char* out, std::size_t n, Rng& gen) {
+      snprintf(out, n, "%d", 42);
+      return gen.rand();
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression mechanism
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, TrailingCommentSilencesTheLine) {
+  tsg::lint::LintStats stats;
+  const auto diags = run("a.cpp", R"(
+    int x = rand();  // tsg-lint: allow(banned-fn) -- fixture, not product code
+  )",
+                         &stats);
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 0);
+  EXPECT_EQ(stats.suppressed, 1);
+}
+
+TEST(Suppression, CommentAboveSilencesTheNextLine) {
+  const auto diags = run("a.cpp", R"(
+    // tsg-lint: allow(banned-fn)
+    int x = rand();
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 0);
+}
+
+TEST(Suppression, DoesNotLeakToOtherLinesOrRules) {
+  const auto diags = run("a.cpp", R"(
+    // tsg-lint: allow(banned-fn)
+    int x = rand();
+    int y = rand();
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 1);
+
+  const auto wrong_rule = run("a.cpp", R"(
+    int x = rand();  // tsg-lint: allow(raw-alloc)
+  )");
+  EXPECT_EQ(count_rule(wrong_rule, "banned-fn"), 1);
+}
+
+TEST(Suppression, WildcardAndListForms) {
+  const auto diags = run("a.cpp", R"(
+    int x = rand();  // tsg-lint: allow(*)
+    v.resize(a * b);  // tsg-lint: allow(unchecked-size-mul, banned-fn)
+  )");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Suppression, AllowFileCoversTheWholeFile) {
+  const auto diags = run("a.cpp", R"(
+    // tsg-lint: allow-file(banned-fn)
+    int f() { return rand(); }
+    int g() { return rand(); }
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine / lexer behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ViolationsInCommentsAndStringsDoNotFire) {
+  const auto diags = run("a.cpp",
+                         "// int x = rand();\n"
+                         "/* void* p = malloc(n); */\n"
+                         "const char* doc = \"never call sprintf(buf, fmt)\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Engine, PreprocessorLinesAreInvisible) {
+  // The trace macro *definitions* (and any #if'd-out branch) must not count
+  // as span begins/ends.
+  const auto diags = run("a.cpp", R"(
+#define MY_SPAN() TSG_TRACE_BEGIN("x")
+#define MY_SPAN_DONE() TSG_TRACE_END("y")
+  )");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Engine, OnlyRulesFilterRestrictsTheRun) {
+  Options only;
+  only.only_rules.insert("banned-fn");
+  const auto diags = tsg::lint::lint_source("a.cpp", R"(
+    void* p = malloc(rand());
+  )",
+                                            only);
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 1);
+  EXPECT_EQ(count_rule(diags, "raw-alloc"), 0);
+}
+
+TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
+  const auto& rules = tsg::lint::rule_catalogue();
+  ASSERT_EQ(rules.size(), 6u);
+  std::vector<std::string> names;
+  names.reserve(rules.size());
+  for (const auto& r : rules) names.push_back(r.name);
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-alloc"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-pairing"), names.end());
+}
+
+}  // namespace

@@ -204,6 +204,32 @@ TEST_F(ObsTest, SpanAndInstantRoundTrip) {
   EXPECT_LE(instant->ts_us, span->ts_us + span->dur_us);
 }
 
+TEST_F(ObsTest, BeginEndSpansRecordPairedPhases) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  TSG_TRACE_BEGIN("obs.test.be", 5);
+  TSG_TRACE_INSTANT("obs.test.between");
+  TSG_TRACE_END("obs.test.be");
+  tc.set_enabled(false);
+  const auto events = tc.drain();
+  ASSERT_EQ(events.size(), 3u);
+  const obs::TraceEvent* begin = nullptr;
+  const obs::TraceEvent* end = nullptr;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) != "obs.test.be") continue;
+    if (e.phase == 'B') begin = &e;
+    if (e.phase == 'E') end = &e;
+  }
+  ASSERT_NE(begin, nullptr);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(begin->arg, 5);
+  EXPECT_LE(begin->ts_us, end->ts_us);
+  // Unlike TSG_TRACE_SPAN's scoped 'X' event, B/E carry no duration of
+  // their own: the viewer derives it from the pair.
+  EXPECT_DOUBLE_EQ(begin->dur_us, 0.0);
+  EXPECT_DOUBLE_EQ(end->dur_us, 0.0);
+}
+
 TEST_F(ObsTest, RingWraparoundKeepsNewestAndCountsDropped) {
   auto& tc = obs::TraceCollector::instance();
   tc.set_ring_capacity(16);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/semiring_spgemm.h"
 #include "gen/generators.h"
 #include "matrix/convert.h"
@@ -20,8 +21,8 @@ void dense_semiring_product(const Csr<double>& a, const Csr<double>& b,
                             std::vector<double>& out, std::vector<bool>& present) {
   const std::size_t rows = static_cast<std::size_t>(a.rows);
   const std::size_t cols = static_cast<std::size_t>(b.cols);
-  out.assign(rows * cols, S::identity());
-  present.assign(rows * cols, false);
+  out.assign(tsg::checked_size_mul(rows, cols), S::identity());
+  present.assign(tsg::checked_size_mul(rows, cols), false);
   for (index_t i = 0; i < a.rows; ++i) {
     for (offset_t ka = a.row_ptr[i]; ka < a.row_ptr[i + 1]; ++ka) {
       const index_t k = a.col_idx[ka];

@@ -123,7 +123,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Lines 1-3: input matrix and load time.
+  // Lines 1-3: input matrix and load time. The load is a begin/end span
+  // (not a scoped 'X' event): the early returns below would otherwise
+  // record nothing for a run that died loading, which is exactly the run a
+  // trace should explain.
+  TSG_TRACE_BEGIN("cli/load");
   Timer load_timer;
   Csr<double> a;
   if (!path.empty()) {
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
     a = gen::rmat(12, 6.0, 1);
   }
   const double load_s = load_timer.seconds();
+  TSG_TRACE_END("cli/load");
   std::cout << "input matrix: " << path << "\n";
   std::cout << "rows = " << a.rows << ", cols = " << a.cols << ", nnz = " << a.nnz() << "\n";
   std::cout << "file loading time: " << load_s << " s\n";
@@ -167,7 +172,9 @@ int main(int argc, char** argv) {
   // Lines 8-14: step and allocation times. The non-throwing entry point:
   // a too-small budget (with --no-degrade), a malformed operand, or an
   // out-of-memory all land here as a Status instead of a crash.
+  TSG_TRACE_BEGIN("cli/spgemm", flops);
   Expected<TileSpgemmResult<double>> run = ctx.try_run(ta, tb);
+  TSG_TRACE_END("cli/spgemm");
   if (!run.ok()) return fail_with(run.status());
   const TileSpgemmResult<double>& result = *run;
   const TileSpgemmTimings& t = result.timings;

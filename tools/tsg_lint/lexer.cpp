@@ -1,0 +1,277 @@
+#include "tsg_lint/lexer.h"
+
+#include <cctype>
+
+namespace tsg::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// The multi-character punctuators the rules must see whole — mostly so a
+/// compound token is never misread as containing `*`, `=`, `<` … (e.g.
+/// `*=` is not a size multiply, `->` is not a dereference).
+constexpr const char* kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=",
+                                   "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                   "%=", "&=", "|=", "^=", ".*", "##"};
+
+/// Parse a `tsg-lint:` directive out of one comment body; registers the
+/// allows it finds. `line` is the comment's starting line.
+void parse_directive(std::string_view comment, int line, LexedFile& out) {
+  const std::string_view tag = "tsg-lint:";
+  const std::size_t at = comment.find(tag);
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + tag.size());
+
+  auto skip_ws = [&] {
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      rest.remove_prefix(1);
+    }
+  };
+  skip_ws();
+
+  bool whole_file = false;
+  const std::string_view allow_file = "allow-file";
+  const std::string_view allow = "allow";
+  if (rest.substr(0, allow_file.size()) == allow_file) {
+    whole_file = true;
+    rest.remove_prefix(allow_file.size());
+  } else if (rest.substr(0, allow.size()) == allow) {
+    rest.remove_prefix(allow.size());
+  } else {
+    return;  // unknown directive; lexing must not hard-fail on comments
+  }
+  skip_ws();
+  if (rest.empty() || rest.front() != '(') return;
+  rest.remove_prefix(1);
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) return;
+  std::string_view list = rest.substr(0, close);
+
+  // Split on commas; rule names are [a-z0-9-] (or the wildcard "*").
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view name = list.substr(pos, comma - pos);
+    while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) {
+      name.remove_prefix(1);
+    }
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+      name.remove_suffix(1);
+    }
+    if (!name.empty()) {
+      if (whole_file) {
+        out.file_allows.insert(std::string(name));
+      } else {
+        // A comment above a statement and a trailing comment on the same
+        // statement are both natural placements: register both lines.
+        out.line_allows[line].insert(std::string(name));
+        out.line_allows[line + 1].insert(std::string(name));
+      }
+    }
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+
+  auto advance_line_counter = [&](char c) {
+    if (c == '\n') ++line;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f') {
+      advance_line_counter(c);
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: `#` as the first non-whitespace of a line.
+    // Skipped wholesale (with backslash continuations) — macro *definitions*
+    // must not count as uses for pairing/raw-alloc rules.
+    if (c == '#') {
+      bool at_line_start = true;
+      for (std::size_t k = i; k > 0; --k) {
+        const char p = src[k - 1];
+        if (p == '\n') break;
+        if (p != ' ' && p != '\t') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        while (i < n) {
+          if (src[i] == '\n') {
+            // Continuation if the newline is escaped (ignoring trailing \r).
+            std::size_t b = i;
+            while (b > 0 && src[b - 1] == '\r') --b;
+            const bool continued = b > 0 && src[b - 1] == '\\';
+            ++line;
+            ++i;
+            if (!continued) break;
+            continue;
+          }
+          ++i;
+        }
+        continue;
+      }
+      // A '#' mid-line is the (rare) stringize operator context; treat as punct.
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line});
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      parse_directive(src.substr(start, i - start), line, out);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        advance_line_counter(src[i]);
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      parse_directive(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+
+    // Identifier (possibly a literal prefix).
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string_view word = src.substr(i, j - i);
+
+      // Raw string literal: R"delim( ... )delim" with optional encoding prefix.
+      const bool raw_prefix =
+          word == "R" || word == "u8R" || word == "uR" || word == "UR" || word == "LR";
+      if (raw_prefix && j < n && src[j] == '"') {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim.push_back(src[k++]);
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src.find(closer, k);
+        const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+        out.tokens.push_back({TokKind::kString, src.substr(i, stop - i), line});
+        for (std::size_t t = i; t < stop; ++t) advance_line_counter(src[t]);
+        i = stop;
+        continue;
+      }
+      // Encoding-prefixed ordinary literal: u8"...", L'...', ...
+      const bool enc_prefix = word == "u8" || word == "u" || word == "U" || word == "L";
+      if (enc_prefix && j < n && (src[j] == '"' || src[j] == '\'')) {
+        i = j;  // fall through to the literal scanners below
+      } else {
+        out.tokens.push_back({TokKind::kIdentifier, word, line});
+        i = j;
+        continue;
+      }
+    }
+
+    // String / char literal (escapes honoured; content never tokenized).
+    if (src[i] == '"' || src[i] == '\'') {
+      const char quote = src[i];
+      const std::size_t start = i;
+      const int start_line = line;
+      ++i;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (src[i] == quote) {
+          ++i;
+          break;
+        }
+        advance_line_counter(src[i]);
+        ++i;
+      }
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(start, i - start), start_line});
+      continue;
+    }
+
+    // Number (handles 0x1F, 1'000'000, 1.5e-3, .5f).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        // Exponent sign: 1e+3 / 0x1p-4.
+        if ((d == '+' || d == '-') && (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                                       src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    if (i + 3 <= n) {
+      for (const char* p : kPunct3) {
+        if (src.substr(i, 3) == p) {
+          out.tokens.push_back({TokKind::kPunct, src.substr(i, 3), line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 2 <= n) {
+      for (const char* p : kPunct2) {
+        if (src.substr(i, 2) == p) {
+          out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool is_suppressed(const LexedFile& file, const std::string& rule, int line) {
+  if (file.file_allows.count("*") > 0 || file.file_allows.count(rule) > 0) return true;
+  const auto it = file.line_allows.find(line);
+  if (it == file.line_allows.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(rule) > 0;
+}
+
+}  // namespace tsg::lint

@@ -1,0 +1,59 @@
+// Lexer of the tsg-lint static-analysis pass.
+//
+// A deliberately small C++ tokenizer — no libclang, no preprocessor, no
+// semantic analysis. It produces exactly what lexical invariant rules need:
+//
+//   * a token stream (identifiers, literals, punctuation) with line
+//     numbers, where comments, preprocessor directives, and the *contents*
+//     of string/char literals can never be mistaken for code (test
+//     fixtures embed violation snippets in raw strings; those must not
+//     fire);
+//   * the suppression directives found in comments:
+//         // tsg-lint: allow(rule-a, rule-b)   — this line and the next
+//         // tsg-lint: allow-file(rule-a)      — the whole file
+//     `allow(*)` / `allow-file(*)` silence every rule.
+//
+// What it does NOT do: macro expansion, #include following, template
+// instantiation. Rules are written against the spelled source, which is
+// the invariant the project actually reviews for.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (rules match by spelling)
+  kNumber,
+  kString,  ///< text includes prefixes/quotes trimmed to the literal body
+  kChar,
+  kPunct,  ///< one operator or punctuator per token (multi-char kept whole)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< view into the lexed buffer
+  int line = 0;           ///< 1-based
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> rules allowed on that line (already expanded: a comment on
+  /// line L registers L and L+1). "*" means every rule.
+  std::map<int, std::set<std::string, std::less<>>> line_allows;
+  /// rules allowed for the whole file; "*" means every rule.
+  std::set<std::string, std::less<>> file_allows;
+};
+
+/// Tokenize one buffer. The returned views point into `content`, which must
+/// outlive the LexedFile.
+LexedFile lex(std::string_view content);
+
+/// True when the line/file suppressions of `file` silence `rule` at `line`.
+bool is_suppressed(const LexedFile& file, const std::string& rule, int line);
+
+}  // namespace tsg::lint

@@ -1,0 +1,58 @@
+// Rule engine of the tsg-lint static-analysis pass.
+//
+// Each rule is a pure function over one lexed translation unit. Rules are
+// registered in a catalogue so the CLI can list them, run a subset
+// (--only), and so the test suite can address each rule by name. See
+// docs/STATIC_ANALYSIS.md for the project invariant each rule encodes.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tsg_lint/lexer.h"
+
+namespace tsg::lint {
+
+/// One finding, formatted by the CLI as `path:line: [rule] message`.
+struct Diagnostic {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+/// Context handed to every rule for one file.
+struct FileContext {
+  std::string path;       ///< path as given on the command line
+  const LexedFile* lexed = nullptr;
+};
+
+struct Rule {
+  std::string name;
+  std::string summary;  ///< one line, shown by --list
+  /// Appends raw findings (suppressions are applied by the engine).
+  std::function<void(const FileContext&, std::vector<Diagnostic>&)> check;
+};
+
+/// All registered rules, in report order.
+const std::vector<Rule>& rule_catalogue();
+
+struct Options {
+  /// When non-empty, run only these rules.
+  std::set<std::string, std::less<>> only_rules;
+};
+
+struct LintStats {
+  int files = 0;
+  int suppressed = 0;  ///< findings silenced by tsg-lint: allow comments
+};
+
+/// Lex `content` and run the (selected) rules over it. Suppressed findings
+/// are counted in `stats` (if given) and dropped from the result.
+std::vector<Diagnostic> lint_source(const std::string& path, std::string_view content,
+                                    const Options& options = {},
+                                    LintStats* stats = nullptr);
+
+}  // namespace tsg::lint

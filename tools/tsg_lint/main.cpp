@@ -1,0 +1,152 @@
+// tsg-lint CLI: walk the given files/directories and report violations of
+// the project's lexical invariants. See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//   tsg_lint [--only=rule1,rule2] <path>...   lint files / directory trees
+//   tsg_lint --list                           print the rule catalogue
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tsg_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx" || ext == ".cu" || ext == ".cuh";
+}
+
+bool skip_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.empty() || name.front() == '.' || name.rfind("build", 0) == 0 ||
+         name == "third_party";
+}
+
+/// Collect lintable files under `root` (or `root` itself when it is a file).
+bool collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    out.push_back(root);
+    return true;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "tsg-lint: no such file or directory: " << root.string() << "\n";
+    return false;
+  }
+  fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied, ec);
+  if (ec) {
+    std::cerr << "tsg-lint: cannot open " << root.string() << ": " << ec.message() << "\n";
+    return false;
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (entry.is_directory(ec)) {
+      if (skip_directory(entry.path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (entry.is_regular_file(ec) && lintable_extension(entry.path())) {
+      out.push_back(entry.path());
+    }
+  }
+  return true;
+}
+
+void print_usage() {
+  std::cout << "usage: tsg_lint [--only=rule1,rule2] <file-or-dir>...\n"
+               "       tsg_lint --list\n\n"
+               "Suppress a finding with a comment on (or right above) the line:\n"
+               "    // tsg-lint: allow(rule-name)   -- one line\n"
+               "    // tsg-lint: allow-file(rule-name)   -- whole file\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tsg::lint::Options options;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--list") {
+      for (const tsg::lint::Rule& rule : tsg::lint::rule_catalogue()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--only=", 0) == 0) {
+      std::stringstream list(arg.substr(7));
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (name.empty()) continue;
+        const auto& rules = tsg::lint::rule_catalogue();
+        const bool known = std::any_of(rules.begin(), rules.end(),
+                                       [&](const auto& r) { return r.name == name; });
+        if (!known) {
+          std::cerr << "tsg-lint: unknown rule: " << name << " (see --list)\n";
+          return 2;
+        }
+        options.only_rules.insert(name);
+      }
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "tsg-lint: unknown option: " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+
+  if (roots.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!collect(root, files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  tsg::lint::LintStats stats;
+  int findings = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "tsg-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+
+    // generic_string() so reports (and the path-scoped rules) see forward
+    // slashes regardless of platform.
+    const std::vector<tsg::lint::Diagnostic> diags =
+        tsg::lint::lint_source(file.generic_string(), content, options, &stats);
+    for (const tsg::lint::Diagnostic& d : diags) {
+      std::cout << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message
+                << "\n";
+      ++findings;
+    }
+  }
+
+  std::cerr << "tsg-lint: " << stats.files << " files, " << findings << " finding"
+            << (findings == 1 ? "" : "s") << ", " << stats.suppressed << " suppressed\n";
+  return findings == 0 ? 0 : 1;
+}
