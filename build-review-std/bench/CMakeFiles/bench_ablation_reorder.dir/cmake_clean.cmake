@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reorder.dir/bench_ablation_reorder.cpp.o"
+  "CMakeFiles/bench_ablation_reorder.dir/bench_ablation_reorder.cpp.o.d"
+  "bench_ablation_reorder"
+  "bench_ablation_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

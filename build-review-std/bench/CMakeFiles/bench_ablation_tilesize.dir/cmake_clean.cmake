@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tilesize.dir/bench_ablation_tilesize.cpp.o"
+  "CMakeFiles/bench_ablation_tilesize.dir/bench_ablation_tilesize.cpp.o.d"
+  "bench_ablation_tilesize"
+  "bench_ablation_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

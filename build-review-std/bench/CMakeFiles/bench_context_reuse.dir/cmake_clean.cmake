@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_reuse.dir/bench_context_reuse.cpp.o"
+  "CMakeFiles/bench_context_reuse.dir/bench_context_reuse.cpp.o.d"
+  "bench_context_reuse"
+  "bench_context_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tsparse.dir/bench_fig13_tsparse.cpp.o"
+  "CMakeFiles/bench_fig13_tsparse.dir/bench_fig13_tsparse.cpp.o.d"
+  "bench_fig13_tsparse"
+  "bench_fig13_tsparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tsparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

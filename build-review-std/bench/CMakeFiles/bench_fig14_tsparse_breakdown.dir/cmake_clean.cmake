@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tsparse_breakdown.dir/bench_fig14_tsparse_breakdown.cpp.o"
+  "CMakeFiles/bench_fig14_tsparse_breakdown.dir/bench_fig14_tsparse_breakdown.cpp.o.d"
+  "bench_fig14_tsparse_breakdown"
+  "bench_fig14_tsparse_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tsparse_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_overall.dir/bench_fig6_overall.cpp.o"
+  "CMakeFiles/bench_fig6_overall.dir/bench_fig6_overall.cpp.o.d"
+  "bench_fig6_overall"
+  "bench_fig6_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_representative.dir/bench_fig7_representative.cpp.o"
+  "CMakeFiles/bench_fig7_representative.dir/bench_fig7_representative.cpp.o.d"
+  "bench_fig7_representative"
+  "bench_fig7_representative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_aat.dir/bench_fig8_aat.cpp.o"
+  "CMakeFiles/bench_fig8_aat.dir/bench_fig8_aat.cpp.o.d"
+  "bench_fig8_aat"
+  "bench_fig8_aat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_aat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

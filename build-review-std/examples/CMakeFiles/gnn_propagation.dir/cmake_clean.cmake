@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_propagation.dir/gnn_propagation.cpp.o"
+  "CMakeFiles/gnn_propagation.dir/gnn_propagation.cpp.o.d"
+  "gnn_propagation"
+  "gnn_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

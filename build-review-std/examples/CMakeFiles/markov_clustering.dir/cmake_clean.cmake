@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_clustering.dir/markov_clustering.cpp.o"
+  "CMakeFiles/markov_clustering.dir/markov_clustering.cpp.o.d"
+  "markov_clustering"
+  "markov_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

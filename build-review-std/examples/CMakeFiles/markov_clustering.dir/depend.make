@@ -1,0 +1,2 @@
+# Empty dependencies file for markov_clustering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_counting.dir/triangle_counting.cpp.o"
+  "CMakeFiles/triangle_counting.dir/triangle_counting.cpp.o.d"
+  "triangle_counting"
+  "triangle_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

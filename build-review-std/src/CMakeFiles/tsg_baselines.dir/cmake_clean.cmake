@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_baselines.dir/baselines/auto_select.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/auto_select.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/esc.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/esc.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/hash.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/hash.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/heap.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/heap.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/reference.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/reference.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/registry.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/registry.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/spa.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/spa.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/speck.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/speck.cpp.o.d"
+  "CMakeFiles/tsg_baselines.dir/baselines/tsparse.cpp.o"
+  "CMakeFiles/tsg_baselines.dir/baselines/tsparse.cpp.o.d"
+  "libtsg_baselines.a"
+  "libtsg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/half.cpp" "src/CMakeFiles/tsg_common.dir/common/half.cpp.o" "gcc" "src/CMakeFiles/tsg_common.dir/common/half.cpp.o.d"
+  "/root/repo/src/common/memory.cpp" "src/CMakeFiles/tsg_common.dir/common/memory.cpp.o" "gcc" "src/CMakeFiles/tsg_common.dir/common/memory.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/CMakeFiles/tsg_common.dir/common/parallel.cpp.o" "gcc" "src/CMakeFiles/tsg_common.dir/common/parallel.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/tsg_common.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/tsg_common.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/tsg_common.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/tsg_common.dir/common/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

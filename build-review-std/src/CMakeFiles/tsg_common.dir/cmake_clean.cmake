@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_common.dir/common/half.cpp.o"
+  "CMakeFiles/tsg_common.dir/common/half.cpp.o.d"
+  "CMakeFiles/tsg_common.dir/common/memory.cpp.o"
+  "CMakeFiles/tsg_common.dir/common/memory.cpp.o.d"
+  "CMakeFiles/tsg_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/tsg_common.dir/common/parallel.cpp.o.d"
+  "CMakeFiles/tsg_common.dir/common/random.cpp.o"
+  "CMakeFiles/tsg_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/tsg_common.dir/common/timer.cpp.o"
+  "CMakeFiles/tsg_common.dir/common/timer.cpp.o.d"
+  "libtsg_common.a"
+  "libtsg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

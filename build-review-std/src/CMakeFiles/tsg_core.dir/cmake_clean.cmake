@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_core.dir/core/block_experimental.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/block_experimental.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/masked_spgemm.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/masked_spgemm.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/spgemm_context.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/spgemm_context.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/step1.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/step1.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/step2.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/step2.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/step3.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/step3.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_add.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_add.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_convert.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_convert.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_format.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_format.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_io.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_io.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_spgemm.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_spgemm.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_spmm.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_spmm.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_spmv.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_spmv.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_stats.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_stats.cpp.o.d"
+  "CMakeFiles/tsg_core.dir/core/tile_transpose.cpp.o"
+  "CMakeFiles/tsg_core.dir/core/tile_transpose.cpp.o.d"
+  "libtsg_core.a"
+  "libtsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_csb.dir/csb/csb.cpp.o"
+  "CMakeFiles/tsg_csb.dir/csb/csb.cpp.o.d"
+  "libtsg_csb.a"
+  "libtsg_csb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_csb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

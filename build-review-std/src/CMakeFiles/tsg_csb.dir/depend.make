@@ -1,0 +1,2 @@
+# Empty dependencies file for tsg_csb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/tsg_gen.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/tsg_gen.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/representative.cpp" "src/CMakeFiles/tsg_gen.dir/gen/representative.cpp.o" "gcc" "src/CMakeFiles/tsg_gen.dir/gen/representative.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/tsg_gen.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/tsg_gen.dir/gen/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_common.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_gen.dir/gen/generators.cpp.o"
+  "CMakeFiles/tsg_gen.dir/gen/generators.cpp.o.d"
+  "CMakeFiles/tsg_gen.dir/gen/representative.cpp.o"
+  "CMakeFiles/tsg_gen.dir/gen/representative.cpp.o.d"
+  "CMakeFiles/tsg_gen.dir/gen/suite.cpp.o"
+  "CMakeFiles/tsg_gen.dir/gen/suite.cpp.o.d"
+  "libtsg_gen.a"
+  "libtsg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

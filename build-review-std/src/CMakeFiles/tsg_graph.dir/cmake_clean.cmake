@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/tsg_graph.dir/graph/algorithms.cpp.o.d"
+  "libtsg_graph.a"
+  "libtsg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_harness.dir/harness/regression.cpp.o"
+  "CMakeFiles/tsg_harness.dir/harness/regression.cpp.o.d"
+  "CMakeFiles/tsg_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/tsg_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/tsg_harness.dir/harness/runner.cpp.o"
+  "CMakeFiles/tsg_harness.dir/harness/runner.cpp.o.d"
+  "libtsg_harness.a"
+  "libtsg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

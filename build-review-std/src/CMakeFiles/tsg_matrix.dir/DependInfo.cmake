@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/compare.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/compare.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/compare.cpp.o.d"
+  "/root/repo/src/matrix/convert.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/convert.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/convert.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/coo.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/io_mm.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/io_mm.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/io_mm.cpp.o.d"
+  "/root/repo/src/matrix/norms.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/norms.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/norms.cpp.o.d"
+  "/root/repo/src/matrix/ops.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/ops.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/ops.cpp.o.d"
+  "/root/repo/src/matrix/reorder.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/reorder.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/reorder.cpp.o.d"
+  "/root/repo/src/matrix/spmv.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/spmv.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/spmv.cpp.o.d"
+  "/root/repo/src/matrix/stats.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/stats.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/stats.cpp.o.d"
+  "/root/repo/src/matrix/transpose.cpp" "src/CMakeFiles/tsg_matrix.dir/matrix/transpose.cpp.o" "gcc" "src/CMakeFiles/tsg_matrix.dir/matrix/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_common.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_matrix.dir/matrix/compare.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/compare.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/convert.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/convert.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/coo.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/coo.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/csr.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/csr.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/io_mm.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/io_mm.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/norms.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/norms.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/ops.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/ops.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/reorder.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/reorder.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/spmv.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/spmv.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/stats.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/stats.cpp.o.d"
+  "CMakeFiles/tsg_matrix.dir/matrix/transpose.cpp.o"
+  "CMakeFiles/tsg_matrix.dir/matrix/transpose.cpp.o.d"
+  "libtsg_matrix.a"
+  "libtsg_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_obs.dir/obs/metrics.cpp.o"
+  "CMakeFiles/tsg_obs.dir/obs/metrics.cpp.o.d"
+  "CMakeFiles/tsg_obs.dir/obs/trace.cpp.o"
+  "CMakeFiles/tsg_obs.dir/obs/trace.cpp.o.d"
+  "libtsg_obs.a"
+  "libtsg_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_solver.dir/solver/amg.cpp.o"
+  "CMakeFiles/tsg_solver.dir/solver/amg.cpp.o.d"
+  "CMakeFiles/tsg_solver.dir/solver/cg.cpp.o"
+  "CMakeFiles/tsg_solver.dir/solver/cg.cpp.o.d"
+  "libtsg_solver.a"
+  "libtsg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_experimental.dir/test_block_experimental.cpp.o"
+  "CMakeFiles/test_block_experimental.dir/test_block_experimental.cpp.o.d"
+  "test_block_experimental"
+  "test_block_experimental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_experimental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_block_experimental.
+# This may be replaced when dependencies are built.

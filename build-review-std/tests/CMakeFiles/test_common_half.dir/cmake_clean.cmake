@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_half.dir/test_common_half.cpp.o"
+  "CMakeFiles/test_common_half.dir/test_common_half.cpp.o.d"
+  "test_common_half"
+  "test_common_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common_memory.cpp" "tests/CMakeFiles/test_common_memory.dir/test_common_memory.cpp.o" "gcc" "tests/CMakeFiles/test_common_memory.dir/test_common_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_core.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_csb.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_common.dir/DependInfo.cmake"
+  "/root/repo/build-review-std/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

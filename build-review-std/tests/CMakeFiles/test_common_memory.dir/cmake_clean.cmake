@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_memory.dir/test_common_memory.cpp.o"
+  "CMakeFiles/test_common_memory.dir/test_common_memory.cpp.o.d"
+  "test_common_memory"
+  "test_common_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_parallel.dir/test_common_parallel.cpp.o"
+  "CMakeFiles/test_common_parallel.dir/test_common_parallel.cpp.o.d"
+  "test_common_parallel"
+  "test_common_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

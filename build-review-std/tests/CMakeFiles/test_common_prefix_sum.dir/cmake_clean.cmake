@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_prefix_sum.dir/test_common_prefix_sum.cpp.o"
+  "CMakeFiles/test_common_prefix_sum.dir/test_common_prefix_sum.cpp.o.d"
+  "test_common_prefix_sum"
+  "test_common_prefix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_timer.dir/test_common_timer.cpp.o"
+  "CMakeFiles/test_common_timer.dir/test_common_timer.cpp.o.d"
+  "test_common_timer"
+  "test_common_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csb.dir/test_csb.cpp.o"
+  "CMakeFiles/test_csb.dir/test_csb.cpp.o.d"
+  "test_csb"
+  "test_csb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

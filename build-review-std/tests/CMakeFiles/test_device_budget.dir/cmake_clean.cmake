@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_budget.dir/test_device_budget.cpp.o"
+  "CMakeFiles/test_device_budget.dir/test_device_budget.cpp.o.d"
+  "test_device_budget"
+  "test_device_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

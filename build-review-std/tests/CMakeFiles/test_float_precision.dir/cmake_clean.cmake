@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_precision.dir/test_float_precision.cpp.o"
+  "CMakeFiles/test_float_precision.dir/test_float_precision.cpp.o.d"
+  "test_float_precision"
+  "test_float_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

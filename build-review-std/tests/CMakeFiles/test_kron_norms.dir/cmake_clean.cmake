@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_norms.dir/test_kron_norms.cpp.o"
+  "CMakeFiles/test_kron_norms.dir/test_kron_norms.cpp.o.d"
+  "test_kron_norms"
+  "test_kron_norms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_kron_norms.
+# This may be replaced when dependencies are built.

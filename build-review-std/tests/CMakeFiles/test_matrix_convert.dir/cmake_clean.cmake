@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_convert.dir/test_matrix_convert.cpp.o"
+  "CMakeFiles/test_matrix_convert.dir/test_matrix_convert.cpp.o.d"
+  "test_matrix_convert"
+  "test_matrix_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_ops.dir/test_matrix_ops.cpp.o"
+  "CMakeFiles/test_matrix_ops.dir/test_matrix_ops.cpp.o.d"
+  "test_matrix_ops"
+  "test_matrix_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

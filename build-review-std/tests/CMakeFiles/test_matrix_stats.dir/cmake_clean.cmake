@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_stats.dir/test_matrix_stats.cpp.o"
+  "CMakeFiles/test_matrix_stats.dir/test_matrix_stats.cpp.o.d"
+  "test_matrix_stats"
+  "test_matrix_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

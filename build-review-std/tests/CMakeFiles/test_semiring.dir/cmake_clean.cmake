@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semiring.dir/test_semiring.cpp.o"
+  "CMakeFiles/test_semiring.dir/test_semiring.cpp.o.d"
+  "test_semiring"
+  "test_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

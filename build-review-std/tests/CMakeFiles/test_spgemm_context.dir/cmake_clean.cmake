@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_context.dir/test_spgemm_context.cpp.o"
+  "CMakeFiles/test_spgemm_context.dir/test_spgemm_context.cpp.o.d"
+  "test_spgemm_context"
+  "test_spgemm_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

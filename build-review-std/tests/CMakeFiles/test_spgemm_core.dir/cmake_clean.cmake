@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_core.dir/test_spgemm_core.cpp.o"
+  "CMakeFiles/test_spgemm_core.dir/test_spgemm_core.cpp.o.d"
+  "test_spgemm_core"
+  "test_spgemm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

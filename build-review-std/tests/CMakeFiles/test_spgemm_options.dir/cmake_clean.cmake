@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_options.dir/test_spgemm_options.cpp.o"
+  "CMakeFiles/test_spgemm_options.dir/test_spgemm_options.cpp.o.d"
+  "test_spgemm_options"
+  "test_spgemm_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

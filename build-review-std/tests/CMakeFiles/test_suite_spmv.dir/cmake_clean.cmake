@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_spmv.dir/test_suite_spmv.cpp.o"
+  "CMakeFiles/test_suite_spmv.dir/test_suite_spmv.cpp.o.d"
+  "test_suite_spmv"
+  "test_suite_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_algebra.dir/test_tile_algebra.cpp.o"
+  "CMakeFiles/test_tile_algebra.dir/test_tile_algebra.cpp.o.d"
+  "test_tile_algebra"
+  "test_tile_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

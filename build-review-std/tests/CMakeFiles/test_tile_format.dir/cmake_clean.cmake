@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_format.dir/test_tile_format.cpp.o"
+  "CMakeFiles/test_tile_format.dir/test_tile_format.cpp.o.d"
+  "test_tile_format"
+  "test_tile_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_io.dir/test_tile_io.cpp.o"
+  "CMakeFiles/test_tile_io.dir/test_tile_io.cpp.o.d"
+  "test_tile_io"
+  "test_tile_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_ops.dir/test_tile_ops.cpp.o"
+  "CMakeFiles/test_tile_ops.dir/test_tile_ops.cpp.o.d"
+  "test_tile_ops"
+  "test_tile_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsparse.dir/test_tsparse.cpp.o"
+  "CMakeFiles/test_tsparse.dir/test_tsparse.cpp.o.d"
+  "test_tsparse"
+  "test_tsparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

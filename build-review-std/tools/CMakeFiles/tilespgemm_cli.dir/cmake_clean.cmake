@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilespgemm_cli.dir/tilespgemm_cli.cpp.o"
+  "CMakeFiles/tilespgemm_cli.dir/tilespgemm_cli.cpp.o.d"
+  "tilespgemm_cli"
+  "tilespgemm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilespgemm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tsg_lint"
+  "../tsg_lint.pdb"
+  "CMakeFiles/tsg_lint.dir/tsg_lint/main.cpp.o"
+  "CMakeFiles/tsg_lint.dir/tsg_lint/main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_lint_lib.dir/tsg_lint/lexer.cpp.o"
+  "CMakeFiles/tsg_lint_lib.dir/tsg_lint/lexer.cpp.o.d"
+  "CMakeFiles/tsg_lint_lib.dir/tsg_lint/rules.cpp.o"
+  "CMakeFiles/tsg_lint_lib.dir/tsg_lint/rules.cpp.o.d"
+  "libtsg_lint_lib.a"
+  "libtsg_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

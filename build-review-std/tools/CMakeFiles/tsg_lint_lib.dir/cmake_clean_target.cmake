@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsg_lint_lib.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/auto_select.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/auto_select.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/auto_select.cpp.o.d"
+  "/root/repo/src/baselines/esc.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/esc.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/esc.cpp.o.d"
+  "/root/repo/src/baselines/hash.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/hash.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/hash.cpp.o.d"
+  "/root/repo/src/baselines/heap.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/heap.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/heap.cpp.o.d"
+  "/root/repo/src/baselines/reference.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/reference.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/reference.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/registry.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/registry.cpp.o.d"
+  "/root/repo/src/baselines/spa.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/spa.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/spa.cpp.o.d"
+  "/root/repo/src/baselines/speck.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/speck.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/speck.cpp.o.d"
+  "/root/repo/src/baselines/tsparse.cpp" "src/CMakeFiles/tsg_baselines.dir/baselines/tsparse.cpp.o" "gcc" "src/CMakeFiles/tsg_baselines.dir/baselines/tsparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tsg_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tsg_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tsg_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

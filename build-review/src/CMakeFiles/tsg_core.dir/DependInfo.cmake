@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_experimental.cpp" "src/CMakeFiles/tsg_core.dir/core/block_experimental.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/block_experimental.cpp.o.d"
+  "/root/repo/src/core/masked_spgemm.cpp" "src/CMakeFiles/tsg_core.dir/core/masked_spgemm.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/masked_spgemm.cpp.o.d"
+  "/root/repo/src/core/spgemm_context.cpp" "src/CMakeFiles/tsg_core.dir/core/spgemm_context.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/spgemm_context.cpp.o.d"
+  "/root/repo/src/core/step1.cpp" "src/CMakeFiles/tsg_core.dir/core/step1.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/step1.cpp.o.d"
+  "/root/repo/src/core/step2.cpp" "src/CMakeFiles/tsg_core.dir/core/step2.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/step2.cpp.o.d"
+  "/root/repo/src/core/step3.cpp" "src/CMakeFiles/tsg_core.dir/core/step3.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/step3.cpp.o.d"
+  "/root/repo/src/core/tile_add.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_add.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_add.cpp.o.d"
+  "/root/repo/src/core/tile_convert.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_convert.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_convert.cpp.o.d"
+  "/root/repo/src/core/tile_format.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_format.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_format.cpp.o.d"
+  "/root/repo/src/core/tile_io.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_io.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_io.cpp.o.d"
+  "/root/repo/src/core/tile_spgemm.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_spgemm.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_spgemm.cpp.o.d"
+  "/root/repo/src/core/tile_spmm.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_spmm.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_spmm.cpp.o.d"
+  "/root/repo/src/core/tile_spmv.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_spmv.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_spmv.cpp.o.d"
+  "/root/repo/src/core/tile_stats.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_stats.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_stats.cpp.o.d"
+  "/root/repo/src/core/tile_transpose.cpp" "src/CMakeFiles/tsg_core.dir/core/tile_transpose.cpp.o" "gcc" "src/CMakeFiles/tsg_core.dir/core/tile_transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tsg_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tsg_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tsg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
