@@ -6,9 +6,16 @@
 //     of the tnnz = 192 threshold)
 //   * end-to-end sensitivity of TileSpGEMM to the tnnz threshold
 //   * CSR->tile conversion throughput (Fig. 12's numerator)
+//   * word-packed vs scalar step-2 symbolic kernel (ISSUE 5)
+//
+// Doubles as the machine-readable bench-regression harness: run with
+// `--regress` (see regress_harness.h) to emit/compare BENCH_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
 #include <vector>
+
+#include "regress_harness.h"
 
 #include "common/random.h"
 #include "core/intersect.h"
@@ -203,4 +210,39 @@ void BM_PairCacheVsRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_PairCacheVsRecompute)->Arg(0)->Arg(1);
 
+// ------------------------------------------------------- symbolic kernel --
+
+/// Word-packed vs scalar step-2 symbolic (ISSUE 5): dense_blocks keeps the
+/// mask-OR phase dominant, so the whole-pipeline ratio tracks the kernel
+/// ratio closely. The --regress harness measures step2_ms in isolation; this
+/// gbench pair is the quick human-facing view of the same ablation.
+void BM_SymbolicKernel(benchmark::State& state, SymbolicKernel kernel) {
+  const Csr<double> a = gen::dense_blocks(static_cast<index_t>(state.range(0)), 16, 88);
+  const TileMatrix<double> t = csr_to_tile(a);
+  TileSpgemmOptions opt;
+  opt.symbolic = kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t, opt).c.nnz());
+  }
+}
+void BM_SymbolicPacked(benchmark::State& s) { BM_SymbolicKernel(s, SymbolicKernel::kWordPacked); }
+void BM_SymbolicScalar(benchmark::State& s) { BM_SymbolicKernel(s, SymbolicKernel::kScalar); }
+BENCHMARK(BM_SymbolicPacked)->Arg(24)->Arg(64);
+BENCHMARK(BM_SymbolicScalar)->Arg(24)->Arg(64);
+
 }  // namespace
+
+// Custom main: `--regress` switches to the machine-readable regression
+// harness (regress_harness.cpp); anything else goes to google-benchmark.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--regress") {
+      return tsg::bench::run_regress(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

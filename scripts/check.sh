@@ -1,104 +1,198 @@
 #!/usr/bin/env bash
-# CI gate: build the sanitizer preset (ASan + UBSan via -DTSG_SANITIZE=ON)
-# and run the full test suite under it, then build and test the regular
-# preset. Any sanitizer report aborts the run (-fno-sanitize-recover=all).
+# CI gate, split into individually callable stages so the CI matrix can run
+# them as separate jobs and a developer can re-run just the one that failed:
 #
-# On top of the full suites, two dedicated robustness passes (ISSUE 2):
-#   * fault injection under ASan — every injected allocation failure must
-#     unwind without leaking a byte;
-#   * budget stress — a 1 MB device budget must force the tiled pipeline
-#     into chunked graceful degradation with bit-identical results
-#     (test_device_budget asserts >= 2 chunks).
+#   scripts/check.sh                 # every stage, in order
+#   scripts/check.sh lint regular    # just these stages
+#   scripts/check.sh help            # list stages
 #
-# And two observability passes (ISSUE 3):
-#   * the obs-labeled tests under ASan/UBSan with tracing force-enabled
-#     (TSG_TRACE=1) — the concurrent ring-buffer emit path must be
-#     sanitizer-clean;
-#   * a disabled-overhead gate — the Fig. 10 breakdown bench with tracing
-#     compiled in (but runtime-disabled) must not be measurably slower
-#     than a -DTSG_TRACING=OFF build of the same bench.
+# Stages:
+#   hygiene       no tracked build trees / run outputs (PR 5)
+#   lint          tsg_lint over the whole tree + optional clang-tidy (PR 4)
+#   asan          ASan+UBSan build: full suite, fault injection, obs (PR 2/3)
+#   regular       regular build: full suite, robustness label, budget stress
+#   tsan          ThreadSanitizer build, `-L analysis` label (PR 4)
+#   obs_overhead  tracing disabled-overhead gate on the Fig. 10 bench (PR 3)
+#   bench_regress bench-regression gate vs BENCH_baseline.json (PR 5)
 #
-# Usage: scripts/check.sh [ctest-args...]
+# Environment knobs:
+#   TSG_CTEST_ARGS       extra arguments appended to the full-suite ctest runs
+#   TSG_OBS_GATE_REPS    reps for the obs overhead gate (default 3)
+#   TSG_OBS_OVERHEAD_PCT obs overhead tolerance in percent (default 10)
+#   TSG_BENCH_REPS       reps per kernel for the regression harness (default 7)
+#   TSG_BENCH_SCALE      suite size multiplier for the harness (default 1.0)
+#   TSG_BENCH_TOLERANCE  per-kernel regression tolerance (default 0.15)
+#   TSG_BENCH_SPEEDUP    step2 packed-vs-scalar median gate (default 1.2)
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+CTEST_ARGS=()
+if [ -n "${TSG_CTEST_ARGS:-}" ]; then
+  read -r -a CTEST_ARGS <<< "${TSG_CTEST_ARGS}"
+fi
 
-echo "=== static analysis: tsg_lint over the whole tree ==="
-# Fail fast (ISSUE 4): the project-invariant lint is seconds to build and
-# run, so it gates before the expensive sanitizer builds. Exit 1 here means
-# a rule fired without a `// tsg-lint: allow(...)` rationale.
-cmake -B build -S .
-cmake --build build --target tsg_lint -j "${JOBS}"
-./build/tsg_lint src tools tests
-# Optional depth on machines that have LLVM: the curated .clang-tidy
-# profile (no-op on the gcc-only CI image).
-scripts/run_clang_tidy.sh build
-
-echo "=== sanitized build (ASan+UBSan) ==="
-cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "${JOBS}"
-ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "$@"
-
-echo "=== robustness: fault injection under ASan ==="
-# Injected bad_alloc at every allocation site: ASan proves the unwind path
-# releases everything the aborted run had staged.
-ctest --test-dir build-asan --output-on-failure -R test_fault_injection
-
-echo "=== observability: trace/metrics under ASan (tracing enabled) ==="
-# The obs suite drives the per-thread rings from concurrent emitters; with
-# TSG_TRACE=1 the context tests also run fully instrumented. Any data race
-# or lifetime bug on the lock-free emit path is a sanitizer report here.
-TSG_TRACE=1 TSG_METRICS=1 ctest --test-dir build-asan --output-on-failure -L obs
-TSG_TRACE=1 TSG_METRICS=1 ./build-asan/tests/test_spgemm_context --gtest_brief=1
-
-echo "=== regular build ==="
-cmake -B build -S .
-cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}" "$@"
-
-echo "=== robustness: labeled suite + budget stress ==="
-# The labeled robustness surface (Status layer, loader hardening, budget
-# degradation, fault plans) in one pass...
-ctest --test-dir build --output-on-failure -L robustness
-# ...and the budget-stress pass: a 1 MB budget over the context sweep forces
-# chunked execution on every case big enough to matter, and the bit-identity
-# assertions must still hold. (test_integration and baseline binaries are
-# excluded on purpose: the row-row baselines legitimately fail at 1 MB.)
-TSG_DEVICE_MEM_MB=1 ./build/tests/test_spgemm_context --gtest_brief=1
-TSG_DEVICE_MEM_MB=1 ./build/tests/test_fault_injection --gtest_brief=1
-
-echo "=== thread sanitizer: analysis label on the std::thread backend ==="
-# TSG_TSAN forces TSG_PARALLEL_STD: TSan cannot see libgomp's futex
-# barriers, so the OpenMP backend would drown the report in false races
-# (and a blanket libgomp suppression would mask real ones). The std backend
-# synchronises only through TSan-instrumented primitives, so `ctest -L
-# analysis` is signal-only; scripts/tsan.supp holds the (rationale-carrying)
-# exceptions and is wired in via each test's TSAN_OPTIONS property.
-cmake -B build-tsan -S . -DTSG_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "${JOBS}"
-ctest --test-dir build-tsan --output-on-failure -L analysis
-
-echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
-# Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
-# breakdown bench (regular build, TSG_TRACING=ON by default) against a
-# -DTSG_TRACING=OFF build of the same tree. The paper-facing target is < 2 %
-# overhead; the gate defaults to TSG_OBS_OVERHEAD_PCT=10 so scheduler noise
-# on shared CI hosts does not flake the run.
-cmake -B build-noobs -S . -DTSG_TRACING=OFF >/dev/null
-cmake --build build-noobs -j "${JOBS}" --target bench_fig10_breakdown
-OBS_REPS="${TSG_OBS_GATE_REPS:-3}"
-# Sum the best-of-reps "total ms" CSV column over the 18-matrix sweep.
-sum_total_ms() {
-  "$1" --csv --reps "${OBS_REPS}" | awk -F, 'NF==7 && $6+0==$6 {s+=$6} END {printf "%.3f", s}'
+stage_hygiene() {
+  echo "=== hygiene: no tracked build trees or run outputs ==="
+  # `build*/` and `results/` are .gitignore'd; anything from them that is
+  # nevertheless in the index was force-added (or predates the ignore) and
+  # bloats every clone. `git ls-files` sees the index, not the worktree.
+  local tracked
+  tracked="$(git ls-files -- 'build*/**' 'results/**')"
+  if [ -n "${tracked}" ]; then
+    echo "error: build/run artifacts are tracked in git:" >&2
+    echo "${tracked}" | head -20 >&2
+    echo "fix: git rm -r --cached <dir>  (and keep .gitignore covering it)" >&2
+    return 1
+  fi
+  echo "hygiene: clean"
 }
-with_ms="$(sum_total_ms ./build/bench/bench_fig10_breakdown)"
-without_ms="$(sum_total_ms ./build-noobs/bench/bench_fig10_breakdown)"
-awk -v a="${with_ms}" -v b="${without_ms}" -v tol="${TSG_OBS_OVERHEAD_PCT:-10}" 'BEGIN {
-  pct = (b > 0) ? 100.0 * (a - b) / b : 0.0;
-  printf "tracing compiled-in-but-disabled: %s ms, no-obs build: %s ms (%+.2f%%, gate %s%%)\n",
-         a, b, pct, tol;
-  exit (pct > tol) ? 1 : 0;
-}'
 
-echo "check.sh: all green"
+stage_lint() {
+  echo "=== static analysis: tsg_lint over the whole tree ==="
+  # Fail fast (ISSUE 4): the project-invariant lint is seconds to build and
+  # run, so it gates before the expensive sanitizer builds. Exit 1 here means
+  # a rule fired without a `// tsg-lint: allow(...)` rationale.
+  cmake -B build -S .
+  cmake --build build --target lint_tree -j "${JOBS}"
+  # Optional depth on machines that have LLVM: the curated .clang-tidy
+  # profile (no-op on the gcc-only CI image).
+  scripts/run_clang_tidy.sh build
+}
+
+stage_asan() {
+  echo "=== sanitized build (ASan+UBSan) ==="
+  cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}"
+
+  echo "=== robustness: fault injection under ASan ==="
+  # Injected bad_alloc at every allocation site: ASan proves the unwind path
+  # releases everything the aborted run had staged.
+  ctest --test-dir build-asan --output-on-failure -R test_fault_injection
+
+  echo "=== observability: trace/metrics under ASan (tracing enabled) ==="
+  # The obs suite drives the per-thread rings from concurrent emitters; with
+  # TSG_TRACE=1 the context tests also run fully instrumented. Any data race
+  # or lifetime bug on the lock-free emit path is a sanitizer report here.
+  TSG_TRACE=1 TSG_METRICS=1 ctest --test-dir build-asan --output-on-failure -L obs
+  TSG_TRACE=1 TSG_METRICS=1 ./build-asan/tests/test_spgemm_context --gtest_brief=1
+}
+
+stage_regular() {
+  echo "=== regular build ==="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}"
+
+  echo "=== robustness: labeled suite + budget stress ==="
+  # The labeled robustness surface (Status layer, loader hardening, budget
+  # degradation, fault plans) in one pass...
+  ctest --test-dir build --output-on-failure -L robustness
+  # ...and the budget-stress pass: a 1 MB budget over the context sweep forces
+  # chunked execution on every case big enough to matter, and the bit-identity
+  # assertions must still hold. (test_integration and baseline binaries are
+  # excluded on purpose: the row-row baselines legitimately fail at 1 MB.)
+  TSG_DEVICE_MEM_MB=1 ./build/tests/test_spgemm_context --gtest_brief=1
+  TSG_DEVICE_MEM_MB=1 ./build/tests/test_fault_injection --gtest_brief=1
+}
+
+stage_tsan() {
+  echo "=== thread sanitizer: analysis label on the std::thread backend ==="
+  # TSG_TSAN forces TSG_PARALLEL_STD: TSan cannot see libgomp's futex
+  # barriers, so the OpenMP backend would drown the report in false races
+  # (and a blanket libgomp suppression would mask real ones). The std backend
+  # synchronises only through TSan-instrumented primitives, so `ctest -L
+  # analysis` is signal-only; scripts/tsan.supp holds the (rationale-carrying)
+  # exceptions and is wired in via each test's TSAN_OPTIONS property.
+  cmake -B build-tsan -S . -DTSG_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${JOBS}"
+  ctest --test-dir build-tsan --output-on-failure -L analysis
+}
+
+stage_obs_overhead() {
+  echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
+  # Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
+  # breakdown bench (regular build, TSG_TRACING=ON by default) against a
+  # -DTSG_TRACING=OFF build of the same tree. The paper-facing target is < 2 %
+  # overhead; the gate defaults to TSG_OBS_OVERHEAD_PCT=10 so scheduler noise
+  # on shared CI hosts does not flake the run.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target bench_fig10_breakdown
+  cmake -B build-noobs -S . -DTSG_TRACING=OFF >/dev/null
+  cmake --build build-noobs -j "${JOBS}" --target bench_fig10_breakdown
+  local reps="${TSG_OBS_GATE_REPS:-3}"
+  # Sum the best-of-reps "total ms" CSV column over the 18-matrix sweep.
+  sum_total_ms() {
+    "$1" --csv --reps "${reps}" | awk -F, 'NF==7 && $6+0==$6 {s+=$6} END {printf "%.3f", s}'
+  }
+  local with_ms without_ms
+  with_ms="$(sum_total_ms ./build/bench/bench_fig10_breakdown)"
+  without_ms="$(sum_total_ms ./build-noobs/bench/bench_fig10_breakdown)"
+  awk -v a="${with_ms}" -v b="${without_ms}" -v tol="${TSG_OBS_OVERHEAD_PCT:-10}" 'BEGIN {
+    pct = (b > 0) ? 100.0 * (a - b) / b : 0.0;
+    printf "tracing compiled-in-but-disabled: %s ms, no-obs build: %s ms (%+.2f%%, gate %s%%)\n",
+           a, b, pct, tol;
+    exit (pct > tol) ? 1 : 0;
+  }'
+}
+
+stage_bench_regress() {
+  echo "=== bench regression: hot-path kernels vs BENCH_baseline.json ==="
+  # Medians over the step2-dominated synthetic suite (see
+  # docs/PERFORMANCE.md): fails on any step2/step3 kernel more than
+  # TSG_BENCH_TOLERANCE slower than the committed baseline, or if the
+  # word-packed symbolic kernel loses its speedup over the scalar reference.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target bench_micro_kernels
+  mkdir -p results
+  # One retry at double the reps: a shared host's load spike can push a
+  # ~0.5 ms kernel past 15% in a single pass; a genuine regression fails
+  # both passes.
+  local reps="${TSG_BENCH_REPS:-7}"
+  if ! ./build/bench/bench_micro_kernels --regress \
+      --reps "${reps}" \
+      --compare BENCH_baseline.json \
+      --assert-speedup "${TSG_BENCH_SPEEDUP:-1.2}" \
+      --emit results/bench_regress_current.json; then
+    echo "bench_regress: gate failed once; retrying with $((reps * 2)) reps"
+    ./build/bench/bench_micro_kernels --regress \
+      --reps "$((reps * 2))" \
+      --compare BENCH_baseline.json \
+      --assert-speedup "${TSG_BENCH_SPEEDUP:-1.2}" \
+      --emit results/bench_regress_current.json
+  fi
+}
+
+usage() {
+  echo "usage: scripts/check.sh [stage...]"
+  echo "stages: hygiene lint asan regular tsan obs_overhead bench_regress"
+  echo "default order: all of the above"
+}
+
+main() {
+  local stages=("$@")
+  if [ "${#stages[@]}" -eq 0 ]; then
+    stages=(hygiene lint asan regular tsan obs_overhead bench_regress)
+  fi
+  local s
+  for s in "${stages[@]}"; do
+    case "${s}" in
+      hygiene|lint|asan|regular|tsan|obs_overhead|bench_regress)
+        "stage_${s}"
+        ;;
+      help|-h|--help)
+        usage
+        return 0
+        ;;
+      *)
+        echo "check.sh: unknown stage '${s}'" >&2
+        usage >&2
+        return 2
+        ;;
+    esac
+  done
+  echo "check.sh: all green (${stages[*]})"
+}
+
+main "$@"

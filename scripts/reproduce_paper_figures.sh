@@ -3,28 +3,35 @@
 # artifact's reproduce_paper_figure.sh): builds, tests, then runs one bench
 # binary per figure/table, teeing each output under results/.
 #
-# Environment knobs (see README): TSG_BENCH_REPS, TSG_DEVICE_MEM_MB,
-# OMP_NUM_THREADS.
+# Environment knobs (see README):
+#   TSG_BENCH_REPS     reps per measurement (benches and the regress harness)
+#   TSG_BENCH_SCALE    size multiplier for the regression-harness suite
+#   TSG_DEVICE_MEM_MB  modeled device-memory budget
+#   OMP_NUM_THREADS    worker count
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
-cmake -B build -G Ninja
+cmake -B build -S . -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
 mkdir -p results
 for bench in build/bench/bench_*; do
-  [ -x "$bench" ] && [ -f "$bench" ] || continue
-  name="$(basename "$bench")"
-  echo "=== $name ==="
-  if [ "$name" = "bench_micro_kernels" ]; then
-    # google-benchmark binary: rejects our flags, has its own counters.
-    "$bench" | tee "results/${name}.txt"
+  [ -x "${bench}" ] && [ -f "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "=== ${name} ==="
+  if [ "${name}" = "bench_micro_kernels" ]; then
+    # google-benchmark binary: rejects our flags, has its own counters. Its
+    # --regress mode also emits the machine-readable kernel medians that
+    # BENCH_baseline.json is refreshed from (docs/PERFORMANCE.md).
+    "${bench}" | tee "results/${name}.txt"
+    "${bench}" --regress --emit "results/${name}.regress.json" \
+      | tee -a "results/${name}.txt"
   else
     # Per-figure provenance: the metrics-registry snapshot (run counts,
     # tiles per cost bin, chunk counts, memory gauges) lands as JSON next
     # to the figure's text output.
-    "$bench" --metrics "results/${name}.metrics.json" | tee "results/${name}.txt"
+    "${bench}" --metrics "results/${name}.metrics.json" | tee "results/${name}.txt"
   fi
 done
 echo "All figure/table outputs written to results/ (with .metrics.json provenance)."

@@ -39,6 +39,63 @@ inline index_t mask_select(rowmask_t mask, int k) {
   return static_cast<index_t>(std::countr_zero(m));
 }
 
+// ---------------------------------------------------------------------------
+// Word-packed tile masks.
+//
+// A tile's 16 row masks are 256 bits = four 64-bit machine words; packing
+// four rows per word (row r in bits [16*(r%4), 16*(r%4)+16) of word r/4)
+// turns the per-bit symbolic loops of steps 2-3 into OR/AND/popcount word
+// ops. Scanning the words in order from the least-significant bit
+// enumerates the tile's nonzeros in storage order (row-major, ascending
+// column), so packed enumeration is drop-in for the per-row loops.
+// ---------------------------------------------------------------------------
+
+/// Words per packed tile mask (16 rows x 16 bits / 64).
+inline constexpr int kTileMaskWords = 4;
+
+/// Rows packed into one mask word.
+inline constexpr int kRowsPerMaskWord = kTileDim / kTileMaskWords;
+
+static_assert(kTileDim == kTileMaskWords * kRowsPerMaskWord,
+              "a packed tile mask must cover all rows exactly");
+
+/// Pack four consecutive row masks into one word (row j at bits [16j, 16j+16)).
+/// Compiles to a single 8-byte load on little-endian targets.
+inline std::uint64_t pack_rowmask_word(const rowmask_t* m) {
+  return static_cast<std::uint64_t>(m[0]) | (static_cast<std::uint64_t>(m[1]) << 16) |
+         (static_cast<std::uint64_t>(m[2]) << 32) | (static_cast<std::uint64_t>(m[3]) << 48);
+}
+
+/// Row mask of packed row j (0..3) of a mask word.
+inline rowmask_t unpack_rowmask(std::uint64_t w, int j) {
+  return static_cast<rowmask_t>(w >> (16 * j));
+}
+
+/// SWAR per-lane popcount: each 16-bit lane of the result holds the
+/// popcount of the corresponding lane of `w` — four row-nnz counts from one
+/// word in a handful of ALU ops (no per-row popcount loop).
+inline std::uint64_t lane_popcounts16(std::uint64_t w) {
+  w = w - ((w >> 1) & 0x5555555555555555ull);
+  w = (w & 0x3333333333333333ull) + ((w >> 2) & 0x3333333333333333ull);
+  w = (w + (w >> 4)) & 0x0F0F0F0F0F0F0F0Full;
+  return (w + (w >> 8)) & 0x00FF00FF00FF00FFull;
+}
+
+/// SWAR inclusive prefix sum over the four 16-bit lanes of `w`: lane j of
+/// the result holds lanes 0..j summed. Row counts are <= 16 per lane and
+/// <= 256 per tile, so 16-bit lanes never overflow.
+inline std::uint64_t lane_prefix_sums16(std::uint64_t w) {
+  w += w << 16;
+  w += w << 32;
+  return w;
+}
+
+/// Total population of a packed tile mask.
+inline int tilemask_popcount(const std::uint64_t* w) {
+  return std::popcount(w[0]) + std::popcount(w[1]) + std::popcount(w[2]) +
+         std::popcount(w[3]);
+}
+
 /// Pack a (row, col) pair of 4-bit local tile indices into one byte, as the
 /// paper notes "the row or column index in one tile only needs four bits and
 /// can be together stored within an 8-bit unsigned char".

@@ -15,6 +15,18 @@ enum class IntersectMethod {
   kMerge,
 };
 
+/// How step 2 turns the matched pairs into C's tile masks / row pointers.
+enum class SymbolicKernel {
+  /// Word-packed (default): drive the mask OR phase from A's row masks and
+  /// derive per-row nonzero counts with SWAR popcounts over uint64_t[4]
+  /// packed masks (common/bitops.h). Bit-identical to kScalar.
+  kWordPacked,
+  /// Reference: per-nonzero loop over A's row_idx/col_idx arrays with a
+  /// per-row popcount scan — the pre-optimisation path, kept for the A/B
+  /// tests and the regression bench's speedup denominator.
+  kScalar,
+};
+
 /// Accumulator selection for step 3.
 enum class AccumulatorPolicy {
   kAdaptive,      ///< sparse below tnnz, dense above (the paper's method)
@@ -24,6 +36,7 @@ enum class AccumulatorPolicy {
 
 struct TileSpgemmOptions {
   IntersectMethod intersect = IntersectMethod::kBinarySearch;
+  SymbolicKernel symbolic = SymbolicKernel::kWordPacked;
   AccumulatorPolicy accumulator = AccumulatorPolicy::kAdaptive;
   /// Dense-accumulator threshold; the paper uses 192 (75% of 256).
   index_t tnnz = kAccumulatorThreshold;

@@ -30,6 +30,7 @@ void publish_run_metrics(const TileSpgemmTimings& tm) {
   static obs::Counter& fused = reg.counter("spgemm.tiles.fused");
   static obs::Counter& chunks = reg.counter("spgemm.chunks");
   static obs::Counter& degraded = reg.counter("spgemm.runs.degraded");
+  static obs::Counter& cache_dropped = reg.counter("spgemm.runs.cache_dropped");
   static std::array<obs::Counter*, kCostBins> bins = {
       &reg.counter("spgemm.tiles.bin0"), &reg.counter("spgemm.tiles.bin1"),
       &reg.counter("spgemm.tiles.bin2"), &reg.counter("spgemm.tiles.bin3")};
@@ -39,6 +40,7 @@ void publish_run_metrics(const TileSpgemmTimings& tm) {
   fused.add(tm.fused_tiles);
   chunks.add(tm.chunks);
   if (tm.budget_limited) degraded.inc();
+  if (tm.pair_cache_dropped) cache_dropped.inc();
   for (int bin = 0; bin < kCostBins; ++bin) {
     bins[static_cast<std::size_t>(bin)]->add(tm.bin_tiles[static_cast<std::size_t>(bin)]);
   }
@@ -204,10 +206,12 @@ SpgemmContext::SpgemmContext(const Config& config) : cfg_(config) {
 template <class T>
 ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
                                        const TileStructure& structure, SpgemmWorkspace<T>& ws,
+                                       bool cache_pairs, bool fuse_light,
                                        TileSpgemmTimings& tm) {
   ExecutionPlan plan;
-  plan.cache_pairs = cfg_.options.cache_pairs;
-  plan.fuse_light = cfg_.fuse_light_tiles && cfg_.options.cache_pairs;
+  plan.cache_pairs = cache_pairs;
+  plan.cache_min_bin = cfg_.pair_cache_min_bin;
+  plan.fuse_light = fuse_light && cache_pairs;
   plan.fuse_threshold = cfg_.fuse_threshold;
 
   const offset_t ntiles = structure.num_tiles();
@@ -247,6 +251,10 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
     tm.bin_tiles[static_cast<std::size_t>(bin)] += count[static_cast<std::size_t>(bin)];
   }
   plan.order = ws.schedule.data();
+  // With the bins known, steps 2/3 can select the pair cache per cost bin
+  // (cache_min_bin); without binning tile_bin stays null and every tile
+  // caches, matching the pre-bin behaviour.
+  plan.tile_bin = ws.cost_bin.data();
   return plan;
 }
 
@@ -285,15 +293,24 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   }
 
   // Budget decision: bound the per-call footprint now that step 1 fixed the
-  // output's tile structure, and degrade to chunked execution if it does
-  // not fit the modeled device.
+  // output's tile structure, and degrade in stages if it does not fit the
+  // modeled device: first drop the pair cache / fused staging (the paper's
+  // recompute policy holds zero global intermediate state), then chunk.
+  bool cache_pairs = cfg_.options.cache_pairs;
+  bool fuse_light = cfg_.fuse_light_tiles && cache_pairs;
   BudgetPlan budget;
   {
     ScopedAccumulator scope(tm.plan_ms);
     TSG_TRACE_SPAN("plan.budget");
-    budget = plan_budget(a, ws.b_csc, ws.structure, ws, cfg_.options.cache_pairs,
-                         cfg_.fuse_light_tiles && cfg_.options.cache_pairs,
+    budget = plan_budget(a, ws.b_csc, ws.structure, ws, cache_pairs, fuse_light,
                          cfg_.degrade_on_budget);
+    if (budget.limited && cache_pairs) {
+      budget = plan_budget(a, ws.b_csc, ws.structure, ws, false, false,
+                           cfg_.degrade_on_budget);
+      cache_pairs = false;
+      fuse_light = false;
+      tm.pair_cache_dropped = true;
+    }
   }
   tm.budget_limited = budget.limited;
   if (budget.limited && !cfg_.degrade_on_budget) {
@@ -304,11 +321,12 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   }
 
   if (budget.limited) {
-    run_chunked(a, b, budget.chunks, ws, result);
+    run_chunked(a, b, budget.chunks, ws, cache_pairs, fuse_light, result);
     tm.chunks = static_cast<int>(budget.chunks.size());
   } else {
     // Cost model + binned schedule (plan_ms).
-    const ExecutionPlan plan = make_plan(a, ws.b_csc, ws.structure, ws, tm);
+    const ExecutionPlan plan =
+        make_plan(a, ws.b_csc, ws.structure, ws, cache_pairs, fuse_light, tm);
 
     // Step 2: per-tile symbolic -> nnz, row pointers, masks (and, under the
     // fused plan, staged values for light tiles).
@@ -364,7 +382,8 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
 template <class T>
 void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                 const std::vector<std::pair<index_t, index_t>>& chunks,
-                                SpgemmWorkspace<T>& ws, TileSpgemmResult<T>& result) {
+                                SpgemmWorkspace<T>& ws, bool cache_pairs, bool fuse_light,
+                                TileSpgemmResult<T>& result) {
   const TileStructure& st = ws.structure;
   TileSpgemmTimings& tm = result.timings;
   TileMatrix<T>& c = result.c;
@@ -413,7 +432,8 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                    st.tile_col_idx.begin() + static_cast<std::ptrdiff_t>(thi));
     }
 
-    const ExecutionPlan plan = make_plan(a, ws.b_csc, chunk_st, ws, tm);
+    const ExecutionPlan plan =
+        make_plan(a, ws.b_csc, chunk_st, ws, cache_pairs, fuse_light, tm);
 
     Step2Result symbolic;
     {

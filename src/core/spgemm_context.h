@@ -75,6 +75,14 @@ class SpgemmContext {
     bool fuse_light_tiles = false;
     /// Largest tile (by nnz) the fused path handles in-visit.
     index_t fuse_threshold = kAccumulatorThreshold;
+    /// Lowest cost bin whose tiles record matched pairs when the pair cache
+    /// is on and cost binning is active. Bin 0 tiles (intersection lists of
+    /// <= 8 entries) re-intersect for less than the cost of staging and
+    /// reloading their pairs, so the default keeps the paper's recompute
+    /// policy for them and caches bins >= 1. 0 caches every bin; >= kCostBins
+    /// caches none. Without cost binning the bin is unknown and every tile
+    /// caches (the pre-bin behaviour). Results are bit-identical throughout.
+    int pair_cache_min_bin = 1;
     /// Modeled device-memory budget in MB; 0 keeps TSG_DEVICE_MEM_MB (or
     /// its 420 MB default). Published process-wide at context creation and
     /// *enforced* by every run: a call whose estimated footprint exceeds it
@@ -107,6 +115,8 @@ class SpgemmContext {
     Config& with_accumulator(AccumulatorPolicy p) { options.accumulator = p; return *this; }
     Config& with_tnnz(index_t t) { options.tnnz = t; return *this; }
     Config& with_pair_cache(bool on) { options.cache_pairs = on; return *this; }
+    Config& with_pair_cache_min_bin(int bin) { pair_cache_min_bin = bin; return *this; }
+    Config& with_symbolic(SymbolicKernel k) { options.symbolic = k; return *this; }
     Config& with_threads(int n) { threads = n; return *this; }
     Config& with_cost_binning(bool on) { cost_binning = on; return *this; }
     Config& with_fused_path(bool on) {
@@ -193,11 +203,13 @@ class SpgemmContext {
 
  private:
   /// Cost-binned schedule over the tiles of `structure` (the full step-1
-  /// structure, or one chunk of it under budget degradation).
+  /// structure, or one chunk of it under budget degradation). `cache_pairs`
+  /// and `fuse_light` are passed in rather than read from cfg_ because the
+  /// budget planner may have dropped them for this run (recompute fallback).
   template <class T>
   ExecutionPlan make_plan(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
                           const TileStructure& structure, SpgemmWorkspace<T>& ws,
-                          TileSpgemmTimings& tm);
+                          bool cache_pairs, bool fuse_light, TileSpgemmTimings& tm);
 
   /// The pipeline body shared by single-shot and chunked execution; throws
   /// (bad_alloc, Error) rather than returning a Status — try_run converts.
@@ -209,7 +221,8 @@ class SpgemmContext {
   template <class T>
   void run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                    const std::vector<std::pair<index_t, index_t>>& chunks,
-                   SpgemmWorkspace<T>& ws, TileSpgemmResult<T>& result);
+                   SpgemmWorkspace<T>& ws, bool cache_pairs, bool fuse_light,
+                   TileSpgemmResult<T>& result);
 
   /// Masked pipeline body (masked_spgemm.cpp); throws, try_run_masked converts.
   template <class T>

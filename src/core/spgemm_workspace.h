@@ -46,6 +46,13 @@ struct TileSlot {
   std::uint32_t count = 0;
 };
 
+/// Sentinel `thread` value marking a pair_slot entry whose tile was *not*
+/// cached (its cost bin is below the plan's cache threshold, so step 3
+/// falls back to the paper's recompute policy for it). Distinct from a
+/// cached-but-empty slot ({tid, off, 0}), which step 3 may consume as an
+/// empty pair list without re-intersecting.
+inline constexpr std::uint32_t kTileSlotUncached = 0xFFFFFFFFu;
+
 static_assert(std::is_trivially_copyable_v<TileSlot>,
               "TileSlot arrays are assign()-filled and copied per chunk");
 
@@ -84,9 +91,23 @@ struct StampedTileSet {
 /// before the dynamically scheduled loop runs out of parallel slack.
 struct ExecutionPlan {
   const offset_t* order = nullptr;  ///< visit order over C tiles; null = natural
+  /// Per-tile cost bin (the scheduler's ws.cost_bin), null when binning is
+  /// off. Lets the pair cache be selected per cost bin: re-intersecting a
+  /// light tile costs less than staging and reloading its pairs, so only
+  /// bins >= cache_min_bin record pairs; the rest keep the paper's
+  /// recompute policy. Results are bit-identical either way.
+  const offset_t* tile_bin = nullptr;
   bool cache_pairs = false;         ///< record matched pairs for step 3
+  int cache_min_bin = 0;            ///< lowest cost bin that caches pairs
   bool fuse_light = false;          ///< fuse step 3 into step 2 for light tiles
   index_t fuse_threshold = kAccumulatorThreshold;  ///< max nnz of a fused tile
+
+  /// Whether tile `t` records its matched pairs for step 3.
+  bool caches_tile(offset_t t) const {
+    return cache_pairs &&
+           (tile_bin == nullptr ||
+            tile_bin[static_cast<std::size_t>(t)] >= static_cast<offset_t>(cache_min_bin));
+  }
 };
 
 /// All reusable scratch of one SpgemmContext for one value type.

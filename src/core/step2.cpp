@@ -1,5 +1,7 @@
 #include "core/step2.h"
 
+#include <bit>
+
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/spgemm_workspace.h"
@@ -7,6 +9,12 @@
 #include "obs/metrics.h"
 
 namespace tsg {
+
+// Below this many nonzeros, an A tile's per-nonzero gather loop is cheaper
+// than walking its four packed mask words; at or above it, the mask walk
+// amortises its fixed cost. Two rows' worth of nonzeros is the crossover on
+// the synthetic suite (see docs/PERFORMANCE.md).
+inline constexpr index_t kPackedGatherMaxNnz = 2 * kTileDim;
 
 template <class T>
 Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
@@ -19,7 +27,13 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
   out.row_ptr.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
   out.mask.assign(checked_size_mul(static_cast<std::size_t>(ntiles), kTileDim), 0);
   ws.ensure_threads(max_workers());
-  if (plan.cache_pairs) ws.pair_slot.assign(static_cast<std::size_t>(ntiles), {});
+  // Filled with the uncached sentinel: tiles below the plan's cache bin (and
+  // fused tiles) never touch their slot, and step 3 must read those as
+  // "recompute", not as an empty cached pair list.
+  if (plan.cache_pairs) {
+    ws.pair_slot.assign(static_cast<std::size_t>(ntiles),
+                        detail::TileSlot{detail::kTileSlotUncached, 0, 0});
+  }
   const bool fuse = plan.fuse_light && plan.cache_pairs;
   if (fuse) ws.staged_slot.assign(static_cast<std::size_t>(ntiles), {});
 
@@ -59,25 +73,88 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
     // OR the selected row masks of B into the C masks (Algorithm 2 lines
     // 19-25, Figure 5): each nonzero of A_ik at local (r, c) contributes
     // row c of B_kj's mask to row r of C_ij's mask.
-    rowmask_t mask_c[kTileDim] = {};
-    for (const MatchedPair& p : pairs) {
-      const rowmask_t* mask_b = b.tile_mask(p.tile_b);
-      const offset_t nz_base = a.tile_nnz[p.tile_a];
-      const index_t nnz_a = a.tile_nnz_of(p.tile_a);
-      for (index_t k = 0; k < nnz_a; ++k) {
-        const std::size_t g = static_cast<std::size_t>(nz_base + k);
-        mask_c[a.row_idx[g]] |= mask_b[a.col_idx[g]];
-      }
-    }
-
-    // Popcount + local prefix scan give the 16-entry row pointer and the
-    // tile nonzero count.
     index_t count = 0;
     const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
-    for (index_t r = 0; r < kTileDim; ++r) {
-      out.row_ptr[base + static_cast<std::size_t>(r)] = static_cast<std::uint8_t>(count);
-      out.mask[base + static_cast<std::size_t>(r)] = mask_c[r];
-      count += popcount16(mask_c[r]);
+    std::uint8_t* row_ptr_out = out.row_ptr.data() + base;
+    rowmask_t* mask_out = out.mask.data() + base;
+    if (options.symbolic == SymbolicKernel::kWordPacked) {
+      // Word-packed, hybrid per A-tile: dense-ish tiles drive the OR phase
+      // from A's row masks (one 8-byte load covers four rows, empty
+      // rows/words are skipped in registers, each occupied row accumulates
+      // its result mask in a register before one packed OR); hyper-sparse
+      // tiles keep the per-nonzero gather, whose loop count (nnz) is below
+      // the mask walk's fixed cost. OR is commutative and both paths feed
+      // the same merged words, so the dispatch is invisible in the output.
+      // `cm` only ever sees constant indices (the wi loops have constexpr
+      // bounds, so they unroll), which lets the compiler keep the four packed
+      // words in registers across pairs; `gather` is the hyper-sparse tiles'
+      // dynamically indexed target and is merged in once at derivation.
+      std::uint64_t cm[kTileMaskWords] = {};
+      alignas(8) rowmask_t gather[kTileDim] = {};
+      for (const MatchedPair& p : pairs) {
+        const rowmask_t* mask_b = b.tile_mask(p.tile_b);
+        const index_t nnz_a = a.tile_nnz_of(p.tile_a);
+        if (nnz_a <= kPackedGatherMaxNnz) {
+          const offset_t nz_base = a.tile_nnz[p.tile_a];
+          for (index_t k = 0; k < nnz_a; ++k) {
+            const std::size_t g = static_cast<std::size_t>(nz_base + k);
+            gather[a.row_idx[g]] |= mask_b[a.col_idx[g]];
+          }
+          continue;
+        }
+        const rowmask_t* mask_a = a.tile_mask(p.tile_a);
+        for (int wi = 0; wi < kTileMaskWords; ++wi) {
+          const std::uint64_t wa = pack_rowmask_word(mask_a + wi * kRowsPerMaskWord);
+          if (wa == 0) continue;
+          for (int j = 0; j < kRowsPerMaskWord; ++j) {
+            std::uint64_t m = (wa >> (16 * j)) & 0xFFFFu;
+            if (m == 0) continue;
+            rowmask_t acc = 0;
+            do {
+              acc = static_cast<rowmask_t>(acc | mask_b[std::countr_zero(m)]);
+              m &= m - 1;
+            } while (m != 0);
+            cm[wi] |= static_cast<std::uint64_t>(acc) << (16 * j);
+          }
+        }
+      }
+      for (int wi = 0; wi < kTileMaskWords; ++wi) {
+        cm[wi] |= pack_rowmask_word(gather + wi * kRowsPerMaskWord);
+      }
+      // SWAR derivation: per-word lane popcounts and lane prefix sums give
+      // four row-pointer entries (and the running nnz count) per word,
+      // replacing the sixteen per-row popcount iterations. row_ptr/mask start
+      // zeroed, so an empty tile skips the store loop entirely.
+      if ((cm[0] | cm[1] | cm[2] | cm[3]) != 0) {
+        for (int wi = 0; wi < kTileMaskWords; ++wi) {
+          const std::uint64_t w = cm[wi];
+          const std::uint64_t excl = lane_prefix_sums16(lane_popcounts16(w)) << 16;
+          for (int j = 0; j < kRowsPerMaskWord; ++j) {
+            mask_out[wi * kRowsPerMaskWord + j] = unpack_rowmask(w, j);
+            row_ptr_out[wi * kRowsPerMaskWord + j] =
+                static_cast<std::uint8_t>(count + ((excl >> (16 * j)) & 0xFFFFu));
+          }
+          count += static_cast<index_t>(std::popcount(w));
+        }
+      }
+    } else {
+      // Reference per-bit path (SymbolicKernel::kScalar), kept verbatim as
+      // the A/B oracle and the regression bench's speedup denominator.
+      rowmask_t mask_c[kTileDim] = {};
+      for (const MatchedPair& p : pairs) {
+        const rowmask_t* mask_b = b.tile_mask(p.tile_b);
+        const offset_t nz_base = a.tile_nnz[p.tile_a];
+        const index_t nnz_a = a.tile_nnz_of(p.tile_a);
+        for (index_t k = 0; k < nnz_a; ++k) {
+          const std::size_t g = static_cast<std::size_t>(nz_base + k);
+          mask_c[a.row_idx[g]] |= mask_b[a.col_idx[g]];
+        }
+      }
+      for (index_t r = 0; r < kTileDim; ++r) {
+        row_ptr_out[r] = static_cast<std::uint8_t>(count);
+        mask_out[r] = mask_c[r];
+        count += popcount16(mask_c[r]);
+      }
     }
     out.tile_nnz[static_cast<std::size_t>(t) + 1] = count;
     if (detail_metrics) {
@@ -105,9 +182,12 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
           static_cast<std::uint32_t>(tid), static_cast<offset_t>(slot.staged.size()),
           static_cast<std::uint32_t>(count)};
       slot.staged.insert(slot.staged.end(), vals, vals + count);
-    } else if (plan.cache_pairs) {
+    } else if (plan.caches_tile(t)) {
       // Record this tile's pairs in the owning thread's buffer so step 3
       // skips its re-intersection (see TileSpgemmOptions::cache_pairs).
+      // Tiles below the plan's cache bin skip this on purpose: their slot
+      // keeps the uncached sentinel and step 3 re-intersects them (the
+      // paper's recompute policy, cheaper than staging for light tiles).
       ws.pair_slot[static_cast<std::size_t>(t)] = {
           static_cast<std::uint32_t>(tid), static_cast<offset_t>(slot.cache.size()),
           static_cast<std::uint32_t>(pairs.size())};

@@ -72,15 +72,21 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
     }
 
     // Gather the matched pairs: a borrowed span from the step-2 cache when
-    // enabled, otherwise by re-running the intersection (the paper's
-    // zero-global-memory choice).
-    const MatchedPair* pair_data;
-    std::size_t pair_count;
+    // this tile's cost bin recorded one, otherwise by re-running the
+    // intersection (the paper's zero-global-memory choice, which the plan
+    // keeps for light bins and the budget fallback).
+    const MatchedPair* pair_data = nullptr;
+    std::size_t pair_count = 0;
+    bool cached = false;
     if (use_cache) {
       const detail::TileSlot& s = ws.pair_slot[static_cast<std::size_t>(t)];
-      pair_data = ws.slot(static_cast<int>(s.thread)).cache.data() + s.offset;
-      pair_count = s.count;
-    } else {
+      if (s.thread != detail::kTileSlotUncached) {
+        pair_data = ws.slot(static_cast<int>(s.thread)).cache.data() + s.offset;
+        pair_count = s.count;
+        cached = true;
+      }
+    }
+    if (!cached) {
       std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;
       pairs.clear();
       const offset_t a_base = a.tile_ptr[tile_i];

@@ -70,16 +70,17 @@ inline void accumulate_pairs_dense(const TileMatrix<T>& a, const TileMatrix<T>& 
       }
     }
   }
-  // Compress: walk the mask bits in order; their rank order equals the
-  // storage order of the tile's nonzeros.
+  // Compress: walk the mask bits in packed-word order; their rank order
+  // equals the storage order of the tile's nonzeros, and with four rows per
+  // word a bit at position b of word wi indexes dense slot 64*wi + b (the
+  // dense tile is row-major at 16 slots per row).
   index_t out = 0;
-  for (index_t r = 0; r < kTileDim; ++r) {
-    rowmask_t m = mask_c[r];
-    const T* acc_row = acc + static_cast<std::size_t>(r) * kTileDim;
-    while (m != 0) {
-      const index_t c = static_cast<index_t>(std::countr_zero(static_cast<unsigned>(m)));
-      slots[out++] = acc_row[c];
-      m = static_cast<rowmask_t>(m & (m - 1));
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    std::uint64_t w = pack_rowmask_word(mask_c + wi * kRowsPerMaskWord);
+    const T* acc_w = acc + static_cast<std::size_t>(wi) * (kRowsPerMaskWord * kTileDim);
+    while (w != 0) {
+      slots[out++] = acc_w[std::countr_zero(w)];
+      w &= w - 1;
     }
   }
 }
@@ -95,9 +96,29 @@ inline bool use_dense_accumulator(const TileSpgemmOptions& options, index_t nnz_
 
 /// Materialise a tile's local row/column index arrays from its 16 row
 /// masks; the mask bit order is the storage order. Writes nnz_c entries at
-/// row_idx/col_idx (already offset to the tile's base).
+/// row_idx/col_idx (already offset to the tile's base). Word-packed: one
+/// bit-scan loop over four 64-bit words instead of sixteen per-row loops —
+/// bit b of word wi is local (4*wi + b/16, b%16).
 inline void materialize_tile_indices(const rowmask_t* mask_c, std::uint8_t* row_idx,
                                      std::uint8_t* col_idx) {
+  index_t out = 0;
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    std::uint64_t w = pack_rowmask_word(mask_c + wi * kRowsPerMaskWord);
+    const std::uint8_t row_base = static_cast<std::uint8_t>(wi * kRowsPerMaskWord);
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      row_idx[out] = static_cast<std::uint8_t>(row_base + (b >> 4));
+      col_idx[out] = static_cast<std::uint8_t>(b & 0xF);
+      ++out;
+      w &= w - 1;
+    }
+  }
+}
+
+/// Per-row reference version of materialize_tile_indices, kept as the A/B
+/// oracle for the word-packed enumeration order.
+inline void materialize_tile_indices_scalar(const rowmask_t* mask_c, std::uint8_t* row_idx,
+                                            std::uint8_t* col_idx) {
   index_t out = 0;
   for (index_t r = 0; r < kTileDim; ++r) {
     rowmask_t m = mask_c[r];

@@ -53,6 +53,11 @@ struct TileSpgemmTimings {
   /// run degraded to chunked execution (the Fig. 9 "completes where others
   /// fail" scenario, now enforced rather than merely modeled).
   bool budget_limited = false;
+  /// True when the pair cache / fused staging was requested but dropped for
+  /// this run because its footprint did not fit the device budget — the
+  /// first stage of degradation, falling back to the paper's recompute
+  /// policy before resorting to chunked execution.
+  bool pair_cache_dropped = false;
   /// Registry activity of this run (counters/histograms as deltas, gauges
   /// as end-of-run values). Populated only when the context ran with
   /// metrics detail enabled (Config::with_metrics / TSG_METRICS); null

@@ -61,6 +61,55 @@ TEST(Bitops, NibblePackRoundTrip) {
   }
 }
 
+// --- Word-packed tile-mask helpers (the step-2 packed symbolic kernel) ---
+
+TEST(Bitops, RowmaskWordPackRoundTrip) {
+  const rowmask_t rows[kRowsPerMaskWord] = {0x0001, 0xBEEF, 0x0000, 0x8000};
+  const std::uint64_t w = pack_rowmask_word(rows);
+  for (int j = 0; j < kRowsPerMaskWord; ++j) {
+    EXPECT_EQ(unpack_rowmask(w, j), rows[j]) << "lane " << j;
+  }
+}
+
+TEST(Bitops, LanePopcountsMatchPerRowPopcount) {
+  // Each 16-bit lane of the SWAR popcount must equal popcount16 of that
+  // lane, over a pseudo-random word sample.
+  std::uint64_t w = 0x0123456789ABCDEFull;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::uint64_t counts = lane_popcounts16(w);
+    for (int j = 0; j < kRowsPerMaskWord; ++j) {
+      const auto lane = static_cast<rowmask_t>(w >> (16 * j));
+      EXPECT_EQ(static_cast<int>((counts >> (16 * j)) & 0xFFFF), popcount16(lane));
+    }
+    w = w * 6364136223846793005ull + 1442695040888963407ull;
+  }
+}
+
+TEST(Bitops, LanePrefixSumsAreInclusive) {
+  // lanes (1, 2, 3, 4) -> inclusive prefix (1, 3, 6, 10); the kernel shifts
+  // by 16 to read them as exclusive offsets.
+  const std::uint64_t w = 0x0004'0003'0002'0001ull;
+  const std::uint64_t p = lane_prefix_sums16(w);
+  EXPECT_EQ((p >> 0) & 0xFFFF, 1u);
+  EXPECT_EQ((p >> 16) & 0xFFFF, 3u);
+  EXPECT_EQ((p >> 32) & 0xFFFF, 6u);
+  EXPECT_EQ((p >> 48) & 0xFFFF, 10u);
+}
+
+TEST(Bitops, TilemaskPopcountSumsAllRows) {
+  rowmask_t mask[kTileDim];
+  int expected = 0;
+  for (index_t r = 0; r < kTileDim; ++r) {
+    mask[r] = static_cast<rowmask_t>((0x9E37u * (r + 3)) & 0xFFFF);
+    expected += popcount16(mask[r]);
+  }
+  std::uint64_t words[kTileMaskWords];
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    words[wi] = pack_rowmask_word(mask + wi * kRowsPerMaskWord);
+  }
+  EXPECT_EQ(tilemask_popcount(words), expected);
+}
+
 TEST(Bitops, CeilDiv) {
   EXPECT_EQ(ceil_div(0, 16), 0);
   EXPECT_EQ(ceil_div(1, 16), 1);
