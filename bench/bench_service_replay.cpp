@@ -1,0 +1,249 @@
+// Service replay bench: an open-loop arrival process over a mixed matrix
+// suite, driven through SpgemmService. Reports end-to-end latency (p50 /
+// p99), throughput, peak queue depth, and the admission outcome mix
+// (admitted / degraded / queue-full / rejected) — the numbers the service
+// layer exists to control. Run with a deliberately undersized --budget-mb
+// to exercise admission control: every request must still end in a
+// completed future, a bit-identical degraded run, or a structured
+// rejection — never an abort.
+//
+//   bench_service_replay [--csv] [--metrics FILE] [--requests N]
+//                        [--rate R] [--workers N] [--queue-cap N]
+//                        [--budget-mb MB] [--no-degrade] [--seed S]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/memory.h"
+#include "common/random.h"
+#include "gen/representative.h"
+#include "obs/metrics.h"
+#include "service/spgemm_service.h"
+
+namespace tsg::bench {
+namespace {
+
+using service::Admission;
+using service::SpgemmRequest;
+using service::SpgemmService;
+using service::Ticket;
+
+struct ReplayArgs {
+  bool csv = false;
+  std::string metrics_path;
+  int requests = 48;
+  double rate = 400.0;  ///< open-loop arrivals per second
+  int workers = 2;
+  std::size_t queue_cap = 16;
+  std::size_t budget_mb = 0;  ///< 0 = ambient TSG_DEVICE_MEM_MB / default
+  bool degrade = true;
+  std::uint64_t seed = 0x5eedu;
+
+  static ReplayArgs parse(int argc, char** argv) {
+    ReplayArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const auto next_int = [&](long min_v) {
+        const long v = i + 1 < argc ? std::atol(argv[++i]) : min_v - 1;
+        if (v < min_v) {
+          std::cerr << "bench_service_replay: bad value for " << argv[i - 1] << "\n";
+          std::exit(2);
+        }
+        return v;
+      };
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        args.csv = true;
+      } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+        args.metrics_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--requests") == 0) {
+        args.requests = static_cast<int>(next_int(1));
+      } else if (std::strcmp(argv[i], "--rate") == 0) {
+        args.rate = static_cast<double>(next_int(1));
+      } else if (std::strcmp(argv[i], "--workers") == 0) {
+        args.workers = static_cast<int>(next_int(1));
+      } else if (std::strcmp(argv[i], "--queue-cap") == 0) {
+        args.queue_cap = static_cast<std::size_t>(next_int(1));
+      } else if (std::strcmp(argv[i], "--budget-mb") == 0) {
+        args.budget_mb = static_cast<std::size_t>(next_int(1));
+      } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+        args.degrade = false;
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        args.seed = static_cast<std::uint64_t>(next_int(0));
+      } else {
+        std::cerr << "usage: bench_service_replay [--csv] [--metrics FILE] "
+                     "[--requests N] [--rate R] [--workers N] [--queue-cap N] "
+                     "[--budget-mb MB] [--no-degrade] [--seed S]\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(b - a)
+      .count();
+}
+
+/// Nearest-rank percentile of an (unsorted) sample set; 0 when empty.
+double percentile_us(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+int run(const ReplayArgs& args) {
+  // Mixed tenant workload: the Table-2 representative suite, shuffled by
+  // the arrival process (each request draws a random suite member).
+  std::vector<std::shared_ptr<const Csr<double>>> suite;
+  for (gen::NamedMatrix& m : gen::representative_suite()) {
+    suite.push_back(std::make_shared<const Csr<double>>(std::move(m.a)));
+  }
+
+  SpgemmService::Config cfg = SpgemmService::Config::from_env();
+  cfg.with_workers(args.workers)
+      .with_queue_capacity(args.queue_cap)
+      .with_device_mem_mb(args.budget_mb)
+      .with_degradation(args.degrade);
+  SpgemmService svc(cfg);
+
+  struct InFlight {
+    Ticket ticket;
+    Clock::time_point submitted;
+  };
+  std::vector<InFlight> accepted;
+  accepted.reserve(static_cast<std::size_t>(args.requests));
+  std::int64_t queue_full = 0, rejected = 0, other_refusals = 0;
+  std::int64_t degraded = 0;
+  std::size_t peak_depth = 0;
+
+  // Open-loop arrivals: exponential inter-arrival gaps at `rate` per
+  // second, independent of service progress (a slow service does not slow
+  // the tenants down — that is what fills the queue and exercises
+  // backpressure).
+  Xoshiro256 rng(args.seed);
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next_arrival = start;
+  for (int i = 0; i < args.requests; ++i) {
+    const double gap_s = -std::log1p(-rng.next_double()) / args.rate;
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next_arrival);
+
+    SpgemmRequest req{suite[rng.next_below(suite.size())]};
+    req.tag = static_cast<std::uint64_t>(i);
+    const Clock::time_point submitted = Clock::now();
+    Expected<Ticket> ticket = svc.try_submit(std::move(req));
+    peak_depth = std::max(peak_depth, svc.queue_depth());
+    if (ticket.ok()) {
+      if (ticket->admission == Admission::kDegraded) ++degraded;
+      accepted.push_back({std::move(*ticket), submitted});
+    } else if (ticket.status().code() == StatusCode::kQueueFull) {
+      ++queue_full;
+    } else if (ticket.status().code() == StatusCode::kRejected) {
+      ++rejected;
+    } else {
+      ++other_refusals;  // malformed/shutdown: none expected in this replay
+    }
+  }
+
+  // Collect in submission order. get() returns the moment a future is
+  // ready, so with FIFO dispatch the recorded completion times are tight;
+  // a request that finished out of order is stamped when the collector
+  // reaches it (a small upper-bound bias, never an undercount).
+  std::vector<double> latency_us;
+  latency_us.reserve(accepted.size());
+  std::int64_t completed = 0, failed = 0;
+  for (InFlight& f : accepted) {
+    try {
+      const SpgemmRunReport report = f.ticket.result.get();
+      latency_us.push_back(us_between(f.submitted, Clock::now()));
+      ++completed;
+      (void)report;
+    } catch (const Error& e) {
+      ++failed;  // structured failure (e.g. BudgetExceeded with --no-degrade)
+    }
+  }
+  const double wall_s =
+      us_between(start, Clock::now()) / 1e6;
+  svc.shutdown();
+
+  const double p50 = percentile_us(latency_us, 50.0);
+  const double p99 = percentile_us(latency_us, 99.0);
+
+  // Publish the replay's headline numbers as gauges so --metrics carries
+  // them next to the service's own counters/histograms in one JSON.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const auto publish = [&reg](const char* name, std::int64_t value) {
+    auto state = std::make_shared<std::int64_t>(value);
+    reg.register_gauge(name, [state] { return *state; });
+  };
+  publish("service.replay.p50_us", static_cast<std::int64_t>(p50));
+  publish("service.replay.p99_us", static_cast<std::int64_t>(p99));
+  publish("service.replay.peak_queue_depth", static_cast<std::int64_t>(peak_depth));
+  publish("service.replay.completed", completed);
+  publish("service.replay.failed", failed);
+  publish("service.replay.queue_full", queue_full);
+  publish("service.replay.rejected", rejected);
+
+  Table t({"requests", "completed", "degraded", "queue_full", "rejected", "failed",
+           "p50_ms", "p99_ms", "req_per_s", "peak_depth"});
+  t.add_row({std::to_string(args.requests), std::to_string(completed),
+             std::to_string(degraded), std::to_string(queue_full),
+             std::to_string(rejected), std::to_string(failed), fmt(p50 / 1000.0),
+             fmt(p99 / 1000.0),
+             fmt(wall_s > 0 ? static_cast<double>(completed) / wall_s : 0.0),
+             std::to_string(peak_depth)});
+  if (!args.csv) {
+    print_header("Service replay (open-loop arrivals over SpgemmService)",
+                 "service layer — not a paper figure");
+    std::cout << "workers=" << args.workers << " queue_cap=" << args.queue_cap
+              << " rate=" << args.rate << "/s budget=" << svc.budget_bytes() / (1 << 20)
+              << " MB degrade=" << (args.degrade ? "on" : "off") << "\n\n";
+  }
+  BenchArgs emit_args;
+  emit_args.csv = args.csv;
+  emit(t, emit_args);
+
+  // The service contract this bench exists to demonstrate: under any
+  // budget, every accepted request resolves and nothing aborts. Refusals
+  // must be structured (QueueFull / Rejected), not "other".
+  if (other_refusals > 0) {
+    std::cerr << "bench_service_replay: " << other_refusals
+              << " unexpected refusal(s)\n";
+    return 1;
+  }
+  if (args.degrade && failed > 0) {
+    std::cerr << "bench_service_replay: " << failed
+              << " request(s) failed despite degradation being enabled\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsg::bench
+
+int main(int argc, char** argv) {
+  const tsg::bench::ReplayArgs args = tsg::bench::ReplayArgs::parse(argc, argv);
+  const int rc = tsg::bench::run(args);
+  if (!args.metrics_path.empty()) {
+    tsg::bench::BenchArgs ba;
+    ba.metrics_path = args.metrics_path;
+    ba.write_metrics();
+  }
+  return rc;
+}

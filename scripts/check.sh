@@ -12,6 +12,7 @@
 #   asan          ASan+UBSan build: full suite, fault injection, obs (PR 2/3)
 #   regular       regular build: full suite, robustness label, budget stress
 #   tsan          ThreadSanitizer build, `-L analysis` label (PR 4)
+#   service       service-layer suite under ASan + TSan, replay smoke (PR 6)
 #   obs_overhead  tracing disabled-overhead gate on the Fig. 10 bench (PR 3)
 #   bench_regress bench-regression gate vs BENCH_baseline.json (PR 5)
 #
@@ -110,6 +111,29 @@ stage_tsan() {
   ctest --test-dir build-tsan --output-on-failure -L analysis
 }
 
+stage_service() {
+  echo "=== service layer: queue/admission/shutdown under ASan and TSan ==="
+  # The service suite runs in the full ASan/TSan passes too (it carries the
+  # `service` and `analysis` labels); this stage is the focused re-run for
+  # service-layer changes plus the replay smoke that the full passes skip.
+  cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "${JOBS}" --target test_service
+  ctest --test-dir build-asan --output-on-failure -L service
+  cmake -B build-tsan -S . -DTSG_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${JOBS}" --target test_service
+  ctest --test-dir build-tsan --output-on-failure -L service
+
+  echo "=== service replay: open-loop arrivals under an undersized budget ==="
+  # Every request must end admitted, degraded (bit-identical chunked run) or
+  # structurally rejected — the bench exits nonzero on any abort or on a
+  # failed future while degradation is enabled.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target bench_service_replay
+  mkdir -p results
+  ./build/bench/bench_service_replay --requests 24 --rate 400 --workers 2 \
+    --queue-cap 8 --budget-mb 8 --metrics results/service_replay_metrics.json
+}
+
 stage_obs_overhead() {
   echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
   # Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
@@ -166,19 +190,19 @@ stage_bench_regress() {
 
 usage() {
   echo "usage: scripts/check.sh [stage...]"
-  echo "stages: hygiene lint asan regular tsan obs_overhead bench_regress"
+  echo "stages: hygiene lint asan regular tsan service obs_overhead bench_regress"
   echo "default order: all of the above"
 }
 
 main() {
   local stages=("$@")
   if [ "${#stages[@]}" -eq 0 ]; then
-    stages=(hygiene lint asan regular tsan obs_overhead bench_regress)
+    stages=(hygiene lint asan regular tsan service obs_overhead bench_regress)
   fi
   local s
   for s in "${stages[@]}"; do
     case "${s}" in
-      hygiene|lint|asan|regular|tsan|obs_overhead|bench_regress)
+      hygiene|lint|asan|regular|tsan|service|obs_overhead|bench_regress)
         "stage_${s}"
         ;;
       help|-h|--help)

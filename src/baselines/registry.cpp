@@ -39,7 +39,6 @@ SpgemmAlgorithm wrap(std::string name, std::string proxies, Fn fn) {
     rep.peak_mb = registry_peak_mb();
     return rep;
   };
-  algo.run = [fn](const Csr<double>& a, const Csr<double>& b) { return fn(a, b); };
   return algo;
 }
 
@@ -71,7 +70,6 @@ SpgemmAlgorithm make_tile_algorithm() {
     }
     return rep;
   };
-  algo.run = [](const Csr<double>& a, const Csr<double>& b) { return spgemm_tile(a, b); };
   return algo;
 }
 

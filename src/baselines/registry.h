@@ -24,7 +24,9 @@ struct SpgemmRunReport {
   double core_ms = 0.0;  ///< milliseconds that count as "the SpGEMM"
   /// Peak tracked workspace MB during the core, read back from the
   /// obs::MetricsRegistry "memory.peak_bytes" gauge (the PeakMemoryScope
-  /// inside `profiled` still performs the reset).
+  /// inside `profiled` still performs the reset). The tracker is
+  /// process-wide: reports produced by concurrent SpgemmService workers
+  /// carry the service's high-water mark, not one request's.
   double peak_mb = 0.0;
   /// Budget outcome (TileSpGEMM only; the row-row baselines either fit or
   /// throw): execution chunks the run was split into (1 = single shot) and
@@ -40,16 +42,16 @@ struct SpgemmAlgorithm {
   std::string name;      ///< name used in output tables
   std::string proxies;   ///< the paper baseline this method stands in for
   bool is_tile = false;  ///< true for the paper's contribution
-  /// The single profiled entry point. `core_ms` and `peak_mb` cover what
-  /// counts as "the SpGEMM" for this method: for TileSpGEMM both exclude
-  /// the CSR<->tile conversions, matching Section 4.6 ("we always assume
-  /// the matrix is already stored in the tiled format"); for the row-row
+  /// The single profiled entry point — the registry's only entry-point
+  /// shape (the unprofiled `run` shim was removed after its one-release
+  /// deprecation window; callers that only want the product use
+  /// `profiled(a, b).c`). `core_ms` and `peak_mb` cover what counts as
+  /// "the SpGEMM" for this method: for TileSpGEMM both exclude the
+  /// CSR<->tile conversions, matching Section 4.6 ("we always assume the
+  /// matrix is already stored in the tiled format"); for the row-row
   /// methods they cover the whole call (their operands and outputs are
   /// natively CSR).
   std::function<SpgemmRunReport(const Csr<double>&, const Csr<double>&)> profiled;
-  /// Deprecated: unprofiled shim kept for one release. Equivalent to
-  /// `profiled(a, b).c` — migrate callers to `profiled`.
-  std::function<Csr<double>(const Csr<double>&, const Csr<double>&)> run;
 };
 
 /// The five methods in the paper's comparison order:

@@ -1,0 +1,147 @@
+// Bounded MPMC queue — the backpressure primitive of the service layer.
+//
+// A mutex + two condition variables rather than a lock-free ring: every
+// enqueue/dequeue in this library brackets a multi-millisecond SpGEMM, so
+// the queue is never the bottleneck, and pthread primitives are the ones
+// ThreadSanitizer understands (the same reasoning that picked the
+// std::thread parallel backend for the TSan gate). Capacity is fixed at
+// construction; a full queue *blocks* producers in push() and *refuses*
+// them in try_push() — the two submission flavours SpgemmService exposes
+// as submit() / try_submit().
+//
+// Closing the queue is the shutdown edge: producers fail fast, consumers
+// drain what is left and then see pop() return false. drain() hands the
+// still-queued items back to the closer so it can complete their promises
+// with a structured Cancelled status instead of dropping them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tsg {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Non-blocking enqueue: false when the queue is full or closed (the
+  /// caller distinguishes the two via closed()).
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue: waits for space; false only when the queue is (or
+  /// becomes) closed while waiting.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue: waits for an item; false when the queue is closed
+  /// *and* empty (the consumer's exit condition — a closed queue still
+  /// yields its remaining items, which is what makes drain-shutdown work).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Batched dequeue for the service's per-wake-up batching: blocks for the
+  /// first item like pop(), then keeps taking items while `keep_taking(next)`
+  /// holds and fewer than `max_items` were taken. Returns the number taken
+  /// (0 only when closed and empty).
+  template <class Pred>
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items, Pred keep_taking) {
+    if (max_items == 0) max_items = 1;
+    std::size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      while (!items_.empty() && taken < max_items) {
+        if (taken > 0 && !keep_taking(items_.front())) break;
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Close the queue: producers fail from now on, consumers drain the rest.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Close and hand every still-queued item back to the caller — the
+  /// cancel-shutdown path, where each pending promise gets a structured
+  /// Cancelled status instead of silently disappearing.
+  std::vector<T> drain() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return out;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tsg

@@ -33,6 +33,9 @@ enum class StatusCode {
   kBudgetExceeded,     ///< modeled device budget too small, degradation off
   kAllocationFailed,   ///< tracked allocation threw (real or injected)
   kIoError,            ///< malformed or unreadable matrix file
+  kQueueFull,          ///< bounded service queue at capacity (try_submit)
+  kRejected,           ///< admission control refused the request
+  kCancelled,          ///< request abandoned by shutdown before it ran
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -44,6 +47,9 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kBudgetExceeded: return "BudgetExceeded";
     case StatusCode::kAllocationFailed: return "AllocationFailed";
     case StatusCode::kIoError: return "IoError";
+    case StatusCode::kQueueFull: return "QueueFull";
+    case StatusCode::kRejected: return "Rejected";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }
@@ -73,6 +79,9 @@ class [[nodiscard]] Status {
     return {StatusCode::kAllocationFailed, std::move(m)};
   }
   static Status io_error(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status queue_full(std::string m) { return {StatusCode::kQueueFull, std::move(m)}; }
+  static Status rejected(std::string m) { return {StatusCode::kRejected, std::move(m)}; }
+  static Status cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,9 +1,14 @@
 #include "core/spgemm_context.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -175,8 +180,60 @@ BudgetPlan plan_budget(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
 
 }  // namespace
 
+namespace {
+
+/// Every TSG_-prefixed environment variable some part of the project reads
+/// (library knobs, service knobs, bench-harness knobs, check.sh stage
+/// knobs). from_env() warns about any other TSG_* in the environment so a
+/// typo (TSG_DEVICE_MEM=...) surfaces instead of being silently ignored;
+/// the table in docs/ARCHITECTURE.md mirrors this list.
+constexpr const char* kKnownEnvKnobs[] = {
+    "TSG_NUM_THREADS",    "TSG_DEVICE_MEM_MB",     "TSG_TRACE",
+    "TSG_METRICS",        "TSG_SERVICE_WORKERS",   "TSG_SERVICE_QUEUE_CAP",
+    "TSG_BENCH_REPS",     "TSG_BENCH_SCALE",       "TSG_BENCH_TOLERANCE",
+    "TSG_BENCH_SPEEDUP",  "TSG_CTEST_ARGS",        "TSG_OBS_GATE_REPS",
+    "TSG_OBS_OVERHEAD_PCT",
+    // Build/CI controls (scripts/check.sh, CMake options) that may sit in
+    // the environment when a test process calls from_env().
+    "TSG_PARALLEL_STD",   "TSG_SANITIZE",          "TSG_TRACING",
+    "TSG_TSAN",
+};
+
+void warn_unknown_env_knobs() {
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const char* entry = *e;
+    if (std::strncmp(entry, "TSG_", 4) != 0) continue;
+    const char* eq = std::strchr(entry, '=');
+    const std::string name(entry, eq != nullptr ? static_cast<std::size_t>(eq - entry)
+                                                : std::strlen(entry));
+    bool known = false;
+    for (const char* k : kKnownEnvKnobs) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    // Once per variable per process: repeated from_env() calls (every
+    // context-config construction in a test suite) must not spam stderr.
+    // Mutex-guarded — service workers may build configs concurrently.
+    static std::mutex warned_mutex;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> lock(warned_mutex);
+    if (warned.insert(name).second) {
+      std::fprintf(stderr,
+                   "tsg: warning: unknown environment variable '%s' (TSG_ prefix is "
+                   "reserved; known knobs are listed in docs/ARCHITECTURE.md)\n",
+                   name.c_str());
+    }
+  }
+}
+
+}  // namespace
+
 SpgemmContext::Config SpgemmContext::Config::from_env() {
   Config cfg;
+  warn_unknown_env_knobs();
   if (const char* env = std::getenv("TSG_NUM_THREADS")) {
     const int n = std::atoi(env);
     if (n > 0) cfg.threads = n;

@@ -135,7 +135,12 @@ class SpgemmContext {
     /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget),
     /// TSG_NUM_THREADS (worker threads), TSG_TRACE (execution tracing),
     /// and TSG_METRICS (per-tile detail metrics). CLI, benches, and tests
-    /// build on this instead of parsing getenv themselves.
+    /// build on this instead of parsing getenv themselves. Any other
+    /// TSG_-prefixed variable in the environment draws a one-time stderr
+    /// warning (typos must not be silently ignored); the full knob table —
+    /// including the service-layer TSG_SERVICE_WORKERS /
+    /// TSG_SERVICE_QUEUE_CAP read by SpgemmService::Config::from_env — is
+    /// in docs/ARCHITECTURE.md.
     static Config from_env();
   };
 
@@ -148,34 +153,41 @@ class SpgemmContext {
   /// breakdown plus bin/fusion counters, the pooled-workspace footprint,
   /// and the budget outcome (chunks / budget_limited). Anticipated
   /// failures come back as a Status; the context stays reusable.
+  /// Throwing twin: run().
   template <class T>
   Expected<TileSpgemmResult<T>> try_run(const TileMatrix<T>& a, const TileMatrix<T>& b);
 
-  /// Throwing twin of try_run: raises tsg::Error carrying the same Status.
+  /// Throwing twin of try_run(): identical parameters, raises tsg::Error
+  /// carrying the same Status.
   template <class T>
   TileSpgemmResult<T> run(const TileMatrix<T>& a, const TileMatrix<T>& b);
 
   /// C = A * A^T, transpose formed tile-natively (booked as alloc_ms).
+  /// Throwing twin: run_aat().
   template <class T>
   Expected<TileSpgemmResult<T>> try_run_aat(const TileMatrix<T>& a);
+  /// Throwing twin of try_run_aat(): identical parameters.
   template <class T>
   TileSpgemmResult<T> run_aat(const TileMatrix<T>& a);
 
   /// CSR in/out convenience: converts (aliased operands convert once),
   /// multiplies, converts back. Conversion time lands in
   /// timings->convert_ms — the Fig. 12 numerator — not in core_ms().
-  /// On failure `*timings` is untouched.
+  /// On failure `*timings` is untouched. Throwing twin: run_csr().
   template <class T>
   Expected<Csr<T>> try_run_csr(const Csr<T>& a, const Csr<T>& b,
                                TileSpgemmTimings* timings = nullptr);
+  /// Throwing twin of try_run_csr(): identical parameters.
   template <class T>
   Csr<T> run_csr(const Csr<T>& a, const Csr<T>& b, TileSpgemmTimings* timings = nullptr);
 
   /// C = (A*B) .* structure(mask), Values from the product; entries outside
   /// the mask's pattern are never computed. Defined in masked_spgemm.cpp.
+  /// Throwing twin: run_masked().
   template <class T>
   Expected<TileMatrix<T>> try_run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                          const TileMatrix<T>& mask);
+  /// Throwing twin of try_run_masked(): identical parameters.
   template <class T>
   TileMatrix<T> run_masked(const TileMatrix<T>& a, const TileMatrix<T>& b,
                            const TileMatrix<T>& mask);

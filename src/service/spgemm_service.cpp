@@ -1,0 +1,369 @@
+#include "service/spgemm_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsg::service {
+
+namespace {
+
+/// Hot-path instruments, resolved once (registry references are stable for
+/// the process lifetime).
+struct ServiceMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& degraded;
+  obs::Counter& rejected;
+  obs::Counter& queue_full;
+  obs::Counter& cancelled;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& batches;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& latency_us;
+
+  static ServiceMetrics& instance() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    static ServiceMetrics m{
+        reg.counter("service.submitted"),
+        reg.counter("service.admitted"),
+        reg.counter("service.degraded"),
+        reg.counter("service.rejected"),
+        reg.counter("service.queue_full"),
+        reg.counter("service.cancelled"),
+        reg.counter("service.completed"),
+        reg.counter("service.failed"),
+        reg.counter("service.batches"),
+        reg.histogram("service.queue_wait_us",
+                      {100, 1000, 10000, 100000, 1000000, 10000000}),
+        reg.histogram("service.latency_us",
+                      {100, 1000, 10000, 100000, 1000000, 10000000}),
+    };
+    return m;
+  }
+};
+
+std::int64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+double mb_of(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+SpgemmService::Config SpgemmService::Config::from_env() {
+  Config cfg;
+  cfg.context = SpgemmContext::Config::from_env();
+  if (const char* env = std::getenv("TSG_SERVICE_WORKERS")) {
+    const int n = std::atoi(env);
+    if (n >= 0) cfg.workers = n;
+  }
+  if (const char* env = std::getenv("TSG_SERVICE_QUEUE_CAP")) {
+    const long n = std::atol(env);
+    if (n > 0) cfg.queue_capacity = static_cast<std::size_t>(n);
+  }
+  return cfg;
+}
+
+void SpgemmService::BudgetGate::acquire(std::size_t bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A request is always eligible when nothing is in flight — the gate must
+  // make progress even for an over-budget (degraded) request, which simply
+  // runs exclusively.
+  available_.wait(lock, [&] {
+    std::size_t next = 0;
+    return in_flight_ == 0 || (checked_add(in_flight_, bytes, next));
+  });
+  std::size_t next = 0;
+  in_flight_ = checked_add(in_flight_, bytes, next) ? next : static_cast<std::size_t>(-1);
+}
+
+void SpgemmService::BudgetGate::release(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ = bytes < in_flight_ ? in_flight_ - bytes : 0;
+  }
+  available_.notify_all();
+}
+
+std::int64_t SpgemmService::BudgetGate::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(in_flight_);
+}
+
+SpgemmService::SpgemmService(const Config& config) : cfg_(config) {
+  if (cfg_.workers < 0) cfg_.workers = 0;
+  // The service owns the process-wide budget and thread-count interactions
+  // so its workers never race on them: budget published once here, and the
+  // per-worker contexts are forbidden their own ThreadCountGuard /
+  // republish (see Config::context).
+  cfg_.context.threads = 0;
+  cfg_.context.device_mem_mb = 0;
+  if (cfg_.device_mem_mb > 0) {
+    set_device_memory_budget_bytes(cfg_.device_mem_mb * 1024 * 1024);
+  }
+  budget_bytes_ = device_memory_budget_bytes();
+
+  queue_ = std::make_unique<BoundedQueue<Pending>>(cfg_.queue_capacity);
+  depth_ = std::make_shared<std::atomic<std::int64_t>>(0);
+  inflight_gauge_ = std::make_shared<std::atomic<std::int64_t>>(0);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  // Gauge callbacks live for the process; capture the shared counters by
+  // value so a destroyed service reads as zero, never as a dangling `this`.
+  reg.register_gauge("service.queue_depth",
+                     [state = depth_] { return state->load(std::memory_order_relaxed); });
+  reg.register_gauge("service.inflight_bytes", [state = inflight_gauge_] {
+    return state->load(std::memory_order_relaxed);
+  });
+
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int rank = 0; rank < cfg_.workers; ++rank) {
+    workers_.emplace_back([this, rank] { worker_loop(rank); });
+  }
+}
+
+SpgemmService::~SpgemmService() { shutdown(DrainMode::kDrain); }
+
+Status SpgemmService::admit(const SpgemmRequest& request, Pending& out,
+                            Admission& admission) {
+  if (!request.a) {
+    return Status::invalid_argument("submit: request has no A operand");
+  }
+  const Csr<double>& a = *request.a;
+  const Csr<double>& b = request.b ? *request.b : a;
+  if (a.cols != b.rows) {
+    return Status::dimension_mismatch(
+        "submit: inner dimensions differ (A is " + std::to_string(a.rows) + "x" +
+        std::to_string(a.cols) + ", B is " + std::to_string(b.rows) + "x" +
+        std::to_string(b.cols) + ")");
+  }
+
+  const FootprintEstimate est = estimate_footprint(a, b);
+  admission = est.bytes <= budget_bytes_ ? Admission::kAdmitted : Admission::kDegraded;
+  if (admission == Admission::kDegraded && cfg_.admission_enforce) {
+    const bool may_degrade = cfg_.degrade_on_budget && request.allow_degraded &&
+                             cfg_.context.degrade_on_budget;
+    if (!may_degrade) {
+      ServiceMetrics::instance().rejected.inc();
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "admission: estimated footprint %.1f MB exceeds the service budget "
+                    "%.1f MB and chunked degradation is unavailable",
+                    mb_of(est.bytes), mb_of(budget_bytes_));
+      return Status::rejected(detail);
+    }
+  }
+
+  out.request = request;
+  out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  out.estimated_bytes = est.bytes;
+  out.degraded = admission == Admission::kDegraded;
+  out.enqueued_at = std::chrono::steady_clock::now();
+  return Status{};
+}
+
+Expected<Ticket> SpgemmService::try_submit(SpgemmRequest request) {
+  TSG_TRACE_SPAN("service.submit");
+  ServiceMetrics& metrics = ServiceMetrics::instance();
+  metrics.submitted.inc();
+  if (shutdown_started_.load(std::memory_order_acquire)) {
+    metrics.cancelled.inc();
+    return Status::cancelled("try_submit: service is shut down");
+  }
+
+  Pending item;
+  Admission admission = Admission::kAdmitted;
+  if (Status s = admit(request, item, admission); !s.ok()) return s;
+
+  Ticket ticket;
+  ticket.id = item.id;
+  ticket.tag = request.tag;
+  ticket.admission = admission;
+  ticket.estimated_bytes = item.estimated_bytes;
+  ticket.result = item.promise.get_future();
+
+  if (!queue_->try_push(std::move(item))) {
+    if (queue_->closed()) {
+      metrics.cancelled.inc();
+      return Status::cancelled("try_submit: service is shut down");
+    }
+    metrics.queue_full.inc();
+    return Status::queue_full("try_submit: request queue at capacity (" +
+                              std::to_string(queue_->capacity()) + ")");
+  }
+  depth_->fetch_add(1, std::memory_order_relaxed);
+  metrics.admitted.inc();
+  if (admission == Admission::kDegraded) metrics.degraded.inc();
+  return ticket;
+}
+
+std::future<SpgemmRunReport> SpgemmService::submit(SpgemmRequest request) {
+  TSG_TRACE_SPAN("service.submit");
+  ServiceMetrics& metrics = ServiceMetrics::instance();
+  metrics.submitted.inc();
+
+  // Failures before the queue still produce a (poisoned) future so the
+  // blocking flavour has exactly one delivery path; see try_submit for the
+  // Status-returning twin.
+  const auto poisoned = [&metrics](obs::Counter& counter, Status status) {
+    counter.inc();
+    std::promise<SpgemmRunReport> promise;
+    promise.set_exception(std::make_exception_ptr(Error(std::move(status))));
+    return promise.get_future();
+  };
+
+  if (shutdown_started_.load(std::memory_order_acquire)) {
+    return poisoned(metrics.cancelled, Status::cancelled("submit: service is shut down"));
+  }
+  Pending item;
+  Admission admission = Admission::kAdmitted;
+  if (Status s = admit(request, item, admission); !s.ok()) {
+    // admit() already counted service.rejected for admission refusals; the
+    // extra failed bump here covers malformed requests too.
+    return poisoned(metrics.failed, std::move(s));
+  }
+  std::future<SpgemmRunReport> future = item.promise.get_future();
+  if (!queue_->push(std::move(item))) {
+    return poisoned(metrics.cancelled, Status::cancelled("submit: service is shut down"));
+  }
+  depth_->fetch_add(1, std::memory_order_relaxed);
+  metrics.admitted.inc();
+  if (admission == Admission::kDegraded) metrics.degraded.inc();
+  return future;
+}
+
+void SpgemmService::fail(Pending&& item, Status status) {
+  item.promise.set_exception(std::make_exception_ptr(Error(std::move(status))));
+}
+
+void SpgemmService::process(SpgemmContext& ctx, Pending&& item) {
+  ServiceMetrics& metrics = ServiceMetrics::instance();
+  metrics.queue_wait_us.observe(elapsed_us(item.enqueued_at));
+
+  // Serialise against the other workers' in-flight footprints; a degraded
+  // request acquires the full budget and runs alone.
+  const std::size_t gate_bytes = std::min(item.estimated_bytes, budget_bytes_);
+  gate_.acquire(gate_bytes);
+  inflight_gauge_->store(gate_.in_flight(), std::memory_order_relaxed);
+
+  {
+    TSG_TRACE_SPAN("service.worker.run", static_cast<std::int64_t>(item.id));
+    const Csr<double>& a = *item.request.a;
+    const Csr<double>& b = item.request.b ? *item.request.b : a;
+    TileSpgemmTimings timings;
+    // try_run_csr returns a Status for everything the context models, but a
+    // tracked allocation can still throw bad_alloc (e.g. the tile
+    // conversion itself over budget). Nothing may escape the worker thread
+    // — that would terminate the whole service — so anything thrown lands
+    // in this request's future as a structured Status.
+    Expected<Csr<double>> product = [&]() -> Expected<Csr<double>> {
+      try {
+        return ctx.try_run_csr(a, b, &timings);
+      } catch (const Error& e) {
+        return e.status();
+      } catch (const std::bad_alloc&) {
+        return Status::allocation_failed(
+            "service worker: workspace allocation failed (over the device budget "
+            "before the planner could intervene)");
+      } catch (const std::exception& e) {
+        return Status::allocation_failed(std::string("service worker: ") + e.what());
+      }
+    }();
+    if (product.ok()) {
+      SpgemmRunReport report;
+      report.c = std::move(*product);
+      report.core_ms = timings.core_ms();
+      // Process-wide high-water mark: with concurrent workers this is the
+      // service's peak, not this request's (documented on SpgemmRunReport).
+      report.peak_mb =
+          static_cast<double>(
+              obs::MetricsRegistry::instance().snapshot().gauge("memory.peak_bytes")) /
+          (1024.0 * 1024.0);
+      report.chunks = timings.chunks;
+      report.budget_limited = timings.budget_limited;
+      report.metrics = timings.metrics;
+      metrics.completed.inc();
+      metrics.latency_us.observe(elapsed_us(item.enqueued_at));
+      item.promise.set_value(std::move(report));
+    } else {
+      // Failure poisons only this request's future; the context stays
+      // reusable for the worker's next pop.
+      metrics.failed.inc();
+      metrics.latency_us.observe(elapsed_us(item.enqueued_at));
+      fail(std::move(item), product.status());
+    }
+  }
+
+  gate_.release(gate_bytes);
+  inflight_gauge_->store(gate_.in_flight(), std::memory_order_relaxed);
+}
+
+void SpgemmService::worker_loop(int rank) {
+  (void)rank;
+  SpgemmContext ctx(cfg_.context);
+  ServiceMetrics& metrics = ServiceMetrics::instance();
+  std::vector<Pending> batch;
+  const std::size_t small = cfg_.small_request_bytes;
+  for (;;) {
+    batch.clear();
+    // One wake-up, up to batch_max back-to-back small multiplies: the first
+    // pop blocks, the rest ride along only while the queue head stays small
+    // (a large request never waits behind an opportunistic batch).
+    const std::size_t taken = queue_->pop_batch(
+        batch, std::max<std::size_t>(cfg_.batch_max, 1),
+        [small](const Pending& next) { return next.estimated_bytes <= small; });
+    if (taken == 0) return;  // closed and empty
+    depth_->fetch_sub(static_cast<std::int64_t>(taken), std::memory_order_relaxed);
+    if (taken > 1) metrics.batches.inc();
+    for (Pending& item : batch) process(ctx, std::move(item));
+  }
+}
+
+void SpgemmService::shutdown(DrainMode mode) {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shutdown_started_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // idempotent: the first call already resolved every pending item
+  }
+  ServiceMetrics& metrics = ServiceMetrics::instance();
+
+  if (mode == DrainMode::kCancel) {
+    std::vector<Pending> abandoned = queue_->drain();
+    depth_->fetch_sub(static_cast<std::int64_t>(abandoned.size()),
+                      std::memory_order_relaxed);
+    for (Pending& item : abandoned) {
+      metrics.cancelled.inc();
+      fail(std::move(item),
+           Status::cancelled("shutdown: request cancelled before execution"));
+    }
+  } else {
+    queue_->close();
+    if (workers_.empty()) {
+      // Queue-only configuration: the shutting-down thread is the drain
+      // worker, so kDrain keeps its "every future completes" contract.
+      SpgemmContext ctx(cfg_.context);
+      Pending item;
+      while (queue_->pop(item)) {
+        depth_->fetch_sub(1, std::memory_order_relaxed);
+        process(ctx, std::move(item));
+      }
+    }
+  }
+
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+}  // namespace tsg::service

@@ -116,14 +116,15 @@ TEST(Runner, FailingAlgorithmIsReportedNotFatal) {
   EXPECT_FALSE(r.ok);  // the paper plots these as "0.00" bars
 }
 
-TEST(Runner, DeprecatedRunShimMatchesProfiled) {
+TEST(Runner, ProfiledIsTheSingleEntryPoint) {
+  // The deprecated unprofiled `run` shim is gone: every registry method
+  // exposes exactly one entry-point shape, and `profiled(a, b).c` is the
+  // product for callers that only want the matrix.
   const NamedMatrix m{"test", "band", true, gen::banded(200, 6, 504)};
   for (const SpgemmAlgorithm& algo : paper_algorithms()) {
     ASSERT_TRUE(algo.profiled) << algo.name;
-    ASSERT_TRUE(algo.run) << algo.name;  // compatibility shim, one release
     const SpgemmRunReport rep = algo.profiled(m.a, m.a);
-    const Csr<double> via_shim = algo.run(m.a, m.a);
-    EXPECT_EQ(rep.c.nnz(), via_shim.nnz()) << algo.name;
+    EXPECT_GT(rep.c.nnz(), 0) << algo.name;
     EXPECT_GE(rep.core_ms, 0.0) << algo.name;
     EXPECT_GE(rep.peak_mb, 0.0) << algo.name;
   }

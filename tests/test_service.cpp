@@ -1,0 +1,417 @@
+// SpgemmService: bounded-queue backpressure, admission control against the
+// device budget, drain/cancel shutdown semantics, and bit-identity of
+// service results vs. direct SpgemmContext runs. Runs under `ctest -L
+// service`, and under the TSan preset via the `analysis` label (the queue
+// and budget gate are pthread primitives precisely so TSan can see them).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/memory.h"
+#include "gen/generators.h"
+#include "obs/metrics.h"
+#include "service/admission.h"
+#include "service/spgemm_service.h"
+#include "test_support.h"
+
+namespace tsg {
+namespace {
+
+using service::Admission;
+using service::FootprintEstimate;
+using service::SpgemmRequest;
+using service::SpgemmService;
+using service::Ticket;
+
+// --- submit/try_submit twin-pairing contract (compile-time) ---------------
+// The service's submission twins share one parameter list by construction;
+// this deduction-based check pins them the same way the run*/try_run* pairs
+// are pinned in test_spgemm_context.cpp (the return shapes differ — the
+// blocking twin folds rejection into the future — so only the parameter
+// lists are matched).
+template <class C, class R1, class R2, class... Args>
+constexpr bool same_params(R1 (C::*)(Args...), R2 (C::*)(Args...)) {
+  return true;
+}
+
+static_assert(same_params(&SpgemmService::submit, &SpgemmService::try_submit));
+
+/// Restores the process-wide budget override after tests that construct a
+/// service with an explicit device_mem_mb (the service publishes it
+/// globally, exactly like SpgemmContext does).
+struct BudgetOverrideGuard {
+  ~BudgetOverrideGuard() { set_device_memory_budget_bytes(0); }
+};
+
+std::shared_ptr<const Csr<double>> shared(Csr<double> m) {
+  return std::make_shared<const Csr<double>>(std::move(m));
+}
+
+void expect_bit_identical(const Csr<double>& x, const Csr<double>& y,
+                          const std::string& context) {
+  ASSERT_EQ(x.rows, y.rows) << context;
+  ASSERT_EQ(x.row_ptr, y.row_ptr) << context;
+  ASSERT_EQ(x.col_idx, y.col_idx) << context;
+  for (std::size_t k = 0; k < x.val.size(); ++k) {
+    ASSERT_EQ(x.val[k], y.val[k]) << context << " val[" << k << "]";
+  }
+}
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full, not a hang
+  EXPECT_EQ(q.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(3));  // space again
+}
+
+TEST(BoundedQueue, ClosedQueueStillYieldsRemainingItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_TRUE(q.try_push(8));
+  q.close();
+  EXPECT_FALSE(q.try_push(9));  // producers fail fast
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(q.pop(out));  // closed and empty: consumer exit
+}
+
+TEST(BoundedQueue, PopBatchHonoursPredicateAndCap) {
+  BoundedQueue<int> q(8);
+  for (int i = 1; i <= 5; ++i) EXPECT_TRUE(q.try_push(i));
+  std::vector<int> batch;
+  // First item rides regardless; the rest only while < 4 (i.e. stop at 4).
+  const std::size_t taken =
+      q.pop_batch(batch, 10, [](const int& next) { return next < 4; });
+  EXPECT_EQ(taken, 3u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+  batch.clear();
+  EXPECT_EQ(q.pop_batch(batch, 1, [](const int&) { return true; }), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{4}));
+}
+
+TEST(BoundedQueue, DrainHandsBackPending) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  const std::vector<int> left = q.drain();
+  EXPECT_EQ(left, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.closed());
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+}
+
+// --- Admission estimator --------------------------------------------------
+
+TEST(Admission, EstimateIsPositiveAndMonotoneInSize) {
+  const Csr<double> small = test::make_er_small();
+  const Csr<double> big = gen::rmat(10, 8.0, 11);
+  const FootprintEstimate es = service::estimate_footprint(small, small);
+  const FootprintEstimate eb = service::estimate_footprint(big, big);
+  EXPECT_GT(es.bytes, 0u);
+  EXPECT_GT(es.tile_pairs, 0u);
+  EXPECT_GT(es.c_tiles, 0u);
+  EXPECT_GT(eb.bytes, es.bytes);  // a much larger multiply estimates larger
+}
+
+TEST(Admission, AliasedOperandMatchesExplicitSquare) {
+  const Csr<double> a = test::make_stencil();
+  const FootprintEstimate aliased = service::estimate_footprint(a, a);
+  const Csr<double> b = a;  // distinct object, same matrix
+  const FootprintEstimate copied = service::estimate_footprint(a, b);
+  EXPECT_EQ(aliased.tile_pairs, copied.tile_pairs);
+  EXPECT_EQ(aliased.c_tiles, copied.c_tiles);
+  // Aliased operands are charged once (try_run_csr converts them once); a
+  // distinct-but-equal B pays its own CSR bytes on top.
+  EXPECT_EQ(copied.bytes, aliased.bytes + b.bytes());
+}
+
+// --- Service: the happy path ---------------------------------------------
+
+TEST(Service, ResultsBitIdenticalToDirectRun) {
+  const auto a = shared(test::make_er_small());
+  const auto b = shared(test::make_stencil());
+  SpgemmContext direct;
+  const Csr<double> want_aa = direct.run_csr(*a, *a);
+  const Csr<double> want_bb = direct.run_csr(*b, *b);
+
+  SpgemmService svc(SpgemmService::Config{}.with_workers(2));
+  std::future<SpgemmRunReport> faa = svc.submit({a});  // null b: C = A*A
+  std::future<SpgemmRunReport> fbb = svc.submit({b, b});
+  const SpgemmRunReport raa = faa.get();
+  const SpgemmRunReport rbb = fbb.get();
+  expect_bit_identical(want_aa, raa.c, "A*A via service");
+  expect_bit_identical(want_bb, rbb.c, "B*B via service");
+  EXPECT_GE(raa.core_ms, 0.0);
+  svc.shutdown();
+}
+
+TEST(Service, TicketCarriesIdentityAndEcho) {
+  const auto a = shared(test::make_band());
+  SpgemmService svc(SpgemmService::Config{}.with_workers(1));
+  SpgemmRequest req{a};
+  req.tag = 0xfeedu;
+  Expected<Ticket> t1 = svc.try_submit(req);
+  Expected<Ticket> t2 = svc.try_submit(req);
+  ASSERT_TRUE(t1.ok()) << t1.status().to_string();
+  ASSERT_TRUE(t2.ok()) << t2.status().to_string();
+  EXPECT_EQ(t1->tag, 0xfeedu);
+  EXPECT_LT(t1->id, t2->id);  // service-unique, monotone
+  EXPECT_EQ(t1->admission, Admission::kAdmitted);
+  EXPECT_GT(t1->estimated_bytes, 0u);
+  EXPECT_GT(t1->result.get().c.nnz(), 0);
+  EXPECT_GT(t2->result.get().c.nnz(), 0);
+}
+
+TEST(Service, MalformedRequestsRejectedStructurally) {
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(4));
+  Expected<Ticket> no_a = svc.try_submit(SpgemmRequest{});
+  EXPECT_EQ(no_a.status().code(), StatusCode::kInvalidArgument);
+
+  const auto rect = shared(gen::erdos_renyi(40, 60, 100, 9));
+  Expected<Ticket> mismatched = svc.try_submit({rect, rect});  // 40x60 * 40x60
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kDimensionMismatch);
+
+  // The blocking twin folds the same failures into the future.
+  std::future<SpgemmRunReport> f = svc.submit(SpgemmRequest{});
+  try {
+    (void)f.get();
+    FAIL() << "poisoned future did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
+  svc.shutdown(SpgemmService::DrainMode::kCancel);
+}
+
+// --- Backpressure and shutdown -------------------------------------------
+
+TEST(Service, SaturatedQueueReturnsQueueFullNotAHang) {
+  // workers = 0: nothing consumes, so saturation is deterministic.
+  const auto a = shared(test::make_er_small());
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(2));
+  Expected<Ticket> t1 = svc.try_submit({a});
+  Expected<Ticket> t2 = svc.try_submit({a});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(svc.queue_depth(), 2u);
+  Expected<Ticket> t3 = svc.try_submit({a});
+  EXPECT_EQ(t3.status().code(), StatusCode::kQueueFull);
+
+  // Drain-shutdown executes the backlog inline: both futures complete with
+  // values even though the service never had a worker thread.
+  svc.shutdown(SpgemmService::DrainMode::kDrain);
+  EXPECT_GT(t1->result.get().c.nnz(), 0);
+  EXPECT_GT(t2->result.get().c.nnz(), 0);
+}
+
+TEST(Service, DrainShutdownCompletesEveryPendingFuture) {
+  const auto a = shared(test::make_stencil());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(8));
+  std::vector<std::future<SpgemmRunReport>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(svc.submit({a}));
+  EXPECT_EQ(svc.queue_depth(), 5u);
+  svc.shutdown(SpgemmService::DrainMode::kDrain);
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  for (auto& f : futures) {
+    expect_bit_identical(want, f.get().c, "drained request");
+  }
+}
+
+TEST(Service, CancelShutdownPoisonsPendingWithCancelled) {
+  const auto a = shared(test::make_er_small());
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(8));
+  std::future<SpgemmRunReport> f1 = svc.submit({a});
+  std::future<SpgemmRunReport> f2 = svc.submit({a});
+  svc.shutdown(SpgemmService::DrainMode::kCancel);
+  for (std::future<SpgemmRunReport>* f : {&f1, &f2}) {
+    try {
+      (void)f->get();
+      FAIL() << "cancelled future did not throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    }
+  }
+  // New submissions after shutdown are refused immediately, both flavours.
+  EXPECT_EQ(svc.try_submit({a}).status().code(), StatusCode::kCancelled);
+  std::future<SpgemmRunReport> late = svc.submit({a});
+  EXPECT_THROW((void)late.get(), Error);
+}
+
+TEST(Service, ShutdownIsIdempotent) {
+  SpgemmService svc(SpgemmService::Config{}.with_workers(1));
+  svc.shutdown();
+  svc.shutdown(SpgemmService::DrainMode::kCancel);  // second call: no effect
+  SUCCEED();
+}
+
+// --- Admission control against the device budget --------------------------
+
+TEST(Service, OverBudgetRejectedWhenDegradationUnavailable) {
+  BudgetOverrideGuard guard;
+  const auto big = shared(gen::rmat(10, 8.0, 11));
+  // 2 MB budget; the rmat^2 estimate blows far past it. Degradation off at
+  // the service level -> structured rejection at submit time, not an OOM.
+  SpgemmService svc(SpgemmService::Config{}
+                        .with_workers(0)
+                        .with_queue_capacity(4)
+                        .with_device_mem_mb(2)
+                        .with_degradation(false));
+  Expected<Ticket> t = svc.try_submit({big});
+  EXPECT_EQ(t.status().code(), StatusCode::kRejected);
+
+  // Per-request opt-out has the same effect with service degradation on.
+  SpgemmService svc2(SpgemmService::Config{}
+                         .with_workers(0)
+                         .with_queue_capacity(4)
+                         .with_device_mem_mb(2));
+  SpgemmRequest strict{big};
+  strict.allow_degraded = false;
+  EXPECT_EQ(svc2.try_submit(strict).status().code(), StatusCode::kRejected);
+  // The same request, degradation permitted, is admitted as degraded.
+  Expected<Ticket> degraded = svc2.try_submit({big});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().to_string();
+  EXPECT_EQ(degraded->admission, Admission::kDegraded);
+  svc2.shutdown(SpgemmService::DrainMode::kCancel);
+  svc.shutdown(SpgemmService::DrainMode::kCancel);
+}
+
+TEST(Service, DegradedAdmissionRunsChunkedAndBitIdentical) {
+  // Gold first, under the default (roomy) budget.
+  const auto big = shared(gen::rmat(10, 8.0, 11));
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*big, *big);
+
+  BudgetOverrideGuard guard;
+  SpgemmService svc(SpgemmService::Config{}.with_workers(1).with_device_mem_mb(2));
+  Expected<Ticket> t = svc.try_submit({big});
+  ASSERT_TRUE(t.ok()) << t.status().to_string();
+  EXPECT_EQ(t->admission, Admission::kDegraded);
+  const SpgemmRunReport report = t->result.get();
+  EXPECT_TRUE(report.budget_limited);
+  EXPECT_GE(report.chunks, 2);
+  expect_bit_identical(want, report.c, "degraded service run");
+  svc.shutdown();
+}
+
+TEST(Service, WorkerBudgetExceededPoisonsOnlyItsOwnFuture) {
+  BudgetOverrideGuard guard;
+  const auto big = shared(gen::rmat(10, 8.0, 11));
+  const auto small = shared(test::make_er_small());
+  SpgemmContext direct;
+  const Csr<double> want_small = direct.run_csr(*small, *small);
+
+  // Shadow-mode admission (observe-only) with context degradation off: the
+  // big request sails through admission and the *context's* authoritative
+  // post-step-1 check fails it inside the worker.
+  SpgemmService svc(SpgemmService::Config{}
+                        .with_workers(1)
+                        .with_device_mem_mb(2)
+                        .with_admission_enforce(false)
+                        .with_context(SpgemmContext::Config{}.with_degradation(false)));
+  Expected<Ticket> doomed = svc.try_submit({big});
+  ASSERT_TRUE(doomed.ok()) << doomed.status().to_string();  // shadow mode admits
+  Expected<Ticket> fine = svc.try_submit({small});
+  ASSERT_TRUE(fine.ok()) << fine.status().to_string();
+
+  try {
+    (void)doomed->result.get();
+    FAIL() << "over-budget request did not fail";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kBudgetExceeded);
+  }
+  // The failure poisoned exactly one future; the worker and its context
+  // survive to serve the next request.
+  expect_bit_identical(want_small, fine->result.get().c, "request after failure");
+  svc.shutdown();
+}
+
+// --- Observability --------------------------------------------------------
+
+TEST(Service, MetricsCountTheLifecycle) {
+  const auto a = shared(test::make_band());
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+  {
+    SpgemmService svc(SpgemmService::Config{}.with_workers(1).with_queue_capacity(4));
+    std::vector<std::future<SpgemmRunReport>> futures;
+    for (int i = 0; i < 3; ++i) futures.push_back(svc.submit({a}));
+    for (auto& f : futures) EXPECT_GT(f.get().c.nnz(), 0);
+    svc.shutdown();
+  }
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::instance().snapshot();
+  const obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(before, after);
+  EXPECT_EQ(d.counter("service.submitted"), 3);
+  EXPECT_EQ(d.counter("service.admitted"), 3);
+  EXPECT_EQ(d.counter("service.completed"), 3);
+  EXPECT_EQ(d.counter("service.failed"), 0);
+  const obs::MetricsSnapshot::Hist* lat = after.histogram("service.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->count, 3);
+  // A destroyed service reads as an empty queue, not a dangling callback.
+  EXPECT_EQ(after.gauge("service.queue_depth"), 0);
+}
+
+TEST(Service, FromEnvReadsServiceKnobs) {
+  setenv("TSG_SERVICE_WORKERS", "5", 1);
+  setenv("TSG_SERVICE_QUEUE_CAP", "17", 1);
+  const SpgemmService::Config cfg = SpgemmService::Config::from_env();
+  EXPECT_EQ(cfg.workers, 5);
+  EXPECT_EQ(cfg.queue_capacity, 17u);
+  unsetenv("TSG_SERVICE_WORKERS");
+  unsetenv("TSG_SERVICE_QUEUE_CAP");
+  const SpgemmService::Config defaults = SpgemmService::Config::from_env();
+  EXPECT_EQ(defaults.workers, 2);
+  EXPECT_EQ(defaults.queue_capacity, 64u);
+}
+
+// --- Concurrency stress (the TSan target) ---------------------------------
+
+TEST(Service, ConcurrentSubmittersAndWorkers) {
+  const auto a = shared(test::make_er_small());
+  const auto b = shared(test::make_stencil());
+  SpgemmContext direct;
+  const Csr<double> want_a = direct.run_csr(*a, *a);
+  const Csr<double> want_b = direct.run_csr(*b, *b);
+
+  SpgemmService svc(
+      SpgemmService::Config{}.with_workers(3).with_queue_capacity(8).with_batch_max(4));
+  constexpr int kPerProducer = 8;
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<SpgemmRunReport>>> results(3);
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto& m = (i % 2 == 0) ? a : b;
+        results[p].push_back(svc.submit({m}));  // blocking: backpressure path
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      const Csr<double>& want = (i % 2 == 0) ? want_a : want_b;
+      expect_bit_identical(want, results[p][i].get().c, "concurrent submit");
+    }
+  }
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace tsg

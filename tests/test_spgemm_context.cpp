@@ -318,6 +318,28 @@ TEST(SpgemmContextStatus, ExpectedAccessorsRoundTrip) {
   EXPECT_GT(moved.c.nnz(), 0);
 }
 
+// --- run*/try_run* twin-pairing contract (compile-time) -------------------
+// Every throwing entry point must have a `try_` twin with the *identical*
+// parameter list whose return type is the Expected of the throwing one.
+// Member-pointer matching pins both halves: renaming a parameter-list or
+// letting the signatures drift apart breaks this template's deduction and
+// the static_assert fails at compile time.
+template <class C, class R, class... Args>
+constexpr bool twin_pair(R (C::*)(Args...), Expected<R> (C::*)(Args...)) {
+  return true;
+}
+
+static_assert(twin_pair(&SpgemmContext::run<double>, &SpgemmContext::try_run<double>));
+static_assert(twin_pair(&SpgemmContext::run<float>, &SpgemmContext::try_run<float>));
+static_assert(twin_pair(&SpgemmContext::run_aat<double>, &SpgemmContext::try_run_aat<double>));
+static_assert(twin_pair(&SpgemmContext::run_aat<float>, &SpgemmContext::try_run_aat<float>));
+static_assert(twin_pair(&SpgemmContext::run_csr<double>, &SpgemmContext::try_run_csr<double>));
+static_assert(twin_pair(&SpgemmContext::run_csr<float>, &SpgemmContext::try_run_csr<float>));
+static_assert(
+    twin_pair(&SpgemmContext::run_masked<double>, &SpgemmContext::try_run_masked<double>));
+static_assert(
+    twin_pair(&SpgemmContext::run_masked<float>, &SpgemmContext::try_run_masked<float>));
+
 TEST(SpgemmContext, FloatAndDoublePoolsAreIndependent) {
   SpgemmContext ctx;
   const Csr<double> ad = test::make_stencil();

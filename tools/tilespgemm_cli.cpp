@@ -34,20 +34,23 @@
 #include "matrix/transpose.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/spgemm_service.h"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: tilespgemm_cli [-d <gpu-device>] [-aat 0|1] [--validate off|cheap|full]\n"
                "                      [--budget-mb <n>] [--no-degrade] [--trace <file>]\n"
-               "                      [--metrics <file>] [matrix.mtx]\n"
+               "                      [--metrics <file>] [--serve <workers>] [matrix.mtx]\n"
                "  -d           accepted for artifact compatibility (no GPU here)\n"
                "  -aat         0: C = A*A (default), 1: C = A*A^T\n"
                "  --validate   operand checking at the context boundary (default cheap)\n"
                "  --budget-mb  modeled device-memory budget (default TSG_DEVICE_MEM_MB)\n"
                "  --no-degrade fail with BudgetExceeded instead of chunked execution\n"
                "  --trace      write a Chrome trace_event JSON of the run (open in Perfetto)\n"
-               "  --metrics    write the metrics-registry snapshot as JSON\n";
+               "  --metrics    write the metrics-registry snapshot as JSON\n"
+               "  --serve      route the multiply through SpgemmService with <workers>\n"
+               "               warm workers (async submission path; admission-controlled)\n";
 }
 
 /// Print the structured failure the way scripts expect it: one
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
   using namespace tsg;
 
   int aat = 0;
+  int serve_workers = 0;
   std::string path;
   std::string trace_path;
   std::string metrics_path;
@@ -115,6 +119,13 @@ int main(int argc, char** argv) {
     } else if (std::string file = flag_value(argc, argv, i, "--metrics"); !file.empty()) {
       metrics_path = file;
       cfg.with_metrics(true);
+    } else if (std::string n = flag_value(argc, argv, i, "--serve"); !n.empty()) {
+      serve_workers = std::atoi(n.c_str());
+      if (serve_workers <= 0) {
+        std::cerr << "error: --serve expects a positive worker count\n";
+        usage();
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       usage();
       return 2;
@@ -156,6 +167,62 @@ int main(int argc, char** argv) {
   // Line 5: flops of the multiplication.
   const offset_t flops = spgemm_flops(a, b);
   std::cout << "#flops of C = A*" << (aat != 0 ? "A^T" : "A") << ": " << flops << "\n";
+
+  // --serve: the same multiply through the async service front end. The
+  // condensed report (admission outcome, estimate, runtime, budget outcome)
+  // replaces the artifact's per-step breakdown — SpgemmRunReport is the
+  // service's result shape, and the correctness check still runs.
+  if (serve_workers > 0) {
+    service::SpgemmService::Config scfg;
+    scfg.with_workers(serve_workers)
+        .with_device_mem_mb(cfg.device_mem_mb)
+        .with_degradation(cfg.degrade_on_budget)
+        .with_context(cfg);
+    service::SpgemmService svc(scfg);
+    service::SpgemmRequest req{std::make_shared<const Csr<double>>(a)};
+    if (aat != 0) req.b = std::make_shared<const Csr<double>>(b);
+    Expected<service::Ticket> ticket = svc.try_submit(std::move(req));
+    if (!ticket.ok()) return fail_with(ticket.status());
+    std::cout << "service: " << serve_workers << " worker(s), request #" << ticket->id
+              << ", admission "
+              << (ticket->admission == service::Admission::kDegraded ? "degraded"
+                                                                     : "admitted")
+              << ", estimated footprint "
+              << static_cast<double>(ticket->estimated_bytes) / (1024.0 * 1024.0)
+              << " MB (budget " << static_cast<double>(svc.budget_bytes()) / (1024.0 * 1024.0)
+              << " MB)\n";
+    SpgemmRunReport report;
+    try {
+      report = ticket->result.get();
+    } catch (const Error& e) {
+      return fail_with(e.status());
+    }
+    svc.shutdown();
+    std::cout << "TileSpGEMM runtime (service): " << report.core_ms << " ms, "
+              << gflops(flops, report.core_ms) << " GFlops\n";
+    std::cout << "execution chunks: " << report.chunks
+              << (report.budget_limited ? " (budget-limited, graceful degradation)" : "")
+              << "\n";
+    std::cout << "nnz of C: " << report.c.nnz() << "\n";
+    if (!metrics_path.empty()) {
+      std::ofstream metrics_out(metrics_path);
+      if (!metrics_out) {
+        return fail_with(Status::io_error("cannot open metrics file '" + metrics_path + "'"));
+      }
+      obs::MetricsRegistry::instance().write_json(metrics_out);
+      std::cout << "metrics written: " << metrics_path << "\n";
+    }
+    try {
+      const Csr<double> expected = spgemm_hash(a, b);
+      const CompareResult check = compare(expected, report.c, {1e-8, 1e-300, false, 0.0});
+      std::cout << "check vs independent SpGEMM: " << (check.equal ? "PASS" : "FAIL")
+                << (check.equal ? "" : (" (" + check.message + ")")) << "\n";
+      return check.equal ? 0 : 1;
+    } catch (const std::exception&) {
+      std::cout << "check vs independent SpGEMM: SKIPPED (comparator out of memory)\n";
+      return 0;
+    }
+  }
 
   // Line 6: CSR -> tiled conversion time, measured by the context itself
   // and folded into the timings as `convert_ms` (no ad-hoc timer).
