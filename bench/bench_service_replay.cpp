@@ -7,9 +7,21 @@
 // completed future, a bit-identical degraded run, or a structured
 // rejection — never an abort.
 //
+// With --chaos SPEC (grammar in src/chaos/chaos.h) the replay additionally
+// injects a deterministic fault schedule derived from --seed: latency at
+// the submit/pop sites, forced cancellations, deadline pressure, and
+// allocation faults. --timeout-ms and --retries bind per-request
+// SubmitOptions so the eviction/deadline/retry machinery runs under load.
+// The lifecycle counters (deadline_miss / evicted / retried /
+// watchdog_kills) are reported in the table and the metrics JSON, and the
+// bench exits nonzero on any failure mode the armed chaos plan does not
+// explain — that is the check scripts/check.sh chaos gates on.
+//
 //   bench_service_replay [--csv] [--metrics FILE] [--requests N]
 //                        [--rate R] [--workers N] [--queue-cap N]
 //                        [--budget-mb MB] [--no-degrade] [--seed S]
+//                        [--chaos SPEC] [--timeout-ms MS] [--retries N]
+//                        [--stuck-ms MS]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -17,11 +29,13 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "chaos/chaos.h"
 #include "common/memory.h"
 #include "common/random.h"
 #include "gen/representative.h"
@@ -46,6 +60,10 @@ struct ReplayArgs {
   std::size_t budget_mb = 0;  ///< 0 = ambient TSG_DEVICE_MEM_MB / default
   bool degrade = true;
   std::uint64_t seed = 0x5eedu;
+  std::string chaos_spec;  ///< empty: no injection (byte-identical fast path)
+  long timeout_ms = 0;     ///< 0: no per-request deadline
+  int retries = 0;         ///< SubmitOptions::max_retries for every request
+  long stuck_ms = 0;       ///< 0: watchdog disabled
 
   static ReplayArgs parse(int argc, char** argv) {
     ReplayArgs args;
@@ -76,10 +94,19 @@ struct ReplayArgs {
         args.degrade = false;
       } else if (std::strcmp(argv[i], "--seed") == 0) {
         args.seed = static_cast<std::uint64_t>(next_int(0));
+      } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+        args.chaos_spec = argv[++i];
+      } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+        args.timeout_ms = next_int(1);
+      } else if (std::strcmp(argv[i], "--retries") == 0) {
+        args.retries = static_cast<int>(next_int(0));
+      } else if (std::strcmp(argv[i], "--stuck-ms") == 0) {
+        args.stuck_ms = next_int(1);
       } else {
         std::cerr << "usage: bench_service_replay [--csv] [--metrics FILE] "
                      "[--requests N] [--rate R] [--workers N] [--queue-cap N] "
-                     "[--budget-mb MB] [--no-degrade] [--seed S]\n";
+                     "[--budget-mb MB] [--no-degrade] [--seed S] [--chaos SPEC] "
+                     "[--timeout-ms MS] [--retries N] [--stuck-ms MS]\n";
         std::exit(2);
       }
     }
@@ -113,11 +140,28 @@ int run(const ReplayArgs& args) {
     suite.push_back(std::make_shared<const Csr<double>>(std::move(m.a)));
   }
 
+  // Parse and arm the chaos plan before the service exists so its workers
+  // observe a stable plan for their whole lifetime. An empty spec leaves
+  // the engine disarmed: the no-chaos replay path is byte-identical to the
+  // pre-chaos bench (that is what the bench-regression gate compares).
+  chaos::ChaosPlan plan;
+  if (!args.chaos_spec.empty()) {
+    Expected<chaos::ChaosPlan> parsed = chaos::parse_chaos_spec(args.chaos_spec, args.seed);
+    if (!parsed.ok()) {
+      std::cerr << "bench_service_replay: " << parsed.status().message() << "\n";
+      return 2;
+    }
+    plan = *parsed;
+  }
+  std::optional<chaos::ChaosScope> chaos_scope;
+  if (plan.enabled()) chaos_scope.emplace(plan);
+
   SpgemmService::Config cfg = SpgemmService::Config::from_env();
   cfg.with_workers(args.workers)
       .with_queue_capacity(args.queue_cap)
       .with_device_mem_mb(args.budget_mb)
       .with_degradation(args.degrade);
+  if (args.stuck_ms > 0) cfg.with_stuck_after(std::chrono::milliseconds(args.stuck_ms));
   SpgemmService svc(cfg);
 
   struct InFlight {
@@ -145,8 +189,13 @@ int run(const ReplayArgs& args) {
 
     SpgemmRequest req{suite[rng.next_below(suite.size())]};
     req.tag = static_cast<std::uint64_t>(i);
+    // Deadlines are relative to submission, so the options are rebuilt per
+    // request rather than hoisted out of the loop.
+    service::SubmitOptions opts;
+    if (args.timeout_ms > 0) opts.with_timeout(std::chrono::milliseconds(args.timeout_ms));
+    opts.with_retries(args.retries);
     const Clock::time_point submitted = Clock::now();
-    Expected<Ticket> ticket = svc.try_submit(std::move(req));
+    Expected<Ticket> ticket = svc.try_submit(std::move(req), opts);
     peak_depth = std::max(peak_depth, svc.queue_depth());
     if (ticket.ok()) {
       if (ticket->admission == Admission::kDegraded) ++degraded;
@@ -166,7 +215,7 @@ int run(const ReplayArgs& args) {
   // reaches it (a small upper-bound bias, never an undercount).
   std::vector<double> latency_us;
   latency_us.reserve(accepted.size());
-  std::int64_t completed = 0, failed = 0;
+  std::int64_t completed = 0, failed = 0, deadline_missed = 0, force_cancelled = 0;
   for (InFlight& f : accepted) {
     try {
       const SpgemmRunReport report = f.ticket.result.get();
@@ -174,7 +223,13 @@ int run(const ReplayArgs& args) {
       ++completed;
       (void)report;
     } catch (const Error& e) {
-      ++failed;  // structured failure (e.g. BudgetExceeded with --no-degrade)
+      switch (e.status().code()) {
+        case StatusCode::kDeadlineExceeded: ++deadline_missed; break;
+        case StatusCode::kCancelled: ++force_cancelled; break;
+        // Any other structured failure (e.g. BudgetExceeded with
+        // --no-degrade, injected allocation faults past the retry budget).
+        default: ++failed; break;
+      }
     }
   }
   const double wall_s =
@@ -187,6 +242,10 @@ int run(const ReplayArgs& args) {
   // Publish the replay's headline numbers as gauges so --metrics carries
   // them next to the service's own counters/histograms in one JSON.
   obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const std::int64_t evicted = snap.counter("service.evicted");
+  const std::int64_t retried = snap.counter("service.retried");
+  const std::int64_t watchdog_kills = snap.counter("service.watchdog_kills");
   const auto publish = [&reg](const char* name, std::int64_t value) {
     auto state = std::make_shared<std::int64_t>(value);
     reg.register_gauge(name, [state] { return *state; });
@@ -198,6 +257,11 @@ int run(const ReplayArgs& args) {
   publish("service.replay.failed", failed);
   publish("service.replay.queue_full", queue_full);
   publish("service.replay.rejected", rejected);
+  publish("service.replay.deadline_miss", deadline_missed);
+  publish("service.replay.cancelled", force_cancelled);
+  publish("service.replay.evicted", evicted);
+  publish("service.replay.retried", retried);
+  publish("service.replay.watchdog_kills", watchdog_kills);
 
   Table t({"requests", "completed", "degraded", "queue_full", "rejected", "failed",
            "p50_ms", "p99_ms", "req_per_s", "peak_depth"});
@@ -212,23 +276,59 @@ int run(const ReplayArgs& args) {
                  "service layer — not a paper figure");
     std::cout << "workers=" << args.workers << " queue_cap=" << args.queue_cap
               << " rate=" << args.rate << "/s budget=" << svc.budget_bytes() / (1 << 20)
-              << " MB degrade=" << (args.degrade ? "on" : "off") << "\n\n";
+              << " MB degrade=" << (args.degrade ? "on" : "off");
+    if (plan.enabled()) {
+      std::cout << " chaos='" << args.chaos_spec << "' seed=" << args.seed;
+    }
+    if (args.timeout_ms > 0) std::cout << " timeout=" << args.timeout_ms << "ms";
+    if (args.retries > 0) std::cout << " retries=" << args.retries;
+    std::cout << "\n\n";
   }
   BenchArgs emit_args;
   emit_args.csv = args.csv;
   emit(t, emit_args);
 
+  // Lifecycle outcomes (the request-hardening machinery), plus what the
+  // chaos engine actually injected so a replay is auditable from its seed.
+  chaos::ChaosEngine& engine = chaos::ChaosEngine::instance();
+  Table lifecycle({"deadline_miss", "cancelled", "evicted", "retried", "watchdog_kills",
+                   "chaos_latency", "chaos_cancels", "chaos_pressure"});
+  lifecycle.add_row({std::to_string(deadline_missed), std::to_string(force_cancelled),
+                     std::to_string(evicted), std::to_string(retried),
+                     std::to_string(watchdog_kills),
+                     std::to_string(engine.injected_latencies()),
+                     std::to_string(engine.forced_cancels()),
+                     std::to_string(engine.deadline_pressures())});
+  emit(lifecycle, emit_args);
+
   // The service contract this bench exists to demonstrate: under any
-  // budget, every accepted request resolves and nothing aborts. Refusals
-  // must be structured (QueueFull / Rejected), not "other".
+  // budget (and any armed chaos plan), every accepted request resolves and
+  // nothing aborts. Every failure mode must be explained — by a structured
+  // refusal, the configured deadline, or the armed plan. Anything else is
+  // a red run, reproducible from the echoed seed.
   if (other_refusals > 0) {
     std::cerr << "bench_service_replay: " << other_refusals
-              << " unexpected refusal(s)\n";
+              << " unexpected refusal(s) (seed=" << args.seed << ")\n";
     return 1;
   }
-  if (args.degrade && failed > 0) {
+  const bool deadlines_possible =
+      args.timeout_ms > 0 || plan.deadline_p > 0.0 || args.stuck_ms > 0;
+  if (deadline_missed > 0 && !deadlines_possible) {
+    std::cerr << "bench_service_replay: " << deadline_missed
+              << " deadline miss(es) with no deadline configured (seed=" << args.seed
+              << ")\n";
+    return 1;
+  }
+  if (force_cancelled > 0 && plan.cancel_p <= 0.0) {
+    std::cerr << "bench_service_replay: " << force_cancelled
+              << " cancellation(s) with no cancel clause armed (seed=" << args.seed
+              << ")\n";
+    return 1;
+  }
+  if (args.degrade && plan.alloc_rate <= 0.0 && failed > 0) {
     std::cerr << "bench_service_replay: " << failed
-              << " request(s) failed despite degradation being enabled\n";
+              << " request(s) failed despite degradation being enabled (seed="
+              << args.seed << ")\n";
     return 1;
   }
   return 0;

@@ -13,6 +13,7 @@
 #   regular       regular build: full suite, robustness label, budget stress
 #   tsan          ThreadSanitizer build, `-L analysis` label (PR 4)
 #   service       service-layer suite under ASan + TSan, replay smoke (PR 6)
+#   chaos         seeded chaos replay under ASan + TSan service label (PR 7)
 #   obs_overhead  tracing disabled-overhead gate on the Fig. 10 bench (PR 3)
 #   bench_regress bench-regression gate vs BENCH_baseline.json (PR 5)
 #
@@ -24,6 +25,7 @@
 #   TSG_BENCH_SCALE      suite size multiplier for the harness (default 1.0)
 #   TSG_BENCH_TOLERANCE  per-kernel regression tolerance (default 0.15)
 #   TSG_BENCH_SPEEDUP    step2 packed-vs-scalar median gate (default 1.2)
+#   TSG_CHAOS_SEED       seed for the chaos replay stage (default 7)
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
@@ -134,6 +136,44 @@ stage_service() {
     --queue-cap 8 --budget-mb 8 --metrics results/service_replay_metrics.json
 }
 
+stage_chaos() {
+  echo "=== chaos: seeded fault replay of the request lifecycle (PR 7) ==="
+  # The chaos plan below exercises every lifecycle edge at once: pop-side
+  # latency (watchdog pressure + queue wait), forced cancels, tight injected
+  # deadlines, and seeded allocation faults that the per-request retry
+  # budget must absorb. Everything is a pure function of the seed, so a
+  # failure is replayable verbatim with the echoed command line.
+  local seed="${TSG_CHAOS_SEED:-7}"
+  local spec='latency:site=pop,p=0.2,ms=5;cancel:p=0.15;deadline:p=0.1,ms=1;alloc:rate=0.05'
+  local args=(--requests 48 --rate 400 --workers 2 --queue-cap 8 --budget-mb 8
+              --chaos "${spec}" --seed "${seed}" --timeout-ms 2000 --retries 2
+              --stuck-ms 2000)
+  run_chaos_replay() {  # $1 = bench binary
+    if ! "$1" "${args[@]}" --metrics results/chaos_replay_metrics.json; then
+      echo "chaos: FAILED — reproduce with:" >&2
+      echo "  $1 ${args[*]}" >&2
+      return 1
+    fi
+  }
+  mkdir -p results
+
+  # ASan first: the interesting chaos bugs are lifetime bugs (a poisoned
+  # future's promise freed twice, an evicted request's workspace leaked).
+  cmake -B build-asan -S . -DTSG_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "${JOBS}" --target bench_service_replay
+  run_chaos_replay ./build-asan/bench/bench_service_replay
+
+  # Then TSan on the std::thread backend: watchdog-vs-worker promise races,
+  # retry bookkeeping, and the cancellation fast path are all cross-thread
+  # edges. The service label re-runs the lifecycle unit tests under the
+  # same build for free.
+  cmake -B build-tsan -S . -DTSG_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${JOBS}" --target bench_service_replay --target test_service
+  TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp:halt_on_error=1" \
+    run_chaos_replay ./build-tsan/bench/bench_service_replay
+  ctest --test-dir build-tsan --output-on-failure -L service
+}
+
 stage_obs_overhead() {
   echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
   # Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
@@ -190,19 +230,19 @@ stage_bench_regress() {
 
 usage() {
   echo "usage: scripts/check.sh [stage...]"
-  echo "stages: hygiene lint asan regular tsan service obs_overhead bench_regress"
+  echo "stages: hygiene lint asan regular tsan service chaos obs_overhead bench_regress"
   echo "default order: all of the above"
 }
 
 main() {
   local stages=("$@")
   if [ "${#stages[@]}" -eq 0 ]; then
-    stages=(hygiene lint asan regular tsan service obs_overhead bench_regress)
+    stages=(hygiene lint asan regular tsan service chaos obs_overhead bench_regress)
   fi
   local s
   for s in "${stages[@]}"; do
     case "${s}" in
-      hygiene|lint|asan|regular|tsan|service|obs_overhead|bench_regress)
+      hygiene|lint|asan|regular|tsan|service|chaos|obs_overhead|bench_regress)
         "stage_${s}"
         ;;
       help|-h|--help)

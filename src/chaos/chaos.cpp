@@ -1,0 +1,252 @@
+#include "chaos/chaos.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/memory.h"
+#include "obs/metrics.h"
+
+namespace tsg::chaos {
+
+namespace {
+
+/// splitmix64 finaliser — the same mixer behind FaultPlan::fail_rate, so
+/// chaos decisions get the identical "counter-hashed from a seed"
+/// reproducibility story.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0,1) decision for (seed, site, salt, id). Pure: the same plan
+/// and id always decide the same way, on any thread, in any order.
+double decide(std::uint64_t seed, std::uint32_t site, std::uint32_t salt,
+              std::uint64_t id) {
+  const std::uint64_t h =
+      mix64(seed ^ (static_cast<std::uint64_t>(site) << 40) ^
+            (static_cast<std::uint64_t>(salt) << 32) ^ id);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct ChaosMetrics {
+  obs::Counter& latency;
+  obs::Counter& latency_ms;
+  obs::Counter& cancels;
+  obs::Counter& pressures;
+
+  static ChaosMetrics& instance() {
+    static ChaosMetrics m{
+        obs::MetricsRegistry::instance().counter("chaos.latency_injected"),
+        obs::MetricsRegistry::instance().counter("chaos.latency_ms"),
+        obs::MetricsRegistry::instance().counter("chaos.forced_cancels"),
+        obs::MetricsRegistry::instance().counter("chaos.deadline_pressure"),
+    };
+    return m;
+  }
+};
+
+/// Parse a `key=value` list ("site=pop,p=0.5,ms=20"). Returns false on an
+/// unknown key or malformed value; `where` names the clause for the error.
+struct KeyValues {
+  std::string site;
+  double p = -1.0;
+  double rate = -1.0;
+  long ms = -1;
+};
+
+bool parse_kvs(const std::string& body, KeyValues& out, std::string& err) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find(',', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string kv = body.substr(pos, end - pos);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      err = "expected key=value, got '" + kv + "'";
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    char* parse_end = nullptr;
+    if (key == "site") {
+      out.site = val;
+    } else if (key == "p" || key == "rate") {
+      const double d = std::strtod(val.c_str(), &parse_end);
+      if (parse_end == val.c_str() || *parse_end != '\0' || d < 0.0 || d > 1.0) {
+        err = "'" + key + "' must be a probability in [0,1], got '" + val + "'";
+        return false;
+      }
+      (key == "p" ? out.p : out.rate) = d;
+    } else if (key == "ms") {
+      const long v = std::strtol(val.c_str(), &parse_end, 10);
+      if (parse_end == val.c_str() || *parse_end != '\0' || v < 0) {
+        err = "'ms' must be a non-negative integer, got '" + val + "'";
+        return false;
+      }
+      out.ms = v;
+    } else {
+      err = "unknown key '" + key + "'";
+      return false;
+    }
+    pos = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kSubmit: return "submit";
+    case Site::kPop: return "pop";
+  }
+  return "unknown";
+}
+
+Expected<ChaosPlan> parse_chaos_spec(const std::string& spec, std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status::invalid_argument("chaos spec: clause '" + clause +
+                                      "' has no ':' (grammar in src/chaos/chaos.h)");
+    }
+    const std::string kind = clause.substr(0, colon);
+    KeyValues kvs;
+    std::string err;
+    if (!parse_kvs(clause.substr(colon + 1), kvs, err)) {
+      return Status::invalid_argument("chaos spec: clause '" + kind + "': " + err);
+    }
+    if (kind == "latency") {
+      ChaosPlan::LatencyRule rule;
+      if (kvs.site == "submit") {
+        rule.site = Site::kSubmit;
+      } else if (kvs.site == "pop" || kvs.site.empty()) {
+        rule.site = Site::kPop;
+      } else {
+        return Status::invalid_argument("chaos spec: latency site '" + kvs.site +
+                                        "' (want submit|pop)");
+      }
+      if (kvs.p < 0.0 || kvs.ms < 0) {
+        return Status::invalid_argument("chaos spec: latency needs p= and ms=");
+      }
+      rule.p = kvs.p;
+      rule.ms = static_cast<std::uint32_t>(kvs.ms);
+      plan.latency.push_back(rule);
+    } else if (kind == "cancel") {
+      if (kvs.p < 0.0) return Status::invalid_argument("chaos spec: cancel needs p=");
+      plan.cancel_p = kvs.p;
+    } else if (kind == "deadline") {
+      if (kvs.p < 0.0 || kvs.ms < 0) {
+        return Status::invalid_argument("chaos spec: deadline needs p= and ms=");
+      }
+      plan.deadline_p = kvs.p;
+      plan.deadline_ms = static_cast<std::uint32_t>(kvs.ms);
+    } else if (kind == "alloc") {
+      if (kvs.rate < 0.0) return Status::invalid_argument("chaos spec: alloc needs rate=");
+      plan.alloc_rate = kvs.rate;
+    } else {
+      return Status::invalid_argument("chaos spec: unknown clause '" + kind +
+                                      "' (want latency|cancel|deadline|alloc)");
+    }
+  }
+  return plan;
+}
+
+ChaosEngine& ChaosEngine::instance() {
+  static ChaosEngine engine;
+  return engine;
+}
+
+void ChaosEngine::arm(const ChaosPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    plan_ = plan;
+  }
+  latencies_.store(0, std::memory_order_relaxed);
+  cancels_.store(0, std::memory_order_relaxed);
+  pressures_.store(0, std::memory_order_relaxed);
+  if (plan.alloc_rate > 0.0) {
+    FaultPlan fp;
+    fp.fail_rate = plan.alloc_rate;
+    fp.seed = plan.seed;
+    MemoryTracker::instance().set_fault_plan(fp);
+  }
+  armed_.store(plan.enabled(), std::memory_order_release);
+}
+
+void ChaosEngine::disarm() {
+  armed_.store(false, std::memory_order_release);
+  bool had_alloc_faults;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    had_alloc_faults = plan_.alloc_rate > 0.0;
+    plan_ = ChaosPlan{};
+  }
+  if (had_alloc_faults) MemoryTracker::instance().clear_fault_plan();
+}
+
+std::uint32_t ChaosEngine::inject_latency(Site site, std::uint64_t id) {
+  if (!armed()) return 0;
+  std::uint32_t total_ms = 0;
+  {
+    // A worker can outlive the ChaosScope that armed the plan (the watchdog
+    // supersedes it mid-request); the lock makes it see either the armed
+    // plan or the cleared one, never a vector mid-mutation. Sleeping stays
+    // outside the lock.
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    std::uint32_t salt = 0;
+    for (const ChaosPlan::LatencyRule& rule : plan_.latency) {
+      ++salt;
+      if (rule.site != site || rule.p <= 0.0) continue;
+      if (decide(plan_.seed, static_cast<std::uint32_t>(site), salt, id) >= rule.p) continue;
+      total_ms += rule.ms;
+    }
+  }
+  if (total_ms > 0) {
+    latencies_.fetch_add(1, std::memory_order_relaxed);
+    ChaosMetrics::instance().latency.inc();
+    ChaosMetrics::instance().latency_ms.add(total_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(total_ms));
+  }
+  return total_ms;
+}
+
+bool ChaosEngine::should_force_cancel(std::uint64_t id) {
+  if (!armed()) return false;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (plan_.cancel_p <= 0.0) return false;
+    // salt 101: keep the cancel stream independent of the latency stream.
+    if (decide(plan_.seed, 0, 101, id) >= plan_.cancel_p) return false;
+  }
+  cancels_.fetch_add(1, std::memory_order_relaxed);
+  ChaosMetrics::instance().cancels.inc();
+  return true;
+}
+
+std::uint32_t ChaosEngine::deadline_pressure_ms(std::uint64_t id) {
+  if (!armed()) return 0;
+  std::uint32_t ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (plan_.deadline_p <= 0.0) return 0;
+    if (decide(plan_.seed, 0, 202, id) >= plan_.deadline_p) return 0;
+    ms = plan_.deadline_ms > 0 ? plan_.deadline_ms : 1;
+  }
+  pressures_.fetch_add(1, std::memory_order_relaxed);
+  ChaosMetrics::instance().pressures.inc();
+  return ms;
+}
+
+}  // namespace tsg::chaos

@@ -1,0 +1,129 @@
+// Deterministic chaos injection for the service layer.
+//
+// PR 2's FaultPlan made *allocation* failure a first-class, reproducible
+// event (counter-hashed from a seed, so run N fails at exactly the same
+// site every time). This layer extends the same philosophy to the other
+// request-lifecycle failure modes the service must survive:
+//
+//   * injected latency at instrumented sites (a slow disk, a noisy
+//     neighbour, a worker wedged mid-request — the watchdog's prey),
+//   * forced cancellations (a caller abandoning its request mid-flight),
+//   * deadline pressure (tightening a request's deadline so eviction and
+//     kDeadlineExceeded paths actually fire under load),
+//   * allocation faults (delegated to MemoryTracker's FaultPlan).
+//
+// Every decision is a pure function of (seed, site, request id) via the
+// same splitmix64 finaliser FaultPlan::fail_rate uses: replaying
+// `bench_service_replay --chaos <spec> --seed N` injects the identical
+// fault schedule, which is what makes a red chaos run reproducible from
+// the seed echoed by scripts/check.sh chaos.
+//
+// Layering: chaos sits on common+obs only. The *engine* (src/core) is
+// never instrumented directly — chaos acts at the service boundary (pop,
+// pre-run) and through the tokens/fault plans those boundaries already
+// honour, so a chaos-free build path stays byte-identical.
+//
+// Spec grammar (clauses separated by ';', keys by ','):
+//
+//   spec     := clause (';' clause)*
+//   clause   := 'latency:site=<submit|pop>,p=<0..1>,ms=<uint>'
+//             | 'cancel:p=<0..1>'
+//             | 'deadline:p=<0..1>,ms=<uint>'
+//             | 'alloc:rate=<0..1>'
+//
+// Example: --chaos 'latency:site=pop,p=0.05,ms=200;cancel:p=0.1' --seed 7
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsg::chaos {
+
+/// Instrumented injection points. Values are part of the decision hash, so
+/// reordering them changes fault schedules (append only).
+enum class Site : std::uint32_t {
+  kSubmit = 1,  ///< at submission, before the request is enqueued
+  kPop = 2,     ///< after a worker pops the request, before it runs
+};
+
+const char* site_name(Site site);
+
+/// Parsed chaos specification. A default-constructed plan injects nothing.
+struct ChaosPlan {
+  struct LatencyRule {
+    Site site = Site::kPop;
+    double p = 0.0;      ///< per-request injection probability
+    std::uint32_t ms = 0;  ///< injected sleep
+  };
+  std::vector<LatencyRule> latency;
+  double cancel_p = 0.0;        ///< probability a popped request is force-cancelled
+  double deadline_p = 0.0;      ///< probability a submission gets deadline pressure
+  std::uint32_t deadline_ms = 0;  ///< the pressured deadline
+  double alloc_rate = 0.0;      ///< MemoryTracker FaultPlan fail_rate
+  std::uint64_t seed = 0;
+
+  bool enabled() const {
+    return !latency.empty() || cancel_p > 0.0 || deadline_p > 0.0 || alloc_rate > 0.0;
+  }
+};
+
+/// Parse the spec grammar above. The seed is carried into the plan so one
+/// value reproduces the entire schedule.
+Expected<ChaosPlan> parse_chaos_spec(const std::string& spec, std::uint64_t seed);
+
+/// Process-wide chaos engine (the MemoryTracker pattern: a singleton the
+/// instrumented sites query with one relaxed load when disarmed).
+class ChaosEngine {
+ public:
+  static ChaosEngine& instance();
+
+  /// Install a plan; also installs the MemoryTracker fault plan when the
+  /// spec carries an alloc clause. arm/disarm are safe against concurrent
+  /// injection calls (a worker that outlives a ChaosScope — e.g. one the
+  /// watchdog superseded mid-request — sees either the old plan or none).
+  void arm(const ChaosPlan& plan);
+  /// Remove the plan (and the delegated fault plan). Idempotent.
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Injected latency in ms for this (site, id) — already slept when the
+  /// call returns. 0 when disarmed or the hash says no.
+  std::uint32_t inject_latency(Site site, std::uint64_t id);
+
+  /// Whether this request should be force-cancelled at the pop boundary.
+  bool should_force_cancel(std::uint64_t id);
+
+  /// Deadline pressure for this submission: the number of ms the request's
+  /// deadline should be clamped to, or 0 for none.
+  std::uint32_t deadline_pressure_ms(std::uint64_t id);
+
+  /// Totals since the last arm() — the counters the replay bench reports.
+  std::uint64_t injected_latencies() const { return latencies_.load(std::memory_order_relaxed); }
+  std::uint64_t forced_cancels() const { return cancels_.load(std::memory_order_relaxed); }
+  std::uint64_t deadline_pressures() const { return pressures_.load(std::memory_order_relaxed); }
+
+ private:
+  ChaosEngine() = default;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex plan_mutex_;  ///< guards plan_ against arm/disarm vs readers
+  ChaosPlan plan_;
+  std::atomic<std::uint64_t> latencies_{0};
+  std::atomic<std::uint64_t> cancels_{0};
+  std::atomic<std::uint64_t> pressures_{0};
+};
+
+/// RAII arm/disarm, mirroring FaultInjectionScope.
+class ChaosScope {
+ public:
+  explicit ChaosScope(const ChaosPlan& plan) { ChaosEngine::instance().arm(plan); }
+  ~ChaosScope() { ChaosEngine::instance().disarm(); }
+  ChaosScope(const ChaosScope&) = delete;
+  ChaosScope& operator=(const ChaosScope&) = delete;
+};
+
+}  // namespace tsg::chaos

@@ -52,8 +52,12 @@ class BoundedQueue {
   }
 
   /// Blocking enqueue: waits for space; false only when the queue is (or
-  /// becomes) closed while waiting.
-  bool push(T item) {
+  /// becomes) closed while waiting — close() wakes every blocked producer,
+  /// so a push racing close() always terminates with a definitive answer.
+  /// On failure `item` is left intact (never moved from), so a producer
+  /// carrying a promise can complete it with a structured status instead of
+  /// letting it die as a broken promise inside a destroyed temporary.
+  bool push(T&& item) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });

@@ -1,0 +1,207 @@
+// Cooperative cancellation and deadlines for long-running multiplies.
+//
+// Modeled on std::stop_source/std::stop_token ownership (but header-only and
+// C++17): a `CancelSource` owns the shared `CancelState`; any number of cheap
+// `CancelToken` views observe it. The state carries
+//
+//   * an atomic cancel reason (none / cancelled / deadline), set once —
+//     the first writer wins and later requests are no-ops, so a caller
+//     cancel racing a deadline expiry yields one stable status;
+//   * an optional steady_clock deadline, latched into the reason lazily by
+//     `expired()` so hot loops pay one relaxed atomic load per check and
+//     only poll the clock when a deadline is actually armed;
+//   * a progress epoch, bumped by the pipeline at chunk and tile-bin
+//     boundaries. The epoch is what the service watchdog heartbeats: a
+//     worker whose active request's epoch has not moved for `stuck_after`
+//     is declared stuck. Cancellation and supervision share one object on
+//     purpose — every site that checks for cancellation is also a site
+//     that proves liveness.
+//
+// Check discipline inside the engine (see tile_spgemm.cpp, step{1,2,3}.cpp):
+// parallel_for bodies in src/core must not throw (the `throw-in-parallel`
+// lint rule), so kernels poll `should_stop()` and bail out by skipping
+// remaining work; the serial pipeline layer (`run_impl`/`run_chunked`)
+// re-checks between stages and converts the latched reason into
+// kCancelled / kDeadlineExceeded with all workspace accounting balanced.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace tsg {
+
+/// Why a token tripped. kNone means "keep going".
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kCancelled = 1,  ///< explicit request_cancel() — maps to kCancelled
+  kDeadline = 2,   ///< armed deadline elapsed — maps to kDeadlineExceeded
+};
+
+namespace detail {
+
+struct CancelState {
+  std::atomic<std::uint8_t> reason{0};
+  /// steady_clock time_since_epoch in nanoseconds; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns{0};
+  /// Liveness heartbeat for the watchdog: bumped at chunk/bin boundaries.
+  std::atomic<std::uint64_t> progress_epoch{0};
+};
+
+inline std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace detail
+
+/// Cheap copyable view of a CancelState. A default-constructed token is
+/// inert: never stops, costs one null-pointer test per check.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True once cancellation was requested or the deadline latched. One
+  /// relaxed load on the fast path; the acquire fence is not needed because
+  /// the only payload is the reason byte itself.
+  bool cancel_requested() const {
+    return state_ &&
+           state_->reason.load(std::memory_order_relaxed) !=
+               static_cast<std::uint8_t>(CancelReason::kNone);
+  }
+
+  /// Clock-polling check: latches kDeadline into the reason (first writer
+  /// wins) when an armed deadline has elapsed. Costs a steady_clock read,
+  /// so hot loops should call it periodically, not per element.
+  bool expired() const {
+    if (!state_) return false;
+    const std::int64_t dl = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (dl == 0 || detail::steady_now_ns() < dl) return false;
+    std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::kNone);
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_relaxed);
+    return true;
+  }
+
+  /// The boundary check: cancelled already, or deadline just elapsed.
+  bool should_stop() const { return cancel_requested() || expired(); }
+
+  CancelReason reason() const {
+    if (!state_) return CancelReason::kNone;
+    return static_cast<CancelReason>(state_->reason.load(std::memory_order_relaxed));
+  }
+
+  /// The Status a tripped token resolves to; Ok while still running.
+  Status to_status() const {
+    switch (reason()) {
+      case CancelReason::kCancelled:
+        return Status::cancelled("multiply cancelled by caller");
+      case CancelReason::kDeadline:
+        return Status::deadline_exceeded("multiply exceeded its deadline");
+      case CancelReason::kNone:
+        break;
+    }
+    return Status{};
+  }
+
+  /// Liveness heartbeat: call at chunk / tile-bin boundaries. The watchdog
+  /// compares successive reads of progress_epoch() to tell "slow but
+  /// moving" from "stuck".
+  void note_progress() const {
+    if (state_) state_->progress_epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t progress_epoch() const {
+    return state_ ? state_->progress_epoch.load(std::memory_order_relaxed) : 0;
+  }
+
+  bool stop_possible() const { return state_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owner side: creates the shared state, hands out tokens, requests
+/// cancellation, arms deadlines. Copyable (shared ownership) like
+/// std::stop_source.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// First writer wins; a later deadline expiry cannot overwrite it.
+  void request_cancel() const {
+    std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::kNone);
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kCancelled),
+        std::memory_order_relaxed);
+  }
+
+  /// Arm (or re-arm) an absolute steady_clock deadline.
+  void set_deadline(std::chrono::steady_clock::time_point when) const {
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(when.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  void set_timeout(std::chrono::nanoseconds after) const {
+    set_deadline(std::chrono::steady_clock::now() + after);
+  }
+
+  bool cancel_requested() const { return token().cancel_requested(); }
+  std::uint64_t progress_epoch() const { return token().progress_epoch(); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// A deadline as a value: optional absolute steady_clock time point. Used by
+/// the service queue for pop-time eviction (an expired request is poisoned
+/// before it ever reaches an engine).
+class Deadline {
+ public:
+  Deadline() = default;  // no deadline
+
+  static Deadline after(std::chrono::nanoseconds d) {
+    Deadline out;
+    out.when_ns_ = detail::steady_now_ns() + d.count();
+    return out;
+  }
+  static Deadline at(std::chrono::steady_clock::time_point tp) {
+    Deadline out;
+    out.when_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       tp.time_since_epoch())
+                       .count();
+    return out;
+  }
+
+  bool armed() const { return when_ns_ != 0; }
+  bool expired() const { return armed() && detail::steady_now_ns() >= when_ns_; }
+
+  std::chrono::steady_clock::time_point time_point() const {
+    return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(when_ns_));
+  }
+
+  /// Remaining time; zero when unarmed or already past.
+  std::chrono::nanoseconds remaining() const {
+    if (!armed()) return std::chrono::nanoseconds(0);
+    const std::int64_t left = when_ns_ - detail::steady_now_ns();
+    return std::chrono::nanoseconds(left > 0 ? left : 0);
+  }
+
+ private:
+  std::int64_t when_ns_ = 0;
+};
+
+}  // namespace tsg

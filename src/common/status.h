@@ -36,6 +36,7 @@ enum class StatusCode {
   kQueueFull,          ///< bounded service queue at capacity (try_submit)
   kRejected,           ///< admission control refused the request
   kCancelled,          ///< request abandoned by shutdown before it ran
+  kDeadlineExceeded,   ///< per-request deadline elapsed (queued or running)
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -50,6 +51,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kQueueFull: return "QueueFull";
     case StatusCode::kRejected: return "Rejected";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -82,6 +84,9 @@ class [[nodiscard]] Status {
   static Status queue_full(std::string m) { return {StatusCode::kQueueFull, std::move(m)}; }
   static Status rejected(std::string m) { return {StatusCode::kRejected, std::move(m)}; }
   static Status cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -192,7 +192,7 @@ constexpr const char* kKnownEnvKnobs[] = {
     "TSG_METRICS",        "TSG_SERVICE_WORKERS",   "TSG_SERVICE_QUEUE_CAP",
     "TSG_BENCH_REPS",     "TSG_BENCH_SCALE",       "TSG_BENCH_TOLERANCE",
     "TSG_BENCH_SPEEDUP",  "TSG_CTEST_ARGS",        "TSG_OBS_GATE_REPS",
-    "TSG_OBS_OVERHEAD_PCT",
+    "TSG_OBS_OVERHEAD_PCT", "TSG_SERVICE_STUCK_MS",
     // Build/CI controls (scripts/check.sh, CMake options) that may sit in
     // the environment when a test process calls from_env().
     "TSG_PARALLEL_STD",   "TSG_SANITIZE",          "TSG_TRACING",
@@ -250,7 +250,8 @@ SpgemmContext::Config SpgemmContext::Config::from_env() {
   return cfg;
 }
 
-SpgemmContext::SpgemmContext(const Config& config) : cfg_(config) {
+SpgemmContext::SpgemmContext(const Config& config)
+    : cfg_(config), cancel_(config.cancel_token) {
   if (cfg_.device_mem_mb > 0) {
     set_device_memory_budget_bytes(cfg_.device_mem_mb * 1024 * 1024);
   }
@@ -270,6 +271,7 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
   plan.cache_min_bin = cfg_.pair_cache_min_bin;
   plan.fuse_light = fuse_light && cache_pairs;
   plan.fuse_threshold = cfg_.fuse_threshold;
+  plan.cancel = cancel_;
 
   const offset_t ntiles = structure.num_tiles();
   // Accumulated, not assigned: chunked execution builds one plan per chunk.
@@ -328,6 +330,10 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   SpgemmWorkspace<T>& ws = workspace<T>();
   ws.ensure_threads(max_workers());
   ws.begin_call();
+  // Arm cooperative cancellation for this call (begin_call just cleared
+  // any stale token) and refuse to start work already past its deadline.
+  ws.cancel = cancel_;
+  check_cancelled();
 
   TileSpgemmResult<T> result;
   TileSpgemmTimings& tm = result.timings;
@@ -348,6 +354,11 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
     TSG_TRACE_SPAN("step1");
     step1_tile_structure(a, b, ws, ws.structure);
   }
+  // Stage boundary: convert a reason latched inside step 1 into the
+  // structured status before the partial structure is consumed, and bump
+  // the liveness epoch the watchdog heartbeats.
+  cancel_.note_progress();
+  check_cancelled();
 
   // Budget decision: bound the per-call footprint now that step 1 fixed the
   // output's tile structure, and degrade in stages if it does not fit the
@@ -393,6 +404,10 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
       TSG_TRACE_SPAN("step2", ws.structure.num_tiles());
       symbolic = step2_symbolic(a, b, ws.b_csc, ws.structure, cfg_.options, ws, plan);
     }
+    // Stage boundary: a tile skipped by a tripped token left a hole in the
+    // symbolic result — bail out before C is allocated from it.
+    cancel_.note_progress();
+    check_cancelled();
     tm.fused_tiles = symbolic.fused_tiles;
 
     // Allocate C (the only sizeable allocation of the whole algorithm).
@@ -421,6 +436,10 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
       TSG_TRACE_SPAN("step3", ws.structure.num_tiles());
       step3_numeric(a, b, ws.b_csc, ws.structure, cfg_.options, c, ws, plan);
     }
+    // Stage boundary: values of skipped tiles were never written — the
+    // partial C must not be returned as a result.
+    cancel_.note_progress();
+    check_cancelled();
   }
   tm.workspace_bytes = workspace_bytes();
 
@@ -480,7 +499,15 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const std::size_t tlo = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.first)]);
     const std::size_t thi = static_cast<std::size_t>(st.tile_ptr[static_cast<std::size_t>(range.second)]);
 
+    // Chunk boundary: the primary cancellation/deadline checkpoint of a
+    // degraded run, and a progress-epoch bump for the watchdog. A throw
+    // here unwinds with all chunk-local buffers accounted (they are either
+    // pooled in ws or owned by this frame).
+    cancel_.note_progress();
+    check_cancelled();
+
     ws.begin_call();  // drop the previous chunk's pair cache / staged values
+    ws.cancel = cancel_;  // begin_call cleared the per-call token
     {
       ScopedAccumulator scope(tm.alloc_ms);
       chunk_st.tile_row_idx.assign(st.tile_row_idx.begin() + static_cast<std::ptrdiff_t>(tlo),
@@ -498,6 +525,7 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
       TSG_TRACE_SPAN("step2", chunk_st.num_tiles());
       symbolic = step2_symbolic(a, b, ws.b_csc, chunk_st, cfg_.options, ws, plan);
     }
+    check_cancelled();  // don't allocate this chunk's slice from a hole
     tm.fused_tiles += symbolic.fused_tiles;
 
     {
@@ -520,6 +548,7 @@ void SpgemmContext::run_chunked(const TileMatrix<T>& a, const TileMatrix<T>& b,
       TSG_TRACE_SPAN("step3", chunk_st.num_tiles());
       step3_numeric(a, b, ws.b_csc, chunk_st, cfg_.options, cc, ws, plan);
     }
+    check_cancelled();  // don't stitch a chunk whose values have holes
 
     // Stitch. Chunks arrive in tile-row order and tiles keep their storage
     // order inside a chunk, so appending (with the nnz offsets rebased onto

@@ -109,6 +109,11 @@ class SpgemmContext {
     /// creation; also makes each run attach its registry delta to
     /// TileSpgemmTimings::metrics. Same one-way semantics as `tracing`.
     bool metrics_detail = false;
+    /// Cooperative cancellation/deadline token observed by every run of
+    /// this context (chunk boundaries, step 1/2/3 tile boundaries). The
+    /// default token is inert. For per-call tokens on a reused context
+    /// (the service's warm workers), use SpgemmContext::set_cancel_token.
+    CancelToken cancel_token;
 
     Config& with_options(const TileSpgemmOptions& o) { options = o; return *this; }
     Config& with_intersect(IntersectMethod m) { options.intersect = m; return *this; }
@@ -131,6 +136,7 @@ class SpgemmContext {
     Config& with_nan_policy(NanPolicy policy) { nan_policy = policy; return *this; }
     Config& with_tracing(bool on) { tracing = on; return *this; }
     Config& with_metrics(bool on) { metrics_detail = on; return *this; }
+    Config& with_cancel_token(CancelToken t) { cancel_token = std::move(t); return *this; }
 
     /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget),
     /// TSG_NUM_THREADS (worker threads), TSG_TRACE (execution tracing),
@@ -148,6 +154,15 @@ class SpgemmContext {
   explicit SpgemmContext(const Config& config);
 
   const Config& config() const { return cfg_; }
+
+  /// Install the cancellation/deadline token the *next* runs observe —
+  /// the per-request route for callers that reuse one warm context across
+  /// requests (SpgemmService workers). Passing a default token disarms
+  /// cancellation. A cancelled or expired run returns kCancelled /
+  /// kDeadlineExceeded through try_run* with all workspace accounting
+  /// balanced, and the context stays reusable.
+  void set_cancel_token(CancelToken t) { cancel_ = std::move(t); }
+  const CancelToken& cancel_token() const { return cancel_; }
 
   /// C = A * B on tile-format operands. Timings carry the per-step
   /// breakdown plus bin/fusion counters, the pooled-workspace footprint,
@@ -241,7 +256,14 @@ class SpgemmContext {
   TileMatrix<T> run_masked_impl(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                 const TileMatrix<T>& mask);
 
+  /// Raise kCancelled/kDeadlineExceeded when the active token tripped —
+  /// the serial pipeline layer's check (parallel bodies only skip).
+  void check_cancelled() const {
+    if (cancel_.should_stop()) throw Error(cancel_.to_status());
+  }
+
   Config cfg_;
+  CancelToken cancel_;
   SpgemmWorkspace<double> ws_d_;
   SpgemmWorkspace<float> ws_f_;
   double pending_convert_ms_ = 0.0;

@@ -20,6 +20,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/intersect.h"
 #include "core/step1.h"
 #include "core/tile_format.h"
@@ -101,6 +102,14 @@ struct ExecutionPlan {
   int cache_min_bin = 0;            ///< lowest cost bin that caches pairs
   bool fuse_light = false;          ///< fuse step 3 into step 2 for light tiles
   index_t fuse_threshold = kAccumulatorThreshold;  ///< max nnz of a fused tile
+  /// Cooperative cancellation/deadline for this call. Default token is
+  /// inert (one null test per check). Parallel bodies in src/core must not
+  /// throw (`throw-in-parallel`), so steps 2/3 poll it and *skip* remaining
+  /// tiles; the serial pipeline layer converts the latched reason into a
+  /// kCancelled/kDeadlineExceeded Error with balanced accounting. Also the
+  /// liveness channel: note_progress() at bin/chunk boundaries feeds the
+  /// service watchdog.
+  CancelToken cancel;
 
   /// Whether tile `t` records its matched pairs for step 3.
   bool caches_tile(offset_t t) const {
@@ -146,6 +155,10 @@ struct SpgemmWorkspace {
   tracked_vector<detail::TileSlot> pair_slot;    ///< per tile, iff cache_pairs
   tracked_vector<detail::TileSlot> staged_slot;  ///< per tile, iff fuse_light
   std::vector<ThreadSlot> slots;      ///< one per worker thread
+  /// Per-call cancellation token for step 1, which runs before an
+  /// ExecutionPlan exists (the plan carries the token for steps 2/3).
+  /// Stamped by SpgemmContext::run_impl at call entry; inert by default.
+  CancelToken cancel;
 
   /// Grow (never shrink) the per-thread slot array. Must be called before
   /// any parallel section that indexes slots by worker_rank().
@@ -155,7 +168,10 @@ struct SpgemmWorkspace {
 
   ThreadSlot& slot(int tid) { return slots[static_cast<std::size_t>(tid)]; }
 
-  /// Reset per-call contents, keeping every buffer's capacity.
+  /// Reset per-call contents, keeping every buffer's capacity. Also drops
+  /// the previous call's cancellation token: a token tripped by request N
+  /// must never silently skip tiles of request N+1 on a reused context
+  /// (the pipeline re-stamps its own token right after begin_call()).
   void begin_call() {
     for (ThreadSlot& s : slots) {
       s.cache.clear();
@@ -163,6 +179,7 @@ struct SpgemmWorkspace {
     }
     pair_slot.clear();
     staged_slot.clear();
+    cancel = CancelToken{};
   }
 
   /// Bytes currently held by the pool (capacities, tracked and untracked) —

@@ -28,6 +28,16 @@ void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
     rows.resize(static_cast<std::size_t>(out.tile_rows));
   }
   parallel_for(index_t{0}, out.tile_rows, [&](index_t ti) {
+    // Cooperative cancellation, checked every 64th row so the prologue is
+    // free on the other 63. Bodies must not throw (throw-in-parallel), so
+    // a tripped token empties the row and the serial tail below bails out.
+    if ((ti & 63) == 0) {
+      ws.cancel.note_progress();
+      if (ws.cancel.should_stop()) {
+        rows[static_cast<std::size_t>(ti)].clear();
+        return;
+      }
+    }
     detail::StampedTileSet& scratch = ws.slot(worker_rank()).sym;
     scratch.prepare(out.tile_cols);
     for (offset_t ka = a.tile_ptr[ti]; ka < a.tile_ptr[ti + 1]; ++ka) {
@@ -39,6 +49,14 @@ void step1_tile_structure(const TileMatrix<T>& a, const TileMatrix<T>& b,
     std::sort(scratch.cols.begin(), scratch.cols.end());
     rows[static_cast<std::size_t>(ti)] = scratch.cols;
   });
+
+  if (ws.cancel.should_stop()) {
+    // Leave a consistent (empty) structure; the pipeline layer checks the
+    // token right after step 1 and raises the structured status.
+    out.tile_col_idx.clear();
+    out.tile_row_idx.clear();
+    return;
+  }
 
   for (index_t ti = 0; ti < out.tile_rows; ++ti) {
     out.tile_ptr[ti + 1] =

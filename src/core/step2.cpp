@@ -50,6 +50,16 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       "spgemm.tile_nnz", {0, 4, 16, 64, 128, 256});
 
   parallel_for(offset_t{0}, ntiles, [&](offset_t i) {
+    // Cooperative cancellation, checked (with the watchdog heartbeat and
+    // the deadline clock poll) every 64th tile so the prologue costs the
+    // sub-µs packed kernel nothing 63 visits out of 64. A tripped token
+    // skips the tile (bodies must not throw: throw-in-parallel); its
+    // tile_nnz entry stays 0, and the pipeline layer converts the latched
+    // reason before C is ever allocated.
+    if ((i & 63) == 0) {
+      plan.cancel.note_progress();
+      if (plan.cancel.should_stop()) return;
+    }
     // The plan may reorder the visit so heavy tiles are dispatched first;
     // output locations are still indexed by the tile id itself.
     const offset_t t = plan.order != nullptr ? plan.order[i] : i;

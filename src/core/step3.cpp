@@ -45,6 +45,14 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
         }
       }
     } visit{detail_metrics, detail_metrics ? obs::TraceCollector::now_us() : 0.0, m_visit_us};
+    // Cooperative cancellation, every 64th tile (see step2.cpp): skip the
+    // tile, never throw. C's values for skipped tiles stay unwritten — the
+    // pipeline layer discards the partial output when it converts the
+    // latched reason.
+    if ((i & 63) == 0) {
+      plan.cancel.note_progress();
+      if (plan.cancel.should_stop()) return;
+    }
     const offset_t t = plan.order != nullptr ? plan.order[i] : i;
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];

@@ -71,6 +71,7 @@
 
 #include "baselines/registry.h"
 #include "common/bounded_queue.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "core/spgemm_context.h"
 #include "service/admission.h"
@@ -91,6 +92,34 @@ struct SpgemmRequest {
   std::uint64_t tag = 0;
 };
 
+/// Per-request lifecycle options (the second argument of submit /
+/// try_submit). Defaults are the PR-6 behaviour: no deadline, no retries.
+struct SubmitOptions {
+  /// Absolute deadline for the whole request (queue wait + execution). An
+  /// expired request is *evicted* at pop time — poisoned with
+  /// kDeadlineExceeded, never run — and a request that expires mid-run is
+  /// stopped cooperatively at the next chunk/tile boundary with the same
+  /// status. Unarmed (default) means no deadline.
+  Deadline deadline{};
+  /// Transparent retries for transient failures (kAllocationFailed). Each
+  /// retry waits an exponential backoff with deterministic jitter, spends
+  /// one token of the service-wide retry budget (Config::retry_budget),
+  /// and re-checks the deadline first. 0 (default) disables retries; a
+  /// completed-after-retry result is bit-identical to a direct try_run.
+  int max_retries = 0;
+  /// Caller correlation id; when nonzero it overrides SpgemmRequest::tag
+  /// on the ticket.
+  std::uint64_t tag = 0;
+
+  SubmitOptions& with_deadline(Deadline d) { deadline = d; return *this; }
+  SubmitOptions& with_timeout(std::chrono::milliseconds ms) {
+    deadline = Deadline::after(ms);
+    return *this;
+  }
+  SubmitOptions& with_retries(int n) { max_retries = n; return *this; }
+  SubmitOptions& with_tag(std::uint64_t t) { tag = t; return *this; }
+};
+
 /// How admission classified a request (recorded on the ticket and in the
 /// `service.admitted` / `service.degraded` counters).
 enum class Admission {
@@ -101,10 +130,15 @@ enum class Admission {
 /// Receipt of an accepted submission.
 struct Ticket {
   std::uint64_t id = 0;        ///< service-unique, monotonically increasing
-  std::uint64_t tag = 0;       ///< echoed from the request
+  std::uint64_t tag = 0;       ///< echoed from the request / SubmitOptions
   Admission admission = Admission::kAdmitted;
   std::size_t estimated_bytes = 0;  ///< admission footprint bound
   std::future<SpgemmRunReport> result;
+  /// Caller-side cancellation handle: request_cancel() stops the request
+  /// cooperatively — evicted if still queued, stopped at the next
+  /// chunk/tile boundary if running — and its future fails with
+  /// kCancelled. Safe to drop if unused.
+  CancelSource cancel;
 };
 
 class SpgemmService {
@@ -147,6 +181,24 @@ class SpgemmService {
     /// it in chunked-degradation mode (if the request allows), false
     /// rejects it at submit.
     bool degrade_on_budget = true;
+    /// Watchdog threshold: a worker whose active request has made no
+    /// progress (progress epoch unchanged — see common/cancellation.h) for
+    /// this long is declared stuck: exactly that request's future is
+    /// poisoned, its token cancelled, and the worker is superseded by a
+    /// fresh one (new thread, new warm context) so the service keeps
+    /// serving even if the old worker never returns. zero() (default)
+    /// disables supervision — tier-1 behaviour is unchanged unless a
+    /// deployment opts in.
+    std::chrono::milliseconds stuck_after{0};
+    /// Service-wide retry budget: the maximum number of retry tokens
+    /// available at once. Each backoff-retry (SubmitOptions::max_retries)
+    /// spends one; every successfully completed request refunds one (up to
+    /// the cap), so a failure storm degrades to fail-fast instead of
+    /// amplifying load with synchronized retries.
+    int retry_budget = 64;
+
+    Config& with_stuck_after(std::chrono::milliseconds d) { stuck_after = d; return *this; }
+    Config& with_retry_budget(int n) { retry_budget = n; return *this; }
 
     Config& with_workers(int n) { workers = n; return *this; }
     Config& with_queue_capacity(std::size_t n) { queue_capacity = n; return *this; }
@@ -157,8 +209,8 @@ class SpgemmService {
     Config& with_device_mem_mb(std::size_t mb) { device_mem_mb = mb; return *this; }
     Config& with_degradation(bool on) { degrade_on_budget = on; return *this; }
 
-    /// TSG_SERVICE_WORKERS / TSG_SERVICE_QUEUE_CAP on top of the context
-    /// env knobs (SpgemmContext::Config::from_env).
+    /// TSG_SERVICE_WORKERS / TSG_SERVICE_QUEUE_CAP / TSG_SERVICE_STUCK_MS
+    /// on top of the context env knobs (SpgemmContext::Config::from_env).
     static Config from_env();
   };
 
@@ -182,15 +234,16 @@ class SpgemmService {
   /// QueueFull (queue at capacity), Rejected (over budget, degradation
   /// unavailable), Cancelled (service shut down), DimensionMismatch /
   /// InvalidArgument (malformed request) come back as the Expected's
-  /// Status; on success the Ticket carries the future plus the admission
-  /// classification.
-  Expected<Ticket> try_submit(SpgemmRequest request);
+  /// Status; on success the Ticket carries the future, the admission
+  /// classification, and the cancellation handle. `options` binds the
+  /// per-request lifecycle: deadline, retries, tag.
+  Expected<Ticket> try_submit(SpgemmRequest request, SubmitOptions options = {});
 
   /// Blocking twin of try_submit(): waits for queue space instead of
   /// returning QueueFull, and always returns a future — admission
   /// rejection and shutdown are delivered through it as tsg::Error
   /// (Rejected / Cancelled), so fire-and-wait callers have one error path.
-  std::future<SpgemmRunReport> submit(SpgemmRequest request);
+  std::future<SpgemmRunReport> submit(SpgemmRequest request, SubmitOptions options = {});
 
   /// Stop the service. Idempotent; both modes reject new submissions
   /// immediately. kDrain executes the backlog (inline on the calling
@@ -205,13 +258,56 @@ class SpgemmService {
   std::size_t budget_bytes() const { return budget_bytes_; }
 
  private:
+  /// Shared completion state of one request. shared_ptr'd because *two*
+  /// parties may race to resolve the future — the owning worker and the
+  /// watchdog (which poisons a stuck worker's request from outside). The
+  /// `resolved` exchange is the single-delivery guard: whoever flips it
+  /// first owns the promise, the loser drops its outcome.
+  struct RequestState {
+    std::promise<SpgemmRunReport> promise;
+    std::atomic<bool> resolved{false};
+    CancelSource cancel;  ///< deadline + caller/watchdog/chaos cancellation
+
+    /// True when this call resolved the promise (value delivered).
+    bool resolve(SpgemmRunReport&& report) {
+      if (resolved.exchange(true, std::memory_order_acq_rel)) return false;
+      promise.set_value(std::move(report));
+      return true;
+    }
+    /// True when this call resolved the promise (error delivered).
+    bool resolve(Status status) {
+      if (resolved.exchange(true, std::memory_order_acq_rel)) return false;
+      promise.set_exception(std::make_exception_ptr(Error(std::move(status))));
+      return true;
+    }
+  };
+
   struct Pending {
     SpgemmRequest request;
-    std::promise<SpgemmRunReport> promise;
+    SubmitOptions options;
+    std::shared_ptr<RequestState> state;
     std::uint64_t id = 0;
     std::size_t estimated_bytes = 0;
     bool degraded = false;
     std::chrono::steady_clock::time_point enqueued_at{};
+  };
+
+  /// What the watchdog sees of one worker thread. shared_ptr'd: the
+  /// watchdog iterates a snapshot while workers come and go (supersession
+  /// appends replacements; shutdown joins everyone).
+  struct WorkerSlot {
+    std::mutex mutex;  ///< guards active/active_id (watchdog vs worker)
+    std::shared_ptr<RequestState> active;  ///< null while idle
+    std::uint64_t active_id = 0;
+    std::chrono::steady_clock::time_point started{};
+    /// Watchdog bookkeeping: the last progress epoch observed for
+    /// active_id and when it was first seen unchanged.
+    std::uint64_t seen_epoch = 0;
+    std::uint64_t seen_id = 0;
+    std::chrono::steady_clock::time_point seen_at{};
+    /// Set by the watchdog when it replaces this worker: the old thread
+    /// finishes (or never does) without popping further requests.
+    std::atomic<bool> superseded{false};
   };
 
   /// Serialises the in-flight estimated footprints against the service
@@ -232,17 +328,39 @@ class SpgemmService {
 
   /// Admission decision shared by both submission flavours. Returns the
   /// non-ok Status for rejected requests; fills `out` otherwise.
-  Status admit(const SpgemmRequest& request, Pending& out, Admission& admission);
+  Status admit(const SpgemmRequest& request, const SubmitOptions& options, Pending& out,
+               Admission& admission);
 
-  void worker_loop(int rank);
-  void process(SpgemmContext& ctx, Pending&& item);
+  void worker_loop(std::shared_ptr<WorkerSlot> slot);
+  void process(SpgemmContext& ctx, WorkerSlot& slot, Pending&& item);
+  /// Pop-time deadline/cancel eviction: true when the item was poisoned
+  /// (kDeadlineExceeded / kCancelled) and must not run.
+  bool evict_if_dead(Pending& item);
   static void fail(Pending&& item, Status status);
+
+  /// Spawn one worker (thread + slot), used by the constructor and by the
+  /// watchdog when it replaces a stuck one. Caller holds workers_mutex_.
+  void spawn_worker_locked();
+  void watchdog_loop();
+  /// Retry-budget token bucket (see Config::retry_budget).
+  bool take_retry_token();
+  void refund_retry_token();
 
   Config cfg_;
   std::size_t budget_bytes_ = 0;
   std::unique_ptr<BoundedQueue<Pending>> queue_;
   BudgetGate gate_;
+  /// Worker threads and their watchdog slots, index-aligned. Guarded by
+  /// workers_mutex_: the watchdog appends replacements while the service
+  /// runs; shutdown joins every thread ever spawned.
+  std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<WorkerSlot>> slots_;
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<std::int64_t> retry_tokens_{0};
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> shutdown_started_{false};
   std::mutex shutdown_mutex_;

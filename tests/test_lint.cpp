@@ -207,6 +207,54 @@ TEST(TraceSpanPairing, NonLiteralNameIsItsOwnFinding) {
 }
 
 // ---------------------------------------------------------------------------
+// unbounded-wait
+// ---------------------------------------------------------------------------
+
+TEST(UnboundedWait, FiresOnNakedGetAndPredicatelessWait) {
+  const auto diags = run("src/service/foo.cpp", R"(
+    void f(std::future<int>& fut, std::condition_variable& cv,
+           std::unique_lock<std::mutex>& lk) {
+      int v = fut.get();
+      cv.wait(lk);
+      fut.wait();
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "unbounded-wait"), 3);
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(UnboundedWait, CleanOnBoundedAndPredicatedWaits) {
+  const auto diags = run("tests/test_foo.cpp", R"(
+    void f(std::future<int>& fut, std::condition_variable& cv,
+           std::unique_lock<std::mutex>& lk, bool& done) {
+      (void)fut.wait_for(std::chrono::seconds(1));
+      cv.wait(lk, [&] { return done; });
+      cv.wait_until(lk, deadline);
+      int v = test::await(fut);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "unbounded-wait"), 0);
+}
+
+TEST(UnboundedWait, ScopedToServiceAndTests) {
+  // The rule is a service-layer liveness invariant: the same naked get() in
+  // src/core (where futures do not appear) must not fire.
+  const std::string_view src = R"(
+    int v = fut.get();
+  )";
+  EXPECT_EQ(count_rule(run("src/core/foo.cpp", src), "unbounded-wait"), 0);
+  EXPECT_EQ(count_rule(run("src/service/foo.cpp", src), "unbounded-wait"), 1);
+  EXPECT_EQ(count_rule(run("tests/foo.cpp", src), "unbounded-wait"), 1);
+}
+
+TEST(UnboundedWait, SuppressibleWithRationale) {
+  const auto diags = run("src/service/foo.cpp", R"(
+    int v = fut.get();  // tsg-lint: allow(unbounded-wait) -- readiness checked above
+  )");
+  EXPECT_EQ(count_rule(diags, "unbounded-wait"), 0);
+}
+
+// ---------------------------------------------------------------------------
 // banned-fn
 // ---------------------------------------------------------------------------
 
@@ -318,7 +366,7 @@ TEST(Engine, OnlyRulesFilterRestrictsTheRun) {
 
 TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
   const auto& rules = tsg::lint::rule_catalogue();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   std::vector<std::string> names;
   names.reserve(rules.size());
   for (const auto& r : rules) names.push_back(r.name);
@@ -327,6 +375,7 @@ TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
   EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-alloc"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-pairing"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "unbounded-wait"), names.end());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 // and budget gate are pthread primitives precisely so TSan can see them).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <memory>
@@ -12,7 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/bounded_queue.h"
+#include "common/cancellation.h"
 #include "common/memory.h"
 #include "gen/generators.h"
 #include "obs/metrics.h"
@@ -27,7 +31,9 @@ using service::Admission;
 using service::FootprintEstimate;
 using service::SpgemmRequest;
 using service::SpgemmService;
+using service::SubmitOptions;
 using service::Ticket;
+using std::chrono::milliseconds;
 
 // --- submit/try_submit twin-pairing contract (compile-time) ---------------
 // The service's submission twins share one parameter list by construction;
@@ -105,6 +111,29 @@ TEST(BoundedQueue, PopBatchHonoursPredicateAndCap) {
   EXPECT_EQ(batch, (std::vector<int>{4}));
 }
 
+TEST(BoundedQueue, CloseWhileBlockedPushReturnsRefusalWithItemIntact) {
+  // Regression: a producer blocked in push() while a consumer close()s the
+  // queue must get a definitive `false` back — and the refused item must
+  // come back un-moved, so a producer carrying a promise can still resolve
+  // it with a structured status instead of dropping a broken promise.
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(1)));
+  std::unique_ptr<int> item = std::make_unique<int>(2);
+  std::atomic<int> outcome{-1};
+  std::thread producer([&] {
+    outcome.store(q.push(std::move(item)) ? 1 : 0, std::memory_order_release);
+  });
+  // Let the producer reach the full-queue wait, then close underneath it.
+  // (The sleep only makes the blocked-push window likely; the contract
+  // holds either way — close-before-push also returns false.)
+  std::this_thread::sleep_for(milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_EQ(outcome.load(), 0);          // refused, not hung, not "pushed"
+  ASSERT_NE(item, nullptr);              // the item survived the refusal
+  EXPECT_EQ(*item, 2);
+}
+
 TEST(BoundedQueue, DrainHandsBackPending) {
   BoundedQueue<int> q(4);
   EXPECT_TRUE(q.try_push(1));
@@ -153,8 +182,8 @@ TEST(Service, ResultsBitIdenticalToDirectRun) {
   SpgemmService svc(SpgemmService::Config{}.with_workers(2));
   std::future<SpgemmRunReport> faa = svc.submit({a});  // null b: C = A*A
   std::future<SpgemmRunReport> fbb = svc.submit({b, b});
-  const SpgemmRunReport raa = faa.get();
-  const SpgemmRunReport rbb = fbb.get();
+  const SpgemmRunReport raa = test::await(faa);
+  const SpgemmRunReport rbb = test::await(fbb);
   expect_bit_identical(want_aa, raa.c, "A*A via service");
   expect_bit_identical(want_bb, rbb.c, "B*B via service");
   EXPECT_GE(raa.core_ms, 0.0);
@@ -174,8 +203,8 @@ TEST(Service, TicketCarriesIdentityAndEcho) {
   EXPECT_LT(t1->id, t2->id);  // service-unique, monotone
   EXPECT_EQ(t1->admission, Admission::kAdmitted);
   EXPECT_GT(t1->estimated_bytes, 0u);
-  EXPECT_GT(t1->result.get().c.nnz(), 0);
-  EXPECT_GT(t2->result.get().c.nnz(), 0);
+  EXPECT_GT(test::await(t1->result).c.nnz(), 0);
+  EXPECT_GT(test::await(t2->result).c.nnz(), 0);
 }
 
 TEST(Service, MalformedRequestsRejectedStructurally) {
@@ -190,7 +219,7 @@ TEST(Service, MalformedRequestsRejectedStructurally) {
   // The blocking twin folds the same failures into the future.
   std::future<SpgemmRunReport> f = svc.submit(SpgemmRequest{});
   try {
-    (void)f.get();
+    (void)test::await(f);
     FAIL() << "poisoned future did not throw";
   } catch (const Error& e) {
     EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
@@ -215,8 +244,8 @@ TEST(Service, SaturatedQueueReturnsQueueFullNotAHang) {
   // Drain-shutdown executes the backlog inline: both futures complete with
   // values even though the service never had a worker thread.
   svc.shutdown(SpgemmService::DrainMode::kDrain);
-  EXPECT_GT(t1->result.get().c.nnz(), 0);
-  EXPECT_GT(t2->result.get().c.nnz(), 0);
+  EXPECT_GT(test::await(t1->result).c.nnz(), 0);
+  EXPECT_GT(test::await(t2->result).c.nnz(), 0);
 }
 
 TEST(Service, DrainShutdownCompletesEveryPendingFuture) {
@@ -231,7 +260,7 @@ TEST(Service, DrainShutdownCompletesEveryPendingFuture) {
   svc.shutdown(SpgemmService::DrainMode::kDrain);
   EXPECT_EQ(svc.queue_depth(), 0u);
   for (auto& f : futures) {
-    expect_bit_identical(want, f.get().c, "drained request");
+    expect_bit_identical(want, test::await(f).c, "drained request");
   }
 }
 
@@ -243,7 +272,7 @@ TEST(Service, CancelShutdownPoisonsPendingWithCancelled) {
   svc.shutdown(SpgemmService::DrainMode::kCancel);
   for (std::future<SpgemmRunReport>* f : {&f1, &f2}) {
     try {
-      (void)f->get();
+      (void)test::await(*f);
       FAIL() << "cancelled future did not throw";
     } catch (const Error& e) {
       EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
@@ -252,7 +281,7 @@ TEST(Service, CancelShutdownPoisonsPendingWithCancelled) {
   // New submissions after shutdown are refused immediately, both flavours.
   EXPECT_EQ(svc.try_submit({a}).status().code(), StatusCode::kCancelled);
   std::future<SpgemmRunReport> late = svc.submit({a});
-  EXPECT_THROW((void)late.get(), Error);
+  EXPECT_THROW((void)test::await(late), Error);
 }
 
 TEST(Service, ShutdownIsIdempotent) {
@@ -304,7 +333,7 @@ TEST(Service, DegradedAdmissionRunsChunkedAndBitIdentical) {
   Expected<Ticket> t = svc.try_submit({big});
   ASSERT_TRUE(t.ok()) << t.status().to_string();
   EXPECT_EQ(t->admission, Admission::kDegraded);
-  const SpgemmRunReport report = t->result.get();
+  const SpgemmRunReport report = test::await(t->result);
   EXPECT_TRUE(report.budget_limited);
   EXPECT_GE(report.chunks, 2);
   expect_bit_identical(want, report.c, "degraded service run");
@@ -332,14 +361,14 @@ TEST(Service, WorkerBudgetExceededPoisonsOnlyItsOwnFuture) {
   ASSERT_TRUE(fine.ok()) << fine.status().to_string();
 
   try {
-    (void)doomed->result.get();
+    (void)test::await(doomed->result);
     FAIL() << "over-budget request did not fail";
   } catch (const Error& e) {
     EXPECT_EQ(e.status().code(), StatusCode::kBudgetExceeded);
   }
   // The failure poisoned exactly one future; the worker and its context
   // survive to serve the next request.
-  expect_bit_identical(want_small, fine->result.get().c, "request after failure");
+  expect_bit_identical(want_small, test::await(fine->result).c, "request after failure");
   svc.shutdown();
 }
 
@@ -352,7 +381,7 @@ TEST(Service, MetricsCountTheLifecycle) {
     SpgemmService svc(SpgemmService::Config{}.with_workers(1).with_queue_capacity(4));
     std::vector<std::future<SpgemmRunReport>> futures;
     for (int i = 0; i < 3; ++i) futures.push_back(svc.submit({a}));
-    for (auto& f : futures) EXPECT_GT(f.get().c.nnz(), 0);
+    for (auto& f : futures) EXPECT_GT(test::await(f).c.nnz(), 0);
     svc.shutdown();
   }
   const obs::MetricsSnapshot after = obs::MetricsRegistry::instance().snapshot();
@@ -371,14 +400,207 @@ TEST(Service, MetricsCountTheLifecycle) {
 TEST(Service, FromEnvReadsServiceKnobs) {
   setenv("TSG_SERVICE_WORKERS", "5", 1);
   setenv("TSG_SERVICE_QUEUE_CAP", "17", 1);
+  setenv("TSG_SERVICE_STUCK_MS", "1500", 1);
   const SpgemmService::Config cfg = SpgemmService::Config::from_env();
   EXPECT_EQ(cfg.workers, 5);
   EXPECT_EQ(cfg.queue_capacity, 17u);
+  EXPECT_EQ(cfg.stuck_after, milliseconds(1500));
   unsetenv("TSG_SERVICE_WORKERS");
   unsetenv("TSG_SERVICE_QUEUE_CAP");
+  unsetenv("TSG_SERVICE_STUCK_MS");
   const SpgemmService::Config defaults = SpgemmService::Config::from_env();
   EXPECT_EQ(defaults.workers, 2);
   EXPECT_EQ(defaults.queue_capacity, 64u);
+  EXPECT_EQ(defaults.stuck_after, milliseconds(0));  // watchdog opt-in
+}
+
+// --- Request lifecycle: deadlines, cancellation, retry, watchdog ----------
+
+TEST(Service, ExpiredDeadlineEvictedAtPopNeverRun) {
+  const auto a = shared(test::make_er_small());
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+  // workers = 0: the request sits queued while its deadline expires; the
+  // drain-shutdown pop must evict it, not run it.
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(4));
+  Expected<Ticket> t = svc.try_submit({a}, SubmitOptions{}.with_timeout(milliseconds(1)));
+  ASSERT_TRUE(t.ok()) << t.status().to_string();
+  std::this_thread::sleep_for(milliseconds(20));
+  svc.shutdown(SpgemmService::DrainMode::kDrain);
+  try {
+    (void)test::await(t->result);
+    FAIL() << "expired request was not evicted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  const obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(
+      before, obs::MetricsRegistry::instance().snapshot());
+  EXPECT_EQ(d.counter("service.evicted"), 1);
+  EXPECT_EQ(d.counter("service.deadline_miss"), 1);
+  EXPECT_EQ(d.counter("service.completed"), 0);  // never executed
+}
+
+TEST(Service, TicketCancelPoisonsQueuedRequestOnly) {
+  const auto a = shared(test::make_er_small());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  SpgemmService svc(SpgemmService::Config{}.with_workers(0).with_queue_capacity(4));
+  Expected<Ticket> doomed = svc.try_submit({a});
+  Expected<Ticket> fine = svc.try_submit({a});
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(fine.ok());
+  doomed->cancel.request_cancel();
+  svc.shutdown(SpgemmService::DrainMode::kDrain);  // drains inline
+  EXPECT_THROW((void)test::await(doomed->result), Error);
+  // The sibling request is untouched: the cancel poisoned one future only.
+  expect_bit_identical(want, test::await(fine->result).c, "uncancelled sibling");
+}
+
+TEST(Service, MidRunCancellationIsLeakFreeAndContextReusable) {
+  const auto a = shared(test::make_er_small());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  // Chaos holds the popped request for 100 ms before it runs; the cancel
+  // lands inside that window, so the engine sees an already-tripped token
+  // at its first boundary check — deterministic mid-pipeline cancellation.
+  chaos::ChaosPlan plan;
+  plan.latency.push_back({chaos::Site::kPop, 1.0, 100});
+  plan.seed = 1;
+  {
+    chaos::ChaosScope scope(plan);
+    SpgemmService svc(SpgemmService::Config{}.with_workers(1));
+    Expected<Ticket> t = svc.try_submit({a});
+    ASSERT_TRUE(t.ok());
+    t->cancel.request_cancel();
+    try {
+      (void)test::await(t->result);
+      FAIL() << "cancelled run did not fail";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    }
+    // Same worker, same pooled context: the next request must be whole and
+    // bit-identical (no poisoned workspace, no unbalanced accounting).
+    Expected<Ticket> again = svc.try_submit({a});
+    ASSERT_TRUE(again.ok());
+    expect_bit_identical(want, test::await(again->result).c, "run after cancel");
+    svc.shutdown();
+  }
+}
+
+TEST(Service, MidRunDeadlineStopsCooperatively) {
+  const auto a = shared(test::make_er_small());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  // 100 ms of injected pop latency against a 30 ms deadline: the deadline
+  // expires while the request is already owned by a worker, so the *engine*
+  // (not pop-time eviction) must stop it at a boundary check.
+  chaos::ChaosPlan plan;
+  plan.latency.push_back({chaos::Site::kPop, 1.0, 100});
+  plan.seed = 2;
+  {
+    chaos::ChaosScope scope(plan);
+    SpgemmService svc(SpgemmService::Config{}.with_workers(1));
+    Expected<Ticket> t =
+        svc.try_submit({a}, SubmitOptions{}.with_timeout(milliseconds(30)));
+    ASSERT_TRUE(t.ok());
+    try {
+      (void)test::await(t->result);
+      FAIL() << "expired run did not fail";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+    }
+    Expected<Ticket> again = svc.try_submit({a});  // no deadline this time
+    ASSERT_TRUE(again.ok());
+    expect_bit_identical(want, test::await(again->result).c, "run after deadline");
+    svc.shutdown();
+  }
+}
+
+TEST(Service, RetryAfterTransientFaultIsBitIdentical) {
+  const auto a = shared(test::make_stencil());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+  // fail_at = 1: the first tracked allocation after arming throws, every
+  // later one succeeds — so attempt 1 fails with kAllocationFailed and the
+  // backoff retry completes. The result must be bit-identical to a direct
+  // run: retry is transparent, not approximate.
+  SpgemmService svc(SpgemmService::Config{}.with_workers(1));
+  FaultPlan fault;
+  fault.fail_at = 1;
+  FaultInjectionScope fault_scope(fault);
+  Expected<Ticket> t = svc.try_submit({a}, SubmitOptions{}.with_retries(2));
+  ASSERT_TRUE(t.ok()) << t.status().to_string();
+  expect_bit_identical(want, test::await(t->result).c, "completed after retry");
+  svc.shutdown();
+  const obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(
+      before, obs::MetricsRegistry::instance().snapshot());
+  EXPECT_GE(d.counter("service.retried"), 1);
+  EXPECT_EQ(d.counter("service.failed"), 0);
+}
+
+TEST(Service, RetryBudgetExhaustedFailsFast) {
+  const auto a = shared(test::make_er_small());
+  // Zero service-wide retry tokens: even a request asking for retries
+  // fail-fasts on the first transient error (the anti-retry-storm valve).
+  SpgemmService svc(
+      SpgemmService::Config{}.with_workers(1).with_retry_budget(0));
+  FaultPlan fault;
+  fault.fail_at = 1;
+  FaultInjectionScope fault_scope(fault);
+  Expected<Ticket> t = svc.try_submit({a}, SubmitOptions{}.with_retries(5));
+  ASSERT_TRUE(t.ok());
+  try {
+    (void)test::await(t->result);
+    FAIL() << "request completed despite exhausted retry budget";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kAllocationFailed);
+  }
+  svc.shutdown();
+}
+
+TEST(Service, WatchdogReplacesStuckWorkerAndPoisonsOnlyItsRequest) {
+  const auto a = shared(test::make_er_small());
+  SpgemmContext direct;
+  const Csr<double> want = direct.run_csr(*a, *a);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+  // The chaos pop-latency wedges the worker for 400 ms with its request
+  // already registered in the watchdog slot; stuck_after = 60 ms declares
+  // it stuck long before the sleep ends. Exactly that future must fail,
+  // and a replacement worker must keep the service serving.
+  chaos::ChaosPlan plan;
+  plan.latency.push_back({chaos::Site::kPop, 1.0, 400});
+  plan.seed = 3;
+  SpgemmService svc(SpgemmService::Config{}
+                        .with_workers(1)
+                        .with_stuck_after(milliseconds(60)));
+  {
+    chaos::ChaosScope scope(plan);
+    Expected<Ticket> doomed = svc.try_submit({a});
+    ASSERT_TRUE(doomed.ok());
+    try {
+      (void)test::await(doomed->result);
+      FAIL() << "stuck request was not poisoned";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded)
+          << e.status().to_string();
+      EXPECT_NE(e.status().message().find("watchdog"), std::string::npos)
+          << e.status().to_string();
+    }
+  }
+  // Chaos disarmed: the replacement worker serves the next request clean.
+  Expected<Ticket> fine = svc.try_submit({a});
+  ASSERT_TRUE(fine.ok());
+  expect_bit_identical(want, test::await(fine->result).c, "after watchdog kill");
+  svc.shutdown();
+  const obs::MetricsSnapshot d = obs::MetricsSnapshot::delta(
+      before, obs::MetricsRegistry::instance().snapshot());
+  EXPECT_EQ(d.counter("service.watchdog_kills"), 1);
+  EXPECT_EQ(d.counter("service.completed"), 1);
 }
 
 // --- Concurrency stress (the TSan target) ---------------------------------
@@ -407,7 +629,7 @@ TEST(Service, ConcurrentSubmittersAndWorkers) {
   for (int p = 0; p < 3; ++p) {
     for (int i = 0; i < kPerProducer; ++i) {
       const Csr<double>& want = (i % 2 == 0) ? want_a : want_b;
-      expect_bit_identical(want, results[p][i].get().c, "concurrent submit");
+      expect_bit_identical(want, test::await(results[p][i]).c, "concurrent submit");
     }
   }
   svc.shutdown();

@@ -3,14 +3,39 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <string>
 
 #include "baselines/reference.h"
+#include "common/status.h"
 #include "gen/generators.h"
 #include "matrix/compare.h"
 #include "matrix/csr.h"
 
 namespace tsg::test {
+
+/// Bounded future wait: get() with a deadline, so a service bug (a worker
+/// that never resolves a promise) fails the test instead of hanging the
+/// whole suite until the ctest timeout. This is the sanctioned answer to
+/// tsg-lint's unbounded-wait rule; the one naked get() below runs only
+/// after the future is known ready.
+template <class T>
+T await(std::future<T>& future,
+        std::chrono::milliseconds timeout = std::chrono::seconds(60)) {
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    ADD_FAILURE() << "future not ready after " << timeout.count()
+                  << " ms (worker lost or deadlocked)";
+    throw Error(Status::deadline_exceeded("test await() timed out"));
+  }
+  return future.get();  // tsg-lint: allow(unbounded-wait) -- ready above
+}
+
+template <class T>
+T await(std::future<T>&& future,
+        std::chrono::milliseconds timeout = std::chrono::seconds(60)) {
+  return await<T>(future, timeout);
+}
 
 /// Assert two CSR matrices are structurally identical with values equal to
 /// a relative tolerance.

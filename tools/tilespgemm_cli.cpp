@@ -15,6 +15,7 @@
 //
 // Without a matrix path a built-in generated matrix is used, so the tool
 // runs in this offline environment.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -41,7 +42,8 @@ namespace {
 void usage() {
   std::cerr << "usage: tilespgemm_cli [-d <gpu-device>] [-aat 0|1] [--validate off|cheap|full]\n"
                "                      [--budget-mb <n>] [--no-degrade] [--trace <file>]\n"
-               "                      [--metrics <file>] [--serve <workers>] [matrix.mtx]\n"
+               "                      [--metrics <file>] [--serve <workers>]\n"
+               "                      [--timeout-ms <n>] [--retries <n>] [matrix.mtx]\n"
                "  -d           accepted for artifact compatibility (no GPU here)\n"
                "  -aat         0: C = A*A (default), 1: C = A*A^T\n"
                "  --validate   operand checking at the context boundary (default cheap)\n"
@@ -50,7 +52,11 @@ void usage() {
                "  --trace      write a Chrome trace_event JSON of the run (open in Perfetto)\n"
                "  --metrics    write the metrics-registry snapshot as JSON\n"
                "  --serve      route the multiply through SpgemmService with <workers>\n"
-               "               warm workers (async submission path; admission-controlled)\n";
+               "               warm workers (async submission path; admission-controlled)\n"
+               "  --timeout-ms (--serve only) per-request deadline; an expired request\n"
+               "               fails with DeadlineExceeded instead of running forever\n"
+               "  --retries    (--serve only) transparent retries for transient\n"
+               "               (allocation) failures, with exponential backoff\n";
 }
 
 /// Print the structured failure the way scripts expect it: one
@@ -81,6 +87,8 @@ int main(int argc, char** argv) {
 
   int aat = 0;
   int serve_workers = 0;
+  long timeout_ms = 0;
+  int retries = 0;
   std::string path;
   std::string trace_path;
   std::string metrics_path;
@@ -126,12 +134,32 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (std::string n = flag_value(argc, argv, i, "--timeout-ms"); !n.empty()) {
+      timeout_ms = std::atol(n.c_str());
+      if (timeout_ms <= 0) {
+        std::cerr << "error: --timeout-ms expects a positive millisecond count\n";
+        usage();
+        return 2;
+      }
+    } else if (std::string n = flag_value(argc, argv, i, "--retries"); !n.empty()) {
+      retries = std::atoi(n.c_str());
+      if (retries < 0 || (retries == 0 && n != "0")) {
+        std::cerr << "error: --retries expects a non-negative count\n";
+        usage();
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       usage();
       return 2;
     } else {
       path = argv[i];
     }
+  }
+  if (serve_workers == 0 && (timeout_ms > 0 || retries > 0)) {
+    std::cerr << "error: --timeout-ms/--retries are request-lifecycle options and "
+                 "require --serve\n";
+    usage();
+    return 2;
   }
 
   // Lines 1-3: input matrix and load time. The load is a begin/end span
@@ -181,7 +209,10 @@ int main(int argc, char** argv) {
     service::SpgemmService svc(scfg);
     service::SpgemmRequest req{std::make_shared<const Csr<double>>(a)};
     if (aat != 0) req.b = std::make_shared<const Csr<double>>(b);
-    Expected<service::Ticket> ticket = svc.try_submit(std::move(req));
+    service::SubmitOptions opts;
+    if (timeout_ms > 0) opts.with_timeout(std::chrono::milliseconds(timeout_ms));
+    opts.with_retries(retries);
+    Expected<service::Ticket> ticket = svc.try_submit(std::move(req), opts);
     if (!ticket.ok()) return fail_with(ticket.status());
     std::cout << "service: " << serve_workers << " worker(s), request #" << ticket->id
               << ", admission "

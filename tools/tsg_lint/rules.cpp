@@ -274,6 +274,65 @@ void check_trace_span_pairing(const FileContext& file, std::vector<Diagnostic>& 
 }
 
 // ---------------------------------------------------------------------------
+// unbounded-wait: a naked future .get() / .wait(), or a condition-variable
+// wait without a predicate, blocks forever when the completing side dies —
+// exactly the failure the service's watchdog and deadline machinery exist
+// to make impossible. Scoped to src/service and tests/, where every wait
+// must be bounded (wait_for + deadline, or the tests' await() helper) or
+// carry an explicit `tsg-lint: allow(unbounded-wait)` rationale.
+// ---------------------------------------------------------------------------
+void check_unbounded_wait(const FileContext& file, std::vector<Diagnostic>& out) {
+  if (!path_contains(file.path, "src/service") && !path_contains(file.path, "tests/")) {
+    return;
+  }
+  const Tokens& toks = file.lexed->tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    // Member calls only: `x.get()` / `cv.wait(lock)`. Free functions named
+    // get/wait are somebody else's API.
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+
+    if (t.text == "get") {
+      // Zero-argument .get(): on a future this is an unbounded block. (A
+      // smart pointer's .get() in these directories trips this too — the
+      // suppression comment is the annotated escape hatch.)
+      if (is_punct(toks[i + 2], ")")) {
+        out.push_back({"unbounded-wait", file.path, t.line,
+                       "naked .get() waits forever if the worker never resolves the "
+                       "future; bound it (wait_for + deadline, tests' await()) or "
+                       "annotate with tsg-lint: allow(unbounded-wait)"});
+      }
+      continue;
+    }
+
+    if (t.text == "wait") {
+      // cv.wait(lock) re-sleeps on spurious wake-ups but never times out and
+      // never re-checks state; demand wait(lock, predicate) (or the *_for /
+      // *_until variants, which this rule does not match).
+      const std::size_t close = matching_close(toks, i + 1);
+      if (close >= toks.size()) continue;
+      int depth = 0;
+      bool has_predicate = false;
+      for (std::size_t j = i + 1; j < close && !has_predicate; ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        const std::string_view p = toks[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (p == "," && depth == 1) has_predicate = true;
+      }
+      if (!has_predicate) {
+        out.push_back({"unbounded-wait", file.path, t.line,
+                       ".wait() without a predicate (or a *_for/*_until bound) can "
+                       "block forever; pass the condition as a predicate or wait "
+                       "with a timeout"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // banned-fn: non-reentrant / unbounded C functions. rand() breaks run
 // reproducibility (matrices must come from seeded generators), strtok keeps
 // hidden global state across parallel sections, sprintf has no bound.
@@ -321,6 +380,9 @@ const std::vector<Rule>& rule_catalogue() {
       {"trace-span-pairing",
        "TSG_TRACE_BEGIN/TSG_TRACE_END per-file, per-name balance",
        check_trace_span_pairing},
+      {"unbounded-wait",
+       "naked future .get()/.wait() or predicate-less cv wait in src/service and tests",
+       check_unbounded_wait},
       {"banned-fn",
        "rand/srand/strtok/sprintf/vsprintf/gets",
        check_banned_fn},
