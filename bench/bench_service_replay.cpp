@@ -17,16 +17,26 @@
 // bench exits nonzero on any failure mode the armed chaos plan does not
 // explain — that is the check scripts/check.sh chaos gates on.
 //
+// Observability hooks (PR 8): --trace FILE turns on the trace collector and
+// writes the request-id-tagged Perfetto JSON at exit; --prom FILE writes a
+// Prometheus text-exposition snapshot of the final registry; --flight-dir DIR
+// arms the flight recorder (fatal signals and unexplained chaos outcomes dump
+// flight_<ts>.json there); --slo-p99-ms MS asserts the windowed p99 against
+// the target via obs::SloMonitor and exits nonzero on violation, with the
+// burn counters (slo.p99_burn / slo.error_burn) landing in the metrics JSON.
+//
 //   bench_service_replay [--csv] [--metrics FILE] [--requests N]
 //                        [--rate R] [--workers N] [--queue-cap N]
 //                        [--budget-mb MB] [--no-degrade] [--seed S]
 //                        [--chaos SPEC] [--timeout-ms MS] [--retries N]
-//                        [--stuck-ms MS]
+//                        [--stuck-ms MS] [--slo-p99-ms MS] [--trace FILE]
+//                        [--prom FILE] [--flight-dir DIR]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -39,7 +49,10 @@
 #include "common/memory.h"
 #include "common/random.h"
 #include "gen/representative.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "service/spgemm_service.h"
 
 namespace tsg::bench {
@@ -64,6 +77,10 @@ struct ReplayArgs {
   long timeout_ms = 0;     ///< 0: no per-request deadline
   int retries = 0;         ///< SubmitOptions::max_retries for every request
   long stuck_ms = 0;       ///< 0: watchdog disabled
+  long slo_p99_ms = 0;     ///< 0: no latency SLO assertion
+  std::string trace_path;  ///< empty: tracing stays off
+  std::string prom_path;   ///< empty: no Prometheus snapshot
+  std::string flight_dir;  ///< empty: flight recorder keeps buffering, never dumps
 
   static ReplayArgs parse(int argc, char** argv) {
     ReplayArgs args;
@@ -102,11 +119,21 @@ struct ReplayArgs {
         args.retries = static_cast<int>(next_int(0));
       } else if (std::strcmp(argv[i], "--stuck-ms") == 0) {
         args.stuck_ms = next_int(1);
+      } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0) {
+        args.slo_p99_ms = next_int(1);
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        args.trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+        args.prom_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+        args.flight_dir = argv[++i];
       } else {
         std::cerr << "usage: bench_service_replay [--csv] [--metrics FILE] "
                      "[--requests N] [--rate R] [--workers N] [--queue-cap N] "
                      "[--budget-mb MB] [--no-degrade] [--seed S] [--chaos SPEC] "
-                     "[--timeout-ms MS] [--retries N] [--stuck-ms MS]\n";
+                     "[--timeout-ms MS] [--retries N] [--stuck-ms MS] "
+                     "[--slo-p99-ms MS] [--trace FILE] [--prom FILE] "
+                     "[--flight-dir DIR]\n";
         std::exit(2);
       }
     }
@@ -155,6 +182,18 @@ int run(const ReplayArgs& args) {
   }
   std::optional<chaos::ChaosScope> chaos_scope;
   if (plan.enabled()) chaos_scope.emplace(plan);
+
+  // Observability plumbing, armed before the service exists so the very
+  // first lifecycle event (service.request.queued) is captured.
+  if (!args.flight_dir.empty()) {
+    obs::FlightRecorder::instance().set_directory(args.flight_dir);
+    obs::FlightRecorder::install_signal_handlers();
+  }
+  if (!args.trace_path.empty()) obs::TraceCollector::instance().set_enabled(true);
+  obs::SloConfig slo_cfg = obs::SloConfig::from_env();
+  if (args.slo_p99_ms > 0) slo_cfg.target_p99_ms = static_cast<double>(args.slo_p99_ms);
+  std::optional<obs::SloMonitor> slo;
+  if (slo_cfg.any()) slo.emplace(slo_cfg);  // window opens here, pre-replay
 
   SpgemmService::Config cfg = SpgemmService::Config::from_env();
   cfg.with_workers(args.workers)
@@ -301,37 +340,71 @@ int run(const ReplayArgs& args) {
                      std::to_string(engine.deadline_pressures())});
   emit(lifecycle, emit_args);
 
+  // Close the SLO window over the whole replay and publish the verdict next
+  // to the replay gauges. The burn counters the monitor increments on
+  // violation (slo.p99_burn / slo.error_burn) ride into --metrics through
+  // the registry itself.
+  bool slo_violated = false;
+  if (slo) {
+    const obs::SloMonitor::Report slo_report = slo->observe();
+    publish("service.replay.slo_target_p99_ms",
+            static_cast<std::int64_t>(slo_cfg.target_p99_ms));
+    publish("service.replay.slo_p99_ms", static_cast<std::int64_t>(slo_report.p99_ms));
+    publish("service.replay.slo_violated", slo_report.ok() ? 0 : 1);
+    if (!slo_report.ok()) {
+      slo_violated = true;
+      std::cerr << "bench_service_replay: SLO violated: p99=" << fmt(slo_report.p99_ms)
+                << " ms vs target " << fmt(slo_cfg.target_p99_ms)
+                << " ms, error_rate=" << fmt(slo_report.error_rate) << " (seed="
+                << args.seed << ")\n";
+    }
+  }
+
+  // Exporter artifacts are written even on a red run — a failing replay is
+  // exactly when the trace and the Prometheus snapshot are worth reading.
+  if (!args.trace_path.empty()) {
+    std::ofstream trace_out(args.trace_path);
+    if (trace_out) {
+      obs::TraceCollector::instance().write_chrome_trace(trace_out);
+    } else {
+      std::cerr << "bench_service_replay: cannot write trace to " << args.trace_path
+                << "\n";
+    }
+  }
+  if (!args.prom_path.empty() && !obs::write_prometheus_file(args.prom_path)) {
+    std::cerr << "bench_service_replay: cannot write Prometheus snapshot to "
+              << args.prom_path << "\n";
+  }
+
   // The service contract this bench exists to demonstrate: under any
   // budget (and any armed chaos plan), every accepted request resolves and
   // nothing aborts. Every failure mode must be explained — by a structured
   // refusal, the configured deadline, or the armed plan. Anything else is
-  // a red run, reproducible from the echoed seed.
+  // a red run, reproducible from the echoed seed — and worth a flight dump
+  // of the last events leading up to it.
+  const auto unexplained = [&](const char* what) {
+    (void)obs::FlightRecorder::instance().dump("chaos_unexplained");
+    std::cerr << "bench_service_replay: " << what << " (seed=" << args.seed << ")\n";
+  };
   if (other_refusals > 0) {
-    std::cerr << "bench_service_replay: " << other_refusals
-              << " unexpected refusal(s) (seed=" << args.seed << ")\n";
+    unexplained("unexpected refusal(s)");
     return 1;
   }
   const bool deadlines_possible =
       args.timeout_ms > 0 || plan.deadline_p > 0.0 || args.stuck_ms > 0;
   if (deadline_missed > 0 && !deadlines_possible) {
-    std::cerr << "bench_service_replay: " << deadline_missed
-              << " deadline miss(es) with no deadline configured (seed=" << args.seed
-              << ")\n";
+    unexplained("deadline miss(es) with no deadline configured");
     return 1;
   }
   if (force_cancelled > 0 && plan.cancel_p <= 0.0) {
-    std::cerr << "bench_service_replay: " << force_cancelled
-              << " cancellation(s) with no cancel clause armed (seed=" << args.seed
-              << ")\n";
+    unexplained("cancellation(s) with no cancel clause armed");
     return 1;
   }
   if (args.degrade && plan.alloc_rate <= 0.0 && failed > 0) {
-    std::cerr << "bench_service_replay: " << failed
-              << " request(s) failed despite degradation being enabled (seed="
-              << args.seed << ")\n";
+    unexplained("request(s) failed despite degradation being enabled");
     return 1;
   }
-  return 0;
+  return slo_violated ? 1 : 0;
 }
 
 }  // namespace

@@ -145,9 +145,14 @@ stage_chaos() {
   # failure is replayable verbatim with the echoed command line.
   local seed="${TSG_CHAOS_SEED:-7}"
   local spec='latency:site=pop,p=0.2,ms=5;cancel:p=0.15;deadline:p=0.1,ms=1;alloc:rate=0.05'
+  # The PR-8 observability artifacts ride along: a request-id-tagged Perfetto
+  # trace, a Prometheus snapshot of the final registry, and — on any outcome
+  # the armed plan does not explain, or a fatal signal — a flight_*.json dump
+  # in results/. CI uploads all of them with the metrics JSON.
   local args=(--requests 48 --rate 400 --workers 2 --queue-cap 8 --budget-mb 8
               --chaos "${spec}" --seed "${seed}" --timeout-ms 2000 --retries 2
-              --stuck-ms 2000)
+              --stuck-ms 2000 --trace results/chaos_replay_trace.json
+              --prom results/chaos_prom.txt --flight-dir results)
   run_chaos_replay() {  # $1 = bench binary
     if ! "$1" "${args[@]}" --metrics results/chaos_replay_metrics.json; then
       echo "chaos: FAILED — reproduce with:" >&2
@@ -172,18 +177,24 @@ stage_chaos() {
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp:halt_on_error=1" \
     run_chaos_replay ./build-tsan/bench/bench_service_replay
   ctest --test-dir build-tsan --output-on-failure -L service
+
+  # The offline per-request renderer must parse what the replay just wrote —
+  # a cheap end-to-end check that the trace format and the report tool agree.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target tsg_obs_report
+  ./build/tools/tsg_obs_report results/chaos_replay_trace.json >/dev/null
 }
 
 stage_obs_overhead() {
   echo "=== observability: disabled-overhead gate (Fig. 10 bench) ==="
-  # Tracing compiled in but runtime-disabled must be free: compare the Fig. 10
-  # breakdown bench (regular build, TSG_TRACING=ON by default) against a
-  # -DTSG_TRACING=OFF build of the same tree. The paper-facing target is < 2 %
-  # overhead; the gate defaults to TSG_OBS_OVERHEAD_PCT=10 so scheduler noise
-  # on shared CI hosts does not flake the run.
+  # Observability compiled in but runtime-disabled must be free: compare the
+  # Fig. 10 breakdown bench (regular build, TSG_TRACING/TSG_LOGGING=ON by
+  # default) against a build with both compiled out. The paper-facing target
+  # is < 2 % overhead; the gate defaults to TSG_OBS_OVERHEAD_PCT=10 so
+  # scheduler noise on shared CI hosts does not flake the run.
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" --target bench_fig10_breakdown
-  cmake -B build-noobs -S . -DTSG_TRACING=OFF >/dev/null
+  cmake -B build-noobs -S . -DTSG_TRACING=OFF -DTSG_LOGGING=OFF >/dev/null
   cmake --build build-noobs -j "${JOBS}" --target bench_fig10_breakdown
   local reps="${TSG_OBS_GATE_REPS:-3}"
   # Sum the best-of-reps "total ms" CSV column over the 18-matrix sweep.

@@ -36,6 +36,11 @@ struct SpgemmRunReport {
   /// This run's registry delta (TileSpGEMM only, and only when the detail
   /// gate was on — see TileSpgemmTimings::metrics); null otherwise.
   std::shared_ptr<const obs::MetricsSnapshot> metrics;
+  /// Request correlation, filled by SpgemmService for runs it executed
+  /// (0 for direct library calls): the join keys into the trace stream,
+  /// structured log records, and flight-recorder dumps.
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
 };
 
 struct SpgemmAlgorithm {

@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "core/tile_transpose.h"
 #include "core/validate.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -193,10 +194,14 @@ constexpr const char* kKnownEnvKnobs[] = {
     "TSG_BENCH_REPS",     "TSG_BENCH_SCALE",       "TSG_BENCH_TOLERANCE",
     "TSG_BENCH_SPEEDUP",  "TSG_CTEST_ARGS",        "TSG_OBS_GATE_REPS",
     "TSG_OBS_OVERHEAD_PCT", "TSG_SERVICE_STUCK_MS",
+    // Observability knobs (structured log, flight recorder, SLO monitor —
+    // see docs/OBSERVABILITY.md).
+    "TSG_LOG",            "TSG_LOG_LEVEL",         "TSG_FLIGHT_DIR",
+    "TSG_SLO_P99_MS",     "TSG_SLO_MAX_ERROR_RATE",
     // Build/CI controls (scripts/check.sh, CMake options) that may sit in
     // the environment when a test process calls from_env().
     "TSG_PARALLEL_STD",   "TSG_SANITIZE",          "TSG_TRACING",
-    "TSG_TSAN",
+    "TSG_TSAN",           "TSG_LOGGING",           "TSG_CHAOS_SEED",
 };
 
 void warn_unknown_env_knobs() {
@@ -215,16 +220,15 @@ void warn_unknown_env_knobs() {
     }
     if (known) continue;
     // Once per variable per process: repeated from_env() calls (every
-    // context-config construction in a test suite) must not spam stderr.
+    // context-config construction in a test suite) must not spam the log.
     // Mutex-guarded — service workers may build configs concurrently.
     static std::mutex warned_mutex;
     static std::set<std::string> warned;
     std::lock_guard<std::mutex> lock(warned_mutex);
     if (warned.insert(name).second) {
-      std::fprintf(stderr,
-                   "tsg: warning: unknown environment variable '%s' (TSG_ prefix is "
-                   "reserved; known knobs are listed in docs/ARCHITECTURE.md)\n",
-                   name.c_str());
+      TSG_LOG_WARN("env.unknown_knob", {"name", name},
+                   {"hint", "TSG_ prefix is reserved; known knobs are listed in "
+                            "docs/ARCHITECTURE.md"});
     }
   }
 }
@@ -233,6 +237,9 @@ void warn_unknown_env_knobs() {
 
 SpgemmContext::Config SpgemmContext::Config::from_env() {
   Config cfg;
+  // TSG_LOG / TSG_LOG_LEVEL apply process-wide on the first from_env()
+  // (idempotent; a later explicit log call would configure lazily anyway).
+  obs::configure_logging_from_env();
   warn_unknown_env_knobs();
   if (const char* env = std::getenv("TSG_NUM_THREADS")) {
     const int n = std::atoi(env);

@@ -1,0 +1,197 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsg::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 256;
+
+void copy_truncated(char* dst, std::size_t dst_size, std::string_view src) {
+  const std::size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void append_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void signal_dump_handler(int sig) {
+  // Not async-signal-safe (locks, allocation, file IO) — see the header for
+  // why that trade is accepted. Guard against re-entry, then hand the signal
+  // back to the default action so the exit status stays truthful.
+  static std::atomic<bool> dumping{false};
+  if (!dumping.exchange(true)) {
+    char reason[32];
+    std::snprintf(reason, sizeof(reason), "fatal_signal_%d", sig);
+    FlightRecorder::instance().dump(reason);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : ring_(kDefaultCapacity) {
+  if (const char* dir = std::getenv("TSG_FLIGHT_DIR")) {
+    if (dir[0] != '\0') {
+      dir_ = dir;
+      enabled_ = true;
+    }
+  }
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(const char* level, const char* event,
+                            std::uint64_t request_id, std::uint64_t trace_id,
+                            std::string_view detail) {
+  FlightEvent e;
+  e.ts_us = TraceCollector::now_us();
+  e.request_id = request_id;
+  e.trace_id = trace_id;
+  copy_truncated(e.level, sizeof(e.level), level != nullptr ? level : "");
+  copy_truncated(e.event, sizeof(e.event), event != nullptr ? event : "");
+  copy_truncated(e.detail, sizeof(e.detail), detail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[static_cast<std::size_t>(head_ % ring_.size())] = e;
+  ++head_;
+}
+
+void FlightRecorder::set_directory(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dir_ = std::move(dir);
+  enabled_ = !dir_.empty();
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = on;
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void FlightRecorder::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(std::max<std::size_t>(n, 1), FlightEvent{});
+  head_ = 0;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(ring_.begin(), ring_.end(), FlightEvent{});
+  head_ = 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> out;
+  const std::uint64_t cap = ring_.size();
+  const std::uint64_t n = std::min(head_, cap);
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const std::uint64_t idx = head_ > cap ? (head_ + k) % cap : k;
+    out.push_back(ring_[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+void FlightRecorder::write_json(std::ostream& out, std::string_view reason,
+                                std::uint64_t victim_request_id) const {
+  const std::vector<FlightEvent> evs = events();
+  out << "{\n\"reason\":\"";
+  append_json_escaped(out, reason);
+  out << "\",\n\"victim_request_id\":" << victim_request_id
+      << ",\n\"ts_us\":" << static_cast<std::int64_t>(TraceCollector::now_us())
+      << ",\n\"events\":[";
+  bool first = true;
+  for (const FlightEvent& e : evs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ts_us\":" << static_cast<std::int64_t>(e.ts_us) << ",\"level\":\"";
+    append_json_escaped(out, e.level);
+    out << "\",\"event\":\"";
+    append_json_escaped(out, e.event);
+    out << "\",\"request_id\":" << e.request_id << ",\"trace_id\":" << e.trace_id
+        << ",\"detail\":\"";
+    append_json_escaped(out, e.detail);
+    out << "\"}";
+  }
+  out << "\n],\n\"metrics\":";
+  MetricsRegistry::instance().snapshot().write_json(out);
+  out << "\n}\n";
+}
+
+std::string FlightRecorder::dump(std::string_view reason,
+                                 std::uint64_t victim_request_id) {
+  std::string dir;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_) return "";
+    dir = dir_.empty() ? "." : dir_;
+    seq = ++dumps_;
+  }
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  std::ostringstream path;
+  path << dir << "/flight_" << wall_ms << "_" << seq << ".json";
+  std::ofstream file(path.str());
+  if (!file.is_open()) return "";
+  write_json(file, reason, victim_request_id);
+  file.flush();
+  static Counter& dumps_counter = MetricsRegistry::instance().counter("flight.dumps");
+  dumps_counter.inc();
+  return path.str();
+}
+
+void FlightRecorder::install_signal_handlers() {
+  std::signal(SIGSEGV, signal_dump_handler);
+  std::signal(SIGABRT, signal_dump_handler);
+  std::signal(SIGBUS, signal_dump_handler);
+  std::signal(SIGFPE, signal_dump_handler);
+}
+
+}  // namespace tsg::obs

@@ -1,0 +1,107 @@
+// Flight recorder — the post-mortem ring the chaos harness dumps on failure.
+//
+// A fixed-size global ring of recent observability events (log records and
+// service lifecycle hooks), plus a full metrics snapshot, serialised to
+// `flight_<ts>.json` when something goes wrong: a watchdog kill, a poisoned
+// future, a chaos-unexplained outcome, or a fatal signal. Before this layer
+// a red chaos run left only an exit code; now it leaves the last N events
+// with request/trace ids, so "which request died and what led up to it" is
+// answerable from the artifact CI uploads.
+//
+// Recording is always on and cheap (a mutex-guarded fixed-slot copy — the
+// ring only sees rate-limited log records and per-request lifecycle hooks,
+// not per-tile events). *Dumping* is off by default: it activates when
+// TSG_FLIGHT_DIR is set or set_directory()/set_enabled() is called, so
+// library code never writes files behind the caller's back.
+//
+// Dump JSON shape:
+//
+//   {"reason":"watchdog_kill","victim_request_id":4812,"ts_us":...,
+//    "events":[{"ts_us":..,"level":"warn","event":"service.watchdog_kill",
+//               "request_id":4812,"trace_id":...,"detail":"..."}, ...],
+//    "metrics":{...full registry snapshot...}}
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/contracts.h"
+
+#ifndef TSG_LOGGING
+#define TSG_LOGGING 1
+#endif
+
+namespace tsg::obs {
+
+/// One ring slot. Fixed-size char arrays (truncating copies) keep the slot
+/// trivially copyable and the record path allocation-free.
+struct FlightEvent {
+  double ts_us = 0.0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  char level[8] = {0};
+  char event[48] = {0};
+  char detail[120] = {0};
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Append one event (truncating to the slot widths). Safe from any thread.
+  void record(const char* level, const char* event, std::uint64_t request_id,
+              std::uint64_t trace_id, std::string_view detail);
+
+  /// Where dumps go; setting a directory enables dumping. TSG_FLIGHT_DIR is
+  /// read once on first instance() as the default.
+  void set_directory(std::string dir);
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Resize the ring (drops buffered events). Tests.
+  void set_capacity(std::size_t n);
+  void clear();
+  std::vector<FlightEvent> events() const;  ///< oldest-first copy (tests)
+
+  /// Serialise ring + metrics snapshot to `<dir>/flight_<ts>_<seq>.json`.
+  /// Returns the path, or "" when disabled or the write failed. Never
+  /// throws — a post-mortem writer must not add its own failure mode.
+  std::string dump(std::string_view reason, std::uint64_t victim_request_id = 0);
+
+  /// The dump body, to any stream (tests use an ostringstream).
+  void write_json(std::ostream& out, std::string_view reason,
+                  std::uint64_t victim_request_id) const;
+
+  std::uint64_t dumps() const;
+
+  /// Best-effort dump on SIGSEGV/SIGABRT/SIGBUS/SIGFPE, then re-raise the
+  /// default action. Deliberately opt-in (bench/CLI entry points) — the
+  /// handler is not async-signal-safe in the strict sense, which is an
+  /// accepted trade for a crash artifact in a process that is dying anyway.
+  static void install_signal_handlers();
+
+ private:
+  FlightRecorder();
+
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_ TSG_GUARDED_BY(mutex_);
+  std::uint64_t head_ TSG_GUARDED_BY(mutex_) = 0;  ///< lifetime appends
+  std::string dir_ TSG_GUARDED_BY(mutex_);
+  bool enabled_ TSG_GUARDED_BY(mutex_) = false;
+  std::uint64_t dumps_ TSG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace tsg::obs
+
+// Lifecycle hooks in the service layer compile out with the logging macros
+// (same TSG_LOGGING gate), keeping the obs-disabled A/B build honest.
+#if TSG_LOGGING
+#define TSG_FLIGHT_RECORD(level, event, request_id, trace_id, detail) \
+  ::tsg::obs::FlightRecorder::instance().record(level, event, request_id, trace_id, detail)
+#else
+#define TSG_FLIGHT_RECORD(level, event, request_id, trace_id, detail) ((void)0)
+#endif

@@ -1,0 +1,240 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
+
+namespace tsg::obs {
+
+namespace {
+
+std::mutex g_sink_mutex;
+// Guarded by g_sink_mutex. g_sink_override is the test redirect; g_sink_file
+// is the TSG_LOG=<path> stream; otherwise std::cerr. g_sink_enabled=false
+// (TSG_LOG=0) silences the sink but keeps feeding the flight recorder.
+std::ostream* g_sink_override = nullptr;
+std::ofstream* g_sink_file = nullptr;
+bool g_sink_enabled = true;
+
+bool truthy(const char* v) {
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return !(s.empty() || s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+/// Approximate token bucket in milli-tokens. Relaxed atomics: a concurrent
+/// race can over- or under-spend one token, which is fine for a rate
+/// limiter and keeps the site lock-free (TSan-clean).
+bool take_token(LogSite& site, std::int64_t now_us) {
+  std::int64_t tokens = site.tokens_millis.load(std::memory_order_relaxed);
+  if (tokens < 0) {
+    tokens = site.burst_millis;
+    site.last_refill_us.store(now_us, std::memory_order_relaxed);
+  } else {
+    const std::int64_t last = site.last_refill_us.load(std::memory_order_relaxed);
+    const std::int64_t elapsed = now_us - last;
+    if (elapsed > 0) {
+      tokens = std::min(site.burst_millis,
+                        tokens + elapsed * site.refill_millis_per_sec / 1000000);
+      site.last_refill_us.store(now_us, std::memory_order_relaxed);
+    }
+  }
+  const bool ok = tokens >= 1000;
+  site.tokens_millis.store(ok ? tokens - 1000 : tokens, std::memory_order_relaxed);
+  return ok;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_field(std::string& out, const LogField& f) {
+  out += '"';
+  append_escaped(out, f.key);
+  out += "\":";
+  char buf[32];
+  switch (f.kind) {
+    case LogField::Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(f.i));
+      out += buf;
+      break;
+    case LogField::Kind::kUint:
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(f.u));
+      out += buf;
+      break;
+    case LogField::Kind::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.6g", f.d);
+      out += buf;
+      break;
+    case LogField::Kind::kBool:
+      out += f.i != 0 ? "true" : "false";
+      break;
+    case LogField::Kind::kStr:
+      out += '"';
+      append_escaped(out, f.s);
+      out += '"';
+      break;
+  }
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(std::string_view text, LogLevel* out) {
+  if (text == "debug" || text == "0") *out = LogLevel::kDebug;
+  else if (text == "info" || text == "1") *out = LogLevel::kInfo;
+  else if (text == "warn" || text == "warning" || text == "2") *out = LogLevel::kWarn;
+  else if (text == "error" || text == "3") *out = LogLevel::kError;
+  else if (text == "off" || text == "none" || text == "4") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void set_log_sink(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink_override = out;
+}
+
+bool configure_logging_from_env() {
+  static std::once_flag once;
+  bool configured = false;
+  std::call_once(once, [&configured] {
+    configured = true;
+    if (const char* lvl = std::getenv("TSG_LOG_LEVEL")) {
+      LogLevel parsed = LogLevel::kWarn;
+      if (parse_log_level(lvl, &parsed)) set_log_level(parsed);
+    }
+    if (const char* dest = std::getenv("TSG_LOG")) {
+      const std::string d(dest);
+      std::lock_guard<std::mutex> lock(g_sink_mutex);
+      if (!truthy(dest)) {
+        g_sink_enabled = false;
+      } else if (d != "1" && d != "true" && d != "on" && d != "yes" &&
+                 d != "stderr") {
+        // Any other value is a file path; append so multi-process runs
+        // (e.g. ctest -j) interleave records instead of truncating.
+        auto* file = new std::ofstream(d, std::ios::app);
+        if (file->is_open()) {
+          g_sink_file = file;  // intentionally leaked: process-lifetime sink
+        } else {
+          delete file;
+        }
+      }
+    }
+  });
+  return configured;
+}
+
+void log_write(LogSite& site, LogLevel level, const char* event,
+               std::initializer_list<LogField> fields) {
+  configure_logging_from_env();
+  const double now = TraceCollector::now_us();
+  const std::int64_t now_us = static_cast<std::int64_t>(now);
+
+  if (!take_token(site, now_us)) {
+    site.suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t suppressed =
+      site.suppressed.exchange(0, std::memory_order_relaxed);
+
+  const RequestContext& req = current_request();
+
+  std::string line;
+  line.reserve(192);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"ts_us\":%.1f,\"level\":\"", now);
+  line += buf;
+  line += log_level_name(level);
+  line += "\",\"event\":\"";
+  append_escaped(line, event);
+  line += "\",\"site\":\"";
+  if (site.file != nullptr) {
+    append_escaped(line, basename_of(site.file));
+    std::snprintf(buf, sizeof(buf), ":%d", site.line);
+    line += buf;
+  }
+  line += '"';
+  if (req.active()) {
+    std::snprintf(buf, sizeof(buf), ",\"trace_id\":%llu,\"request_id\":%llu",
+                  static_cast<unsigned long long>(req.trace_id),
+                  static_cast<unsigned long long>(req.request_id));
+    line += buf;
+    if (req.tag != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"tag\":%llu",
+                    static_cast<unsigned long long>(req.tag));
+      line += buf;
+    }
+  }
+  std::string fields_json;
+  if (fields.size() > 0) {
+    bool first = true;
+    for (const LogField& f : fields) {
+      if (!first) fields_json += ',';
+      first = false;
+      append_field(fields_json, f);
+    }
+    line += ",\"fields\":{";
+    line += fields_json;
+    line += '}';
+  }
+  if (suppressed > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"suppressed\":%llu",
+                  static_cast<unsigned long long>(suppressed));
+    line += buf;
+  }
+  line += '}';
+
+  FlightRecorder::instance().record(log_level_name(level), event, req.request_id,
+                                    req.trace_id, fields_json);
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (!g_sink_enabled && g_sink_override == nullptr) return;
+  std::ostream& out = g_sink_override != nullptr
+                          ? *g_sink_override
+                          : (g_sink_file != nullptr ? static_cast<std::ostream&>(*g_sink_file)
+                                                    : std::cerr);
+  out << line << '\n';
+  out.flush();
+}
+
+}  // namespace tsg::obs

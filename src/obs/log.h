@@ -1,0 +1,145 @@
+// Structured logging — leveled JSON-lines with per-site rate limiting.
+//
+// The repo's diagnostic text used to go through raw fprintf(stderr, ...);
+// this logger replaces those sites with machine-parseable one-line JSON
+// records that carry the ambient RequestContext, so "why did request #4812
+// fail" is answerable by grepping one stream for `"request_id":4812` and
+// joining against the trace on the same key. tsg-lint rule `raw-log` bans
+// the raw streams in src/ so the substrate stays whole.
+//
+// Record schema (one JSON object per line, no nesting beyond `fields`):
+//
+//   {"ts_us":1234.5,"level":"warn","event":"service.watchdog_kill",
+//    "site":"spgemm_service.cpp:612","trace_id":123456789,"request_id":4812,
+//    "fields":{"stalled_ms":240},"suppressed":17}
+//
+// * ts_us shares the trace epoch (TraceCollector::now_us), so log records
+//   and trace events sort on one timeline.
+// * trace_id/request_id appear only inside a RequestScope.
+// * suppressed appears when the site's token bucket dropped records since
+//   the last emitted one — rate limiting is visible, never silent.
+//
+// Two gates stack, mirroring tracing:
+//   * compile time — the TSG_LOGGING CMake option (default ON). When OFF the
+//     TSG_LOG_* macros compile to nothing.
+//   * run time — a level threshold (default warn). TSG_LOG_LEVEL names the
+//     threshold (debug|info|warn|error|off); TSG_LOG=0 disables output
+//     entirely, TSG_LOG=<path> appends to a file instead of stderr.
+//
+// Each TSG_LOG_* expansion owns a function-local static LogSite holding a
+// token bucket (default: burst 8, refill 4/s), so a pathological loop warns
+// a handful of times per second instead of flooding the sink. Every record
+// that clears the level gate — emitted or rate-limited — is also appended to
+// the FlightRecorder ring, so post-mortem dumps see what the sink may not.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string_view>
+
+#ifndef TSG_LOGGING
+#define TSG_LOGGING 1
+#endif
+
+namespace tsg::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+/// The runtime level threshold; one relaxed load on the disabled path.
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+inline void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level);
+/// Parse "debug"/"info"/"warn"/"error"/"off" (also 0-4). False = unchanged out.
+bool parse_log_level(std::string_view text, LogLevel* out);
+
+/// One typed key/value for a log record. Values are rendered immediately by
+/// log_write, so string views only need to outlive the call.
+struct LogField {
+  enum class Kind { kInt, kUint, kDouble, kBool, kStr };
+
+  std::string_view key;
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string_view s;
+
+  // One constructor per fundamental width (not per typedef): int64_t/size_t
+  // alias long/unsigned long on LP64, so listing typedefs would duplicate.
+  LogField(std::string_view k, int v) : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, long v) : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, long long v) : key(k), kind(Kind::kInt), i(v) {}
+  LogField(std::string_view k, unsigned v) : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, unsigned long v) : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, unsigned long long v) : key(k), kind(Kind::kUint), u(v) {}
+  LogField(std::string_view k, double v) : key(k), kind(Kind::kDouble), d(v) {}
+  LogField(std::string_view k, bool v) : key(k), kind(Kind::kBool), i(v ? 1 : 0) {}
+  LogField(std::string_view k, std::string_view v) : key(k), kind(Kind::kStr), s(v) {}
+  LogField(std::string_view k, const char* v) : key(k), kind(Kind::kStr), s(v) {}
+};
+
+/// Per-call-site state: a token bucket plus a counter of records it dropped.
+/// Lives as a function-local static inside each TSG_LOG_* expansion;
+/// aggregate-initialised with {file, line}.
+struct LogSite {
+  const char* file = nullptr;
+  int line = 0;
+  /// Token bucket, fixed-point milli-tokens. Defaults: burst 8, refill 4/s.
+  std::int64_t burst_millis = 8000;
+  std::int64_t refill_millis_per_sec = 4000;
+  std::atomic<std::int64_t> tokens_millis{-1};  ///< -1 = fill to burst on first use
+  std::atomic<std::int64_t> last_refill_us{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+/// Emit one record (already level-gated by the macro). Applies the site's
+/// token bucket, stamps timestamp/site/request context, renders JSON, writes
+/// to the sink under a mutex, and feeds the FlightRecorder.
+void log_write(LogSite& site, LogLevel level, const char* event,
+               std::initializer_list<LogField> fields);
+
+/// Redirect output (tests). nullptr restores the default sink (stderr, or
+/// the TSG_LOG file if configured). The stream must outlive its use.
+void set_log_sink(std::ostream* out);
+
+/// Apply TSG_LOG / TSG_LOG_LEVEL once per process (later calls no-op).
+/// Returns true if this call performed the configuration.
+bool configure_logging_from_env();
+
+}  // namespace tsg::obs
+
+#if TSG_LOGGING
+#define TSG_LOG_AT(lvl, event, ...)                                        \
+  do {                                                                     \
+    if (::tsg::obs::log_enabled(lvl)) {                                    \
+      static ::tsg::obs::LogSite tsg_log_site_{__FILE__, __LINE__};        \
+      ::tsg::obs::log_write(tsg_log_site_, lvl, event, {__VA_ARGS__});     \
+    }                                                                      \
+  } while (0)
+/// TSG_LOG_WARN("service.watchdog_kill", {"request_id", id}, {"ms", ms});
+#define TSG_LOG_DEBUG(...) TSG_LOG_AT(::tsg::obs::LogLevel::kDebug, __VA_ARGS__)
+#define TSG_LOG_INFO(...) TSG_LOG_AT(::tsg::obs::LogLevel::kInfo, __VA_ARGS__)
+#define TSG_LOG_WARN(...) TSG_LOG_AT(::tsg::obs::LogLevel::kWarn, __VA_ARGS__)
+#define TSG_LOG_ERROR(...) TSG_LOG_AT(::tsg::obs::LogLevel::kError, __VA_ARGS__)
+#else
+#define TSG_LOG_AT(...) ((void)0)
+#define TSG_LOG_DEBUG(...) ((void)0)
+#define TSG_LOG_INFO(...) ((void)0)
+#define TSG_LOG_WARN(...) ((void)0)
+#define TSG_LOG_ERROR(...) ((void)0)
+#endif

@@ -1,0 +1,81 @@
+// Request-scoped trace context — the identity every obs signal joins on.
+//
+// The service mints a RequestContext at submit()/try_submit() and carries it
+// alongside the request through the queue; the worker installs it with a
+// RequestScope for the duration of process(), so every trace event, log line
+// and flight-recorder entry emitted underneath (service.worker.run, the
+// spgemm.* step spans, per-chunk events, retry/eviction instants) is stamped
+// with the same {trace_id, request_id} pair without any plumbing through the
+// engine's call signatures. The context is thread-local: workers never share
+// it, and nested scopes restore the outer context on destruction (a worker
+// that runs a request inside a request — e.g. a future re-entrant path —
+// keeps its attribution straight).
+//
+// trace_id vs request_id: request_id is the service's dense ticket id (human
+// scale, stable across a replay with the same seed); trace_id is a splitmix64
+// mix of the id and a per-process salt, so traces from different runs of the
+// same replay can be distinguished after the fact when aggregated.
+#pragma once
+
+#include <cstdint>
+
+namespace tsg::obs {
+
+struct RequestContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t tag = 0;  ///< caller-supplied tenant/batch tag (0 = none)
+
+  bool active() const { return request_id != 0; }
+};
+
+namespace detail {
+/// splitmix64 finaliser — the same mixer FaultPlan and ChaosEngine use, so
+/// the whole repo shares one hashing idiom.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline thread_local RequestContext t_request{};
+
+/// Per-process salt folded into every trace_id. Seeded once from the trace
+/// epoch's address (ASLR) — cheap, collision-resistant enough for a tracer,
+/// and deliberately NOT time-based so unit tests stay deterministic when
+/// they pin the salt via set_trace_salt().
+inline std::uint64_t& trace_salt() {
+  static std::uint64_t salt = mix64(reinterpret_cast<std::uintptr_t>(&salt));
+  return salt;
+}
+}  // namespace detail
+
+/// The context of the calling thread; inactive (all zeros) outside a scope.
+inline const RequestContext& current_request() { return detail::t_request; }
+
+/// Pin the process trace salt (tests only — makes minted trace_ids stable).
+inline void set_trace_salt(std::uint64_t salt) { detail::trace_salt() = salt; }
+
+/// Mint the trace id for a request id under the process salt.
+inline std::uint64_t mint_trace_id(std::uint64_t request_id) {
+  return detail::mix64(request_id ^ detail::trace_salt());
+}
+
+/// RAII installer: sets the thread-local context for the enclosing scope and
+/// restores the previous one on exit. Cheap (two 24-byte copies); safe to
+/// nest.
+class RequestScope {
+ public:
+  explicit RequestScope(const RequestContext& ctx) : saved_(detail::t_request) {
+    detail::t_request = ctx;
+  }
+  ~RequestScope() { detail::t_request = saved_; }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace tsg::obs

@@ -1,0 +1,185 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+namespace tsg::obs {
+
+namespace {
+
+double parse_env_double(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return 0.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed < 0.0) return 0.0;
+  return parsed;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted
+/// names map '.' (and anything else illegal) to '_', prefixed "tsg_".
+std::string prom_name(std::string_view name) {
+  std::string out = "tsg_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+SloConfig SloConfig::from_env() {
+  SloConfig cfg;
+  cfg.target_p99_ms = parse_env_double("TSG_SLO_P99_MS");
+  cfg.max_error_rate = parse_env_double("TSG_SLO_MAX_ERROR_RATE");
+  return cfg;
+}
+
+double histogram_quantile(const MetricsSnapshot::Hist& hist, double q) {
+  if (hist.count <= 0 || hist.counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(hist.count);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    const std::int64_t in_bucket = hist.counts[i];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= hist.bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate toward; report the
+        // last finite bound as a floor estimate.
+        return hist.bounds.empty() ? 0.0 : static_cast<double>(hist.bounds.back());
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(hist.bounds[i - 1]);
+      const double upper = static_cast<double>(hist.bounds[i]);
+      const double into = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return hist.bounds.empty() ? 0.0 : static_cast<double>(hist.bounds.back());
+}
+
+SloMonitor::SloMonitor(SloConfig cfg, std::string latency_hist,
+                       std::string completed_counter, std::string failed_counter)
+    : cfg_(cfg),
+      latency_hist_(std::move(latency_hist)),
+      completed_counter_(std::move(completed_counter)),
+      failed_counter_(std::move(failed_counter)),
+      last_(MetricsRegistry::instance().snapshot()),
+      p99_burn_(MetricsRegistry::instance().counter("slo.p99_burn")),
+      error_burn_(MetricsRegistry::instance().counter("slo.error_burn")) {}
+
+SloMonitor::Report SloMonitor::observe() {
+  const MetricsSnapshot now = MetricsRegistry::instance().snapshot();
+  const MetricsSnapshot window = MetricsSnapshot::delta(last_, now);
+  last_ = now;
+
+  Report report;
+  if (const MetricsSnapshot::Hist* hist = window.histogram(latency_hist_)) {
+    report.p50_ms = histogram_quantile(*hist, 0.50) / 1000.0;
+    report.p99_ms = histogram_quantile(*hist, 0.99) / 1000.0;
+  }
+  report.completed = window.counter(completed_counter_);
+  report.failed = window.counter(failed_counter_);
+  const std::int64_t finished = report.completed + report.failed;
+  report.error_rate =
+      finished > 0 ? static_cast<double>(report.failed) / static_cast<double>(finished)
+                   : 0.0;
+
+  if (cfg_.target_p99_ms > 0.0 && finished > 0 && report.p99_ms > cfg_.target_p99_ms) {
+    report.p99_violated = true;
+    p99_burn_.inc();
+  }
+  if (cfg_.max_error_rate > 0.0 && finished > 0 &&
+      report.error_rate > cfg_.max_error_rate) {
+    report.error_violated = true;
+    error_burn_.inc();
+  }
+  return report;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  for (const MetricsSnapshot::Hist& hist : snapshot.histograms) {
+    const std::string p = prom_name(hist.name);
+    out << "# TYPE " << p << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      out << p << "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        out << hist.bounds[i];
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << p << "_sum " << hist.sum << "\n";
+    out << p << "_count " << hist.count << "\n";
+  }
+}
+
+bool write_prometheus_file(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) return false;
+    write_prometheus(out, MetricsRegistry::instance().snapshot());
+    if (!out.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::start(std::string path, std::chrono::milliseconds period) {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+    path_ = std::move(path);
+    period_ = period.count() > 0 ? period : std::chrono::milliseconds(1000);
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SnapshotWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final write so the file reflects the end-of-run state even when the
+  // last period never elapsed.
+  if (!path_.empty()) write_prometheus_file(path_);
+}
+
+void SnapshotWriter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const std::string path = path_;
+    const std::chrono::milliseconds period = period_;
+    lock.unlock();
+    write_prometheus_file(path);
+    lock.lock();
+    cv_.wait_for(lock, period, [&] { return stopping_; });
+  }
+}
+
+}  // namespace tsg::obs

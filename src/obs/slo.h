@@ -1,0 +1,123 @@
+// SLO monitor and exporters — machine-readable health on top of the registry.
+//
+// The service layer already records everything an operator needs (the
+// service.latency_us / service.queue_wait_us histograms, completion and
+// failure counters); this layer turns those into answers:
+//
+//   * SloMonitor — windowed aggregation. Each observe() call diffs the
+//     registry against the previous call (MetricsSnapshot::delta), estimates
+//     p50/p99 from the latency histogram by linear interpolation within the
+//     bucket, computes the window's error rate, and burns error budget:
+//     the "slo.p99_burn" / "slo.error_burn" counters increment once per
+//     violating window, so budget burn is itself a metric every exporter
+//     carries.
+//   * write_prometheus — text exposition format (v0.0.4). Counters map to
+//     `counter`, gauges to `gauge`, histograms to the cumulative
+//     `_bucket{le=...}` / `_sum` / `_count` family Prometheus expects.
+//     Names are sanitised ('.' -> '_') and prefixed `tsg_`.
+//   * SnapshotWriter — a background thread rewriting a Prometheus snapshot
+//     file every period, so `--serve` / replay runs expose scrapeable state
+//     without carrying an HTTP server dependency (node_exporter's textfile
+//     collector pattern).
+//
+// Thresholds come from SloConfig; TSG_SLO_P99_MS / TSG_SLO_MAX_ERROR_RATE
+// configure it from the environment. A threshold of 0 disables that check.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/contracts.h"
+#include "obs/metrics.h"
+
+namespace tsg::obs {
+
+struct SloConfig {
+  double target_p99_ms = 0.0;   ///< 0 = latency SLO disabled
+  double max_error_rate = 0.0;  ///< fraction of finished requests; 0 = disabled
+
+  bool any() const { return target_p99_ms > 0.0 || max_error_rate > 0.0; }
+
+  /// TSG_SLO_P99_MS and TSG_SLO_MAX_ERROR_RATE (unset/invalid = disabled).
+  static SloConfig from_env();
+};
+
+/// Quantile estimate (q in [0,1]) from a snapshot histogram: find the bucket
+/// holding the q-th observation, interpolate linearly inside it. The
+/// overflow bucket has no upper bound; its estimate is the last finite bound
+/// (a floor — truthful enough for threshold checks). Returns 0 on an empty
+/// histogram. Units are the histogram's native units.
+double histogram_quantile(const MetricsSnapshot::Hist& hist, double q);
+
+class SloMonitor {
+ public:
+  struct Report {
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::int64_t completed = 0;  ///< window completions
+    std::int64_t failed = 0;     ///< window failures
+    double error_rate = 0.0;     ///< failed / (completed + failed), 0 if none
+    bool p99_violated = false;
+    bool error_violated = false;
+    bool ok() const { return !p99_violated && !error_violated; }
+  };
+
+  /// `latency_hist` must be a microsecond histogram in the registry
+  /// (default: the service layer's).
+  explicit SloMonitor(SloConfig cfg, std::string latency_hist = "service.latency_us",
+                      std::string completed_counter = "service.completed",
+                      std::string failed_counter = "service.failed");
+
+  /// Close the current window: diff the registry against the last observe(),
+  /// evaluate the thresholds, and burn budget counters on violation.
+  Report observe();
+
+  const SloConfig& config() const { return cfg_; }
+
+ private:
+  SloConfig cfg_;
+  std::string latency_hist_;
+  std::string completed_counter_;
+  std::string failed_counter_;
+  MetricsSnapshot last_;
+  Counter& p99_burn_;
+  Counter& error_burn_;
+};
+
+/// Prometheus text exposition (v0.0.4) of a snapshot.
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot the registry and atomically replace `path`
+/// (write to `<path>.tmp`, then rename). Returns false on IO failure.
+bool write_prometheus_file(const std::string& path);
+
+/// Background periodic Prometheus snapshot writer (textfile-collector
+/// pattern). start() is idempotent; the destructor stops the thread.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void start(std::string path, std::chrono::milliseconds period);
+  void stop();  ///< writes one final snapshot so the file reflects the end state
+
+ private:
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ TSG_GUARDED_BY(mutex_) = false;
+  std::string path_;
+  std::chrono::milliseconds period_{1000};
+  std::thread thread_;
+};
+
+}  // namespace tsg::obs

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/request_context.h"
+
 namespace tsg::obs {
 
 /// One thread's event buffer. Only the owning thread writes; the collector
@@ -36,6 +39,9 @@ TraceCollector::~TraceCollector() = default;
 
 TraceCollector& TraceCollector::instance() {
   static TraceCollector collector;
+  if (!collector.metrics_registered_.load(std::memory_order_acquire)) {
+    collector.register_metrics();
+  }
   return collector;
 }
 
@@ -95,6 +101,7 @@ void TraceCollector::record_complete(const char* name, double ts_us, double dur_
   e.ts_us = ts_us;
   e.dur_us = dur_us;
   e.arg = arg;
+  e.req = current_request().request_id;
   ring->push(e);
 }
 
@@ -110,6 +117,7 @@ void TraceCollector::record_instant(const char* name, std::int64_t arg) {
   e.tid = ring->tid;
   e.ts_us = now_us();
   e.arg = arg;
+  e.req = current_request().request_id;
   ring->push(e);
 }
 
@@ -125,6 +133,7 @@ void TraceCollector::record_begin(const char* name, std::int64_t arg) {
   e.tid = ring->tid;
   e.ts_us = now_us();
   e.arg = arg;
+  e.req = current_request().request_id;
   ring->push(e);
 }
 
@@ -139,6 +148,7 @@ void TraceCollector::record_end(const char* name) {
   e.phase = 'E';
   e.tid = ring->tid;
   e.ts_us = now_us();
+  e.req = current_request().request_id;
   ring->push(e);
 }
 
@@ -149,6 +159,7 @@ std::vector<TraceEvent> TraceCollector::drain() {
     const std::uint64_t h = ring->head.load(std::memory_order_acquire);
     const std::size_t cap = ring->buf.size();
     const std::uint64_t n = std::min<std::uint64_t>(h, cap);
+    high_water_ = std::max(high_water_, n);
     dropped_ += h > cap ? h - cap : 0;
     // Oldest-first: after a wrap the oldest surviving slot is head % cap.
     for (std::uint64_t k = 0; k < n; ++k) {
@@ -175,6 +186,36 @@ void TraceCollector::clear() {
     ring->head.store(0, std::memory_order_release);
   }
   dropped_ = 0;
+  high_water_ = 0;
+}
+
+std::uint64_t TraceCollector::ring_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t hw = high_water_;
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    hw = std::max(hw, std::min<std::uint64_t>(h, ring->buf.size()));
+  }
+  return hw;
+}
+
+std::size_t TraceCollector::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_capacity_;
+}
+
+void TraceCollector::register_metrics() {
+  if (metrics_registered_.exchange(true, std::memory_order_acq_rel)) return;
+  // Gauge callbacks take this collector's mutex at snapshot time; nothing
+  // under that mutex calls back into the registry, so the lock order
+  // (registry -> collector) is acyclic.
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.register_gauge("trace.dropped",
+                     [this] { return static_cast<std::int64_t>(dropped()); });
+  reg.register_gauge("trace.ring_high_water",
+                     [this] { return static_cast<std::int64_t>(ring_high_water()); });
+  reg.register_gauge("trace.ring_capacity",
+                     [this] { return static_cast<std::int64_t>(ring_capacity()); });
 }
 
 void TraceCollector::set_ring_capacity(std::size_t events) {
@@ -204,7 +245,19 @@ void TraceCollector::write_chrome_trace(std::ostream& out) {
         << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
     if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
     if (e.phase == 'i') out << ",\"s\":\"t\"";
-    if (e.arg != TraceEvent::kNoArg) out << ",\"args\":{\"v\":" << e.arg << "}";
+    if (e.arg != TraceEvent::kNoArg || e.req != 0) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      if (e.arg != TraceEvent::kNoArg) {
+        out << "\"v\":" << e.arg;
+        first_arg = false;
+      }
+      if (e.req != 0) {
+        if (!first_arg) out << ",";
+        out << "\"req\":" << e.req;
+      }
+      out << "}";
+    }
     out << "}";
   }
   if (lost > 0) {

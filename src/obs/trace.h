@@ -59,6 +59,7 @@ struct TraceEvent {
   double ts_us = 0.0;          ///< start, microseconds since the trace epoch
   double dur_us = 0.0;         ///< span duration; 0 for instants
   std::int64_t arg = kNoArg;   ///< optional site-defined argument
+  std::uint64_t req = 0;       ///< request id from the ambient RequestScope; 0 = none
 };
 
 namespace detail {
@@ -105,6 +106,21 @@ class TraceCollector {
   /// the ring capacity or drain more often.
   std::uint64_t dropped() const;
 
+  /// High-water mark: the most events any single ring has ever buffered
+  /// between drains (capped at the ring capacity). Together with dropped()
+  /// this tells CI whether the capacity was sized right — high-water at
+  /// capacity with dropped() > 0 means the trace has silent holes.
+  std::uint64_t ring_high_water() const;
+
+  /// Current per-thread ring capacity (after pow2 rounding).
+  std::size_t ring_capacity() const;
+
+  /// Register the collector's health gauges ("trace.dropped",
+  /// "trace.ring_high_water", "trace.ring_capacity") with the process
+  /// MetricsRegistry so every snapshot — bench JSON, Prometheus export,
+  /// flight dumps — carries trace-loss visibility. Idempotent.
+  void register_metrics();
+
   /// Drop all buffered events and zero the dropped counter.
   void clear();
 
@@ -136,6 +152,9 @@ class TraceCollector {
   std::size_t ring_capacity_ TSG_GUARDED_BY(mutex_) = std::size_t{1} << 15;
   /// Bumped when cached ring pointers go stale.
   std::uint64_t epoch_ TSG_GUARDED_BY(mutex_) = 0;
+  /// Max events buffered in any single ring, folded in on drain()/clear().
+  std::uint64_t high_water_ TSG_GUARDED_BY(mutex_) = 0;
+  std::atomic<bool> metrics_registered_{false};
   /// Lock-free mirror of epoch_ so the emit path can validate its cached
   /// ring without taking mutex_.
   std::atomic<std::uint64_t> epoch_mirror_{0};

@@ -10,7 +10,10 @@
 
 #include "chaos/chaos.h"
 #include "common/memory.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 
 namespace tsg::service {
@@ -239,6 +242,8 @@ Status SpgemmService::admit(const SpgemmRequest& request, const SubmitOptions& o
   out.estimated_bytes = est.bytes;
   out.degraded = admission == Admission::kDegraded;
   out.enqueued_at = std::chrono::steady_clock::now();
+  out.rctx = obs::RequestContext{obs::mint_trace_id(out.id), out.id,
+                                 options.tag != 0 ? options.tag : request.tag};
 
   // Arm the request's deadline into its cancel source — one token then
   // covers caller deadline, chaos deadline pressure, explicit cancel, and
@@ -273,11 +278,13 @@ Expected<Ticket> SpgemmService::try_submit(SpgemmRequest request, SubmitOptions 
   Ticket ticket;
   ticket.id = item.id;
   ticket.tag = options.tag != 0 ? options.tag : request.tag;
+  ticket.trace_id = item.rctx.trace_id;
   ticket.admission = admission;
   ticket.estimated_bytes = item.estimated_bytes;
   ticket.result = item.state->promise.get_future();
   ticket.cancel = item.state->cancel;
 
+  const obs::RequestContext rctx = item.rctx;
   if (!queue_->try_push(std::move(item))) {
     if (queue_->closed()) {
       metrics.cancelled.inc();
@@ -290,6 +297,7 @@ Expected<Ticket> SpgemmService::try_submit(SpgemmRequest request, SubmitOptions 
   depth_->fetch_add(1, std::memory_order_relaxed);
   metrics.admitted.inc();
   if (admission == Admission::kDegraded) metrics.degraded.inc();
+  note_queued(rctx, admission);
   return ticket;
 }
 
@@ -321,6 +329,7 @@ std::future<SpgemmRunReport> SpgemmService::submit(SpgemmRequest request,
   }
   chaos::ChaosEngine::instance().inject_latency(chaos::Site::kSubmit, item.id);
   std::future<SpgemmRunReport> future = item.state->promise.get_future();
+  const obs::RequestContext rctx = item.rctx;
   if (!queue_->push(std::move(item))) {
     // The close-racing-push contract (BoundedQueue): a refused item comes
     // back intact, so the promise the caller's future watches is resolved
@@ -332,7 +341,20 @@ std::future<SpgemmRunReport> SpgemmService::submit(SpgemmRequest request,
   depth_->fetch_add(1, std::memory_order_relaxed);
   metrics.admitted.inc();
   if (admission == Admission::kDegraded) metrics.degraded.inc();
+  note_queued(rctx, admission);
   return future;
+}
+
+void SpgemmService::note_queued(const obs::RequestContext& rctx,
+                                [[maybe_unused]] Admission admission) {
+  // The enqueue instant is emitted from the submitting thread under the
+  // request's scope, so the Perfetto track for this request starts at
+  // submission, not first pop.
+  obs::RequestScope scope(rctx);
+  TSG_TRACE_INSTANT("service.request.queued",
+                    admission == Admission::kDegraded ? 1 : 0);
+  TSG_FLIGHT_RECORD("info", "service.request.queued", rctx.request_id, rctx.trace_id,
+                    admission == Admission::kDegraded ? "degraded" : "admitted");
 }
 
 void SpgemmService::fail(Pending&& item, Status status) {
@@ -345,6 +367,7 @@ bool SpgemmService::evict_if_dead(Pending& item) {
   // an engine — the queue must not spend a worker on work nobody wants.
   const CancelToken token = item.state->cancel.token();
   if (!token.should_stop()) return false;
+  obs::RequestScope scope(item.rctx);
   ServiceMetrics& metrics = ServiceMetrics::instance();
   metrics.evicted.inc();
   Status status = token.to_status();
@@ -353,6 +376,12 @@ bool SpgemmService::evict_if_dead(Pending& item) {
                                        std::to_string(elapsed_us(item.enqueued_at) / 1000) +
                                        " ms in queue; request evicted before execution");
   }
+  TSG_TRACE_INSTANT("service.request.evicted", static_cast<std::int64_t>(item.id));
+  TSG_FLIGHT_RECORD("info", "service.request.evicted", item.rctx.request_id,
+                    item.rctx.trace_id, status.message());
+  TSG_LOG_INFO("service.request.evicted",
+               {"queued_ms", elapsed_us(item.enqueued_at) / 1000},
+               {"code", static_cast<int>(status.code())});
   count_failure(metrics, status);
   metrics.latency_us.observe(elapsed_us(item.enqueued_at));
   fail(std::move(item), std::move(status));
@@ -360,6 +389,11 @@ bool SpgemmService::evict_if_dead(Pending& item) {
 }
 
 void SpgemmService::process(SpgemmContext& ctx, WorkerSlot& slot, Pending&& item) {
+  // Everything below — chaos injection, the budget gate, the engine run
+  // with its step/chunk spans, retries, resolution — executes under this
+  // request's scope, so every obs signal it produces is joinable on the
+  // request/trace ids without threading them through call signatures.
+  obs::RequestScope request_scope(item.rctx);
   ServiceMetrics& metrics = ServiceMetrics::instance();
   metrics.queue_wait_us.observe(elapsed_us(item.enqueued_at));
 
@@ -422,10 +456,16 @@ void SpgemmService::process(SpgemmContext& ctx, WorkerSlot& slot, Pending&& item
         report.chunks = timings.chunks;
         report.budget_limited = timings.budget_limited;
         report.metrics = timings.metrics;
+        report.request_id = item.rctx.request_id;
+        report.trace_id = item.rctx.trace_id;
         metrics.latency_us.observe(elapsed_us(item.enqueued_at));
         if (item.state->resolve(std::move(report))) {
           metrics.completed.inc();
           refund_retry_token();
+          TSG_TRACE_INSTANT("service.request.completed",
+                            static_cast<std::int64_t>(item.id));
+          TSG_FLIGHT_RECORD("info", "service.request.completed", item.rctx.request_id,
+                            item.rctx.trace_id, "");
         }
         // else: the watchdog poisoned this future while we ran; the result
         // is dropped — exactly one delivery per future.
@@ -439,13 +479,33 @@ void SpgemmService::process(SpgemmContext& ctx, WorkerSlot& slot, Pending&& item
       if (transient && attempt < item.options.max_retries &&
           !item.state->cancel.token().should_stop() && take_retry_token()) {
         metrics.retried.inc();
+        TSG_TRACE_INSTANT("service.request.retry", attempt + 1);
+        TSG_LOG_INFO("service.request.retry", {"attempt", attempt + 1},
+                     {"code", static_cast<int>(status.code())});
         std::this_thread::sleep_for(backoff_delay(item.id, attempt + 1));
         continue;
       }
       // Failure poisons only this request's future; the context stays
       // reusable for the worker's next pop.
       metrics.latency_us.observe(elapsed_us(item.enqueued_at));
-      if (item.state->resolve(std::move(status))) count_failure(metrics, product.status());
+      if (item.state->resolve(std::move(status))) {
+        count_failure(metrics, product.status());
+        TSG_TRACE_INSTANT("service.request.failed",
+                          static_cast<std::int64_t>(item.id));
+        TSG_FLIGHT_RECORD("error", "service.request.failed", item.rctx.request_id,
+                          item.rctx.trace_id, product.status().message());
+        const StatusCode code = product.status().code();
+        if (code != StatusCode::kCancelled && code != StatusCode::kDeadlineExceeded &&
+            code != StatusCode::kBudgetExceeded) {
+          // An unexpected failure class (exhausted retries, an exception
+          // the worker absorbed): poison the future, then leave a
+          // post-mortem artifact when the flight recorder is armed.
+          TSG_LOG_ERROR("service.request.failed",
+                        {"code", static_cast<int>(code)},
+                        {"message", product.status().message()});
+          obs::FlightRecorder::instance().dump("request_failed", item.id);
+        }
+      }
       break;
     }
     ctx.set_cancel_token(CancelToken{});
@@ -543,6 +603,18 @@ void SpgemmService::watchdog_loop() {
         metrics.watchdog_kills.inc();
         metrics.deadline_miss.inc();
         metrics.failed.inc();
+        // Re-mint the victim's context (minting is deterministic per
+        // process) so the kill joins its request's track even though the
+        // watchdog never saw the Pending item.
+        const obs::RequestContext victim{obs::mint_trace_id(stuck_id), stuck_id, 0};
+        obs::RequestScope scope(victim);
+        TSG_TRACE_INSTANT("service.request.watchdog_kill",
+                          static_cast<std::int64_t>(stalled.count()));
+        TSG_LOG_WARN("service.watchdog_kill", {"request_id", stuck_id},
+                     {"stalled_ms", stalled.count()});
+        TSG_FLIGHT_RECORD("warn", "service.watchdog_kill", stuck_id, victim.trace_id,
+                          "no progress; worker replaced");
+        obs::FlightRecorder::instance().dump("watchdog_kill", stuck_id);
       }
       {
         std::lock_guard<std::mutex> wl(workers_mutex_);

@@ -56,6 +56,16 @@
 // completed/failed/batches`, histograms `service.queue_wait_us` /
 // `service.latency_us`, gauges `service.queue_depth` /
 // `service.inflight_bytes`.
+//
+// Request correlation: admission mints an obs::RequestContext
+// {trace_id, request_id, tag} that rides the Pending item through the
+// queue; the worker installs it (obs::RequestScope) around process(), so
+// every trace event underneath — service.worker.run, the spgemm.* step
+// spans, per-chunk events — plus every log record and flight-recorder
+// entry carries the same ids. Lifecycle instants
+// (`service.request.queued/evicted/retry/completed/failed/watchdog_kill`)
+// make one request's history a single joinable Perfetto track, and the
+// completed report echoes request_id/trace_id (SpgemmRunReport).
 #pragma once
 
 #include <atomic>
@@ -74,6 +84,7 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "core/spgemm_context.h"
+#include "obs/request_context.h"
 #include "service/admission.h"
 
 namespace tsg::service {
@@ -131,6 +142,9 @@ enum class Admission {
 struct Ticket {
   std::uint64_t id = 0;        ///< service-unique, monotonically increasing
   std::uint64_t tag = 0;       ///< echoed from the request / SubmitOptions
+  /// Trace correlation id minted at admission; every trace event, log
+  /// record, and flight-recorder entry this request produces carries it.
+  std::uint64_t trace_id = 0;
   Admission admission = Admission::kAdmitted;
   std::size_t estimated_bytes = 0;  ///< admission footprint bound
   std::future<SpgemmRunReport> result;
@@ -290,6 +304,9 @@ class SpgemmService {
     std::size_t estimated_bytes = 0;
     bool degraded = false;
     std::chrono::steady_clock::time_point enqueued_at{};
+    /// Minted at admission; installed (obs::RequestScope) around every
+    /// stage that acts on this request so obs signals stay joinable.
+    obs::RequestContext rctx{};
   };
 
   /// What the watchdog sees of one worker thread. shared_ptr'd: the
@@ -337,6 +354,9 @@ class SpgemmService {
   /// (kDeadlineExceeded / kCancelled) and must not run.
   bool evict_if_dead(Pending& item);
   static void fail(Pending&& item, Status status);
+  /// Lifecycle instant + flight record for an accepted enqueue, emitted
+  /// under the request's scope from the submitting thread.
+  static void note_queued(const obs::RequestContext& rctx, Admission admission);
 
   /// Spawn one worker (thread + slot), used by the constructor and by the
   /// watchdog when it replaces a stuck one. Caller holds workers_mutex_.

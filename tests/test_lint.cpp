@@ -279,6 +279,56 @@ TEST(BannedFn, CleanOnSafeAlternativesAndMembers) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-log
+// ---------------------------------------------------------------------------
+
+TEST(RawLog, FiresOnPrintfFamilyAndStreamsInLibraryCode) {
+  const auto diags = run("src/core/foo.cpp", R"(
+    void f(int n) {
+      fprintf(stderr, "n=%d\n", n);
+      std::cerr << "oops" << std::endl;
+    }
+  )");
+  ASSERT_EQ(count_rule(diags, "raw-log"), 2);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(RawLog, LoggerSinkItselfIsExempt) {
+  const std::string_view src = R"(
+    void flush_line(const std::string& line) {
+      fprintf(out, "%s\n", line.c_str());
+      if (!out) std::cerr << line << "\n";
+    }
+  )";
+  EXPECT_EQ(count_rule(run("src/obs/log.cpp", src), "raw-log"), 0);
+  EXPECT_EQ(count_rule(run("src/obs/trace.cpp", src), "raw-log"), 2);
+}
+
+TEST(RawLog, ScopedToLibrarySources) {
+  // CLI, benches, tools, and tests talk to humans on stdout/stderr; only
+  // src/ must route diagnostics through the structured logger.
+  const std::string_view src = R"(
+    printf("rows=%d\n", rows);
+    std::cout << "done\n";
+  )";
+  EXPECT_EQ(count_rule(run("tools/tilespgemm_cli.cpp", src), "raw-log"), 0);
+  EXPECT_EQ(count_rule(run("bench/bench_fig10.cpp", src), "raw-log"), 0);
+  EXPECT_EQ(count_rule(run("tests/test_foo.cpp", src), "raw-log"), 0);
+  EXPECT_EQ(count_rule(run("src/service/foo.cpp", src), "raw-log"), 2);
+}
+
+TEST(RawLog, CleanOnBoundedFormattersAndMembers) {
+  const auto diags = run("src/core/foo.cpp", R"(
+    void f(char* buf, std::size_t n, Writer& w) {
+      snprintf(buf, n, "%d", 42);
+      w.printf("%d", 42);
+      sink->fprintf(fmt);
+    }
+  )");
+  EXPECT_EQ(count_rule(diags, "raw-log"), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Suppression mechanism
 // ---------------------------------------------------------------------------
 
@@ -366,7 +416,7 @@ TEST(Engine, OnlyRulesFilterRestrictsTheRun) {
 
 TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
   const auto& rules = tsg::lint::rule_catalogue();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   std::vector<std::string> names;
   names.reserve(rules.size());
   for (const auto& r : rules) names.push_back(r.name);
@@ -376,6 +426,7 @@ TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-alloc"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-pairing"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "unbounded-wait"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-log"), names.end());
 }
 
 }  // namespace

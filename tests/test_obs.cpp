@@ -14,7 +14,11 @@
 
 #include "common/memory.h"
 #include "common/parallel.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace {
@@ -395,6 +399,314 @@ TEST_F(ObsTest, ParallelForCountersAndDetailGate) {
   const obs::MetricsSnapshot::Hist* h = d_on.histogram("parallel_for.imbalance_pct");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Request-context propagation (PR 8 tentpole)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RequestScopeStampsTraceEventsAndChromeJson) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  {
+    obs::RequestContext rctx{obs::mint_trace_id(4812), 4812, 7};
+    obs::RequestScope scope(rctx);
+    EXPECT_EQ(obs::current_request().request_id, 4812u);
+    TSG_TRACE_INSTANT("obs.test.req.tagged", 1);
+  }
+  // Outside the scope the ambient context is empty again.
+  EXPECT_EQ(obs::current_request().request_id, 0u);
+  TSG_TRACE_INSTANT("obs.test.req.untagged", 2);
+  tc.set_enabled(false);
+
+  std::ostringstream out;
+  tc.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // The tagged event carries args.req; the untagged one must not.
+  const std::size_t tagged = json.find("\"obs.test.req.tagged\"");
+  const std::size_t untagged = json.find("\"obs.test.req.untagged\"");
+  ASSERT_NE(tagged, std::string::npos);
+  ASSERT_NE(untagged, std::string::npos);
+  const std::size_t tagged_end = json.find('\n', tagged);
+  EXPECT_NE(json.substr(tagged, tagged_end - tagged).find("\"req\":4812"),
+            std::string::npos);
+  const std::size_t untagged_end = json.find('\n', untagged);
+  EXPECT_EQ(json.substr(untagged, untagged_end - untagged).find("\"req\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, RequestScopesNestAndRestore) {
+  obs::RequestScope outer(obs::RequestContext{1, 10, 0});
+  EXPECT_EQ(obs::current_request().request_id, 10u);
+  {
+    obs::RequestScope inner(obs::RequestContext{2, 20, 0});
+    EXPECT_EQ(obs::current_request().request_id, 20u);
+  }
+  EXPECT_EQ(obs::current_request().request_id, 10u);
+}
+
+TEST_F(ObsTest, MintTraceIdIsDeterministicPerSaltAndDistinctPerRequest) {
+  obs::set_trace_salt(0x5eed);
+  const std::uint64_t a = obs::mint_trace_id(1);
+  const std::uint64_t b = obs::mint_trace_id(2);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(obs::mint_trace_id(1), a);  // pure function of (id, salt)
+  obs::set_trace_salt(0xfeed);
+  EXPECT_NE(obs::mint_trace_id(1), a);  // new salt, new track namespace
+}
+
+TEST_F(ObsTest, TraceRingGaugesAppearInSnapshots) {
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  TSG_TRACE_INSTANT("obs.test.gauges", 1);
+  tc.set_enabled(false);
+  EXPECT_GE(tc.ring_high_water(), 1u);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_GT(snap.gauge("trace.ring_capacity"), 0);
+  EXPECT_GE(snap.gauge("trace.ring_high_water"), 1);
+  EXPECT_GE(snap.gauge("trace.dropped"), 0);
+  tc.clear();
+}
+
+TEST_F(ObsTest, SnapshotJsonCarriesHistogramBounds) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.histogram("obs.test.bounds.hist", {7, 77}).observe(8);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  const std::size_t at = json.find("\"obs.test.bounds.hist\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [7,77]", at), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+// ---------------------------------------------------------------------------
+
+/// Point the log sink at a local stream, restore on exit. Level is forced to
+/// debug for the duration so fixtures do not depend on ambient TSG_LOG_LEVEL.
+class LogCapture {
+ public:
+  LogCapture() : saved_level_(obs::log_level()) {
+    obs::set_log_sink(&out_);
+    obs::set_log_level(obs::LogLevel::kDebug);
+  }
+  ~LogCapture() {
+    obs::set_log_sink(nullptr);
+    obs::set_log_level(saved_level_);
+  }
+  std::string text() const { return out_.str(); }
+  std::vector<std::string> lines() const {
+    std::vector<std::string> ls;
+    std::istringstream in(out_.str());
+    for (std::string l; std::getline(in, l);) ls.push_back(l);
+    return ls;
+  }
+
+ private:
+  std::ostringstream out_;
+  obs::LogLevel saved_level_;
+};
+
+TEST_F(ObsTest, LogRecordsAreJsonLinesWithFieldsAndContext) {
+  LogCapture capture;
+  {
+    obs::RequestScope scope(obs::RequestContext{99, 4812, 0});
+    TSG_LOG_WARN("obs.test.event", {"stalled_ms", 240}, {"retry", true},
+                 {"why", "no \"progress\""}, {"rate", 0.5});
+  }
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& rec = lines[0];
+  EXPECT_TRUE(JsonChecker(rec).valid()) << rec;
+  EXPECT_NE(rec.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(rec.find("\"event\":\"obs.test.event\""), std::string::npos);
+  EXPECT_NE(rec.find("\"request_id\":4812"), std::string::npos);
+  EXPECT_NE(rec.find("\"trace_id\":99"), std::string::npos);
+  EXPECT_NE(rec.find("\"stalled_ms\":240"), std::string::npos);
+  EXPECT_NE(rec.find("\"retry\":true"), std::string::npos);
+  EXPECT_NE(rec.find("\\\"progress\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(rec.find("test_obs.cpp:"), std::string::npos);     // site stamp
+}
+
+TEST_F(ObsTest, LogLevelGateFiltersBelowThreshold) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kError);
+  TSG_LOG_DEBUG("obs.test.filtered");
+  TSG_LOG_WARN("obs.test.filtered");
+  TSG_LOG_ERROR("obs.test.passes");
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("obs.test.passes"), std::string::npos);
+}
+
+TEST_F(ObsTest, LogRateLimiterSuppressesAndReportsTheGap) {
+  LogCapture capture;
+  // A hand-built site with a 2-token bucket and no refill: of five records,
+  // two emit, three are suppressed at the site.
+  obs::LogSite site{__FILE__, __LINE__, /*burst_millis=*/2000,
+                    /*refill_millis_per_sec=*/0};
+  for (int i = 0; i < 5; ++i) {
+    obs::log_write(site, obs::LogLevel::kWarn, "obs.test.flood", {{"i", i}});
+  }
+  EXPECT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(site.suppressed.load(), 3u);
+  // Hand the site one more token: the next record carries the gap size.
+  site.tokens_millis.store(1000);
+  obs::log_write(site, obs::LogLevel::kWarn, "obs.test.flood", {{"i", 5}});
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[2].find("\"suppressed\":3"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(lines[2]).valid()) << lines[2];
+}
+
+TEST_F(ObsTest, ParseLogLevelAcceptsNamesAndDigits) {
+  obs::LogLevel lvl = obs::LogLevel::kOff;
+  EXPECT_TRUE(obs::parse_log_level("debug", &lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::parse_log_level("3", &lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::parse_log_level("loud", &lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kError);  // unchanged on failure
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FlightRingWrapsOldestFirstAndDumpJsonNamesVictim) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.set_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    fr.record("info", "obs.test.flight", static_cast<std::uint64_t>(i), 0,
+              "detail with \"quotes\"");
+  }
+  const std::vector<obs::FlightEvent> events = fr.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].request_id,
+              static_cast<std::uint64_t>(i + 2));  // 0 and 1 overwritten
+  }
+  std::ostringstream out;
+  fr.write_json(out, "watchdog_kill", 4812);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"reason\":\"watchdog_kill\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim_request_id\":4812"), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  fr.set_capacity(256);  // restore the default
+}
+
+TEST_F(ObsTest, FlightEventFieldsTruncateInsteadOfOverflowing) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  const std::string long_detail(500, 'x');
+  fr.record("warning-too-long", std::string(200, 'e').c_str(), 1, 2, long_detail);
+  const std::vector<obs::FlightEvent> events = fr.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(std::string_view(events[0].level).size(), sizeof(events[0].level));
+  EXPECT_LT(std::string_view(events[0].event).size(), sizeof(events[0].event));
+  EXPECT_LT(std::string_view(events[0].detail).size(), sizeof(events[0].detail));
+  fr.clear();
+}
+
+TEST_F(ObsTest, FlightDumpIsGatedOnADirectory) {
+  auto& fr = obs::FlightRecorder::instance();
+  // Unless TSG_FLIGHT_DIR leaked into the test environment, dumping is off
+  // and dump() declines without touching the filesystem.
+  if (!fr.enabled()) {
+    EXPECT_EQ(fr.dump("unit_test"), "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SLO monitor + Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  obs::MetricsSnapshot::Hist hist;
+  hist.bounds = {10, 20};
+  hist.counts = {10, 10, 0};  // 10 in (0,10], 10 in (10,20], overflow empty
+  hist.count = 20;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 1.0), 20.0);
+  // Mass in the unbounded overflow bucket floors at the last finite bound.
+  hist.counts = {0, 0, 5};
+  hist.count = 5;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 0.99), 20.0);
+  // Empty histogram: no estimate.
+  hist.counts.clear();
+  hist.count = 0;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist, 0.5), 0.0);
+}
+
+TEST_F(ObsTest, SloMonitorWindowsTheRegistryAndBurnsOnViolation) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& lat = reg.histogram("obs.test.slo.lat_us", {1000, 10000, 100000});
+  obs::Counter& done = reg.counter("obs.test.slo.done");
+  obs::Counter& fail = reg.counter("obs.test.slo.fail");
+
+  obs::SloConfig cfg;
+  cfg.target_p99_ms = 1.0;       // 1 ms — the 50 ms observations must violate
+  cfg.max_error_rate = 0.25;
+  obs::SloMonitor monitor(cfg, "obs.test.slo.lat_us", "obs.test.slo.done",
+                          "obs.test.slo.fail");
+  const std::int64_t burn_before =
+      reg.snapshot().counter("slo.p99_burn");
+
+  for (int i = 0; i < 4; ++i) lat.observe(50000);  // 50 ms in µs
+  done.add(2);
+  fail.add(2);  // error rate 0.5 > 0.25
+
+  const obs::SloMonitor::Report report = monitor.observe();
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.failed, 2);
+  EXPECT_DOUBLE_EQ(report.error_rate, 0.5);
+  EXPECT_GT(report.p99_ms, 1.0);
+  EXPECT_TRUE(report.p99_violated);
+  EXPECT_TRUE(report.error_violated);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(reg.snapshot().counter("slo.p99_burn"), burn_before + 1);
+
+  // A quiet follow-up window has nothing to violate.
+  const obs::SloMonitor::Report quiet = monitor.observe();
+  EXPECT_EQ(quiet.completed, 0);
+  EXPECT_TRUE(quiet.ok());
+}
+
+TEST_F(ObsTest, PrometheusExpositionShapesCountersGaugesAndHistograms) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("obs.test.prom.counter", 7);
+  snap.gauges.emplace_back("obs.test.prom.gauge", -3);
+  obs::MetricsSnapshot::Hist hist;
+  hist.name = "obs.test.prom.hist";
+  hist.bounds = {10, 100};
+  hist.counts = {1, 2, 3};
+  hist.count = 6;
+  hist.sum = 400;
+  snap.histograms.push_back(hist);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, snap);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE tsg_obs_test_prom_counter counter\n"
+                      "tsg_obs_test_prom_counter 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsg_obs_test_prom_gauge -3\n"), std::string::npos);
+  // Buckets are cumulative and close with +Inf at the total count.
+  EXPECT_NE(text.find("tsg_obs_test_prom_hist_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsg_obs_test_prom_hist_bucket{le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsg_obs_test_prom_hist_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsg_obs_test_prom_hist_sum 400\n"), std::string::npos);
+  EXPECT_NE(text.find("tsg_obs_test_prom_hist_count 6\n"), std::string::npos);
 }
 
 TEST_F(ObsTest, MemoryGaugesAreRegistered) {

@@ -14,11 +14,18 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "chaos/chaos.h"
 #include "common/bounded_queue.h"
 #include "common/cancellation.h"
 #include "common/memory.h"
 #include "gen/generators.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/spgemm_service.h"
@@ -601,6 +608,105 @@ TEST(Service, WatchdogReplacesStuckWorkerAndPoisonsOnlyItsRequest) {
       before, obs::MetricsRegistry::instance().snapshot());
   EXPECT_EQ(d.counter("service.watchdog_kills"), 1);
   EXPECT_EQ(d.counter("service.completed"), 1);
+}
+
+TEST(Service, FlightDumpOnWatchdogKillNamesTheVictim) {
+  const auto a = shared(test::make_er_small());
+
+  // Arm the flight recorder into a private directory for this test only, so
+  // the dump the watchdog writes is the only flight_*.json there.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("tsg_flight_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_directory(dir.string());
+
+  chaos::ChaosPlan plan;
+  plan.latency.push_back({chaos::Site::kPop, 1.0, 400});
+  plan.seed = 3;
+  SpgemmService svc(SpgemmService::Config{}
+                        .with_workers(1)
+                        .with_stuck_after(milliseconds(60)));
+  std::uint64_t victim_id = 0;
+  {
+    chaos::ChaosScope scope(plan);
+    Expected<Ticket> doomed = svc.try_submit({a});
+    ASSERT_TRUE(doomed.ok());
+    victim_id = doomed->id;
+    try {
+      (void)test::await(doomed->result);
+      FAIL() << "stuck request was not poisoned";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+    }
+  }
+  svc.shutdown();
+  fr.set_enabled(false);
+
+  // Exactly one dump, and its JSON names the killed request.
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("flight_", 0) == 0) {
+      dumps.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  std::ifstream in(dumps[0]);
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::string json = body.str();
+  EXPECT_NE(json.find("\"reason\":\"watchdog_kill\""), std::string::npos);
+  EXPECT_NE(json.find("\"victim_request_id\":" + std::to_string(victim_id)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"service.watchdog_kill\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, SnapshotDeltaConcurrentWithRunningWorkers) {
+  // MetricsSnapshot::delta must be safe to compute from an observer thread
+  // while service workers are actively mutating every instrument it reads —
+  // the SLO monitor and the periodic Prometheus writer both do exactly this.
+  const auto a = shared(test::make_er_small());
+  SpgemmService svc(SpgemmService::Config{}.with_workers(2).with_queue_capacity(8));
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::instance().snapshot();
+  std::atomic<bool> done{false};
+  std::atomic<int> windows{0};
+  std::thread observer([&] {
+    obs::MetricsSnapshot last = obs::MetricsRegistry::instance().snapshot();
+    while (!done.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot now = obs::MetricsRegistry::instance().snapshot();
+      const obs::MetricsSnapshot window = obs::MetricsSnapshot::delta(last, now);
+      // Monotone counters never produce a negative window.
+      EXPECT_GE(window.counter("service.completed"), 0);
+      EXPECT_GE(window.counter("service.admitted"), 0);
+      last = now;
+      windows.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRequests = 12;
+  std::vector<std::future<SpgemmRunReport>> results;
+  results.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) results.push_back(svc.submit({a}));
+  for (auto& f : results) {
+    const SpgemmRunReport report = test::await(f);
+    // The correlation ids the service stamps survive to the caller.
+    EXPECT_NE(report.request_id, 0u);
+    EXPECT_NE(report.trace_id, 0u);
+  }
+  svc.shutdown();
+  done.store(true, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_GT(windows.load(), 0);
+
+  const obs::MetricsSnapshot total = obs::MetricsSnapshot::delta(
+      before, obs::MetricsRegistry::instance().snapshot());
+  EXPECT_EQ(total.counter("service.completed"), kRequests);
 }
 
 // --- Concurrency stress (the TSan target) ---------------------------------

@@ -33,6 +33,7 @@
 #include "matrix/io_mm.h"
 #include "matrix/stats.h"
 #include "matrix/transpose.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/spgemm_service.h"
@@ -84,6 +85,13 @@ std::string flag_value(int argc, char** argv, int& i, const char* flag) {
 
 int main(int argc, char** argv) {
   using namespace tsg;
+
+  // Crash post-mortems are an entry-point decision (the library never
+  // installs handlers behind the caller's back): with TSG_FLIGHT_DIR set, a
+  // fatal signal leaves a flight_*.json naming the in-flight request.
+  if (obs::FlightRecorder::instance().enabled()) {
+    obs::FlightRecorder::install_signal_handlers();
+  }
 
   int aat = 0;
   int serve_workers = 0;
@@ -229,6 +237,9 @@ int main(int argc, char** argv) {
       return fail_with(e.status());
     }
     svc.shutdown();
+    std::cout << "request correlation: request_id=" << report.request_id
+              << " trace_id=" << report.trace_id
+              << " (join key for --trace events and structured logs)\n";
     std::cout << "TileSpGEMM runtime (service): " << report.core_ms << " ms, "
               << gflops(flops, report.core_ms) << " GFlops\n";
     std::cout << "execution chunks: " << report.chunks

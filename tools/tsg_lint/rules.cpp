@@ -361,6 +361,46 @@ void check_banned_fn(const FileContext& file, std::vector<Diagnostic>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// raw-log: direct printf/fprintf/std::cerr/std::cout in src/ outside the
+// logger itself. Library diagnostics must go through the structured logger
+// (src/obs/log.h) so every record is JSON, leveled, rate-limited, and
+// stamped with the ambient request context; a raw stream write is invisible
+// to the flight recorder and unjoinable with the trace. CLI/bench/tools/
+// tests keep direct streams — human-facing output is their job.
+// ---------------------------------------------------------------------------
+void check_raw_log(const FileContext& file, std::vector<Diagnostic>& out) {
+  // Scope: library sources only. Paths are repo-relative (the lint_tree
+  // target runs `tsg_lint src tools tests` from the source root).
+  if (file.path.rfind("src/", 0) != 0) return;
+  if (path_contains(file.path, "src/obs/log.")) return;  // the sink itself
+  const Tokens& toks = file.lexed->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    if (t.text == "printf" || t.text == "fprintf" || t.text == "vprintf" ||
+        t.text == "vfprintf" || t.text == "puts" || t.text == "fputs") {
+      if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+      if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;  // member function of some unrelated type
+      }
+      out.push_back({"raw-log", file.path, t.line,
+                     "call to " + std::string(t.text) +
+                         "() in library code; route diagnostics through the "
+                         "structured logger (TSG_LOG_* in src/obs/log.h)"});
+      continue;
+    }
+
+    if (t.text == "cerr" || t.text == "cout") {
+      out.push_back({"raw-log", file.path, t.line,
+                     "std::" + std::string(t.text) +
+                         " in library code; route diagnostics through the "
+                         "structured logger (TSG_LOG_* in src/obs/log.h)"});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rule_catalogue() {
@@ -386,6 +426,9 @@ const std::vector<Rule>& rule_catalogue() {
       {"banned-fn",
        "rand/srand/strtok/sprintf/vsprintf/gets",
        check_banned_fn},
+      {"raw-log",
+       "direct printf/fprintf/std::cerr/std::cout in src/ outside src/obs/log.*",
+       check_raw_log},
   };
   return kRules;
 }

@@ -1,0 +1,155 @@
+// tsg_obs_report: render a per-request table from a Chrome-trace JSON file
+// produced by obs::TraceCollector::write_chrome_trace (e.g. the --trace
+// output of bench_service_replay, or TSG_TRACE_FILE from the CLI). The
+// request-context propagation added in PR 8 stamps every event with
+// args.req; this tool groups on that key and summarises each request's
+// lifecycle the way an operator would read it in Perfetto:
+//
+//   req  lifecycle                  worker_ms  step1_ms  step2_ms  step3_ms  events
+//
+// The parser is deliberately not a general JSON reader: write_chrome_trace
+// emits exactly one event object per line with stable key order, and this
+// tool only consumes that format. Unknown lines are skipped, so a file with
+// a foreign event mixed in degrades to a partial report, never a crash.
+//
+//   tsg_obs_report TRACE.json [--csv]
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Extract the value of `"key":` in `line` as a raw token (up to the next
+/// ',' or '}'), or "" when absent. Values we care about are numbers and
+/// simple quoted strings without escapes — true for everything the trace
+/// writer emits (names are compile-time literals).
+std::string raw_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    end = line.find('"', begin + 1);
+    if (end == std::string::npos) return "";
+    return line.substr(begin + 1, end - begin - 1);
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+struct RequestSummary {
+  double first_ts_us = 0.0;  ///< first event carrying this request id
+  double last_ts_us = 0.0;   ///< last event (end of span for ph=X)
+  double worker_us = 0.0;    ///< sum of service.worker.run spans (retries add)
+  double step_us[3] = {0.0, 0.0, 0.0};
+  int events = 0;
+  std::vector<std::string> lifecycle;  ///< service.request.* instants, in order
+};
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", us / 1000.0);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ",";
+    out += p;
+  }
+  return out.empty() ? "-" : out;
+}
+
+int run(const char* path, bool csv) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "tsg_obs_report: cannot open " << path << "\n";
+    return 2;
+  }
+
+  std::map<unsigned long long, RequestSummary> requests;
+  int untagged = 0, parsed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string name = raw_value(line, "name");
+    if (name.empty()) continue;  // header / closing bracket / foreign line
+    ++parsed;
+    const std::string req_s = raw_value(line, "req");
+    if (req_s.empty() || req_s == "0") {
+      ++untagged;
+      continue;
+    }
+    const unsigned long long req = std::strtoull(req_s.c_str(), nullptr, 10);
+    const double ts = std::atof(raw_value(line, "ts").c_str());
+    const std::string dur_s = raw_value(line, "dur");
+    const double dur = dur_s.empty() ? 0.0 : std::atof(dur_s.c_str());
+
+    RequestSummary& r = requests[req];
+    if (r.events == 0 || ts < r.first_ts_us) r.first_ts_us = ts;
+    r.last_ts_us = std::max(r.last_ts_us, ts + dur);
+    ++r.events;
+    if (name == "service.worker.run") {
+      r.worker_us += dur;
+    } else if (name == "step1") {
+      r.step_us[0] += dur;
+    } else if (name == "step2") {
+      r.step_us[1] += dur;
+    } else if (name == "step3") {
+      r.step_us[2] += dur;
+    } else if (name.rfind("service.request.", 0) == 0) {
+      // Lifecycle instants: queued / retry / completed / failed / evicted /
+      // watchdog_kill. Keep the short suffix, in emission order.
+      r.lifecycle.push_back(name.substr(std::strlen("service.request.")));
+    }
+  }
+  if (requests.empty()) {
+    std::cerr << "tsg_obs_report: no request-tagged events in " << path << " ("
+              << parsed << " events scanned; was tracing enabled and the work "
+              << "submitted through SpgemmService?)\n";
+    return 1;
+  }
+
+  const char* sep = csv ? "," : "  ";
+  std::cout << "req" << sep << "lifecycle" << sep << "span_ms" << sep << "worker_ms"
+            << sep << "step1_ms" << sep << "step2_ms" << sep << "step3_ms" << sep
+            << "events\n";
+  for (const auto& [req, r] : requests) {
+    std::cout << req << sep << join(r.lifecycle) << sep
+              << fmt_ms(r.last_ts_us - r.first_ts_us) << sep << fmt_ms(r.worker_us)
+              << sep << fmt_ms(r.step_us[0]) << sep << fmt_ms(r.step_us[1]) << sep
+              << fmt_ms(r.step_us[2]) << sep << r.events << "\n";
+  }
+  if (!csv) {
+    std::cout << "\n" << requests.size() << " request(s), " << parsed
+              << " events total, " << untagged << " untagged (library-internal)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (!path) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (!path) {
+    std::cerr << "usage: tsg_obs_report TRACE.json [--csv]\n";
+    return 2;
+  }
+  return run(path, csv);
+}
