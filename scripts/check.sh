@@ -53,13 +53,42 @@ stage_hygiene() {
 
 stage_lint() {
   echo "=== static analysis: tsg_lint over the whole tree ==="
-  # Fail fast (ISSUE 4): the project-invariant lint is seconds to build and
+  # Fail fast (ISSUE 4/9): the project-invariant lint is seconds to build and
   # run, so it gates before the expensive sanitizer builds. Exit 1 here means
-  # a rule fired without a `// tsg-lint: allow(...)` rationale.
+  # a rule fired without a `// tsg-lint: allow(...)` rationale and without a
+  # lint_baseline.json budget covering it.
   cmake -B build -S .
-  cmake --build build --target lint_tree -j "${JOBS}"
+  cmake --build build --target tsg_lint -j "${JOBS}"
+  mkdir -p results
+  ./build/tsg_lint --jobs="${JOBS}" \
+    --diff-baseline --baseline=lint_baseline.json \
+    --sarif=results/tsg_lint.sarif --dot=results/include_graph.dot \
+    --graph-json=results/include_graph.json \
+    src tools tests bench
+
+  echo "=== static analysis: baseline canary (the gate must be able to fail) ==="
+  # Prove the diff-baseline path actually rejects a fresh finding: lint a file
+  # with a known violation and require exit 1. A gate that cannot go red
+  # (because the baseline parser silently absorbed everything, say) is worse
+  # than no gate.
+  local canary
+  canary="$(mktemp -t tsg_canary_XXXX.cpp)"
+  printf 'void f() { rand(); }\n' > "${canary}"
+  if ./build/tsg_lint --diff-baseline --baseline=lint_baseline.json \
+      src tools tests bench "${canary}" >/dev/null 2>&1; then
+    rm -f "${canary}"
+    echo "lint: canary violation was NOT reported — the gate is broken" >&2
+    return 1
+  fi
+  rm -f "${canary}"
+  echo "lint: canary rejected as expected"
+
+  echo "=== static analysis: header self-containment ==="
+  scripts/check_headers.sh
+
   # Optional depth on machines that have LLVM: the curated .clang-tidy
-  # profile (no-op on the gcc-only CI image).
+  # profile (no-op on the gcc-only reference image; CI pins a version and
+  # sets TSG_TIDY_REQUIRE=1 so the job fails loudly if the pin breaks).
   scripts/run_clang_tidy.sh build
 }
 

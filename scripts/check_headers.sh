@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Header hygiene: every public header must compile in isolation (a TU that
+# includes just the header and nothing else). Catches missing includes that
+# only work today because some .cpp happens to include a provider first —
+# the failure mode that breaks consumers with a different include order.
+#
+# Usage: scripts/check_headers.sh [compiler]
+# Compiler defaults to $CXX, then g++. Runs the try-compiles in parallel.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX_BIN="${1:-${CXX:-g++}}"
+if ! command -v "$CXX_BIN" >/dev/null 2>&1; then
+  echo "check_headers: compiler '$CXX_BIN' not found" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Public headers: everything under src/ and the linter's own headers. The
+# include root matches the build (src/ for the library, tools/ for tsg_lint).
+fail_log="$(mktemp)"
+trap 'rm -f "$fail_log"' EXIT
+
+find src tools/tsg_lint -name '*.h' | sort | xargs -P "$JOBS" -I {} bash -c '
+  hdr="$1"
+  case "$hdr" in
+    src/*)   inc="${hdr#src/}" ;;
+    tools/*) inc="${hdr#tools/}" ;;
+  esac
+  if ! echo "#include \"$inc\"" | '"$CXX_BIN"' -std=c++20 -fsyntax-only \
+      -Wall -Wextra -I src -I tools -x c++ - 2>/tmp/hdr_err_$$; then
+    { echo "FAIL: $hdr"; sed "s/^/    /" /tmp/hdr_err_$$; } >> '"$fail_log"'
+  fi
+  rm -f /tmp/hdr_err_$$
+' _ {}
+
+if [ -s "$fail_log" ]; then
+  cat "$fail_log" >&2
+  echo "check_headers: some headers are not self-contained" >&2
+  exit 1
+fi
+echo "check_headers: all headers compile in isolation ($CXX_BIN)"

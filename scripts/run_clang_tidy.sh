@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# Run the curated .clang-tidy profile over src/ and tools/. Skips (exit 0)
-# when clang-tidy is not installed: the reference CI image is gcc-only, and
-# the project-specific invariants are enforced by tsg_lint regardless (see
-# docs/STATIC_ANALYSIS.md). On a developer machine with LLVM installed this
-# adds the general bugprone/concurrency/performance checks on top.
+# Run the curated .clang-tidy profile over src/ and tools/. By default skips
+# (exit 0) when no clang-tidy is installed: the reference CI image is
+# gcc-only, and the project-specific invariants are enforced by tsg_lint
+# regardless (see docs/STATIC_ANALYSIS.md). On a developer machine with LLVM
+# installed this adds the general bugprone/concurrency/performance checks on
+# top.
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir]
 #   build-dir: a configured build tree with compile_commands.json
 #              (default: build; configured on the fly if missing).
+#
+# Environment:
+#   TSG_TIDY_BIN      clang-tidy binary to use (e.g. clang-tidy-18). CI pins
+#                     a version here so check results do not drift with
+#                     whatever the runner image ships (default: clang-tidy).
+#   TSG_TIDY_REQUIRE  when 1, a missing binary is an error instead of a
+#                     skip — set in CI so a broken pin fails loudly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "run_clang_tidy.sh: clang-tidy not found; skipping (tsg_lint still gates the tree)"
+TIDY_BIN="${TSG_TIDY_BIN:-clang-tidy}"
+if ! command -v "${TIDY_BIN}" >/dev/null 2>&1; then
+  if [ "${TSG_TIDY_REQUIRE:-0}" = "1" ]; then
+    echo "run_clang_tidy.sh: required binary '${TIDY_BIN}' not found" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy.sh: ${TIDY_BIN} not found; skipping (tsg_lint still gates the tree)"
   exit 0
 fi
 
@@ -30,6 +43,7 @@ mapfile -t FILES < <(find src tools -name '*.cpp' ! -path 'tools/tsg_lint/*' | s
 # so the checks cover the checker.
 mapfile -t -O "${#FILES[@]}" FILES < <(find tools/tsg_lint -name '*.cpp' | sort)
 
-echo "run_clang_tidy.sh: ${#FILES[@]} files against ${BUILD_DIR}/compile_commands.json"
-clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+echo "run_clang_tidy.sh: ${#FILES[@]} files, ${TIDY_BIN} against ${BUILD_DIR}/compile_commands.json"
+"${TIDY_BIN}" --version | head -1
+"${TIDY_BIN}" -p "${BUILD_DIR}" --quiet "${FILES[@]}"
 echo "run_clang_tidy.sh: clean"

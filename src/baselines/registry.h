@@ -4,6 +4,7 @@
 // method uniformly.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

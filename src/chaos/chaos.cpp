@@ -180,6 +180,9 @@ void ChaosEngine::arm(const ChaosPlan& plan) {
     FaultPlan fp;
     fp.fail_rate = plan.alloc_rate;
     fp.seed = plan.seed;
+    // arm() owns the paired clear in disarm(); ChaosScope is the RAII face
+    // of this engine — a scope inside the scope implementation would recurse.
+    // tsg-lint: allow(scope-pairing)
     MemoryTracker::instance().set_fault_plan(fp);
   }
   armed_.store(plan.enabled(), std::memory_order_release);
@@ -193,6 +196,8 @@ void ChaosEngine::disarm() {
     had_alloc_faults = plan_.alloc_rate > 0.0;
     plan_ = ChaosPlan{};
   }
+  // Paired with the set in arm() — see the rationale there.
+  // tsg-lint: allow(scope-pairing)
   if (had_alloc_faults) MemoryTracker::instance().clear_fault_plan();
 }
 

@@ -15,6 +15,7 @@
 // what the ablation measures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 

@@ -125,6 +125,13 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
 
   // Step 2 (masked): symbolic per tile, masks ANDed with M's.
   parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    // Cooperative cancellation every 64th tile (see step2.cpp). A tripped
+    // token skips the tile — its mask row and tile_nnz stay 0, and the
+    // pipeline layer converts the latched reason before C materializes.
+    if ((t & 63) == 0) {
+      ws.cancel.note_progress();
+      if (ws.cancel.should_stop()) return;
+    }
     const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
 
@@ -170,6 +177,12 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
 
   // Step 3 (masked numeric).
   parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    // Same strided poll as the symbolic pass: a cancelled run leaves the
+    // tile's values zero, which the caller discards with the run.
+    if ((t & 63) == 0) {
+      ws.cancel.note_progress();
+      if (ws.cancel.should_stop()) return;
+    }
     const index_t tile_i = tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = c.tile_col_idx[static_cast<std::size_t>(t)];
     const index_t nnz_c = c.tile_nnz_of(t);

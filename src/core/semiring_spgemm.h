@@ -14,6 +14,9 @@
 // reachable entries.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -62,6 +65,13 @@ TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
 
   const offset_t ntiles = structure.num_tiles();
   parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+    // Cooperative cancellation every 64th tile (see step2.cpp): the numeric
+    // semiring pass is the long phase here, and cancellation latency must
+    // not be the whole tile range.
+    if ((t & 63) == 0) {
+      ws.cancel.note_progress();
+      if (ws.cancel.should_stop()) return;
+    }
     const index_t tile_i = structure.tile_row_idx[static_cast<std::size_t>(t)];
     const index_t tile_j = structure.tile_col_idx[static_cast<std::size_t>(t)];
     const index_t nnz_c = c.tile_nnz_of(t);

@@ -45,6 +45,10 @@
 // pooled workspace; use one context per calling thread instead.
 #pragma once
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_spgemm.h"

@@ -16,6 +16,7 @@
 // peak accounting sees the pool exactly like any other workspace.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 #include <vector>

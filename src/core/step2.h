@@ -12,6 +12,8 @@
 // staged in the workspace, so step 3 only copies them out.
 #pragma once
 
+#include <cstdint>
+
 #include "core/options.h"
 #include "core/step1.h"
 

@@ -21,6 +21,7 @@
 //                             local (r, c)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <type_traits>

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
+#include <cstdint>
 
 #include "core/intersect.h"
 #include "core/tile_format.h"

@@ -5,6 +5,8 @@
 // tiled kernel family (SpMV, SpMM, SpGEMM, add, transpose).
 #pragma once
 
+#include <cstddef>
+
 #include "core/tile_format.h"
 
 namespace tsg {

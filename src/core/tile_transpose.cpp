@@ -33,7 +33,10 @@ TileMatrix<T> tile_transpose(const TileMatrix<T>& a) {
 
   // Transpose each tile locally: new masks are the column occupancy of the
   // source tile; entries are emitted in (new row = old col) order by
-  // walking source columns via the mask.
+  // walking source columns via the mask. No CancelToken here: transpose is
+  // a standalone utility with no workspace/plan in its signature, and the
+  // per-tile work is a bounded bit shuffle (no accumulator growth).
+  // tsg-lint: allow(cancel-poll)
   parallel_for(offset_t{0}, ntiles, [&](offset_t dst) {
     const offset_t src = view.tile_id[static_cast<std::size_t>(dst)];
     const rowmask_t* src_mask = a.tile_mask(src);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <string>
 
 #include "common/status.h"

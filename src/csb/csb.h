@@ -12,6 +12,7 @@
 // per-tile row pointers or bit masks; Fig. 11 quantifies that trade-off.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "matrix/csr.h"

@@ -2,6 +2,7 @@
 // and the input/output of every SpGEMM implementation.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "common/config.h"

@@ -22,6 +22,7 @@
 //    "metrics":{...full registry snapshot...}}
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>

@@ -11,6 +11,7 @@
 //           dense LU on the coarsest level.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/tile_format.h"

@@ -66,9 +66,10 @@ TEST(FaultInjection, EveryAllocationSiteSurfacesAsStatus) {
     SpgemmContext ctx(config());
     FaultPlan plan;
     plan.fail_at = n;
-    MemoryTracker::instance().set_fault_plan(plan);
-    Expected<TileSpgemmResult<double>> result = ctx.try_run(ta, ta);
-    MemoryTracker::instance().clear_fault_plan();
+    Expected<TileSpgemmResult<double>> result = [&] {
+      FaultInjectionScope faults(plan);
+      return ctx.try_run(ta, ta);
+    }();
 
     if (result.ok()) {
       // The pooled workspace shrinks the per-run allocation count only when
@@ -131,9 +132,10 @@ TEST(FaultInjection, EveryCsrRunAllocationSiteSurfacesAsStatus) {
     SpgemmContext ctx(config());
     FaultPlan plan;
     plan.fail_at = n;
-    MemoryTracker::instance().set_fault_plan(plan);
-    Expected<Csr<double>> result = ctx.try_run_csr(a, a);
-    MemoryTracker::instance().clear_fault_plan();
+    Expected<Csr<double>> result = [&] {
+      FaultInjectionScope faults(plan);
+      return ctx.try_run_csr(a, a);
+    }();
 
     if (result.ok()) {
       expect_csr_identical(*result);
@@ -216,9 +218,8 @@ TEST(FaultInjection, MaskedAndCsrPathsSurfaceStatusToo) {
     EXPECT_EQ(masked.status().code(), StatusCode::kAllocationFailed);
   }
   {
-    MemoryTracker::instance().set_fault_plan(plan);
+    FaultInjectionScope scope(plan);
     Expected<Csr<double>> csr = ctx.try_run_csr(a, a);
-    MemoryTracker::instance().clear_fault_plan();
     ASSERT_FALSE(csr.ok());
     EXPECT_EQ(csr.status().code(), StatusCode::kAllocationFailed);
   }

@@ -8,19 +8,31 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "json_checker.h"
+#include "tsg_lint/baseline.h"
+#include "tsg_lint/include_graph.h"
 #include "tsg_lint/lint.h"
+#include "tsg_lint/project.h"
+#include "tsg_lint/sarif.h"
 
 namespace {
 
 using tsg::lint::Diagnostic;
+using tsg::lint::FileInput;
 using tsg::lint::Options;
 
 std::vector<Diagnostic> run(const std::string& path, std::string_view src,
                             tsg::lint::LintStats* stats = nullptr) {
   return tsg::lint::lint_source(path, src, Options{}, stats);
+}
+
+/// Project-mode driver; jobs=1 keeps fixture runs deterministic.
+tsg::lint::ProjectResult run_project(std::vector<FileInput> files) {
+  return tsg::lint::lint_project(std::move(files), Options{}, 1);
 }
 
 int count_rule(const std::vector<Diagnostic>& diags, std::string_view rule) {
@@ -427,6 +439,515 @@ TEST(Engine, RuleCatalogueNamesAreUniqueAndStable) {
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-pairing"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "unbounded-wait"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-log"), names.end());
+}
+
+TEST(Engine, AllRuleInfoCoversEveryRuleTier) {
+  // 8 per-file + 3 semantic + 2 graph rules; names unique across tiers.
+  const auto info = tsg::lint::all_rule_info();
+  ASSERT_EQ(info.size(), 13u);
+  std::vector<std::string> names;
+  names.reserve(info.size());
+  for (const auto& r : info) names.push_back(r.name);
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  for (const char* expected : {"cancel-poll", "scope-pairing", "expected-flow",
+                               "include-cycle", "layer-violation"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer regressions: raw strings, digit separators, spliced comments
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, RawStringContentsAreNeverTokenized) {
+  const auto diags = run("a.cpp", R"fix(
+    const char* doc = R"(calls rand() and sprintf(buf, fmt))";
+    const char* sql = R"sql(select rand() from t)sql";
+  )fix");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lexer, CodeAfterRawStringStillLints) {
+  const auto diags = run("a.cpp", R"fix(
+    const char* doc = R"x(harmless)x";
+    int n = rand();
+  )fix");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 1);
+}
+
+TEST(Lexer, MalformedRawDelimiterDoesNotSwallowTheFile) {
+  // A d-char-seq longer than 16 characters is ill-formed, so this is not a
+  // raw string; the old scanner ran to EOF looking for a closer and
+  // silenced every rule after it. The `R` falls out as an identifier, the
+  // quote scans as an ordinary string, and later code still lints.
+  const auto diags = run("a.cpp",
+                         "auto s = R\"aaaaaaaaaaaaaaaaa( looks-raw )\";\n"
+                         "int n = rand();\n");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 1);
+}
+
+TEST(Lexer, DigitSeparatorsStayInsideTheNumber) {
+  const auto diags = run("a.cpp", R"(
+    const int big = 1'000'000;
+    int n = rand();
+  )");
+  EXPECT_EQ(count_rule(diags, "banned-fn"), 1);
+}
+
+TEST(Lexer, QuoteAfterNumberOpensACharLiteral) {
+  // `memchr(s, '0', 1)`-style code right after a numeric token: the quote
+  // must not be folded into the number (the old lexer then mis-paired every
+  // later literal). The multiply inside resize() still fires.
+  const auto diags = run("a.cpp", R"(
+    f(1, '0');
+    v.resize(a * b);
+  )");
+  EXPECT_EQ(count_rule(diags, "unchecked-size-mul"), 1);
+}
+
+TEST(Lexer, BackslashSplicedLineCommentSwallowsTheNextLine) {
+  // Phase-2 line splicing runs before comment removal: the second line is
+  // still comment, the third is code.
+  const auto diags = run("a.cpp",
+                         "// this comment continues \\\n"
+                         "int swallowed = rand();\n"
+                         "int live = rand();\n");
+  ASSERT_EQ(count_rule(diags, "banned-fn"), 1);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// cancel-poll (semantic, index-driven)
+// ---------------------------------------------------------------------------
+
+TEST(CancelPoll, FiresOnTileLoopWithoutPoll) {
+  auto result = run_project({{"src/core/kernel.cpp", R"(
+    void f(Ws& ws, offset_t ntiles) {
+      parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+        work(t);
+      });
+    }
+  )"}});
+  ASSERT_EQ(count_rule(result.diagnostics, "cancel-poll"), 1);
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+}
+
+TEST(CancelPoll, CleanWithDirectStridedPoll) {
+  auto result = run_project({{"src/core/kernel.cpp", R"(
+    void f(Ws& ws, offset_t ntiles) {
+      parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+        if ((t & 63) == 0) {
+          ws.cancel.note_progress();
+          if (ws.cancel.should_stop()) return;
+        }
+        work(t);
+      });
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "cancel-poll"), 0);
+}
+
+TEST(CancelPoll, PollThroughCrossFileHelperSatisfiesTheRule) {
+  // The helper polls; the index's reachability fixpoint lets the kernel's
+  // loop satisfy the rule by calling it — this is the cross-TU part.
+  auto result = run_project({
+      {"src/core/kernel.cpp", R"(
+        void f(Ws& ws, offset_t ntiles) {
+          parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
+            poll_and_work(ws, t);
+          });
+        }
+      )"},
+      {"src/core/helpers.cpp", R"(
+        void poll_and_work(Ws& ws, offset_t t) {
+          ws.cancel.note_progress();
+          if (ws.cancel.should_stop()) return;
+          work(t);
+        }
+      )"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "cancel-poll"), 0);
+}
+
+TEST(CancelPoll, FiresOnChunkLoopWithoutPollAndScopedToCore) {
+  const std::string_view src = R"(
+    void drain(Ctx& ctx, std::size_t nchunks) {
+      for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+        submit_one(chunk);
+      }
+    }
+  )";
+  auto in_core = run_project({{"src/core/pipeline.cpp", std::string(src)}});
+  EXPECT_EQ(count_rule(in_core.diagnostics, "cancel-poll"), 1);
+
+  // Same code outside src/core is out of the rule's scope.
+  auto in_service = run_project({{"src/service/pipeline.cpp", std::string(src)}});
+  EXPECT_EQ(count_rule(in_service.diagnostics, "cancel-poll"), 0);
+}
+
+TEST(CancelPoll, ChunkLoopCleanWithPerChunkCheck) {
+  auto result = run_project({{"src/core/pipeline.cpp", R"(
+    void drain(Ctx& ctx, std::size_t nchunks) {
+      for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+        check_cancelled();
+        submit_one(chunk);
+      }
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "cancel-poll"), 0);
+}
+
+TEST(CancelPoll, LoopsOverNonTileRangesAreOutOfScope) {
+  auto result = run_project({{"src/core/kernel.cpp", R"(
+    void f(const Matrix& a) {
+      parallel_for(index_t{0}, a.tile_rows, [&](index_t tr) {
+        work(tr);
+      });
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "cancel-poll"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// scope-pairing (semantic)
+// ---------------------------------------------------------------------------
+
+TEST(ScopePairing, FiresOnDirectFaultPlanCalls) {
+  auto result = run_project({{"tests/test_x.cpp", R"(
+    void f(FaultPlan plan) {
+      MemoryTracker::instance().set_fault_plan(plan);
+      run();
+      MemoryTracker::instance().clear_fault_plan();
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "scope-pairing"), 2);
+}
+
+TEST(ScopePairing, MemoryLayerAndRaiiUseAreClean) {
+  // The scope type's own implementation calls the pair; user code holding a
+  // FaultInjectionScope never spells the calls at all.
+  auto impl = run_project({{"src/common/memory.h", R"(
+    class FaultInjectionScope {
+     public:
+      explicit FaultInjectionScope(const FaultPlan& plan) {
+        MemoryTracker::instance().set_fault_plan(plan);
+      }
+      ~FaultInjectionScope() { MemoryTracker::instance().clear_fault_plan(); }
+    };
+  )"}});
+  EXPECT_EQ(count_rule(impl.diagnostics, "scope-pairing"), 0);
+
+  auto user = run_project({{"tests/test_x.cpp", R"(
+    void f(FaultPlan plan) {
+      FaultInjectionScope scope(plan);
+      run();
+    }
+  )"}});
+  EXPECT_EQ(count_rule(user.diagnostics, "scope-pairing"), 0);
+}
+
+TEST(ScopePairing, FiresOnChaosEngineArmOutsideItsModule) {
+  auto result = run_project({{"bench/bench_chaos.cpp", R"(
+    void f(const ChaosPlan& plan) {
+      ChaosEngine::instance().arm(plan);
+      run();
+      ChaosEngine::instance().disarm();
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "scope-pairing"), 2);
+
+  auto inside = run_project({{"src/chaos/chaos.cpp", R"(
+    void ChaosScope::install(const ChaosPlan& plan) { ChaosEngine::instance().arm(plan); }
+  )"}});
+  EXPECT_EQ(count_rule(inside.diagnostics, "scope-pairing"), 0);
+}
+
+TEST(ScopePairing, FiresOnDirectRequestContextAssignment) {
+  auto result = run_project({{"src/service/worker.cpp", R"(
+    void f(const RequestContext& ctx) {
+      detail::t_request = ctx;
+    }
+  )"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "scope-pairing"), 1);
+}
+
+TEST(ScopePairing, ManualMutexLockFiresButGuardReceiversAreExempt) {
+  auto manual = run_project({{"src/service/worker.cpp", R"(
+    void f() {
+      mu_.lock();
+      state_ += 1;
+      mu_.unlock();
+    }
+  )"}});
+  EXPECT_EQ(count_rule(manual.diagnostics, "scope-pairing"), 2);
+
+  auto guarded = run_project({{"src/service/worker.cpp", R"(
+    void f(std::weak_ptr<Widget> weak) {
+      std::unique_lock<std::mutex> lk(mu_);
+      lk.unlock();
+      recompute();
+      lk.lock();
+      if (auto strong = weak.lock()) strong->poke();
+    }
+  )"}});
+  EXPECT_EQ(count_rule(guarded.diagnostics, "scope-pairing"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// expected-flow (semantic, interprocedural)
+// ---------------------------------------------------------------------------
+
+TEST(ExpectedFlow, FiresOnDiscardedStatusCallAcrossFiles) {
+  auto result = run_project({
+      {"src/obs/sink.cpp", R"(
+        Status flush_sink() { return Status::ok(); }
+      )"},
+      {"src/service/worker.cpp", R"(
+        void f() {
+          flush_sink();
+        }
+      )"},
+  });
+  ASSERT_EQ(count_rule(result.diagnostics, "expected-flow"), 1);
+  EXPECT_EQ(result.diagnostics[0].path, "src/service/worker.cpp");
+  // The message names the defining file so the finding is checkable.
+  EXPECT_NE(result.diagnostics[0].message.find("src/obs/sink.cpp"), std::string::npos);
+}
+
+TEST(ExpectedFlow, CleanWhenResultIsConsumed) {
+  auto result = run_project({
+      {"src/obs/sink.cpp", R"(
+        Status flush_sink() { return Status::ok(); }
+        Expected<int> count_rows() { return 3; }
+      )"},
+      {"src/service/worker.cpp", R"(
+        Status f() {
+          Status st = flush_sink();
+          if (!st.ok()) return st;
+          auto n = count_rows();
+          return flush_sink();
+        }
+      )"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "expected-flow"), 0);
+}
+
+TEST(ExpectedFlow, OverloadWithNonStatusReturnDisarmsTheRule) {
+  // A same-named definition returning void exists: name-level indexing
+  // cannot tell which overload the call resolves to, so it must not fire.
+  auto result = run_project({
+      {"src/obs/sink.cpp", R"(
+        Status flush_sink() { return Status::ok(); }
+      )"},
+      {"src/core/other.cpp", R"(
+        void flush_sink(int fd) { fsync_all(fd); }
+      )"},
+      {"src/service/worker.cpp", R"(
+        void f() {
+          flush_sink();
+        }
+      )"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "expected-flow"), 0);
+}
+
+TEST(ExpectedFlow, TryPrefixedCallsBelongToDiscardedStatus) {
+  auto result = run_project({
+      {"src/core/api.cpp", R"(
+        Status try_convert(const M& m) { return Status::ok(); }
+      )"},
+      {"src/service/worker.cpp", R"(
+        void f(const M& m) {
+          try_convert(m);
+        }
+      )"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "expected-flow"), 0);
+  EXPECT_EQ(count_rule(result.diagnostics, "discarded-status"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Include graph: cycles and layering
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGraph, DetectsSyntheticIncludeCycle) {
+  auto result = run_project({
+      {"src/core/a.h", "#pragma once\n#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#pragma once\n#include \"core/a.h\"\n"},
+  });
+  ASSERT_EQ(count_rule(result.diagnostics, "include-cycle"), 1);
+  EXPECT_NE(result.diagnostics[0].message.find("src/core/a.h"), std::string::npos);
+  EXPECT_NE(result.diagnostics[0].message.find("src/core/b.h"), std::string::npos);
+}
+
+TEST(IncludeGraph, FlagsLayerInversionButNotTheForwardEdge) {
+  // matrix (layer 3) including core (layer 4) is an inversion; core
+  // including matrix is the declared direction.
+  auto inverted = run_project({
+      {"src/matrix/m.h", "#pragma once\n#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#pragma once\n"},
+  });
+  ASSERT_EQ(count_rule(inverted.diagnostics, "layer-violation"), 1);
+  EXPECT_EQ(inverted.diagnostics[0].path, "src/matrix/m.h");
+  EXPECT_EQ(inverted.diagnostics[0].line, 2);
+
+  auto forward = run_project({
+      {"src/core/c.h", "#pragma once\n#include \"matrix/m.h\"\n"},
+      {"src/matrix/m.h", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(forward.diagnostics, "layer-violation"), 0);
+}
+
+TEST(IncludeGraph, UnknownSrcModuleMustDeclareItsLayer) {
+  auto result = run_project({{"src/newmod/x.h", "#pragma once\n"}});
+  EXPECT_EQ(count_rule(result.diagnostics, "layer-violation"), 1);
+}
+
+TEST(IncludeGraph, TsgLintIsStandalone) {
+  auto result = run_project({
+      {"tools/tsg_lint/lexer.h", "#pragma once\n#include \"common/status.h\"\n"},
+      {"src/common/status.h", "#pragma once\n"},
+  });
+  ASSERT_EQ(count_rule(result.diagnostics, "layer-violation"), 1);
+  EXPECT_EQ(result.diagnostics[0].path, "tools/tsg_lint/lexer.h");
+}
+
+TEST(IncludeGraph, AppsMayIncludeAnyLayerAndSelfEdgesAreFree) {
+  auto result = run_project({
+      {"tests/test_x.cpp", "#include \"service/spgemm_service.h\"\n#include \"core/c.h\"\n"},
+      {"src/service/spgemm_service.h", "#pragma once\n#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#pragma once\n#include \"core/d.h\"\n"},
+      {"src/core/d.h", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "layer-violation"), 0);
+  EXPECT_EQ(count_rule(result.diagnostics, "include-cycle"), 0);
+}
+
+TEST(IncludeGraph, SuppressionOnTheLineAboveWorksForIncludeFindings) {
+  auto result = run_project({
+      {"src/matrix/m.h",
+       "#pragma once\n// tsg-lint: allow(layer-violation)\n#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(result.diagnostics, "layer-violation"), 0);
+  EXPECT_EQ(result.stats.suppressed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF emission
+// ---------------------------------------------------------------------------
+
+TEST(Sarif, OutputIsWellFormedJsonWithRuleTableAndResults) {
+  auto result = run_project({{"src/core/foo.cpp", R"(
+    int f() { return rand(); }
+  )"}});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+
+  std::ostringstream os;
+  tsg::lint::write_sarif(result.diagnostics, tsg::lint::all_rule_info(), os);
+  const std::string sarif = os.str();
+
+  EXPECT_TRUE(test::JsonChecker(sarif).valid()) << sarif;
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"tsg-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"banned-fn\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/core/foo.cpp"), std::string::npos);
+  // The full rule table rides along even for rules with zero findings.
+  EXPECT_NE(sarif.find("\"id\": \"cancel-poll\""), std::string::npos);
+}
+
+TEST(Sarif, EmptyRunIsStillValid) {
+  std::ostringstream os;
+  tsg::lint::write_sarif({}, tsg::lint::all_rule_info(), os);
+  EXPECT_TRUE(test::JsonChecker(os.str()).valid());
+  EXPECT_NE(os.str().find("\"results\": ["), std::string::npos);
+}
+
+TEST(Sarif, MessagesWithQuotesAndNewlinesAreEscaped) {
+  std::vector<Diagnostic> diags = {
+      {"banned-fn", "a.cpp", 1, "say \"no\" to\nrand \\ backslash"}};
+  std::ostringstream os;
+  tsg::lint::write_sarif(diags, tsg::lint::all_rule_info(), os);
+  EXPECT_TRUE(test::JsonChecker(os.str()).valid()) << os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: roundtrip and diff semantics
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, WriteLoadRoundtrip) {
+  std::vector<Diagnostic> diags = {
+      {"banned-fn", "a.cpp", 3, "m"},
+      {"banned-fn", "a.cpp", 9, "m"},
+      {"raw-alloc", "b.cpp", 1, "m"},
+  };
+  std::ostringstream os;
+  tsg::lint::write_baseline(diags, os);
+  EXPECT_TRUE(test::JsonChecker(os.str()).valid()) << os.str();
+
+  tsg::lint::Baseline loaded;
+  std::string error;
+  ASSERT_TRUE(tsg::lint::load_baseline(os.str(), loaded, error)) << error;
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ((loaded.entries[{"banned-fn", "a.cpp"}]), 2);
+  EXPECT_EQ((loaded.entries[{"raw-alloc", "b.cpp"}]), 1);
+}
+
+TEST(Baseline, DiffGrandfathersTheBudgetAndReportsTheExcess) {
+  tsg::lint::Baseline baseline;
+  baseline.entries[{"banned-fn", "a.cpp"}] = 1;
+
+  // Two findings against a budget of one: the first (by line) is absorbed,
+  // the second is fresh. Line numbers shifting does not matter — only the
+  // count does.
+  std::vector<Diagnostic> diags = {
+      {"banned-fn", "a.cpp", 14, "m"},
+      {"banned-fn", "a.cpp", 90, "m"},
+  };
+  auto diff = tsg::lint::diff_baseline(diags, baseline);
+  EXPECT_EQ(diff.grandfathered, 1);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].line, 90);
+  EXPECT_TRUE(diff.stale.empty());
+}
+
+TEST(Baseline, UnbaselinedRuleOrPathIsAlwaysFresh) {
+  tsg::lint::Baseline baseline;
+  baseline.entries[{"banned-fn", "a.cpp"}] = 5;
+  std::vector<Diagnostic> diags = {
+      {"banned-fn", "other.cpp", 1, "m"},
+      {"raw-alloc", "a.cpp", 2, "m"},
+  };
+  auto diff = tsg::lint::diff_baseline(diags, baseline);
+  EXPECT_EQ(diff.grandfathered, 0);
+  EXPECT_EQ(diff.fresh.size(), 2u);
+  // The unused budget for (banned-fn, a.cpp) is reported stale.
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_NE(diff.stale[0].find("banned-fn a.cpp"), std::string::npos);
+}
+
+TEST(Baseline, MalformedBaselineFailsLoudly) {
+  tsg::lint::Baseline out;
+  std::string error;
+  EXPECT_FALSE(tsg::lint::load_baseline("{\"entries\": [{\"rule\": \"x\"}]}", out, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(tsg::lint::load_baseline("not json", out, error));
+  EXPECT_FALSE(tsg::lint::load_baseline("{}", out, error));  // missing entries
+}
+
+TEST(Baseline, EmptyBaselineAbsorbsNothing) {
+  tsg::lint::Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(tsg::lint::load_baseline(
+      "{\n  \"version\": 1,\n  \"tool\": \"tsg-lint\",\n  \"entries\": []\n}\n",
+      baseline, error))
+      << error;
+  std::vector<Diagnostic> diags = {{"banned-fn", "a.cpp", 1, "m"}};
+  auto diff = tsg::lint::diff_baseline(diags, baseline);
+  EXPECT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.grandfathered, 0);
 }
 
 }  // namespace

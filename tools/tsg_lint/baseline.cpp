@@ -1,0 +1,236 @@
+#include "tsg_lint/baseline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+namespace tsg::lint {
+
+namespace {
+
+/// Minimal JSON reader for the baseline's fixed shape. Strict enough that a
+/// hand-mangled baseline fails loudly; supports exactly what write_baseline
+/// emits (objects, arrays, strings with basic escapes, integers).
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_(text) {}
+
+  bool parse(Baseline& out, std::string& error) {
+    skip_ws();
+    if (!expect('{')) return fail(error, "expected '{'");
+    bool saw_entries = false;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return fail(error, "expected object key");
+      skip_ws();
+      if (!expect(':')) return fail(error, "expected ':'");
+      skip_ws();
+      if (key == "entries") {
+        if (!entries(out, error)) return false;
+        saw_entries = true;
+      } else if (!skip_value()) {
+        return fail(error, "malformed value for \"" + key + "\"");
+      }
+      skip_ws();
+      if (expect(',')) continue;
+      if (expect('}')) break;
+      return fail(error, "expected ',' or '}'");
+    }
+    skip_ws();
+    if (pos_ != s_.size()) return fail(error, "trailing content");
+    if (!saw_entries) return fail(error, "missing \"entries\" array");
+    return true;
+  }
+
+ private:
+  bool entries(Baseline& out, std::string& error) {
+    if (!expect('[')) return fail(error, "\"entries\" must be an array");
+    skip_ws();
+    if (expect(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!expect('{')) return fail(error, "baseline entry must be an object");
+      std::string rule, path;
+      int count = -1;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return fail(error, "expected entry key");
+        skip_ws();
+        if (!expect(':')) return fail(error, "expected ':'");
+        skip_ws();
+        if (key == "rule") {
+          if (!string(rule)) return fail(error, "\"rule\" must be a string");
+        } else if (key == "path") {
+          if (!string(path)) return fail(error, "\"path\" must be a string");
+        } else if (key == "count") {
+          if (!integer(count)) return fail(error, "\"count\" must be an integer");
+        } else if (!skip_value()) {
+          return fail(error, "malformed entry value");
+        }
+        skip_ws();
+        if (expect(',')) continue;
+        if (expect('}')) break;
+        return fail(error, "expected ',' or '}' in entry");
+      }
+      if (rule.empty() || path.empty() || count < 0) {
+        return fail(error, "entry needs \"rule\", \"path\", and a non-negative \"count\"");
+      }
+      out.entries[{rule, path}] += count;
+      skip_ws();
+      if (expect(',')) continue;
+      if (expect(']')) return true;
+      return fail(error, "expected ',' or ']' after entry");
+    }
+  }
+
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return string(ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = c == '{' ? '}' : ']';
+      int depth = 0;
+      bool in_string = false;
+      for (; pos_ < s_.size(); ++pos_) {
+        const char d = s_[pos_];
+        if (in_string) {
+          if (d == '\\') ++pos_;
+          else if (d == '"') in_string = false;
+          continue;
+        }
+        if (d == '"') in_string = true;
+        if (d == open) ++depth;
+        if (d == close && --depth == 0) {
+          ++pos_;
+          return true;
+        }
+      }
+      return false;
+    }
+    // number / literal
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        const char e = s_[pos_ + 1];
+        out += e == 'n' ? '\n' : e == 't' ? '\t' : e;
+        pos_ += 2;
+        continue;
+      }
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool integer(int& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ == start) return false;
+    out = std::stoi(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool expect(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool fail(std::string& error, const std::string& what) {
+    error = "baseline parse error near offset " + std::to_string(pos_) + ": " + what;
+    return false;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& text, Baseline& out, std::string& error) {
+  out.entries.clear();
+  return Reader(text).parse(out, error);
+}
+
+void write_baseline(const std::vector<Diagnostic>& diagnostics, std::ostream& os) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Diagnostic& d : diagnostics) ++counts[{d.rule, d.path}];
+  os << "{\n  \"version\": 1,\n  \"tool\": \"tsg-lint\",\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, count] : counts) {
+    os << (first ? "" : ",") << "\n    {\"rule\": \"" << escape(key.first)
+       << "\", \"path\": \"" << escape(key.second) << "\", \"count\": " << count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+BaselineDiff diff_baseline(const std::vector<Diagnostic>& diagnostics,
+                           const Baseline& baseline) {
+  BaselineDiff diff;
+  // Group by (rule, path); diagnostics arrive sorted by (path, line, rule)
+  // from lint_project, so within a group line order is preserved and "the
+  // first `count` findings" is well defined.
+  std::map<std::pair<std::string, std::string>, std::vector<const Diagnostic*>> groups;
+  for (const Diagnostic& d : diagnostics) groups[{d.rule, d.path}].push_back(&d);
+
+  for (auto& [key, found] : groups) {
+    std::stable_sort(found.begin(), found.end(),
+                     [](const Diagnostic* a, const Diagnostic* b) { return a->line < b->line; });
+    const auto it = baseline.entries.find(key);
+    const int budget = it == baseline.entries.end() ? 0 : it->second;
+    for (std::size_t i = 0; i < found.size(); ++i) {
+      if (static_cast<int>(i) < budget) {
+        ++diff.grandfathered;
+      } else {
+        diff.fresh.push_back(*found[i]);
+      }
+    }
+  }
+  for (const auto& [key, budget] : baseline.entries) {
+    const auto it = groups.find(key);
+    const int live = it == groups.end() ? 0 : static_cast<int>(it->second.size());
+    if (budget > live) {
+      diff.stale.push_back(key.first + " " + key.second + ": baseline allows " +
+                           std::to_string(budget) + " but only " + std::to_string(live) +
+                           " remain; regenerate with --write-baseline");
+    }
+  }
+  return diff;
+}
+
+}  // namespace tsg::lint

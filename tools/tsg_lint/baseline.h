@@ -1,0 +1,49 @@
+// Finding baseline: the ratchet that lets a new rule land with pre-existing
+// findings grandfathered instead of blocking the tree, while still failing
+// CI the moment anybody adds a new one.
+//
+// The committed file (lint_baseline.json) records a count budget per
+// (rule, path) — deliberately not per line, so ordinary edits that shift
+// line numbers do not invalidate the baseline. Diff semantics: for each
+// (rule, path), the first `count` findings (by line) are grandfathered and
+// everything beyond the budget is reported. A budget larger than the actual
+// finding count is also reported (stale entry — ratchet down by running
+// --write-baseline).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tsg_lint/lint.h"
+
+namespace tsg::lint {
+
+struct Baseline {
+  /// (rule, path) -> grandfathered finding count.
+  std::map<std::pair<std::string, std::string>, int> entries;
+};
+
+/// Parse a baseline file. Returns false (with `error` set) on malformed
+/// input — a broken baseline must fail the build, not silently allow
+/// everything.
+bool load_baseline(const std::string& text, Baseline& out, std::string& error);
+
+/// Write the diagnostics as a baseline (sorted, stable output for diffs).
+void write_baseline(const std::vector<Diagnostic>& diagnostics, std::ostream& os);
+
+/// Result of diffing findings against a baseline.
+struct BaselineDiff {
+  std::vector<Diagnostic> fresh;  ///< findings beyond the per-(rule,path) budget
+  int grandfathered = 0;          ///< findings absorbed by the baseline
+  /// Entries whose budget exceeds the live finding count — the baseline is
+  /// stale and should be regenerated (formatted "rule path: N > M").
+  std::vector<std::string> stale;
+};
+
+BaselineDiff diff_baseline(const std::vector<Diagnostic>& diagnostics,
+                           const Baseline& baseline);
+
+}  // namespace tsg::lint

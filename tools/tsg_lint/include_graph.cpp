@@ -1,0 +1,285 @@
+#include "tsg_lint/include_graph.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <string_view>
+
+namespace tsg::lint {
+
+namespace {
+
+/// The declared layer spec. New modules must be added here (and to the
+/// docs table in docs/STATIC_ANALYSIS.md) before they can land — an
+/// unlisted module under src/ is a layer-violation by construction.
+struct LayerEntry {
+  std::string_view module;
+  int layer;
+};
+constexpr LayerEntry kLayers[] = {
+    // src/common/contracts.h is macro-only (thread-safety annotation
+    // wrappers) and is the one header both obs and common may share; the
+    // checker verifies it includes nothing by pinning it to layer 0.
+    {"contracts", 0},
+    // obs below common is deliberate (PR 3): parallel_for and MemoryTracker
+    // are instrumented, so common includes obs, never the reverse.
+    {"obs", 1},
+    {"common", 2},
+    {"matrix", 3},
+    {"core", 4},
+    {"csb", 5},
+    {"gen", 5},
+    {"graph", 5},
+    {"solver", 5},
+    {"baselines", 5},
+    {"chaos", 6},
+    {"service", 7},
+    {"harness", 8},
+    // Unconstrained consumers: anything under these roots may include any
+    // library layer (but still participates in cycle detection).
+    {"tools", kAppLayer},
+    {"bench", kAppLayer},
+    {"tests", kAppLayer},
+    {"examples", kAppLayer},
+    // Standalone: the linter must build when the library does not, so it
+    // may include only itself (enforced as a layer rule below).
+    {"tsg_lint", kAppLayer},
+};
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// First path segment after `prefix` ("src/core/step1.cpp", "src/" -> "core").
+std::string segment_after(const std::string& path, std::size_t at) {
+  const std::size_t slash = path.find('/', at);
+  if (slash == std::string::npos) return path.substr(at);
+  return path.substr(at, slash - at);
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+  if (path == "src/common/contracts.h") return "contracts";
+  if (starts_with(path, "src/")) return segment_after(path, 4);
+  if (starts_with(path, "tools/tsg_lint/")) return "tsg_lint";
+  if (starts_with(path, "tools/")) return "tools";
+  if (starts_with(path, "bench/")) return "bench";
+  if (starts_with(path, "tests/")) return "tests";
+  if (starts_with(path, "examples/")) return "examples";
+  return "";
+}
+
+int layer_of(const std::string& module) {
+  for (const LayerEntry& e : kLayers) {
+    if (e.module == module) return e.layer;
+  }
+  return -1;
+}
+
+IncludeGraph build_include_graph(const std::vector<FileInput>& files) {
+  IncludeGraph graph;
+  graph.nodes.reserve(files.size());
+  for (const FileInput& f : files) {
+    IncludeNode node;
+    node.path = f.path;
+    node.module = module_of(f.path);
+    node.layer = layer_of(node.module);
+    graph.index_of.emplace(f.path, static_cast<int>(graph.nodes.size()));
+    graph.nodes.push_back(std::move(node));
+  }
+
+  auto dir_of = [](const std::string& path) {
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+  };
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string& content = files[f].content;
+    int line = 1;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      std::size_t eol = content.find('\n', pos);
+      if (eol == std::string::npos) eol = content.size();
+      std::string_view l(content.data() + pos, eol - pos);
+      // Trim leading whitespace, expect `#`, optional space, `include "..."`.
+      std::size_t a = l.find_first_not_of(" \t");
+      if (a != std::string_view::npos && l[a] == '#') {
+        std::size_t b = l.find_first_not_of(" \t", a + 1);
+        if (b != std::string_view::npos && l.substr(b, 7) == "include") {
+          const std::size_t q1 = l.find('"', b + 7);
+          if (q1 != std::string_view::npos) {
+            const std::size_t q2 = l.find('"', q1 + 1);
+            if (q2 != std::string_view::npos) {
+              const std::string inc(l.substr(q1 + 1, q2 - q1 - 1));
+              // Resolution order: project roots, then includer-relative.
+              const std::string candidates[] = {
+                  "src/" + inc, "tools/" + inc, "tests/" + inc, "bench/" + inc,
+                  dir_of(files[f].path) + inc};
+              for (const std::string& cand : candidates) {
+                const auto it = graph.index_of.find(cand);
+                if (it != graph.index_of.end()) {
+                  graph.nodes[f].edges.push_back({it->second, line});
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+      pos = eol + 1;
+      ++line;
+    }
+  }
+  return graph;
+}
+
+std::map<std::string, std::map<std::string, int>> IncludeGraph::module_edges() const {
+  std::map<std::string, std::map<std::string, int>> edges;
+  for (const IncludeNode& node : nodes) {
+    edges[node.module];  // ensure isolated modules still appear
+    for (const IncludeEdge& e : node.edges) {
+      const std::string& to = nodes[static_cast<std::size_t>(e.to)].module;
+      if (to != node.module) ++edges[node.module][to];
+    }
+  }
+  return edges;
+}
+
+void check_include_graph(const IncludeGraph& graph, std::vector<Diagnostic>& out) {
+  // --- Layer conformance, per file edge (so the finding lands on the
+  // #include line that introduced it).
+  for (const IncludeNode& node : graph.nodes) {
+    if (node.module.empty()) continue;  // outside every known root: unconstrained
+    if (node.layer < 0) {
+      out.push_back({"layer-violation", node.path, 1,
+                     "module '" + node.module +
+                         "' is not in the declared layer spec; add it to "
+                         "kLayers in tools/tsg_lint/include_graph.cpp and to "
+                         "the table in docs/STATIC_ANALYSIS.md"});
+      continue;
+    }
+    for (const IncludeEdge& e : node.edges) {
+      const IncludeNode& to = graph.nodes[static_cast<std::size_t>(e.to)];
+      if (to.module == node.module) continue;
+      if (node.module == "tsg_lint") {
+        // Standalone module: it may include nothing project-local outside
+        // itself. (Inbound edges are fine — tests drive the lib; a library
+        // module including it would trip the ordinary inversion check.)
+        out.push_back({"layer-violation", node.path, e.line,
+                       "tools/tsg_lint is standalone (it must lint a tree "
+                       "whose library does not build): '" + node.path +
+                           "' may not include '" + to.path + "'"});
+        continue;
+      }
+      if (node.layer == kAppLayer) continue;  // consumers may include anything
+      if (to.layer >= 0 && to.layer < node.layer) continue;
+      out.push_back({"layer-violation", node.path, e.line,
+                     "layer inversion: module '" + node.module + "' (layer " +
+                         std::to_string(node.layer) + ") includes '" + to.path +
+                         "' of module '" + to.module + "' (layer " +
+                         std::to_string(to.layer) +
+                         "); the declared DAG is contracts -> obs -> common -> "
+                         "matrix -> core -> csb/gen/graph/solver/baselines -> "
+                         "chaos -> service -> harness -> apps"});
+    }
+  }
+
+  // --- File-level cycles: iterative 3-colour DFS; report the cycle once,
+  // at the back edge, spelling the full path.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::vector<Colour> colour(graph.nodes.size(), Colour::kWhite);
+  std::vector<int> stack_path;
+  std::set<std::string> reported;
+
+  struct Frame {
+    int node;
+    std::size_t next_edge;
+  };
+  for (std::size_t root = 0; root < graph.nodes.size(); ++root) {
+    if (colour[root] != Colour::kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back({static_cast<int>(root), 0});
+    colour[root] = Colour::kGrey;
+    stack_path.push_back(static_cast<int>(root));
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const IncludeNode& node = graph.nodes[static_cast<std::size_t>(frame.node)];
+      if (frame.next_edge < node.edges.size()) {
+        const IncludeEdge& e = node.edges[frame.next_edge++];
+        const std::size_t to = static_cast<std::size_t>(e.to);
+        if (colour[to] == Colour::kWhite) {
+          colour[to] = Colour::kGrey;
+          stack.push_back({e.to, 0});
+          stack_path.push_back(e.to);
+        } else if (colour[to] == Colour::kGrey) {
+          // Back edge: the cycle is stack_path from `to` onwards.
+          std::string cycle;
+          bool in_cycle = false;
+          for (const int p : stack_path) {
+            if (p == e.to) in_cycle = true;
+            if (!in_cycle) continue;
+            cycle += graph.nodes[static_cast<std::size_t>(p)].path;
+            cycle += " -> ";
+          }
+          cycle += graph.nodes[to].path;
+          if (reported.insert(cycle).second) {
+            out.push_back({"include-cycle", node.path, e.line,
+                           "#include cycle: " + cycle});
+          }
+        }
+      } else {
+        colour[static_cast<std::size_t>(frame.node)] = Colour::kBlack;
+        stack.pop_back();
+        stack_path.pop_back();
+      }
+    }
+  }
+}
+
+void write_graph_dot(const IncludeGraph& graph, std::ostream& os) {
+  const auto edges = graph.module_edges();
+  // Group modules by layer for rank hints.
+  std::map<int, std::vector<std::string>> by_layer;
+  for (const auto& [module, _] : edges) by_layer[layer_of(module)].push_back(module);
+
+  os << "// Module include DAG, generated by `tsg_lint --dot=...`.\n"
+     << "// Layers: low at the bottom; an edge points at what it includes.\n"
+     << "digraph tsg_modules {\n  rankdir=BT;\n  node [shape=box, fontsize=11];\n";
+  for (const auto& [layer, modules] : by_layer) {
+    os << "  { rank=same;";
+    for (const std::string& m : modules) os << " \"" << m << "\";";
+    os << " }  // layer " << layer << "\n";
+  }
+  for (const auto& [from, tos] : edges) {
+    for (const auto& [to, count] : tos) {
+      os << "  \"" << from << "\" -> \"" << to << "\" [label=\"" << count << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_graph_json(const IncludeGraph& graph, std::ostream& os) {
+  os << "{\n  \"nodes\": [\n";
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const IncludeNode& node = graph.nodes[i];
+    os << "    {\"path\": \"" << node.path << "\", \"module\": \"" << node.module
+       << "\", \"layer\": " << node.layer << "}" << (i + 1 < graph.nodes.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n  \"edges\": [\n";
+  std::vector<std::string> lines;
+  for (const IncludeNode& node : graph.nodes) {
+    for (const IncludeEdge& e : node.edges) {
+      lines.push_back("    {\"from\": \"" + node.path + "\", \"to\": \"" +
+                      graph.nodes[static_cast<std::size_t>(e.to)].path +
+                      "\", \"line\": " + std::to_string(e.line) + "}");
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    os << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace tsg::lint

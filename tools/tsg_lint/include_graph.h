@@ -1,0 +1,78 @@
+// Include-graph layering pass of tsg-lint.
+//
+// Parses every `#include "..."` directive of the project (quoted includes
+// only — angle includes are the system's business), resolves them against
+// the linted file set, and enforces the declared module layer DAG:
+//
+//   contracts (src/common/contracts.h — macro-only, includes nothing)
+//     → obs → common → matrix → core → csb/gen/graph/solver/baselines
+//     → chaos → service → harness → apps (tools, bench, tests, examples)
+//
+// A module may include itself and strictly lower layers. `tools/tsg_lint`
+// is special-cased as standalone: it may include only itself, keeping the
+// "lints even when the library does not build" guarantee mechanical. Two
+// rules come out of this pass:
+//
+//   include-cycle   — a file-level #include cycle (reported once per cycle)
+//   layer-violation — an edge against the DAG, or a module absent from the
+//                     declared spec (new modules must declare their layer
+//                     here before they land)
+//
+// The graph is also emitted as DOT (module level, for docs) and JSON (file
+// level, for tooling) via --dot / --graph-json.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tsg_lint/lint.h"
+
+namespace tsg::lint {
+
+struct IncludeEdge {
+  int to = 0;    ///< node index of the included file
+  int line = 0;  ///< line of the #include directive
+};
+
+struct IncludeNode {
+  std::string path;    ///< repo-relative, forward slashes
+  std::string module;  ///< layer-spec module ("core", "tests", …)
+  int layer = -1;      ///< declared layer, kAppLayer for consumers, -1 unknown
+  std::vector<IncludeEdge> edges;
+};
+
+/// Layer number of the unconstrained consumer band (tools/bench/tests/…).
+inline constexpr int kAppLayer = 100;
+
+struct IncludeGraph {
+  std::vector<IncludeNode> nodes;
+  std::map<std::string, int> index_of;  ///< path -> node index
+
+  /// Module-level edge set (module -> set of included modules), aggregated
+  /// from the file edges. Self-edges omitted.
+  std::map<std::string, std::map<std::string, int>> module_edges() const;
+};
+
+/// Module of a repo-relative path under the declared spec ("" when the path
+/// is outside every known root).
+std::string module_of(const std::string& path);
+
+/// Declared layer of a module, -1 when the module is not in the spec.
+int layer_of(const std::string& module);
+
+/// Build the file-level graph. Unresolvable includes (system headers,
+/// generated files outside the lint set) are ignored.
+IncludeGraph build_include_graph(const std::vector<FileInput>& files);
+
+/// Run the include-cycle and layer-violation checks, appending findings.
+void check_include_graph(const IncludeGraph& graph, std::vector<Diagnostic>& out);
+
+/// Module-level DOT digraph, layers as ranks — the docs diagram.
+void write_graph_dot(const IncludeGraph& graph, std::ostream& os);
+
+/// File-level JSON: nodes (path/module/layer) and edges.
+void write_graph_json(const IncludeGraph& graph, std::ostream& os);
+
+}  // namespace tsg::lint

@@ -21,6 +21,15 @@ constexpr const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=
                                    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
                                    "%=", "&=", "|=", "^=", ".*", "##"};
 
+/// Valid characters of a raw-string delimiter (d-char-seq): anything but
+/// parentheses, backslash, quotes, and whitespace, at most 16 characters.
+/// Scanning must stop on an invalid character instead of swallowing the
+/// rest of the file when an `R"` turns out not to open a raw string.
+bool raw_delim_char(char c) {
+  return c != '(' && c != ')' && c != '\\' && c != '"' && c != ' ' && c != '\t' &&
+         c != '\n' && c != '\r' && c != '\v' && c != '\f';
+}
+
 /// Parse a `tsg-lint:` directive out of one comment body; registers the
 /// allows it finds. `line` is the comment's starting line.
 void parse_directive(std::string_view comment, int line, LexedFile& out) {
@@ -137,11 +146,25 @@ LexedFile lex(std::string_view src) {
       continue;
     }
 
-    // Line comment.
+    // Line comment. A backslash before the newline splices the next physical
+    // line into the comment (translation phase 2 runs before comment
+    // removal), so code on the spliced line must not be tokenized.
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       const std::size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      parse_directive(src.substr(start, i - start), line, out);
+      const int start_line = line;
+      while (i < n) {
+        if (src[i] == '\n') {
+          std::size_t b = i;
+          while (b > start && src[b - 1] == '\r') --b;
+          const bool continued = b > start && src[b - 1] == '\\';
+          if (!continued) break;
+          ++line;
+          ++i;
+          continue;
+        }
+        ++i;
+      }
+      parse_directive(src.substr(start, i - start), start_line, out);
       continue;
     }
 
@@ -165,19 +188,32 @@ LexedFile lex(std::string_view src) {
       while (j < n && ident_char(src[j])) ++j;
       std::string_view word = src.substr(i, j - i);
 
-      // Raw string literal: R"delim( ... )delim" with optional encoding prefix.
+      // Raw string literal: R"delim( ... )delim" with optional encoding
+      // prefix. The delimiter scan is bounded to valid d-chars (≤ 16, no
+      // whitespace/quotes/backslash): on anything else this is not a raw
+      // string after all and the word must fall through as an identifier
+      // instead of the scan swallowing the rest of the buffer.
       const bool raw_prefix =
           word == "R" || word == "u8R" || word == "uR" || word == "UR" || word == "LR";
       if (raw_prefix && j < n && src[j] == '"') {
         std::size_t k = j + 1;
         std::string delim;
-        while (k < n && src[k] != '(') delim.push_back(src[k++]);
-        const std::string closer = ")" + delim + "\"";
-        const std::size_t end = src.find(closer, k);
-        const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
-        out.tokens.push_back({TokKind::kString, src.substr(i, stop - i), line});
-        for (std::size_t t = i; t < stop; ++t) advance_line_counter(src[t]);
-        i = stop;
+        while (k < n && delim.size() <= 16 && raw_delim_char(src[k])) {
+          delim.push_back(src[k++]);
+        }
+        if (k < n && src[k] == '(' && delim.size() <= 16) {
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t end = src.find(closer, k);
+          const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+          out.tokens.push_back({TokKind::kString, src.substr(i, stop - i), line});
+          for (std::size_t t = i; t < stop; ++t) advance_line_counter(src[t]);
+          i = stop;
+          continue;
+        }
+        // Malformed delimiter: emit the word; the quote re-enters the loop
+        // below and is scanned as an ordinary string literal.
+        out.tokens.push_back({TokKind::kIdentifier, word, line});
+        i = j;
         continue;
       }
       // Encoding-prefixed ordinary literal: u8"...", L'...', ...
@@ -214,13 +250,21 @@ LexedFile lex(std::string_view src) {
       continue;
     }
 
-    // Number (handles 0x1F, 1'000'000, 1.5e-3, .5f).
+    // Number (handles 0x1F, 1'000'000, 1.5e-3, .5f). A digit separator is
+    // only part of the number when an alphanumeric follows: `1'000'000`
+    // continues, but a quote after the last digit opens a char literal and
+    // must never be swallowed into the number token.
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
       std::size_t j = i + 1;
       while (j < n) {
         const char d = src[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
+        if (ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(src[j + 1]))) {
           ++j;
           continue;
         }

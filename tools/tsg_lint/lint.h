@@ -23,6 +23,13 @@ struct Diagnostic {
   std::string message;
 };
 
+/// One input file of a project lint: repo-relative path (forward slashes —
+/// the include resolver and the layer spec both key on it) plus content.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
 /// Context handed to every rule for one file.
 struct FileContext {
   std::string path;       ///< path as given on the command line

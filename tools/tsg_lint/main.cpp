@@ -1,21 +1,38 @@
-// tsg-lint CLI: walk the given files/directories and report violations of
-// the project's lexical invariants. See docs/STATIC_ANALYSIS.md.
+// tsg-lint CLI: project-wide semantic lint of the tree. See
+// docs/STATIC_ANALYSIS.md for the rule catalogue and the layer spec.
 //
 // Usage:
-//   tsg_lint [--only=rule1,rule2] <path>...   lint files / directory trees
-//   tsg_lint --list                           print the rule catalogue
+//   tsg_lint [options] <file-or-dir>...
+//   tsg_lint --list
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+// Options:
+//   --only=rule1,rule2    run a subset of the rules
+//   --jobs=N              worker threads (default: hardware concurrency)
+//   --sarif=PATH          also write findings as SARIF 2.1.0
+//   --dot=PATH            write the module include DAG as DOT
+//   --graph-json=PATH     write the file-level include graph as JSON
+//   --baseline=PATH       baseline file (default lint_baseline.json when
+//                         --diff-baseline/--write-baseline is given)
+//   --diff-baseline       report only findings beyond the baseline budget
+//   --write-baseline      regenerate the baseline from the live findings
+//
+// Exit codes: 0 clean, 1 findings (after baseline diff, when active),
+// 2 usage or I/O error. All paths are reported repo-relative as given —
+// run from the source root so the layer spec keys match.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "tsg_lint/lint.h"
+#include "tsg_lint/baseline.h"
+#include "tsg_lint/include_graph.h"
+#include "tsg_lint/project.h"
+#include "tsg_lint/sarif.h"
 
 namespace fs = std::filesystem;
 
@@ -61,12 +78,42 @@ bool collect(const fs::path& root, std::vector<fs::path>& out) {
   return true;
 }
 
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::function<void(std::ostream&)>& emit) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "tsg-lint: cannot write " << path << "\n";
+    return false;
+  }
+  emit(out);
+  return static_cast<bool>(out);
+}
+
 void print_usage() {
-  std::cout << "usage: tsg_lint [--only=rule1,rule2] <file-or-dir>...\n"
-               "       tsg_lint --list\n\n"
-               "Suppress a finding with a comment on (or right above) the line:\n"
-               "    // tsg-lint: allow(rule-name)   -- one line\n"
-               "    // tsg-lint: allow-file(rule-name)   -- whole file\n";
+  std::cout
+      << "usage: tsg_lint [options] <file-or-dir>...\n"
+         "       tsg_lint --list\n\n"
+         "options:\n"
+         "  --only=rule1,rule2   run a subset of the rules\n"
+         "  --jobs=N             worker threads (default: hardware concurrency)\n"
+         "  --sarif=PATH         also write findings as SARIF 2.1.0\n"
+         "  --dot=PATH           write the module include DAG as DOT\n"
+         "  --graph-json=PATH    write the file-level include graph as JSON\n"
+         "  --baseline=PATH      baseline file (default lint_baseline.json)\n"
+         "  --diff-baseline      report only findings beyond the baseline budget\n"
+         "  --write-baseline     regenerate the baseline from the live findings\n\n"
+         "Suppress a finding with a comment on (or right above) the line:\n"
+         "    // tsg-lint: allow(rule-name)   -- one line\n"
+         "    // tsg-lint: allow-file(rule-name)   -- whole file\n"
+         "For #include findings only the line-above placement works.\n";
 }
 
 }  // namespace
@@ -74,6 +121,11 @@ void print_usage() {
 int main(int argc, char** argv) {
   tsg::lint::Options options;
   std::vector<fs::path> roots;
+  int jobs = 0;
+  std::string sarif_path, dot_path, graph_json_path;
+  std::string baseline_path = "lint_baseline.json";
+  bool diff_baseline = false;
+  bool write_baseline_out = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,25 +134,58 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--list") {
-      for (const tsg::lint::Rule& rule : tsg::lint::rule_catalogue()) {
+      for (const tsg::lint::RuleInfo& rule : tsg::lint::all_rule_info()) {
         std::cout << rule.name << "\n    " << rule.summary << "\n";
       }
       return 0;
     }
     if (arg.rfind("--only=", 0) == 0) {
+      const std::vector<tsg::lint::RuleInfo> known_rules = tsg::lint::all_rule_info();
       std::stringstream list(arg.substr(7));
       std::string name;
       while (std::getline(list, name, ',')) {
         if (name.empty()) continue;
-        const auto& rules = tsg::lint::rule_catalogue();
-        const bool known = std::any_of(rules.begin(), rules.end(),
-                                       [&](const auto& r) { return r.name == name; });
+        const bool known =
+            std::any_of(known_rules.begin(), known_rules.end(),
+                        [&](const auto& r) { return r.name == name; });
         if (!known) {
           std::cerr << "tsg-lint: unknown rule: " << name << " (see --list)\n";
           return 2;
         }
         options.only_rules.insert(name);
       }
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+      if (jobs <= 0) {
+        std::cerr << "tsg-lint: --jobs wants a positive integer\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      continue;
+    }
+    if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+      continue;
+    }
+    if (arg.rfind("--graph-json=", 0) == 0) {
+      graph_json_path = arg.substr(13);
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg == "--diff-baseline") {
+      diff_baseline = true;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      write_baseline_out = true;
       continue;
     }
     if (!arg.empty() && arg.front() == '-') {
@@ -115,6 +200,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  if (diff_baseline && write_baseline_out) {
+    std::cerr << "tsg-lint: --diff-baseline and --write-baseline are exclusive\n";
+    return 2;
+  }
 
   std::vector<fs::path> files;
   for (const fs::path& root : roots) {
@@ -123,30 +212,82 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  tsg::lint::LintStats stats;
-  int findings = 0;
+  // generic_string() so reports (and the path-keyed layer spec) see forward
+  // slashes regardless of platform.
+  std::vector<tsg::lint::FileInput> inputs;
+  inputs.reserve(files.size());
   for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::cerr << "tsg-lint: cannot read " << file.string() << "\n";
+    tsg::lint::FileInput input;
+    input.path = file.generic_string();
+    if (!read_file(file, input.content)) {
+      std::cerr << "tsg-lint: cannot read " << input.path << "\n";
       return 2;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string content = buffer.str();
-
-    // generic_string() so reports (and the path-scoped rules) see forward
-    // slashes regardless of platform.
-    const std::vector<tsg::lint::Diagnostic> diags =
-        tsg::lint::lint_source(file.generic_string(), content, options, &stats);
-    for (const tsg::lint::Diagnostic& d : diags) {
-      std::cout << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message
-                << "\n";
-      ++findings;
-    }
+    inputs.push_back(std::move(input));
   }
 
-  std::cerr << "tsg-lint: " << stats.files << " files, " << findings << " finding"
-            << (findings == 1 ? "" : "s") << ", " << stats.suppressed << " suppressed\n";
+  tsg::lint::ProjectResult result =
+      tsg::lint::lint_project(std::move(inputs), options, jobs);
+
+  if (!dot_path.empty() &&
+      !write_file(dot_path, [&](std::ostream& os) { tsg::lint::write_graph_dot(result.graph, os); })) {
+    return 2;
+  }
+  if (!graph_json_path.empty() &&
+      !write_file(graph_json_path,
+                  [&](std::ostream& os) { tsg::lint::write_graph_json(result.graph, os); })) {
+    return 2;
+  }
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, [&](std::ostream& os) {
+        tsg::lint::write_sarif(result.diagnostics, tsg::lint::all_rule_info(), os);
+      })) {
+    return 2;
+  }
+
+  if (write_baseline_out) {
+    if (!write_file(baseline_path, [&](std::ostream& os) {
+          tsg::lint::write_baseline(result.diagnostics, os);
+        })) {
+      return 2;
+    }
+    std::cerr << "tsg-lint: wrote " << baseline_path << " (" << result.diagnostics.size()
+              << " finding" << (result.diagnostics.size() == 1 ? "" : "s")
+              << " grandfathered)\n";
+    return 0;
+  }
+
+  int grandfathered = 0;
+  std::vector<tsg::lint::Diagnostic> to_report = std::move(result.diagnostics);
+  if (diff_baseline) {
+    std::string text, error;
+    tsg::lint::Baseline baseline;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "tsg-lint: cannot read baseline " << baseline_path
+                << " (generate one with --write-baseline)\n";
+      return 2;
+    }
+    if (!tsg::lint::load_baseline(text, baseline, error)) {
+      std::cerr << "tsg-lint: " << error << "\n";
+      return 2;
+    }
+    tsg::lint::BaselineDiff diff = tsg::lint::diff_baseline(to_report, baseline);
+    for (const std::string& stale : diff.stale) {
+      std::cerr << "tsg-lint: stale baseline entry: " << stale << "\n";
+    }
+    grandfathered = diff.grandfathered;
+    to_report = std::move(diff.fresh);
+  }
+
+  for (const tsg::lint::Diagnostic& d : to_report) {
+    std::cout << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message << "\n";
+  }
+
+  const int findings = static_cast<int>(to_report.size());
+  std::cerr << "tsg-lint: " << result.stats.files << " files, " << findings << " finding"
+            << (findings == 1 ? "" : "s") << ", " << result.stats.suppressed
+            << " suppressed";
+  if (diff_baseline) std::cerr << ", " << grandfathered << " baselined";
+  std::cerr << "\n";
   return findings == 0 ? 0 : 1;
 }

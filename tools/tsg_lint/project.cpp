@@ -1,0 +1,131 @@
+#include "tsg_lint/project.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace tsg::lint {
+
+namespace {
+
+/// Names of the graph-pass rules, kept here so --only and --list agree with
+/// what check_include_graph emits.
+constexpr const char* kGraphRules[][2] = {
+    {"include-cycle", "file-level #include cycle anywhere in the tree"},
+    {"layer-violation",
+     "an #include edge against the declared module layer DAG, or a module "
+     "absent from the spec"},
+};
+
+bool rule_selected(const Options& options, const std::string& rule) {
+  return options.only_rules.empty() || options.only_rules.count(rule) > 0;
+}
+
+/// Run `fn(i)` for i in [0, count) over `jobs` threads. Order of execution
+/// is unspecified; `fn` must only touch slot i of any shared state.
+void for_each_index(std::size_t count, int jobs, const std::function<void(std::size_t)>& fn) {
+  unsigned n = jobs > 0 ? static_cast<unsigned>(jobs) : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  n = std::min<unsigned>(n, count == 0 ? 1 : static_cast<unsigned>(count));
+  if (n <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace
+
+std::vector<RuleInfo> all_rule_info() {
+  std::vector<RuleInfo> info;
+  for (const Rule& r : rule_catalogue()) info.push_back({r.name, r.summary});
+  for (const SemanticRule& r : semantic_rule_catalogue()) info.push_back({r.name, r.summary});
+  for (const auto& g : kGraphRules) info.push_back({g[0], g[1]});
+  return info;
+}
+
+ProjectResult lint_project(std::vector<FileInput> files, const Options& options, int jobs) {
+  ProjectResult result;
+  result.stats.files = static_cast<int>(files.size());
+
+  // Pass 1a: lex everything (parallel — files are independent).
+  std::vector<LexedFile> lexed(files.size());
+  for_each_index(files.size(), jobs,
+                 [&](std::size_t i) { lexed[i] = lex(files[i].content); });
+
+  // Pass 1b: project structures (serial; both are cheap token walks).
+  ProjectContext ctx;
+  ctx.files = &files;
+  ctx.lexed.reserve(files.size());
+  std::vector<std::string> paths;
+  paths.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    ctx.lexed.push_back(&lexed[i]);
+    paths.push_back(files[i].path);
+  }
+  const SymbolIndex index = SymbolIndex::build(paths, ctx.lexed);
+  result.graph = build_include_graph(files);
+  ctx.index = &index;
+  ctx.graph = &result.graph;
+
+  // Pass 2: per-file + semantic rules, parallel over files; suppression is
+  // applied per file so only the counter needs to be shared.
+  std::vector<std::vector<Diagnostic>> per_file(files.size());
+  std::atomic<int> suppressed{0};
+  for_each_index(files.size(), jobs, [&](std::size_t i) {
+    std::vector<Diagnostic> raw;
+    FileContext file;
+    file.path = files[i].path;
+    file.lexed = &lexed[i];
+    for (const Rule& rule : rule_catalogue()) {
+      if (rule_selected(options, rule.name)) rule.check(file, raw);
+    }
+    for (const SemanticRule& rule : semantic_rule_catalogue()) {
+      if (rule_selected(options, rule.name)) rule.check(ctx, i, raw);
+    }
+    for (Diagnostic& d : raw) {
+      if (is_suppressed(lexed[i], d.rule, d.line)) {
+        suppressed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        per_file[i].push_back(std::move(d));
+      }
+    }
+  });
+
+  // Graph checks, once; same suppression treatment (the comment must sit on
+  // the line above the #include — see project.h).
+  std::vector<Diagnostic> graph_raw;
+  check_include_graph(result.graph, graph_raw);
+  for (Diagnostic& d : graph_raw) {
+    if (!rule_selected(options, d.rule)) continue;
+    const auto it = result.graph.index_of.find(d.path);
+    if (it != result.graph.index_of.end() &&
+        is_suppressed(lexed[static_cast<std::size_t>(it->second)], d.rule, d.line)) {
+      suppressed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  for (std::vector<Diagnostic>& v : per_file) {
+    for (Diagnostic& d : v) result.diagnostics.push_back(std::move(d));
+  }
+  result.stats.suppressed = suppressed.load();
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace tsg::lint

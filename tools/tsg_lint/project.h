@@ -1,0 +1,76 @@
+// Project mode of tsg-lint: the whole-tree semantic pass.
+//
+// `lint_project` is the two-pass engine on top of the per-file rules:
+//
+//   pass 1  lex every file (parallel), build the include graph and the
+//           cross-file symbol index
+//   pass 2  run the per-file rules AND the semantic rules over each file
+//           (parallel), then the graph checks (include-cycle,
+//           layer-violation) once
+//
+// Semantic rules see the whole project through ProjectContext — that is
+// what lets `expected-flow` know a callee's return type from another
+// translation unit and `cancel-poll` follow a poll into a helper function.
+//
+// Suppression is uniform: `// tsg-lint: allow(rule)` on the finding's line
+// or the line above. For graph findings on `#include` lines only the
+// line-above placement works — a trailing comment on a directive line is
+// consumed by the preprocessor skip and never parsed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tsg_lint/include_graph.h"
+#include "tsg_lint/lint.h"
+#include "tsg_lint/symbol_index.h"
+
+namespace tsg::lint {
+
+/// Everything a semantic rule may consult. Vectors are parallel to the
+/// original input order; `lexed[i]` is the lex of `files[i]`.
+struct ProjectContext {
+  const std::vector<FileInput>* files = nullptr;
+  std::vector<const LexedFile*> lexed;
+  const SymbolIndex* index = nullptr;
+  const IncludeGraph* graph = nullptr;
+};
+
+/// A rule that runs once per file but sees the whole project.
+struct SemanticRule {
+  std::string name;
+  std::string summary;  ///< one line, shown by --list
+  std::function<void(const ProjectContext&, std::size_t file_index,
+                     std::vector<Diagnostic>&)>
+      check;
+};
+
+/// All registered semantic rules, in report order.
+const std::vector<SemanticRule>& semantic_rule_catalogue();
+
+/// Name + summary of every rule the tool can emit: per-file rules, semantic
+/// rules, then the two graph rules. This is the --list output and the SARIF
+/// driver rule table; order is stable.
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+std::vector<RuleInfo> all_rule_info();
+
+struct ProjectResult {
+  /// Findings after suppression, sorted by (path, line, rule).
+  std::vector<Diagnostic> diagnostics;
+  LintStats stats;
+  /// The include graph, for --dot / --graph-json emission by the CLI.
+  IncludeGraph graph;
+};
+
+/// Lint the whole file set. `jobs` <= 0 means hardware concurrency. The
+/// engine owns the file contents for the duration (token views point into
+/// them).
+ProjectResult lint_project(std::vector<FileInput> files, const Options& options = {},
+                           int jobs = 0);
+
+}  // namespace tsg::lint

@@ -1,0 +1,86 @@
+#include "tsg_lint/sarif.h"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace tsg::lint {
+
+namespace {
+
+/// JSON string escaping per RFC 8259: quotes, backslash, control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sarif(const std::vector<Diagnostic>& diagnostics,
+                 const std::vector<RuleInfo>& rules, std::ostream& os) {
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].name] = i;
+
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+        "master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"tsg-lint\",\n"
+     << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\"id\": \"" << json_escape(rules[i].name)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(rules[i].summary)
+       << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    const auto it = rule_index.find(d.rule);
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n";
+    if (it != rule_index.end()) {
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(d.message) << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(d.path) << "\"}, \"region\": {\"startLine\": "
+       << (d.line > 0 ? d.line : 1) << "}}}\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < diagnostics.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace tsg::lint

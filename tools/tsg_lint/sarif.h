@@ -1,0 +1,22 @@
+// SARIF 2.1.0 emission — the interchange format GitHub code scanning (and
+// most SARIF viewers) ingest. One run, one driver ("tsg-lint"), the full
+// rule table from all_rule_info() (so rules with zero findings still show
+// up in the tool metadata), and one result per diagnostic with a physical
+// location. Everything is level "error": tsg-lint has no warning tier —
+// a finding either fails the build or is suppressed/baselined with a
+// rationale.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "tsg_lint/project.h"
+
+namespace tsg::lint {
+
+/// Write the diagnostics as a SARIF 2.1.0 log. `rules` is the full rule
+/// table (all_rule_info()); every diagnostic's rule must appear in it.
+void write_sarif(const std::vector<Diagnostic>& diagnostics,
+                 const std::vector<RuleInfo>& rules, std::ostream& os);
+
+}  // namespace tsg::lint

@@ -1,0 +1,305 @@
+// The index-driven rules of tsg-lint project mode. Each runs per file but
+// consults the cross-file SymbolIndex, which is what the lexical rules in
+// rules.cpp cannot do. See docs/STATIC_ANALYSIS.md for the invariant each
+// rule encodes.
+#include "tsg_lint/project.h"
+
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+namespace tsg::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+std::size_t matching_close(const Tokens& toks, std::size_t open) {
+  const std::string_view opener = toks[open].text;
+  const std::string_view closer = opener == "(" ? ")" : (opener == "{" ? "}" : "]");
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == opener) ++depth;
+    if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// cancel-poll: a tile/chunk loop in a src/core step kernel must reach a
+// CancelToken poll — directly (`should_stop` / `check_cancelled`) or through
+// a callee the index knows to poll. This is the PR-7 strided-poll invariant:
+// without it, a cancelled request keeps burning the whole tile range and the
+// deadline machinery only takes effect between phases.
+// ---------------------------------------------------------------------------
+
+/// True when the token range (begin, end) polls: a direct poll identifier,
+/// or a call to a function whose body transitively polls.
+bool region_polls(const ProjectContext& ctx, const Tokens& toks, std::size_t begin,
+                  std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    if (toks[i].text == "should_stop" || toks[i].text == "check_cancelled") return true;
+    if (i + 1 < end && is_punct(toks[i + 1], "(") &&
+        ctx.index->reaches_poll(toks[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool region_mentions_tiles(const Tokens& toks, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    if (toks[i].text == "ntiles" || toks[i].text == "num_tiles") return true;
+  }
+  return false;
+}
+
+void check_cancel_poll(const ProjectContext& ctx, std::size_t file_index,
+                       std::vector<Diagnostic>& out) {
+  const FileInput& input = (*ctx.files)[file_index];
+  if (!starts_with(input.path, "src/core/")) return;
+  const Tokens& toks = ctx.lexed[file_index]->tokens;
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    // Form 1: a parallel loop over the tile range. The whole argument list
+    // (range + lambda body) is the region.
+    if (t.text == "parallel_for" || t.text == "parallel_for_static" ||
+        t.text == "parallel_reduce") {
+      if (!is_punct(toks[i + 1], "(")) continue;
+      const std::size_t close = matching_close(toks, i + 1);
+      if (close >= toks.size()) continue;
+      if (!region_mentions_tiles(toks, i + 2, close)) continue;
+      if (!region_polls(ctx, toks, i + 2, close)) {
+        out.push_back({"cancel-poll", input.path, t.line,
+                       std::string(t.text) +
+                           " over the tile range never polls the CancelToken; add "
+                           "the strided poll (see src/core/step2.cpp) or call a "
+                           "helper that does — cancellation latency must not be "
+                           "the whole tile range"});
+      }
+      i = close;
+      continue;
+    }
+
+    // Form 2: a serial `for` whose header mentions a chunk cursor (the
+    // service-side chunked submission path).
+    if (t.text == "for" && is_punct(toks[i + 1], "(")) {
+      const std::size_t hclose = matching_close(toks, i + 1);
+      if (hclose + 1 >= toks.size() || !is_punct(toks[hclose + 1], "{")) continue;
+      bool chunked = false;
+      for (std::size_t j = i + 2; j < hclose && !chunked; ++j) {
+        chunked = toks[j].kind == TokKind::kIdentifier &&
+                  toks[j].text.find("chunk") != std::string_view::npos;
+      }
+      if (!chunked) continue;
+      const std::size_t bclose = matching_close(toks, hclose + 1);
+      if (bclose >= toks.size()) continue;
+      if (!region_polls(ctx, toks, hclose + 2, bclose)) {
+        out.push_back({"cancel-poll", input.path, t.line,
+                       "chunk loop never polls the CancelToken; call "
+                       "check_cancelled() (or a polling helper) once per chunk"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// scope-pairing: manual begin/end calls that bypass the RAII scope types.
+// A throw, an early return, or a cancelled chunk between the two halves
+// leaves the global armed — which is precisely what FaultInjectionScope,
+// ChaosScope, RequestScope and the lock guards exist to make impossible.
+// ---------------------------------------------------------------------------
+void check_scope_pairing(const ProjectContext& ctx, std::size_t file_index,
+                         std::vector<Diagnostic>& out) {
+  const FileInput& input = (*ctx.files)[file_index];
+  const Tokens& toks = ctx.lexed[file_index]->tokens;
+
+  // Receivers declared as guard-ish types in this file are exempt from the
+  // lock/unlock check: re-locking a unique_lock and weak_ptr::lock() are
+  // both fine. Pattern: guard-type [<...>] name.
+  std::set<std::string_view> guard_names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text != "unique_lock" && t.text != "shared_lock" && t.text != "scoped_lock" &&
+        t.text != "lock_guard" && t.text != "weak_ptr") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (is_punct(toks[j], "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (toks[j].text == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdentifier) {
+      guard_names.insert(toks[j].text);
+    }
+  }
+
+  const bool in_memory_layer = starts_with(input.path, "src/common/memory.");
+  const bool in_chaos_layer = starts_with(input.path, "src/chaos/");
+  const bool in_request_ctx = input.path == "src/obs/request_context.h";
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    // Fault plans: set without a scope leaks the plan into every later
+    // allocation on that thread.
+    if (!in_memory_layer &&
+        (t.text == "set_fault_plan" || t.text == "clear_fault_plan") &&
+        is_punct(toks[i + 1], "(")) {
+      out.push_back({"scope-pairing", input.path, t.line,
+                     std::string(t.text) +
+                         "() called directly; use FaultInjectionScope "
+                         "(src/common/memory.h) so the plan is cleared on every "
+                         "exit path"});
+      continue;
+    }
+
+    // Chaos engine: arm/disarm on ChaosEngine outside its own module.
+    if (!in_chaos_layer && (t.text == "arm" || t.text == "disarm") &&
+        is_punct(toks[i + 1], "(") && i >= 2 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      bool on_chaos_engine = false;
+      const std::size_t back = i >= 8 ? i - 8 : 0;
+      for (std::size_t j = i; j-- > back;) {
+        if (is_ident(toks[j], "ChaosEngine")) {
+          on_chaos_engine = true;
+          break;
+        }
+        if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) break;
+      }
+      if (on_chaos_engine) {
+        out.push_back({"scope-pairing", input.path, t.line,
+                       "ChaosEngine::" + std::string(t.text) +
+                           "() called directly; use ChaosScope (src/chaos/chaos.h) "
+                           "so the engine disarms on every exit path"});
+      }
+      continue;
+    }
+
+    // Request context: writing the thread-local directly skips the
+    // save/restore that makes nesting safe.
+    if (!in_request_ctx && t.text == "t_request" && is_punct(toks[i + 1], "=")) {
+      out.push_back({"scope-pairing", input.path, t.line,
+                     "detail::t_request assigned directly; use RequestScope "
+                     "(src/obs/request_context.h) so the previous context is "
+                     "restored on scope exit"});
+      continue;
+    }
+
+    // Mutexes: manual lock()/unlock() on anything that is not a declared
+    // guard object.
+    if ((t.text == "lock" || t.text == "unlock") && is_punct(toks[i + 1], "(") &&
+        i + 2 < toks.size() && is_punct(toks[i + 2], ")") && i >= 2 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      const Token& recv = toks[i - 2];
+      if (recv.kind == TokKind::kIdentifier && guard_names.count(recv.text) > 0) {
+        continue;
+      }
+      out.push_back({"scope-pairing", input.path, t.line,
+                     "manual ." + std::string(t.text) +
+                         "() on a mutex; use std::lock_guard/std::unique_lock so "
+                         "the unlock survives exceptions and early returns"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// expected-flow: a statement that is nothing but a call to a function the
+// index knows to return Status/Expected — from any translation unit —
+// discards the error channel. This is the interprocedural big sibling of
+// the lexical discarded-status rule (which only knows the try_* naming
+// convention); try_* names are left to that rule.
+// ---------------------------------------------------------------------------
+void check_expected_flow(const ProjectContext& ctx, std::size_t file_index,
+                         std::vector<Diagnostic>& out) {
+  const FileInput& input = (*ctx.files)[file_index];
+  const Tokens& toks = ctx.lexed[file_index]->tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool at_start = i == 0 || is_punct(toks[i - 1], ";") ||
+                          is_punct(toks[i - 1], "{") || is_punct(toks[i - 1], "}");
+    if (!at_start) continue;
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+
+    // Walk the qualified/member chain: ident ((:: | . | ->) ident)*.
+    std::size_t j = i;
+    while (j + 2 < toks.size() &&
+           (is_punct(toks[j + 1], "::") || is_punct(toks[j + 1], ".") ||
+            is_punct(toks[j + 1], "->")) &&
+           toks[j + 2].kind == TokKind::kIdentifier) {
+      j += 2;
+    }
+    const std::string_view name = toks[j].text;
+    if (name.substr(0, 4) == "try_") continue;  // discarded-status owns these
+    if (j + 1 >= toks.size() || !is_punct(toks[j + 1], "(")) continue;
+    const std::size_t close = matching_close(toks, j + 1);
+    if (close + 1 >= toks.size() || !is_punct(toks[close + 1], ";")) continue;
+    if (!ctx.index->returns_only_status(name)) continue;
+
+    // Spell out where the Status-returning signature lives, so the finding
+    // is checkable without grepping.
+    std::string where;
+    for (const FunctionDef& def : ctx.index->functions()) {
+      if (def.returns_status_like && def.name == name) {
+        where = " (" + def.path + ":" + std::to_string(def.line) + ")";
+        break;
+      }
+    }
+    out.push_back({"expected-flow", input.path, toks[j].line,
+                   "result of " + std::string(name) + "()" + where +
+                       " is a Status/Expected and is discarded; check it, "
+                       "propagate it, or cast to void with a rationale"});
+    i = close;
+  }
+}
+
+}  // namespace
+
+const std::vector<SemanticRule>& semantic_rule_catalogue() {
+  static const std::vector<SemanticRule> kRules = {
+      {"cancel-poll",
+       "tile/chunk loop in src/core that never reaches a CancelToken poll",
+       check_cancel_poll},
+      {"scope-pairing",
+       "manual begin/end or lock/unlock bypassing the RAII scope types",
+       check_scope_pairing},
+      {"expected-flow",
+       "statement-level call discarding a Status/Expected (cross-TU, via the index)",
+       check_expected_flow},
+  };
+  return kRules;
+}
+
+}  // namespace tsg::lint

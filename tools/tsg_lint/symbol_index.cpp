@@ -1,0 +1,319 @@
+#include "tsg_lint/symbol_index.h"
+
+#include <algorithm>
+
+namespace tsg::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Keywords that look like `name (...) {` but never are function names.
+bool control_keyword(std::string_view s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" || s == "catch" ||
+         s == "return" || s == "do" || s == "else" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "new" || s == "delete" ||
+         s == "throw" || s == "co_return" || s == "co_await" || s == "co_yield";
+}
+
+/// Qualifier tokens that may sit between a function's `)` and its `{`.
+bool trailing_qualifier(std::string_view s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+         s == "mutable" || s == "volatile" || s == "&" || s == "&&" || s == "try" ||
+         s == "constexpr" || s == "inline";
+}
+
+std::size_t matching_close_paren(const Tokens& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::size_t matching_close_brace(const Tokens& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}" && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Skip a balanced `<...>` starting at toks[i] == "<". Angle brackets are
+/// ambiguous in general; in return-type position (`Expected<Ticket>`) they
+/// are reliably brackets. Returns the index one past the matching ">", or
+/// `i` when no close is found within the statement.
+std::size_t skip_angles(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    const std::string_view p = toks[j].text;
+    if (p == "<") ++depth;
+    if (p == ">" && --depth == 0) return j + 1;
+    if (p == ">>" && depth >= 2) {
+      depth -= 2;
+      if (depth == 0) return j + 1;
+    }
+    if (p == ";" || p == "{") break;  // ran off the declaration
+  }
+  return i;
+}
+
+/// Parse `ident (:: ident)*` starting at `i`. On success sets `*name` /
+/// `*qualified` and returns one past the chain; on failure returns `i`.
+std::size_t parse_name_chain(const Tokens& toks, std::size_t i, std::string* name,
+                             std::string* qualified) {
+  if (i >= toks.size() || toks[i].kind != TokKind::kIdentifier) return i;
+  std::string q(toks[i].text);
+  std::string n(toks[i].text);
+  std::size_t j = i + 1;
+  while (j + 1 < toks.size() && is_punct(toks[j], "::") &&
+         toks[j + 1].kind == TokKind::kIdentifier) {
+    q += "::";
+    q += toks[j + 1].text;
+    n = std::string(toks[j + 1].text);
+    j += 2;
+  }
+  *name = std::move(n);
+  *qualified = std::move(q);
+  return j;
+}
+
+/// After a function's closing `)`, find the body `{`: skips qualifiers, a
+/// trailing return type, and a constructor initializer list. Returns the
+/// token index of the body `{`, `decl_end` set to the `;` of a pure
+/// declaration, or tokens.size() when the shape is not a function.
+std::size_t find_body_brace(const Tokens& toks, std::size_t after_close,
+                            std::size_t* decl_end) {
+  std::size_t j = after_close;
+  *decl_end = toks.size();
+  // Qualifiers and `-> type` trailing return (skip to `{` or `;`).
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdentifier && trailing_qualifier(t.text)) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "&") || is_punct(t, "&&")) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "->")) {
+      // Trailing return type: consume tokens until `{` or `;` at depth 0.
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "(")) j = matching_close_paren(toks, j);
+        ++j;
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdentifier && t.text == "noexcept" ) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "(")) {
+      // noexcept(...) / alignas(...)
+      j = matching_close_paren(toks, j);
+      if (j < toks.size()) ++j;
+      continue;
+    }
+    if (is_punct(t, ":")) {
+      // Constructor initializer list: `name(args)` / `name{args}` elements
+      // separated by commas; the body `{` follows the last element.
+      ++j;
+      while (j < toks.size()) {
+        if (toks[j].kind != TokKind::kIdentifier) return toks.size();
+        ++j;
+        // Optional template args on the member's type: rare, skip angles.
+        if (j < toks.size() && is_punct(toks[j], "<")) j = skip_angles(toks, j);
+        if (j >= toks.size()) return toks.size();
+        if (is_punct(toks[j], "(")) {
+          j = matching_close_paren(toks, j);
+          if (j >= toks.size()) return toks.size();
+          ++j;
+        } else if (is_punct(toks[j], "{")) {
+          j = matching_close_brace(toks, j);
+        } else {
+          return toks.size();
+        }
+        if (j < toks.size() && is_punct(toks[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ";")) {
+      *decl_end = j;
+      return toks.size();
+    }
+    return toks.size();  // `=` of a variable init, `,`, operators, …
+  }
+  return toks.size();
+}
+
+/// True when the token before `chain_start` can precede a declaration: a
+/// statement/member boundary, an access-specifier colon, a template closer,
+/// or nothing (file start). Filters `Status` spelled as a parameter or a
+/// nested template argument.
+bool at_declaration_start(const Tokens& toks, std::size_t chain_start) {
+  if (chain_start == 0) return true;
+  const Token& p = toks[chain_start - 1];
+  if (p.kind == TokKind::kPunct) {
+    return p.text == ";" || p.text == "{" || p.text == "}" || p.text == ":" ||
+           p.text == ">";
+  }
+  if (p.kind == TokKind::kIdentifier) {
+    return p.text == "inline" || p.text == "static" || p.text == "constexpr" ||
+           p.text == "virtual" || p.text == "explicit" || p.text == "friend" ||
+           p.text == "extern" || p.text == "typename";
+  }
+  return false;
+}
+
+}  // namespace
+
+SymbolIndex SymbolIndex::build(const std::vector<std::string>& paths,
+                               const std::vector<const LexedFile*>& lexed) {
+  SymbolIndex index;
+
+  // --- Pass A: general function definitions (any return type), anchored on
+  // the `name-chain ( ... ) [quals] {` shape. These drive the call graph and
+  // the non-Status overload guard.
+  for (std::size_t f = 0; f < lexed.size(); ++f) {
+    const Tokens& toks = lexed[f]->tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdentifier) continue;
+      if (control_keyword(toks[i].text) || toks[i].text == "operator") continue;
+      std::string name;
+      std::string qualified;
+      const std::size_t after_chain = parse_name_chain(toks, i, &name, &qualified);
+      if (after_chain == i || after_chain >= toks.size()) continue;
+      if (!is_punct(toks[after_chain], "(")) continue;
+      // A member *call* (`x.f(...)`) is not a definition.
+      if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) continue;
+      const std::size_t close = matching_close_paren(toks, after_chain);
+      if (close >= toks.size()) continue;
+      std::size_t decl_end = toks.size();
+      const std::size_t body = find_body_brace(toks, close + 1, &decl_end);
+      if (body >= toks.size()) {
+        i = after_chain;  // skip the chain; nothing indexed at this anchor
+        continue;
+      }
+      FunctionDef def;
+      def.name = name;
+      def.qualified = qualified;
+      def.path = paths[f];
+      def.line = toks[i].line;
+      def.file_index = f;
+      def.body_begin = body;
+      def.body_end = matching_close_brace(toks, body);
+      index.functions_.push_back(std::move(def));
+      i = after_chain;  // resume inside the params; bodies are rescanned anyway
+    }
+  }
+
+  // --- Pass B: Status/Expected-returning signatures (definitions *and*
+  // declarations), anchored on the spelled return type.
+  for (std::size_t f = 0; f < lexed.size(); ++f) {
+    const Tokens& toks = lexed[f]->tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text != "Status" && t.text != "Expected") continue;
+      // Walk back over `ident ::` qualification (tsg::Status) to the chain
+      // start, then require a declaration boundary before it.
+      std::size_t chain_start = i;
+      while (chain_start >= 2 && is_punct(toks[chain_start - 1], "::") &&
+             toks[chain_start - 2].kind == TokKind::kIdentifier) {
+        chain_start -= 2;
+      }
+      if (!at_declaration_start(toks, chain_start)) continue;
+      std::size_t j = i + 1;
+      if (t.text == "Expected") {
+        if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+        j = skip_angles(toks, j);
+        if (j == i + 1) continue;  // unbalanced
+      }
+      std::string name;
+      std::string qualified;
+      const std::size_t after_chain = parse_name_chain(toks, j, &name, &qualified);
+      if (after_chain == j || after_chain >= toks.size()) continue;
+      if (!is_punct(toks[after_chain], "(")) continue;
+      const std::size_t close = matching_close_paren(toks, after_chain);
+      if (close >= toks.size()) continue;
+      std::size_t decl_end = toks.size();
+      const std::size_t body = find_body_brace(toks, close + 1, &decl_end);
+      const bool is_definition = body < toks.size();
+      const bool is_declaration = decl_end < toks.size();
+      if (!is_definition && !is_declaration) continue;
+      index.status_names_.insert(name);
+      if (is_definition) {
+        // Mark the matching pass-A entry (same file, same body) as
+        // status-returning so functions() carries the flag.
+        for (FunctionDef& def : index.functions_) {
+          if (def.file_index == f && def.body_begin == body) {
+            def.returns_status_like = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Everything defined under a name with no Status-returning marking is a
+  // non-Status overload of that name.
+  for (const FunctionDef& def : index.functions_) {
+    if (!def.returns_status_like && index.status_names_.count(def.name) > 0) {
+      index.non_status_names_.insert(def.name);
+    }
+  }
+
+  // --- Poll reachability: seed with functions whose body spells a poll,
+  // then run the name-level call-graph fixpoint.
+  auto body_has_ident = [&](const FunctionDef& def, auto&& pred) {
+    const Tokens& toks = lexed[def.file_index]->tokens;
+    for (std::size_t k = def.body_begin; k < def.body_end && k < toks.size(); ++k) {
+      if (toks[k].kind == TokKind::kIdentifier && pred(toks[k].text)) return true;
+    }
+    return false;
+  };
+  for (const FunctionDef& def : index.functions_) {
+    if (body_has_ident(def, [](std::string_view s) {
+          return s == "should_stop" || s == "check_cancelled";
+        })) {
+      index.poll_reaching_.insert(def.name);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionDef& def : index.functions_) {
+      if (index.poll_reaching_.count(def.name) > 0) continue;
+      const Tokens& toks = lexed[def.file_index]->tokens;
+      for (std::size_t k = def.body_begin; k + 1 < def.body_end && k + 1 < toks.size();
+           ++k) {
+        if (toks[k].kind != TokKind::kIdentifier) continue;
+        if (!is_punct(toks[k + 1], "(")) continue;
+        if (index.poll_reaching_.count(toks[k].text) == 0) continue;
+        index.poll_reaching_.insert(def.name);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  return index;
+}
+
+}  // namespace tsg::lint

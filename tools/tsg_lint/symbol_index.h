@@ -1,0 +1,78 @@
+// Cross-file symbol index of the tsg-lint semantic pass.
+//
+// Two-pass analysis: pass one walks every lexed translation unit and
+// records (a) function/method definitions with their body token ranges and
+// (b) every signature — definition or declaration — whose spelled return
+// type is `Status` or `Expected<...>`. Pass two (the semantic rules in
+// rules.cpp) runs per file against the merged index, which is what makes
+// `expected-flow` interprocedural and `cancel-poll` able to follow a poll
+// into a helper.
+//
+// The recognizer is token-level, not a parser: it anchors on the shape
+//   [return-type] name (:: name)* ( params ) [quals / ctor-inits] { body }
+// and deliberately ignores templates' instantiation, overload resolution,
+// and namespaces beyond the spelled qualification. Names are indexed by
+// their terminal identifier; a rule that needs overload safety must check
+// `returns_only_status()` (no same-named non-Status definition anywhere).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsg_lint/lexer.h"
+
+namespace tsg::lint {
+
+struct FunctionDef {
+  std::string name;       ///< terminal identifier ("submit" of `Service::submit`)
+  std::string qualified;  ///< the spelled chain ("Service::submit")
+  std::string path;
+  int line = 0;
+  std::size_t file_index = 0;  ///< index into the input vector
+  std::size_t body_begin = 0;  ///< token index of `{` (== body_end for declarations)
+  std::size_t body_end = 0;    ///< token index one past the matching `}`
+  bool returns_status_like = false;  ///< spelled return type is Status/Expected<...>
+};
+
+class SymbolIndex {
+ public:
+  /// Build the index over every file of the project. `lexed[i]` must be the
+  /// lex of `paths[i]`'s content and must outlive the index (token views).
+  static SymbolIndex build(const std::vector<std::string>& paths,
+                           const std::vector<const LexedFile*>& lexed);
+
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+
+  /// At least one indexed signature with this terminal name returns
+  /// Status/Expected.
+  bool any_status_signature(std::string_view name) const {
+    return status_names_.count(name) > 0;
+  }
+
+  /// Every indexed definition/signature with this terminal name returns
+  /// Status/Expected (the overload guard for expected-flow). False when the
+  /// name was never indexed.
+  bool returns_only_status(std::string_view name) const {
+    return status_names_.count(name) > 0 && non_status_names_.count(name) == 0;
+  }
+
+  /// The body of some function with this name polls a cancel token —
+  /// directly (`should_stop` / `check_cancelled`) or transitively through a
+  /// call to another poll-reaching function (fixpoint over the name-level
+  /// call graph).
+  bool reaches_poll(std::string_view name) const {
+    return poll_reaching_.count(name) > 0;
+  }
+
+ private:
+  std::vector<FunctionDef> functions_;
+  std::set<std::string, std::less<>> status_names_;
+  std::set<std::string, std::less<>> non_status_names_;
+  std::set<std::string, std::less<>> poll_reaching_;
+};
+
+}  // namespace tsg::lint
