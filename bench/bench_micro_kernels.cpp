@@ -12,6 +12,7 @@
 // `--regress` (see regress_harness.h) to emit/compare BENCH_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string_view>
 #include <vector>
 
@@ -19,6 +20,7 @@
 
 #include "common/random.h"
 #include "core/intersect.h"
+#include "core/simd_dispatch.h"
 #include "core/tile_add.h"
 #include "core/tile_convert.h"
 #include "core/tile_spgemm.h"
@@ -230,14 +232,48 @@ void BM_SymbolicScalar(benchmark::State& s) { BM_SymbolicKernel(s, SymbolicKerne
 BENCHMARK(BM_SymbolicPacked)->Arg(24)->Arg(64);
 BENCHMARK(BM_SymbolicScalar)->Arg(24)->Arg(64);
 
+// ------------------------------------------------------- dispatch levels --
+
+/// Whole-pipeline view of the SIMD dispatch ladder (ISSUE 10): one run per
+/// forced level on a mask-OR-heavy workload. Arg is the numeric
+/// simd::Level; unavailable levels are skipped, mirroring the CI matrix.
+void BM_SimdLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  if (!simd::level_available(level)) {
+    state.SkipWithError("SIMD level unavailable on this host");
+    return;
+  }
+  const Csr<double> a = gen::dense_blocks(48, 16, 89);
+  const TileMatrix<double> t = csr_to_tile(a);
+  TileSpgemmOptions opt;
+  opt.simd = level;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile_spgemm(t, t, opt).c.nnz());
+  }
+  state.SetLabel(simd::level_name(level));
+}
+BENCHMARK(BM_SimdLevel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 }  // namespace
 
 // Custom main: `--regress` switches to the machine-readable regression
-// harness (regress_harness.cpp); anything else goes to google-benchmark.
+// harness (regress_harness.cpp); `--simd-levels` prints the dispatch levels
+// this build+host can execute, one per line (scripts/check.sh uses it to
+// decide which TSG_SIMD values to force); anything else goes to
+// google-benchmark.
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--regress") {
       return tsg::bench::run_regress(argc, argv);
+    }
+    if (std::string_view(argv[i]) == "--simd-levels") {
+      for (int l = 0; l < tsg::simd::kLevelCount; ++l) {
+        const auto level = static_cast<tsg::simd::Level>(l);
+        if (tsg::simd::level_available(level)) {
+          std::printf("%s\n", tsg::simd::level_name(level));
+        }
+      }
+      return 0;
     }
   }
   benchmark::Initialize(&argc, argv);

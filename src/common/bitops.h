@@ -71,6 +71,14 @@ inline rowmask_t unpack_rowmask(std::uint64_t w, int j) {
   return static_cast<rowmask_t>(w >> (16 * j));
 }
 
+/// Pack a whole tile's 16 row masks into the four-word form in one pass
+/// (the layout the SWAR and vector kernel families both consume).
+inline void pack_tile_words(const rowmask_t* m, std::uint64_t w[kTileMaskWords]) {
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    w[wi] = pack_rowmask_word(m + wi * kRowsPerMaskWord);
+  }
+}
+
 /// SWAR per-lane popcount: each 16-bit lane of the result holds the
 /// popcount of the corresponding lane of `w` — four row-nnz counts from one
 /// word in a handful of ALU ops (no per-row popcount loop).

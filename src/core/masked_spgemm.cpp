@@ -175,7 +175,10 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
   c.col_idx.resize(nnz);
   c.val.resize(nnz);
 
-  // Step 3 (masked numeric).
+  // Step 3 (masked numeric). Materialize goes through the dispatched
+  // numeric table (exact-store contract, safe against C's shared arrays);
+  // the masked accumulator itself has no vector variant.
+  const simd::NumericOps& nops = simd::numeric_ops(effective_simd_level(options));
   parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
     // Same strided poll as the symbolic pass: a cancelled run leaves the
     // tile's values zero, which the caller discards with the run.
@@ -191,8 +194,7 @@ TileMatrix<T> SpgemmContext::run_masked_impl(const TileMatrix<T>& a, const TileM
     const rowmask_t* mask_c = c.mask.data() + base;
     const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
 
-    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
-                                     c.col_idx.data() + nz_base);
+    nops.materialize(mask_c, c.row_idx.data() + nz_base, c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
     std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;

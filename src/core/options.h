@@ -4,6 +4,7 @@
 #pragma once
 
 #include "common/config.h"
+#include "core/simd_dispatch.h"
 
 namespace tsg {
 
@@ -47,6 +48,21 @@ struct TileSpgemmOptions {
   /// work — an engineering option this CPU port exposes for the ablation
   /// bench. Default off to match the paper.
   bool cache_pairs = false;
+  /// Vector-ISA level for the step-2/3 kernel family. Defaults to the best
+  /// level this build and host support (overridable process-wide with
+  /// TSG_SIMD, per context with Config::with_simd_level); requests above
+  /// what is available clamp down at use. Ignored when `symbolic` is
+  /// kScalar — the reference kernel is the scalar oracle by definition.
+  simd::Level simd = simd::active_level();
 };
+
+/// Dispatch level a run with these options actually executes at: kScalar
+/// when the reference symbolic kernel is selected, else the requested
+/// level clamped to what this build/host can run. Resolved once per
+/// step2/step3 call, never per tile.
+inline simd::Level effective_simd_level(const TileSpgemmOptions& options) {
+  if (options.symbolic == SymbolicKernel::kScalar) return simd::Level::kScalar;
+  return simd::clamp_to_available(options.simd);
+}
 
 }  // namespace tsg

@@ -64,6 +64,10 @@ TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
   c.val.resize(nnz);
 
   const offset_t ntiles = structure.num_tiles();
+  // Materialize dispatches like step 3 proper (exact-store contract); the
+  // semiring combine/reduce loop itself stays scalar — reassociating a
+  // user-supplied reduce is not the dispatch family's call to make.
+  const simd::NumericOps& nops = simd::numeric_ops(effective_simd_level(options));
   parallel_for(offset_t{0}, ntiles, [&](offset_t t) {
     // Cooperative cancellation every 64th tile (see step2.cpp): the numeric
     // semiring pass is the long phase here, and cancellation latency must
@@ -80,8 +84,7 @@ TileMatrix<T> tile_spgemm_semiring(SpgemmContext& ctx, const TileMatrix<T>& a,
     const rowmask_t* mask_c = c.mask.data() + base;
     const std::uint8_t* row_ptr_c = c.row_ptr.data() + base;
 
-    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
-                                     c.col_idx.data() + nz_base);
+    nops.materialize(mask_c, c.row_idx.data() + nz_base, c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;
 
     std::vector<MatchedPair>& pairs = ws.slot(worker_rank()).pairs;

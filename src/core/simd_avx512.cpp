@@ -1,0 +1,112 @@
+// AVX-512 (F + BW + VL) kernels for the step-2/3 dispatch family. The
+// mask registers and compress instructions remove the AVX2 kernels' two
+// workarounds: compare-and-blend mask selection becomes k-register ops,
+// and the compress/materialize emulations become single vpcompress /
+// masked-store instructions with *exact* store widths (safe to target
+// shared output directly). Reached only through runtime CPUID dispatch.
+#include "core/simd_dispatch.h"
+#include "core/simd_x86.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX2__) && defined(__BMI2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace tsg::simd {
+namespace {
+
+void mask_or_avx512(const rowmask_t* mask_a, const rowmask_t* mask_b,
+                    std::uint64_t cm[kTileMaskWords]) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask_a));
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<__m256i*>(cm));
+  std::uint32_t uni = x86::union_rowmask16(va);
+  while (uni != 0) {
+    const int c = std::countr_zero(uni);
+    uni &= uni - 1;
+    const __mmask16 sel =
+        _mm256_test_epi16_mask(va, _mm256_set1_epi16(static_cast<short>(1u << c)));
+    // No 16-bit-masked OR exists; OR unconditionally and blend the result
+    // back into the selected lanes (vmovdqu16 with a k-mask, BW + VL).
+    acc = _mm256_mask_mov_epi16(
+        acc, sel, _mm256_or_si256(acc, _mm256_set1_epi16(static_cast<short>(mask_b[c]))));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(cm), acc);
+}
+
+index_t derive_avx512(const std::uint64_t cm[kTileMaskWords], rowmask_t* mask_out,
+                      std::uint8_t* row_ptr_out) {
+  return x86::derive_epi16(cm, mask_out, row_ptr_out);
+}
+
+void compress_avx512_d(const double* acc, const rowmask_t* mask_c, double* out) {
+  index_t o = 0;
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    const std::uint64_t w = pack_rowmask_word(mask_c + wi * kRowsPerMaskWord);
+    if (w == 0) continue;
+    const double* acc_w = acc + static_cast<std::size_t>(wi) * (kRowsPerMaskWord * kTileDim);
+    for (int k = 0; k < 8; ++k) {
+      const auto m8 = static_cast<__mmask8>((w >> (8 * k)) & 0xFFu);
+      if (m8 == 0) continue;
+      _mm512_mask_compressstoreu_pd(out + o, m8, _mm512_loadu_pd(acc_w + 8 * k));
+      o += static_cast<index_t>(std::popcount(static_cast<unsigned>(m8)));
+    }
+  }
+}
+
+void compress_avx512_f(const float* acc, const rowmask_t* mask_c, float* out) {
+  index_t o = 0;
+  for (int wi = 0; wi < kTileMaskWords; ++wi) {
+    const std::uint64_t w = pack_rowmask_word(mask_c + wi * kRowsPerMaskWord);
+    if (w == 0) continue;
+    const float* acc_w = acc + static_cast<std::size_t>(wi) * (kRowsPerMaskWord * kTileDim);
+    for (int k = 0; k < 4; ++k) {
+      const auto m16 = static_cast<__mmask16>((w >> (16 * k)) & 0xFFFFu);
+      if (m16 == 0) continue;
+      _mm512_mask_compressstoreu_ps(out + o, m16, _mm512_loadu_ps(acc_w + 16 * k));
+      o += static_cast<index_t>(std::popcount(static_cast<unsigned>(m16)));
+    }
+  }
+}
+
+void materialize_avx512(const rowmask_t* mask_c, std::uint8_t* row_idx,
+                        std::uint8_t* col_idx) {
+  const __m512i identity =
+      _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  index_t n = 0;
+  for (index_t r = 0; r < kTileDim; ++r) {
+    const auto m = static_cast<__mmask16>(mask_c[r]);
+    if (m == 0) continue;
+    const index_t cnt = popcount16(mask_c[r]);
+    // maskz variant: the plain cvt seeds its unused lanes from
+    // _mm_undefined_si128(), which gcc's -Wmaybe-uninitialized flags.
+    const __m128i cols =
+        _mm512_maskz_cvtepi32_epi8(0xFFFF, _mm512_maskz_compress_epi32(m, identity));
+    // Exact masked stores straight into the shared output arrays — no
+    // staging copy needed at this level.
+    const auto width = static_cast<__mmask16>((1u << cnt) - 1u);
+    _mm_mask_storeu_epi8(col_idx + n, width, cols);
+    _mm_mask_storeu_epi8(row_idx + n, width, _mm_set1_epi8(static_cast<char>(r)));
+    n += cnt;
+  }
+}
+
+constexpr SymbolicOps kSym = {&mask_or_avx512, &derive_avx512};
+constexpr NumericOps kNum = {&compress_avx512_d, &compress_avx512_f, &materialize_avx512};
+
+}  // namespace
+
+namespace detail {
+LevelKernels avx512_kernels() { return {&kSym, &kNum}; }
+}  // namespace detail
+
+}  // namespace tsg::simd
+
+#else  // stub body: toolchain could not target AVX-512
+
+namespace tsg::simd::detail {
+LevelKernels avx512_kernels() { return {nullptr, nullptr}; }
+}  // namespace tsg::simd::detail
+
+#endif

@@ -41,7 +41,16 @@ void publish_run_metrics(const TileSpgemmTimings& tm) {
       &reg.counter("spgemm.tiles.bin0"), &reg.counter("spgemm.tiles.bin1"),
       &reg.counter("spgemm.tiles.bin2"), &reg.counter("spgemm.tiles.bin3")};
   static_assert(kCostBins == 4, "bin counter names assume four cost bins");
+  // Runs per kernel dispatch level, so a fleet dashboard can spot hosts
+  // silently running below their ISA (e.g. a stub AVX build).
+  static std::array<obs::Counter*, simd::kLevelCount> levels = {
+      &reg.counter("spgemm.kernel.level.scalar"), &reg.counter("spgemm.kernel.level.swar"),
+      &reg.counter("spgemm.kernel.level.avx2"), &reg.counter("spgemm.kernel.level.avx512")};
+  static_assert(simd::kLevelCount == 4, "level counter names assume four dispatch levels");
   runs.inc();
+  if (tm.simd_level >= 0 && tm.simd_level < simd::kLevelCount) {
+    levels[static_cast<std::size_t>(tm.simd_level)]->inc();
+  }
   scheduled.add(tm.scheduled_tiles);
   fused.add(tm.fused_tiles);
   chunks.add(tm.chunks);
@@ -77,21 +86,29 @@ std::string mb_string(std::size_t bytes) {
 /// are always safe.
 template <class T>
 std::size_t tile_bytes_bound(const TileMatrix<T>& a, const TileLayoutCsc& b_csc, index_t ti,
-                             index_t tj, bool cache_pairs, bool fuse_light) {
+                             index_t tj, bool cache_pairs, bool fuse_light,
+                             int fuse_bin_cap) {
   std::size_t bytes =
       sizeof(offset_t) +
       static_cast<std::size_t>(kTileDim) * (sizeof(std::uint8_t) + sizeof(rowmask_t)) +
       static_cast<std::size_t>(kTileNnzMax) * (2 * sizeof(std::uint8_t) + sizeof(T));
+  const offset_t len_a = a.tile_ptr[static_cast<std::size_t>(ti) + 1] -
+                         a.tile_ptr[static_cast<std::size_t>(ti)];
+  const offset_t len_b = b_csc.col_ptr[static_cast<std::size_t>(tj) + 1] -
+                         b_csc.col_ptr[static_cast<std::size_t>(tj)];
   if (cache_pairs) {
-    const offset_t len_a = a.tile_ptr[static_cast<std::size_t>(ti) + 1] -
-                           a.tile_ptr[static_cast<std::size_t>(ti)];
-    const offset_t len_b = b_csc.col_ptr[static_cast<std::size_t>(tj) + 1] -
-                           b_csc.col_ptr[static_cast<std::size_t>(tj)];
     const std::size_t pairs = static_cast<std::size_t>(len_a < len_b ? len_a : len_b);
     bytes += pairs * sizeof(MatchedPair) + sizeof(detail::TileSlot);
   }
   if (fuse_light) {
-    bytes += static_cast<std::size_t>(kTileNnzMax) * sizeof(T) + sizeof(detail::TileSlot);
+    // Per-bin fusing: when binning is active (fuse_bin_cap >= 0 mirrors
+    // ExecutionPlan::fuses_tile via the same bin_of cost), only tiles in a
+    // fusing bin can stage values; without binning any tile may.
+    const bool stages =
+        fuse_bin_cap >= kCostBins || bin_of(len_a + len_b) <= fuse_bin_cap;
+    if (stages) {
+      bytes += static_cast<std::size_t>(kTileNnzMax) * sizeof(T) + sizeof(detail::TileSlot);
+    }
   }
   return bytes;
 }
@@ -114,7 +131,7 @@ struct BudgetPlan {
 template <class T>
 BudgetPlan plan_budget(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
                        const TileStructure& st, const SpgemmWorkspace<T>& ws, bool cache_pairs,
-                       bool fuse_light, bool degrade) {
+                       bool fuse_light, int fuse_bin_cap, bool degrade) {
   constexpr std::size_t kSat = static_cast<std::size_t>(-1);
   BudgetPlan out;
   out.budget = device_memory_budget_bytes();
@@ -139,7 +156,8 @@ BudgetPlan plan_budget(const TileMatrix<T>& a, const TileLayoutCsc& b_csc,
          t < st.tile_ptr[static_cast<std::size_t>(tr) + 1]; ++t) {
       const index_t ti = st.tile_row_idx[static_cast<std::size_t>(t)];
       const index_t tj = st.tile_col_idx[static_cast<std::size_t>(t)];
-      const std::size_t tb = tile_bytes_bound(a, b_csc, ti, tj, cache_pairs, fuse_light);
+      const std::size_t tb =
+          tile_bytes_bound(a, b_csc, ti, tj, cache_pairs, fuse_light, fuse_bin_cap);
       if (!checked_add(rb, tb, rb)) {
         rb = kSat;
         break;
@@ -190,9 +208,11 @@ namespace {
 /// the table in docs/ARCHITECTURE.md mirrors this list.
 constexpr const char* kKnownEnvKnobs[] = {
     "TSG_NUM_THREADS",    "TSG_DEVICE_MEM_MB",     "TSG_TRACE",
-    "TSG_METRICS",        "TSG_SERVICE_WORKERS",   "TSG_SERVICE_QUEUE_CAP",
+    "TSG_METRICS",        "TSG_SIMD",              "TSG_SERVICE_WORKERS",
+    "TSG_SERVICE_QUEUE_CAP",
     "TSG_BENCH_REPS",     "TSG_BENCH_SCALE",       "TSG_BENCH_TOLERANCE",
-    "TSG_BENCH_SPEEDUP",  "TSG_CTEST_ARGS",        "TSG_OBS_GATE_REPS",
+    "TSG_BENCH_SPEEDUP",  "TSG_BENCH_MIN_MS",      "TSG_CTEST_ARGS",
+    "TSG_OBS_GATE_REPS",
     "TSG_OBS_OVERHEAD_PCT", "TSG_SERVICE_STUCK_MS",
     // Observability knobs (structured log, flight recorder, SLO monitor —
     // see docs/OBSERVABILITY.md).
@@ -254,6 +274,11 @@ SpgemmContext::Config SpgemmContext::Config::from_env() {
   };
   if (truthy(std::getenv("TSG_TRACE"))) cfg.tracing = true;
   if (truthy(std::getenv("TSG_METRICS"))) cfg.metrics_detail = true;
+  // TSG_SIMD is already folded into the TileSpgemmOptions default through
+  // simd::active_level() (which parses, warns, and clamps once); re-assign
+  // here so a from_env() config stays explicit about where the level came
+  // from even if the options default ever changes.
+  cfg.options.simd = simd::active_level();
   return cfg;
 }
 
@@ -266,6 +291,16 @@ SpgemmContext::SpgemmContext(const Config& config)
   // other entry point (CLI --trace, a test) already opened.
   if (cfg_.tracing) obs::TraceCollector::instance().set_enabled(true);
   if (cfg_.metrics_detail) obs::set_metrics_detail_enabled(true);
+  // Publish the process-wide dispatch level once (a gauge, not per-run
+  // counters: the active level is a host/build property). Per-run levels —
+  // which per-context forcing can lower — land on the
+  // spgemm.kernel.level.* counters in publish_run_metrics.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::MetricsRegistry::instance().register_gauge("spgemm.kernel.level", [] {
+      return static_cast<std::int64_t>(simd::active_level());
+    });
+  });
 }
 
 template <class T>
@@ -278,6 +313,7 @@ ExecutionPlan SpgemmContext::make_plan(const TileMatrix<T>& a, const TileLayoutC
   plan.cache_min_bin = cfg_.pair_cache_min_bin;
   plan.fuse_light = fuse_light && cache_pairs;
   plan.fuse_threshold = cfg_.fuse_threshold;
+  plan.fuse_max_bin = cfg_.fuse_max_bin;
   plan.cancel = cancel_;
 
   const offset_t ntiles = structure.num_tiles();
@@ -346,6 +382,7 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   TileSpgemmTimings& tm = result.timings;
   tm.convert_ms = pending_convert_ms_;
   pending_convert_ms_ = 0.0;
+  tm.simd_level = static_cast<int>(effective_simd_level(cfg_.options));
 
   // Column-major view of B's tile layout, needed by the step-2/3
   // intersections; building it is allocation/bookkeeping, not algorithm.
@@ -377,10 +414,12 @@ TileSpgemmResult<T> SpgemmContext::run_impl(const TileMatrix<T>& a, const TileMa
   {
     ScopedAccumulator scope(tm.plan_ms);
     TSG_TRACE_SPAN("plan.budget");
+    // fuse_bin_cap >= kCostBins encodes "binning off: any tile may stage".
+    const int fuse_bin_cap = cfg_.cost_binning ? cfg_.fuse_max_bin : kCostBins;
     budget = plan_budget(a, ws.b_csc, ws.structure, ws, cache_pairs, fuse_light,
-                         cfg_.degrade_on_budget);
+                         fuse_bin_cap, cfg_.degrade_on_budget);
     if (budget.limited && cache_pairs) {
-      budget = plan_budget(a, ws.b_csc, ws.structure, ws, false, false,
+      budget = plan_budget(a, ws.b_csc, ws.structure, ws, false, false, fuse_bin_cap,
                            cfg_.degrade_on_budget);
       cache_pairs = false;
       fuse_light = false;

@@ -77,8 +77,16 @@ class SpgemmContext {
     /// nonzeros. Requires (and with_fused_path() enables) the pair cache;
     /// heavy tiles still take the staged path with cached pairs.
     bool fuse_light_tiles = false;
-    /// Largest tile (by nnz) the fused path handles in-visit.
+    /// Largest tile (by nnz) the fused path handles in-visit — the
+    /// fallback gate when cost binning is off. With binning on, whole
+    /// bins fuse instead (fuse_max_bin below).
     index_t fuse_threshold = kAccumulatorThreshold;
+    /// Highest cost bin the fused step-2→3 path handles when cost binning
+    /// is on: the planner fuses bins 0..fuse_max_bin wholesale (decided by
+    /// scheduled intersection cost, known before the symbolic result), and
+    /// heavier bins stage pairs for step 3. -1 fuses nothing, kCostBins-1
+    /// fuses everything. Results are bit-identical at any setting.
+    int fuse_max_bin = 1;
     /// Lowest cost bin whose tiles record matched pairs when the pair cache
     /// is on and cost binning is active. Bin 0 tiles (intersection lists of
     /// <= 8 entries) re-intersect for less than the cost of staging and
@@ -134,6 +142,11 @@ class SpgemmContext {
       return *this;
     }
     Config& with_fuse_threshold(index_t t) { fuse_threshold = t; return *this; }
+    Config& with_fuse_max_bin(int bin) { fuse_max_bin = bin; return *this; }
+    /// Force the step-2/3 kernel family's vector-ISA level (default: best
+    /// available, or TSG_SIMD). Levels above what the build/host supports
+    /// clamp down at run time; every level is bit-identical.
+    Config& with_simd_level(simd::Level level) { options.simd = level; return *this; }
     Config& with_device_mem_mb(std::size_t mb) { device_mem_mb = mb; return *this; }
     Config& with_degradation(bool on) { degrade_on_budget = on; return *this; }
     Config& with_validation(ValidationLevel level) { validation = level; return *this; }
@@ -144,7 +157,10 @@ class SpgemmContext {
 
     /// The one place the environment is read: TSG_DEVICE_MEM_MB (budget),
     /// TSG_NUM_THREADS (worker threads), TSG_TRACE (execution tracing),
-    /// and TSG_METRICS (per-tile detail metrics). CLI, benches, and tests
+    /// TSG_METRICS (per-tile detail metrics), and TSG_SIMD (kernel
+    /// dispatch level — also read once by simd::active_level(), the
+    /// documented exception, so kernel forcing reaches free-function entry
+    /// points that never see a Config). CLI, benches, and tests
     /// build on this instead of parsing getenv themselves. Any other
     /// TSG_-prefixed variable in the environment draws a one-time stderr
     /// warning (typos must not be silently ignored); the full knob table —

@@ -102,7 +102,13 @@ struct ExecutionPlan {
   bool cache_pairs = false;         ///< record matched pairs for step 3
   int cache_min_bin = 0;            ///< lowest cost bin that caches pairs
   bool fuse_light = false;          ///< fuse step 3 into step 2 for light tiles
-  index_t fuse_threshold = kAccumulatorThreshold;  ///< max nnz of a fused tile
+  /// Fallback nnz cap for fusing when binning is off (tile_bin == null).
+  index_t fuse_threshold = kAccumulatorThreshold;
+  /// Highest cost bin the fused step-2→3 path handles when binning is on:
+  /// whole bins fuse, so the decision depends only on scheduling cost (the
+  /// matched-list lengths), not on the symbolic result. Bins 0..1 stage at
+  /// most kTileNnzMax values per tile, which the workspace already bounds.
+  int fuse_max_bin = 1;
   /// Cooperative cancellation/deadline for this call. Default token is
   /// inert (one null test per check). Parallel bodies in src/core must not
   /// throw (`throw-in-parallel`), so steps 2/3 poll it and *skip* remaining
@@ -117,6 +123,16 @@ struct ExecutionPlan {
     return cache_pairs &&
            (tile_bin == nullptr ||
             tile_bin[static_cast<std::size_t>(t)] >= static_cast<offset_t>(cache_min_bin));
+  }
+
+  /// Whether tile `t` (with `nnz` symbolic nonzeros) runs the fused
+  /// step-2→3 path: per cost bin when binning is on, by nnz otherwise.
+  bool fuses_tile(offset_t t, index_t nnz) const {
+    if (!fuse_light || nnz <= 0) return false;
+    if (tile_bin != nullptr) {
+      return tile_bin[static_cast<std::size_t>(t)] <= static_cast<offset_t>(fuse_max_bin);
+    }
+    return nnz <= fuse_threshold;
   }
 };
 

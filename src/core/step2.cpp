@@ -1,9 +1,11 @@
 #include "core/step2.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/parallel.h"
 #include "common/status.h"
+#include "core/simd_dispatch.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_kernels.h"
 #include "obs/metrics.h"
@@ -36,6 +38,14 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
   }
   const bool fuse = plan.fuse_light && plan.cache_pairs;
   if (fuse) ws.staged_slot.assign(static_cast<std::size_t>(ntiles), {});
+
+  // Kernel dispatch, resolved once per call (never per tile): the SWAR
+  // hybrid stays inline below — its per-pair loop is too hot for an
+  // indirect call — so the table is only consulted at the AVX levels.
+  const simd::Level lvl = effective_simd_level(options);
+  const simd::SymbolicOps* vec =
+      lvl >= simd::Level::kAvx2 ? &simd::symbolic_ops(lvl) : nullptr;
+  const simd::NumericOps& nops = simd::numeric_ops(lvl);
 
   // Per-tile detail instruments, resolved once per call. The gate is read
   // once here: flipping it mid-run only affects the next call.
@@ -87,7 +97,15 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
     const std::size_t base = static_cast<std::size_t>(t) * kTileDim;
     std::uint8_t* row_ptr_out = out.row_ptr.data() + base;
     rowmask_t* mask_out = out.mask.data() + base;
-    if (options.symbolic == SymbolicKernel::kWordPacked) {
+    // The packed family derives into these stack locals and copies the 48
+    // bytes out; the fused numeric path below then reads the still-hot
+    // locals instead of reloading the tile's slice of the global symbolic
+    // arrays (the step2→step3 locality fusion buys).
+    alignas(32) rowmask_t mask_loc[kTileDim] = {};
+    std::uint8_t rp_loc[kTileDim] = {};
+    const rowmask_t* mask_src = mask_out;
+    const std::uint8_t* rp_src = row_ptr_out;
+    if (lvl != simd::Level::kScalar) {
       // Word-packed, hybrid per A-tile: dense-ish tiles drive the OR phase
       // from A's row masks (one 8-byte load covers four rows, empty
       // rows/words are skipped in registers, each occupied row accumulates
@@ -112,6 +130,10 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
           }
           continue;
         }
+        if (vec != nullptr) {
+          vec->mask_or(a.tile_mask(p.tile_a), mask_b, cm);
+          continue;
+        }
         const rowmask_t* mask_a = a.tile_mask(p.tile_a);
         for (int wi = 0; wi < kTileMaskWords; ++wi) {
           const std::uint64_t wa = pack_rowmask_word(mask_a + wi * kRowsPerMaskWord);
@@ -131,21 +153,30 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       for (int wi = 0; wi < kTileMaskWords; ++wi) {
         cm[wi] |= pack_rowmask_word(gather + wi * kRowsPerMaskWord);
       }
-      // SWAR derivation: per-word lane popcounts and lane prefix sums give
-      // four row-pointer entries (and the running nnz count) per word,
-      // replacing the sixteen per-row popcount iterations. row_ptr/mask start
-      // zeroed, so an empty tile skips the store loop entirely.
+      // Derivation into the locals (empty tiles skip it — the global
+      // arrays start zeroed). AVX levels use the table's vector kernel;
+      // otherwise the inline SWAR form: per-word lane popcounts and lane
+      // prefix sums give four row-pointer entries (and the running nnz
+      // count) per word, replacing sixteen per-row popcount iterations.
       if ((cm[0] | cm[1] | cm[2] | cm[3]) != 0) {
-        for (int wi = 0; wi < kTileMaskWords; ++wi) {
-          const std::uint64_t w = cm[wi];
-          const std::uint64_t excl = lane_prefix_sums16(lane_popcounts16(w)) << 16;
-          for (int j = 0; j < kRowsPerMaskWord; ++j) {
-            mask_out[wi * kRowsPerMaskWord + j] = unpack_rowmask(w, j);
-            row_ptr_out[wi * kRowsPerMaskWord + j] =
-                static_cast<std::uint8_t>(count + ((excl >> (16 * j)) & 0xFFFFu));
+        if (vec != nullptr) {
+          count = vec->derive(cm, mask_loc, rp_loc);
+        } else {
+          for (int wi = 0; wi < kTileMaskWords; ++wi) {
+            const std::uint64_t w = cm[wi];
+            const std::uint64_t excl = lane_prefix_sums16(lane_popcounts16(w)) << 16;
+            for (int j = 0; j < kRowsPerMaskWord; ++j) {
+              mask_loc[wi * kRowsPerMaskWord + j] = unpack_rowmask(w, j);
+              rp_loc[wi * kRowsPerMaskWord + j] =
+                  static_cast<std::uint8_t>(count + ((excl >> (16 * j)) & 0xFFFFu));
+            }
+            count += static_cast<index_t>(std::popcount(w));
           }
-          count += static_cast<index_t>(std::popcount(w));
         }
+        std::memcpy(mask_out, mask_loc, sizeof(mask_loc));
+        std::memcpy(row_ptr_out, rp_loc, sizeof(rp_loc));
+        mask_src = mask_loc;
+        rp_src = rp_loc;
       }
     } else {
       // Reference per-bit path (SymbolicKernel::kScalar), kept verbatim as
@@ -172,20 +203,21 @@ Step2Result step2_symbolic(const TileMatrix<T>& a, const TileMatrix<T>& b,
       m_tile_nnz.observe(count);
     }
 
-    if (fuse && count > 0 && count <= plan.fuse_threshold) {
-      // Fused numeric: the tile's structure is fully known and its matched
-      // pairs are still hot, so accumulate the values now and stage them in
-      // this thread's buffer; step 3 only copies them to their final home.
+    if (fuse && plan.fuses_tile(t, count)) {
+      // Fused numeric, selected per cost bin by the planner: the tile's
+      // structure is fully known, its matched pairs are still hot, and the
+      // packed family's symbolic result is still in the stack locals, so
+      // accumulate the values now and stage them in this thread's buffer;
+      // step 3 only copies them to their final home.
       T vals[kTileNnzMax];
       for (index_t k = 0; k < count; ++k) vals[k] = T{};
-      const std::uint8_t* row_ptr_c = out.row_ptr.data() + base;
-      const rowmask_t* mask_ptr = out.mask.data() + base;
       if (detail::use_dense_accumulator(options, count)) {
-        detail::accumulate_pairs_dense(a, b, pairs.data(), pairs.size(), mask_ptr, vals);
+        detail::accumulate_pairs_dense(a, b, pairs.data(), pairs.size(), mask_src, vals,
+                                       nops);
         if (detail_metrics) m_fused_dense.inc();
       } else {
-        detail::accumulate_pairs_sparse(a, b, pairs.data(), pairs.size(), mask_ptr,
-                                        row_ptr_c, vals);
+        detail::accumulate_pairs_sparse(a, b, pairs.data(), pairs.size(), mask_src,
+                                        rp_src, vals);
         if (detail_metrics) m_fused_sparse.inc();
       }
       ws.staged_slot[static_cast<std::size_t>(t)] = {

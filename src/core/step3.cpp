@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "core/simd_dispatch.h"
 #include "core/spgemm_workspace.h"
 #include "core/tile_kernels.h"
 #include "obs/metrics.h"
@@ -21,6 +22,11 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
       plan.cache_pairs && ws.pair_slot.size() == static_cast<std::size_t>(ntiles);
   const bool use_staged = plan.fuse_light && plan.cache_pairs &&
                           ws.staged_slot.size() == static_cast<std::size_t>(ntiles);
+
+  // Numeric kernel table, resolved once per call. Materialize is safe to
+  // aim at C's shared arrays at every level (exact-store contract); the
+  // dense compress only ever targets the local `slots` scratch.
+  const simd::NumericOps& nops = simd::numeric_ops(effective_simd_level(options));
 
   // Per-tile detail instruments (see step2.cpp); the gate is read once per
   // call so the hot loop branches on a local bool.
@@ -63,8 +69,7 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
 
     // Materialise the local row/column indices from the masks; the mask bit
     // order is the storage order.
-    detail::materialize_tile_indices(mask_c, c.row_idx.data() + nz_base,
-                                     c.col_idx.data() + nz_base);
+    nops.materialize(mask_c, c.row_idx.data() + nz_base, c.col_idx.data() + nz_base);
     if (nnz_c == 0) return;  // step 1 may keep tiles that turned out empty
 
     if (use_staged) {
@@ -113,7 +118,7 @@ void step3_numeric(const TileMatrix<T>& a, const TileMatrix<T>& b,
     T slots[kTileNnzMax];
     for (index_t k = 0; k < nnz_c; ++k) slots[k] = T{};
     if (detail::use_dense_accumulator(options, nnz_c)) {
-      detail::accumulate_pairs_dense(a, b, pair_data, pair_count, mask_c, slots);
+      detail::accumulate_pairs_dense(a, b, pair_data, pair_count, mask_c, slots, nops);
       if (detail_metrics) m_dense.inc();
     } else {
       detail::accumulate_pairs_sparse(a, b, pair_data, pair_count, mask_c, row_ptr_c, slots);

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/intersect.h"
+#include "core/simd_dispatch.h"
 #include "core/tile_format.h"
 
 namespace tsg {
@@ -47,11 +48,15 @@ inline void accumulate_pairs_sparse(const TileMatrix<T>& a, const TileMatrix<T>&
 }
 
 /// Accumulate into a dense 16x16 scratch tile, then compress through the
-/// mask (Algorithm 3 lines 13-17).
+/// mask (Algorithm 3 lines 13-17). The accumulation order is fixed — only
+/// the compress (a pure gather) goes through the dispatched `nops`, which
+/// is what keeps every simd::Level bit-identical. `slots` must have
+/// capacity kTileNnzMax (vector compress may store past the final count).
 template <class T>
 inline void accumulate_pairs_dense(const TileMatrix<T>& a, const TileMatrix<T>& b,
                                    const MatchedPair* pairs, std::size_t pair_count,
-                                   const rowmask_t* mask_c, T* slots) {
+                                   const rowmask_t* mask_c, T* slots,
+                                   const simd::NumericOps& nops) {
   T acc[kTileNnzMax] = {};
   for (std::size_t pi = 0; pi < pair_count; ++pi) {
     const MatchedPair& p = pairs[pi];
@@ -72,19 +77,11 @@ inline void accumulate_pairs_dense(const TileMatrix<T>& a, const TileMatrix<T>& 
       }
     }
   }
-  // Compress: walk the mask bits in packed-word order; their rank order
-  // equals the storage order of the tile's nonzeros, and with four rows per
-  // word a bit at position b of word wi indexes dense slot 64*wi + b (the
-  // dense tile is row-major at 16 slots per row).
-  index_t out = 0;
-  for (int wi = 0; wi < kTileMaskWords; ++wi) {
-    std::uint64_t w = pack_rowmask_word(mask_c + wi * kRowsPerMaskWord);
-    const T* acc_w = acc + static_cast<std::size_t>(wi) * (kRowsPerMaskWord * kTileDim);
-    while (w != 0) {
-      slots[out++] = acc_w[std::countr_zero(w)];
-      w &= w - 1;
-    }
-  }
+  // Compress: the mask's bit order in packed-word form equals the storage
+  // order of the tile's nonzeros (with four rows per word, bit b of word
+  // wi indexes dense slot 64*wi + b), so the dispatched compress kernel is
+  // a pure in-order gather of the set slots.
+  simd::compress_tile<T>(nops, acc, mask_c, slots);
 }
 
 /// Whether tile-level accumulation should take the dense 256-slot path for

@@ -44,6 +44,9 @@ struct TileSpgemmTimings {
   std::array<offset_t, kCostBins> bin_tiles{};
   offset_t scheduled_tiles = 0;     ///< C tiles visited by steps 2/3
   offset_t fused_tiles = 0;         ///< tiles resolved by the fused step-2+3 path
+  /// Kernel dispatch level the run executed at (numeric value of
+  /// simd::Level: 0 scalar, 1 swar, 2 avx2, 3 avx512).
+  int simd_level = 0;
   std::size_t workspace_bytes = 0;  ///< pooled workspace footprint after the run
   /// Execution chunks the run was split into. 1 = single shot; >= 2 means
   /// the modeled device budget forced graceful degradation over C's tile
